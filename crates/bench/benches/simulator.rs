@@ -1,0 +1,36 @@
+//! Discrete-event simulator throughput: simulated load tests per second of
+//! wall clock at the paper's scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvasd_simnet::{SimConfig, Simulation};
+use mvasd_testbed::apps::{jpetstore, vins};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated_load_test_60s");
+    g.sample_size(10);
+    for (name, app, users) in [
+        ("vins_50_users", vins::model(), 50usize),
+        ("vins_1500_users", vins::model(), 1500),
+        ("jpetstore_210_users", jpetstore::model(), 210),
+    ] {
+        let net = app.sim_network(users).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &users, |b, &users| {
+            b.iter(|| {
+                Simulation::new(net.clone(), SimConfig {
+                    customers: users,
+                    horizon: 60.0,
+                    warmup: 10.0,
+                    seed: 42,
+                    ..SimConfig::default()
+                })
+                .unwrap()
+                .run()
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro list            # show available experiment ids
+//! repro all             # regenerate everything into results/
+//! repro fig7 table5     # regenerate a subset
+//! ```
+//!
+//! Outputs land in `results/` (override with `MVASD_RESULTS_DIR`).
+
+use mvasd_bench::experiments::{run, Ctx, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: repro <list|all|ID...>");
+        eprintln!("experiment ids: {}", ALL.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args[0] == "list" {
+        for id in ALL {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let ids: Vec<&str> = if args[0] == "all" {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let ctx = Ctx::new();
+    let mut failures = 0;
+    for id in ids {
+        println!("=== {id} ===");
+        let started = std::time::Instant::now();
+        match run(id, &ctx) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("wrote {}", p.display());
+                }
+                println!("({:.1}s)", started.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("ERROR: {e}");
+                failures += 1;
+            }
+        }
+        println!();
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Result output: CSV files plus human-readable summaries under a results
+//! directory. Hand-rolled (no serde) to stay within the workspace's allowed
+//! dependency set.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Where experiment outputs land (override with `MVASD_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MVASD_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// A simple rectangular CSV table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each the same arity as `headers`).
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn push(&mut self, row: Vec<f64>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Serializes to CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV into `dir/name`.
+    pub fn write(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        let mut f = fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Writes a free-form text artifact (summaries, rendered tables).
+pub fn write_text(dir: &Path, name: &str, content: &str) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new(vec!["n", "x"]);
+        t.push(vec![1.0, 2.5]);
+        t.push(vec![2.0, 3.5]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("n,x\n"));
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("2.500000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push(vec![1.0]);
+    }
+
+    #[test]
+    fn write_to_temp_dir() {
+        let dir = std::env::temp_dir().join("mvasd_bench_test_out");
+        let mut t = Table::new(vec!["a"]);
+        t.push(vec![1.0]);
+        let p = t.write(&dir, "t.csv").unwrap();
+        assert!(p.exists());
+        let p2 = write_text(&dir, "s.txt", "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(p2).unwrap(), "hello");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

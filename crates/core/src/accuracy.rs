@@ -1,0 +1,177 @@
+//! Prediction-accuracy reports — the mean percentage deviations of paper
+//! eq. 15 and the model-comparison layout of Tables 4–5.
+
+use mvasd_numerics::stats::{max_pct_deviation, mean_pct_deviation};
+use mvasd_queueing::mva::MvaSolution;
+
+use crate::CoreError;
+
+/// Deviation of one model's predictions from measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviationReport {
+    /// Model label (e.g. `"MVASD"`, `"MVA 203"`).
+    pub model: String,
+    /// Mean % deviation of throughput (paper eq. 15).
+    pub throughput_mean_pct: f64,
+    /// Max % deviation of throughput.
+    pub throughput_max_pct: f64,
+    /// Mean % deviation of cycle time `R + Z`.
+    pub cycle_mean_pct: f64,
+    /// Max % deviation of cycle time.
+    pub cycle_max_pct: f64,
+}
+
+/// Extracts a model's predicted `(throughput, cycle time)` at the given
+/// populations from a solved series. Errors if a level exceeds the solved
+/// range or is zero.
+pub fn predictions_at(
+    solution: &MvaSolution,
+    levels: &[u64],
+) -> Result<(Vec<f64>, Vec<f64>), CoreError> {
+    let mut xs = Vec::with_capacity(levels.len());
+    let mut cs = Vec::with_capacity(levels.len());
+    for &n in levels {
+        let p = solution
+            .at(n as usize)
+            .ok_or(CoreError::InvalidParameter {
+                what: "level outside the solved population range",
+            })?;
+        xs.push(p.throughput);
+        cs.push(p.cycle_time);
+    }
+    Ok((xs, cs))
+}
+
+/// Builds a deviation report from prediction and measurement series
+/// (same levels, same order).
+pub fn compare(
+    model: &str,
+    predicted_throughput: &[f64],
+    predicted_cycle: &[f64],
+    measured_throughput: &[f64],
+    measured_cycle: &[f64],
+) -> Result<DeviationReport, CoreError> {
+    Ok(DeviationReport {
+        model: model.to_string(),
+        throughput_mean_pct: mean_pct_deviation(predicted_throughput, measured_throughput)?,
+        throughput_max_pct: max_pct_deviation(predicted_throughput, measured_throughput)?,
+        cycle_mean_pct: mean_pct_deviation(predicted_cycle, measured_cycle)?,
+        cycle_max_pct: max_pct_deviation(predicted_cycle, measured_cycle)?,
+    })
+}
+
+/// Convenience: deviation of a solved model against measured series at the
+/// measured levels.
+pub fn compare_solution(
+    model: &str,
+    solution: &MvaSolution,
+    levels: &[u64],
+    measured_throughput: &[f64],
+    measured_cycle: &[f64],
+) -> Result<DeviationReport, CoreError> {
+    let (xs, cs) = predictions_at(solution, levels)?;
+    compare(model, &xs, &cs, measured_throughput, measured_cycle)
+}
+
+/// Renders reports in the layout of paper Tables 4–5 (two metric blocks,
+/// one row per model).
+pub fn render_table(title: &str, reports: &[DeviationReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>12}\n",
+        "Metric / Model", "Mean Dev(%)", "Max Dev(%)"
+    ));
+    out.push_str("Throughput (Pages/second)\n");
+    for r in reports {
+        out.push_str(&format!(
+            "  {:<26} {:>12.2} {:>12.2}\n",
+            r.model, r.throughput_mean_pct, r.throughput_max_pct
+        ));
+    }
+    out.push_str("Response Time (Cycle Time R+Z)\n");
+    for r in reports {
+        out.push_str(&format!(
+            "  {:<26} {:>12.2} {:>12.2}\n",
+            r.model, r.cycle_mean_pct, r.cycle_max_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvasd_queueing::mva::{PopulationPoint, StationPoint};
+
+    fn solution() -> MvaSolution {
+        MvaSolution {
+            station_names: vec!["s".into()],
+            points: (1..=10)
+                .map(|n| PopulationPoint {
+                    n,
+                    throughput: 10.0 * n as f64,
+                    response: 0.01 * n as f64,
+                    cycle_time: 0.01 * n as f64 + 1.0,
+                    stations: vec![StationPoint {
+                        queue: 0.0,
+                        residence: 0.0,
+                        utilization: 0.0,
+                    }],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn predictions_extract_correct_levels() {
+        let sol = solution();
+        let (xs, cs) = predictions_at(&sol, &[1, 5, 10]).unwrap();
+        assert_eq!(xs, vec![10.0, 50.0, 100.0]);
+        assert_eq!(cs, vec![1.01, 1.05, 1.10]);
+        assert!(predictions_at(&sol, &[11]).is_err());
+        assert!(predictions_at(&sol, &[0]).is_err());
+    }
+
+    #[test]
+    fn compare_computes_eq15() {
+        let r = compare(
+            "m",
+            &[110.0, 90.0],
+            &[1.0, 1.0],
+            &[100.0, 100.0],
+            &[1.0, 1.0],
+        )
+        .unwrap();
+        assert!((r.throughput_mean_pct - 10.0).abs() < 1e-12);
+        assert!((r.throughput_max_pct - 10.0).abs() < 1e-12);
+        assert!((r.cycle_mean_pct - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compare_solution_end_to_end() {
+        let sol = solution();
+        // Measurements exactly equal the model at levels 2 and 4.
+        let r = compare_solution("exact", &sol, &[2, 4], &[20.0, 40.0], &[1.02, 1.04]).unwrap();
+        assert!(r.throughput_mean_pct < 1e-12);
+        assert!(r.cycle_mean_pct < 1e-12);
+    }
+
+    #[test]
+    fn render_table_lists_models() {
+        let r1 = compare("MVASD", &[1.0], &[1.0], &[1.0], &[1.0]).unwrap();
+        let r2 = compare("MVA 203", &[1.2], &[1.2], &[1.0], &[1.0]).unwrap();
+        let txt = render_table("Mean Deviation (VINS)", &[r1, r2]);
+        assert!(txt.contains("MVASD"));
+        assert!(txt.contains("MVA 203"));
+        assert!(txt.contains("Throughput"));
+        assert!(txt.contains("Cycle Time"));
+        assert!(txt.contains("20.00")); // r2 deviation
+    }
+
+    #[test]
+    fn compare_rejects_mismatch() {
+        assert!(compare("m", &[1.0, 2.0], &[1.0], &[1.0], &[1.0]).is_err());
+        assert!(compare("m", &[1.0], &[1.0], &[1.0], &[1.0, 2.0]).is_err());
+    }
+}

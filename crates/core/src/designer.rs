@@ -1,0 +1,134 @@
+//! Load-test sample placement — paper Section 8.
+//!
+//! "Typically, performance testing experts pick arbitrary points to
+//! generate load tests." The paper instead derives the tested concurrency
+//! levels from Chebyshev Nodes (eq. 16–17), which avoid the Runge
+//! oscillation that equi-spaced or random placements suffer when the
+//! demand samples are spline-interpolated (Fig. 15). This module provides
+//! all three strategies so the benches can reproduce the comparison.
+
+use mvasd_numerics::chebyshev::chebyshev_levels;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::CoreError;
+
+/// How to place the `k` load-test concurrency levels on `[a, b]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplingStrategy {
+    /// Chebyshev Nodes (paper eq. 17) — the paper's recommendation.
+    Chebyshev,
+    /// Equi-spaced points including both endpoints.
+    EquiSpaced,
+    /// Uniform random points (what "arbitrary" testing in practice does).
+    Random {
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+}
+
+/// Designs `points` integer concurrency levels in `[a, b]` under the given
+/// strategy. Levels come back ascending and deduplicated (so fewer than
+/// `points` levels can be returned if the interval is narrow).
+pub fn design_levels(
+    strategy: SamplingStrategy,
+    points: usize,
+    a: f64,
+    b: f64,
+) -> Result<Vec<u64>, CoreError> {
+    if points == 0 {
+        return Err(CoreError::InvalidParameter {
+            what: "need at least one design point",
+        });
+    }
+    if !(a.is_finite() && b.is_finite() && a >= 1.0 && b > a) {
+        return Err(CoreError::InvalidParameter {
+            what: "need finite 1 <= a < b",
+        });
+    }
+    let mut levels: Vec<u64> = match strategy {
+        SamplingStrategy::Chebyshev => chebyshev_levels(points, a, b),
+        SamplingStrategy::EquiSpaced => {
+            if points == 1 {
+                vec![(0.5 * (a + b)).round() as u64]
+            } else {
+                (0..points)
+                    .map(|i| {
+                        let t = i as f64 / (points - 1) as f64;
+                        (a + t * (b - a)).round().max(1.0) as u64
+                    })
+                    .collect()
+            }
+        }
+        SamplingStrategy::Random { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..points)
+                .map(|_| rng.gen_range(a..=b).round().max(1.0) as u64)
+                .collect()
+        }
+    };
+    levels.sort_unstable();
+    levels.dedup();
+    Ok(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chebyshev_matches_paper_section_8() {
+        assert_eq!(
+            design_levels(SamplingStrategy::Chebyshev, 3, 1.0, 300.0).unwrap(),
+            vec![22, 151, 280]
+        );
+        assert_eq!(
+            design_levels(SamplingStrategy::Chebyshev, 5, 1.0, 300.0).unwrap(),
+            vec![9, 63, 151, 239, 293]
+        );
+        assert_eq!(
+            design_levels(SamplingStrategy::Chebyshev, 7, 1.0, 300.0).unwrap(),
+            vec![5, 34, 86, 151, 216, 268, 297]
+        );
+    }
+
+    #[test]
+    fn equispaced_includes_endpoints() {
+        let l = design_levels(SamplingStrategy::EquiSpaced, 5, 1.0, 301.0).unwrap();
+        assert_eq!(l, vec![1, 76, 151, 226, 301]);
+        let single = design_levels(SamplingStrategy::EquiSpaced, 1, 1.0, 99.0).unwrap();
+        assert_eq!(single, vec![50]);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_in_range() {
+        let a = design_levels(SamplingStrategy::Random { seed: 4 }, 10, 1.0, 300.0).unwrap();
+        let b = design_levels(SamplingStrategy::Random { seed: 4 }, 10, 1.0, 300.0).unwrap();
+        assert_eq!(a, b);
+        for &l in &a {
+            assert!((1..=300).contains(&l));
+        }
+        let c = design_levels(SamplingStrategy::Random { seed: 5 }, 10, 1.0, 300.0).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn levels_ascending_unique() {
+        for strat in [
+            SamplingStrategy::Chebyshev,
+            SamplingStrategy::EquiSpaced,
+            SamplingStrategy::Random { seed: 1 },
+        ] {
+            let l = design_levels(strat, 12, 1.0, 50.0).unwrap();
+            assert!(l.windows(2).all(|w| w[0] < w[1]), "{strat:?}: {l:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(design_levels(SamplingStrategy::Chebyshev, 0, 1.0, 300.0).is_err());
+        assert!(design_levels(SamplingStrategy::Chebyshev, 3, 0.0, 300.0).is_err());
+        assert!(design_levels(SamplingStrategy::Chebyshev, 3, 10.0, 10.0).is_err());
+        assert!(design_levels(SamplingStrategy::Chebyshev, 3, f64::NAN, 10.0).is_err());
+    }
+}

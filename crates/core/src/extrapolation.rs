@@ -1,0 +1,275 @@
+//! Curve-fitting throughput extrapolation — the baseline of the paper's
+//! related work (ref. \[4], Dattagupta et al. / PerfExt; also the approach
+//! behind tools like TeamQuest):
+//!
+//! > "makes use of curve fitting to extrapolate measured throughput and
+//! > response time values in order to predict values at higher
+//! > concurrencies. Using linear regression for linearly increasing
+//! > throughput and sigmoid curves for saturation, the extrapolation
+//! > technique is shown to work well against measured values."
+//!
+//! The predictor fits both shapes to the measured `(N, X)` points and keeps
+//! the better one (by residual sum of squares):
+//!
+//! * **linear-capped** — `X(N) = min(a·N, X_max)`: Little's-law growth into
+//!   a hard ceiling;
+//! * **sigmoid** — `X(N) = X_max / (1 + e^{−(N − n₀)/s})`, fitted with
+//!   Nelder–Mead.
+//!
+//! Cycle times come from Little's law on the extrapolated throughput
+//! (`R + Z = N / X(N)`). Unlike MVASD this has no model of *why* the curve
+//! bends — no per-resource demands, no multi-server structure, no
+//! utilization outputs, no what-if capability — which is exactly the
+//! comparison the `ablation-curvefit` experiment quantifies.
+
+use mvasd_numerics::optimize::{nelder_mead, NelderMeadOptions};
+use mvasd_numerics::stats::linear_regression;
+
+use crate::CoreError;
+
+/// Which functional form won the fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FittedShape {
+    /// `X(N) = min(a·N, X_max)`.
+    LinearCapped,
+    /// `X(N) = X_max / (1 + e^{−(N−n₀)/s})`.
+    Sigmoid,
+}
+
+/// A fitted throughput-extrapolation model.
+#[derive(Debug, Clone)]
+pub struct CurveFitPredictor {
+    shape: FittedShape,
+    /// LinearCapped: `[a, x_max]`; Sigmoid: `[x_max, n0, s]`.
+    params: Vec<f64>,
+    think_time: f64,
+    /// Residual sum of squares of the winning fit.
+    rss: f64,
+}
+
+impl CurveFitPredictor {
+    /// Fits the predictor to measured `(levels, throughputs)` pairs.
+    /// Needs at least 3 points (a saturating curve cannot be identified
+    /// from fewer).
+    pub fn fit(levels: &[f64], throughputs: &[f64], think_time: f64) -> Result<Self, CoreError> {
+        if levels.len() != throughputs.len() {
+            return Err(CoreError::InvalidParameter {
+                what: "levels and throughputs must have equal length",
+            });
+        }
+        if levels.len() < 3 {
+            return Err(CoreError::InvalidParameter {
+                what: "need at least 3 measured points",
+            });
+        }
+        if levels.iter().chain(throughputs.iter()).any(|v| !v.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                what: "levels and throughputs must be finite",
+            });
+        }
+        if throughputs.iter().any(|&x| x <= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                what: "throughputs must be positive",
+            });
+        }
+        if !(think_time.is_finite() && think_time >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                what: "think time must be finite and >= 0",
+            });
+        }
+
+        let x_peak = throughputs.iter().cloned().fold(0.0f64, f64::max);
+
+        // Candidate 1: linear ramp (through the origin-ish low-load points)
+        // capped at a fitted ceiling. Slope from the points below 60 % of
+        // the peak (the "linearly increasing" regime of ref. [4]), ceiling
+        // fitted as the mean of the near-peak points.
+        let low: (Vec<f64>, Vec<f64>) = levels
+            .iter()
+            .zip(throughputs.iter())
+            .filter(|(_, &x)| x < 0.6 * x_peak)
+            .map(|(&n, &x)| (n, x))
+            .unzip();
+        let slope = if low.0.len() >= 2 {
+            linear_regression(&low.0, &low.1).map(|r| r.slope).unwrap_or(0.0)
+        } else {
+            // Degenerate: use the first point's ray.
+            throughputs[0] / levels[0].max(1.0)
+        };
+        let cap = {
+            let near: Vec<f64> = throughputs
+                .iter()
+                .cloned()
+                .filter(|&x| x >= 0.9 * x_peak)
+                .collect();
+            near.iter().sum::<f64>() / near.len() as f64
+        };
+        let linear_rss: f64 = levels
+            .iter()
+            .zip(throughputs.iter())
+            .map(|(&n, &x)| {
+                let m = (slope * n).min(cap);
+                (m - x).powi(2)
+            })
+            .sum();
+
+        // Candidate 2: sigmoid, fitted by Nelder–Mead on SSE with
+        // positivity penalties.
+        let data: Vec<(f64, f64)> = levels.iter().cloned().zip(throughputs.iter().cloned()).collect();
+        let sse = |p: &[f64]| -> f64 {
+            if p[0] <= 0.0 || p[2] <= 0.0 {
+                return 1e30;
+            }
+            data.iter()
+                .map(|&(n, x)| {
+                    let m = p[0] / (1.0 + (-(n - p[1]) / p[2]).exp());
+                    (m - x).powi(2)
+                })
+                .sum()
+        };
+        // Init: ceiling slightly above peak, midpoint at half-peak level.
+        let half_level = data
+            .iter()
+            .find(|&&(_, x)| x >= 0.5 * x_peak)
+            .map(|&(n, _)| n)
+            .unwrap_or(levels[levels.len() / 2]);
+        let span = (levels[levels.len() - 1] - levels[0]).max(1.0);
+        let fit = nelder_mead(
+            sse,
+            &[x_peak * 1.05, half_level, span / 8.0],
+            NelderMeadOptions {
+                max_iterations: 4000,
+                ..NelderMeadOptions::default()
+            },
+        )?;
+
+        if fit.value < linear_rss {
+            Ok(Self {
+                shape: FittedShape::Sigmoid,
+                params: fit.x,
+                think_time,
+                rss: fit.value,
+            })
+        } else {
+            Ok(Self {
+                shape: FittedShape::LinearCapped,
+                params: vec![slope, cap],
+                think_time,
+                rss: linear_rss,
+            })
+        }
+    }
+
+    /// The winning functional form.
+    pub fn shape(&self) -> FittedShape {
+        self.shape
+    }
+
+    /// Residual sum of squares of the fit.
+    pub fn rss(&self) -> f64 {
+        self.rss
+    }
+
+    /// Extrapolated throughput at concurrency `n`.
+    pub fn throughput(&self, n: f64) -> f64 {
+        match self.shape {
+            FittedShape::LinearCapped => (self.params[0] * n).min(self.params[1]),
+            FittedShape::Sigmoid => {
+                self.params[0] / (1.0 + (-(n - self.params[1]) / self.params[2]).exp())
+            }
+        }
+    }
+
+    /// Extrapolated cycle time `R + Z = N / X(N)` (Little's law); the
+    /// low-load floor `R ≥ 0` is enforced by capping at `Z` from below.
+    pub fn cycle_time(&self, n: f64) -> f64 {
+        let x = self.throughput(n);
+        if x <= 0.0 {
+            return self.think_time;
+        }
+        (n / x).max(self.think_time)
+    }
+
+    /// Extrapolated response time `R = N/X − Z`, floored at zero.
+    pub fn response(&self, n: f64) -> f64 {
+        (self.cycle_time(n) - self.think_time).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn recovers_a_sigmoid_curve() {
+        let truth = |n: f64| 100.0 / (1.0 + (-(n - 60.0) / 18.0).exp());
+        let levels: Vec<f64> = vec![5.0, 20.0, 40.0, 60.0, 90.0, 150.0, 250.0];
+        let xs: Vec<f64> = levels.iter().map(|&n| truth(n)).collect();
+        let p = CurveFitPredictor::fit(&levels, &xs, 1.0).unwrap();
+        assert_eq!(p.shape(), FittedShape::Sigmoid);
+        for n in [10.0, 75.0, 120.0, 300.0] {
+            assert!(
+                close(p.throughput(n), truth(n), 0.02 * truth(n)),
+                "n={n}: {} vs {}",
+                p.throughput(n),
+                truth(n)
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_linear_then_flat() {
+        // Classic closed-network shape: X = min(N/(D+Z), 1/Dmax).
+        let (d, z, cap) = (0.02f64, 1.0f64, 40.0f64);
+        let truth = |n: f64| (n / (d + z)).min(cap);
+        let levels: Vec<f64> = vec![1.0, 10.0, 20.0, 30.0, 60.0, 120.0, 240.0];
+        let xs: Vec<f64> = levels.iter().map(|&n| truth(n)).collect();
+        let p = CurveFitPredictor::fit(&levels, &xs, z).unwrap();
+        for n in [5.0, 15.0, 100.0, 400.0] {
+            assert!(
+                close(p.throughput(n), truth(n), 0.08 * truth(n)),
+                "n={n}: {} vs {}",
+                p.throughput(n),
+                truth(n)
+            );
+        }
+    }
+
+    #[test]
+    fn littles_law_cycle_times() {
+        let levels = vec![10.0, 50.0, 100.0, 200.0];
+        let xs = vec![9.0, 40.0, 60.0, 62.0];
+        let p = CurveFitPredictor::fit(&levels, &xs, 1.0).unwrap();
+        let n = 150.0;
+        assert!(close(p.cycle_time(n), n / p.throughput(n), 1e-12));
+        assert!(close(p.response(n), p.cycle_time(n) - 1.0, 1e-12));
+        // Low load: cycle time floored at Z.
+        assert!(p.cycle_time(0.5) >= 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(CurveFitPredictor::fit(&[1.0, 2.0], &[1.0, 2.0], 1.0).is_err());
+        assert!(CurveFitPredictor::fit(&[1.0, 2.0, 3.0], &[1.0, 2.0], 1.0).is_err());
+        assert!(CurveFitPredictor::fit(&[1.0, 2.0, 3.0], &[1.0, -2.0, 3.0], 1.0).is_err());
+        assert!(
+            CurveFitPredictor::fit(&[1.0, 2.0, f64::NAN], &[1.0, 2.0, 3.0], 1.0).is_err()
+        );
+        assert!(CurveFitPredictor::fit(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn extrapolates_beyond_measured_range() {
+        // The whole point of ref. [4]: predict past the last test.
+        let truth = |n: f64| 80.0 / (1.0 + (-(n - 45.0) / 12.0).exp());
+        let levels: Vec<f64> = vec![5.0, 15.0, 30.0, 45.0, 60.0];
+        let xs: Vec<f64> = levels.iter().map(|&n| truth(n)).collect();
+        let p = CurveFitPredictor::fit(&levels, &xs, 1.0).unwrap();
+        // At N = 200, far past the data, the fitted ceiling applies.
+        assert!(close(p.throughput(200.0), 80.0, 4.0));
+    }
+}

@@ -1,0 +1,194 @@
+//! Open-system prediction with varying service demands — the extension the
+//! paper's Section 7 motivates:
+//!
+//! > "generating splines with respect to increasing throughput can lead to
+//! > more tractable models when using open systems, where throughput can be
+//! > easier measured."
+//!
+//! In an open system the operator controls the arrival rate `λ` rather than
+//! a closed population, and the throughput *is* `λ` at steady state — so a
+//! demand profile indexed by throughput ([`DemandAxis::Throughput`]) plugs
+//! in directly: evaluate `D_k(λ)`, solve the resulting Jackson network, no
+//! fixed-point feedback needed. This module provides that sweep, including
+//! saturation detection as the varying demands move the capacity ceiling.
+
+use mvasd_queueing::network::{ClosedNetwork, Station};
+use mvasd_queueing::open::solve_open;
+use mvasd_queueing::QueueingError;
+
+use crate::profile::{DemandAxis, ServiceDemandProfile};
+use crate::CoreError;
+
+/// Prediction at one arrival rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenPrediction {
+    /// Arrival rate analyzed (transactions/s).
+    pub lambda: f64,
+    /// Mean end-to-end response time (s).
+    pub response: f64,
+    /// Mean number of transactions in the system.
+    pub number_in_system: f64,
+    /// Per-station utilizations, profile order.
+    pub utilization: Vec<f64>,
+}
+
+/// Result of an open-system sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenSweep {
+    /// Stable points, ascending by `lambda`.
+    pub points: Vec<OpenPrediction>,
+    /// The first arrival rate at which some station saturated (the sweep
+    /// stops there), if saturation was hit within the requested range.
+    pub saturation_lambda: Option<f64>,
+}
+
+/// Sweeps arrival rates `lambdas` (ascending) through the open model with
+/// demands interpolated from a **throughput-indexed** profile.
+///
+/// Stops at the first unstable rate (`λ·D_k(λ) ≥ C_k` for some station) and
+/// records it in [`OpenSweep::saturation_lambda`]. Errors if the profile is
+/// indexed by concurrency — that axis has no meaning in an open system.
+pub fn predict_open(
+    profile: &ServiceDemandProfile,
+    lambdas: &[f64],
+) -> Result<OpenSweep, CoreError> {
+    if profile.axis() != DemandAxis::Throughput {
+        return Err(CoreError::InvalidParameter {
+            what: "open prediction needs a throughput-indexed profile",
+        });
+    }
+    if lambdas.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            what: "need at least one arrival rate",
+        });
+    }
+    if lambdas.iter().any(|l| !(l.is_finite() && *l > 0.0)) {
+        return Err(CoreError::InvalidParameter {
+            what: "arrival rates must be finite and > 0",
+        });
+    }
+    if lambdas.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(CoreError::InvalidParameter {
+            what: "arrival rates must be strictly ascending",
+        });
+    }
+
+    let mut points = Vec::with_capacity(lambdas.len());
+    let mut saturation_lambda = None;
+    for &lambda in lambdas {
+        // Demands at this operating point.
+        let stations: Vec<Station> = profile
+            .stations()
+            .iter()
+            .map(|s| Station::queueing(&s.name, s.servers, 1.0, s.demand_at(lambda)))
+            .collect();
+        // Think time is irrelevant to the open model but required by the
+        // shared network type; zero keeps intent clear.
+        let net = ClosedNetwork::new(stations, 0.0)?;
+        match solve_open(&net, lambda) {
+            Ok(sol) => points.push(OpenPrediction {
+                lambda,
+                response: sol.response,
+                number_in_system: sol.number_in_system,
+                utilization: sol.stations.iter().map(|s| s.utilization).collect(),
+            }),
+            Err(QueueingError::Unstable { .. }) => {
+                saturation_lambda = Some(lambda);
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(OpenSweep {
+        points,
+        saturation_lambda,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{DemandSamples, InterpolationKind};
+
+    fn throughput_profile() -> ServiceDemandProfile {
+        // Demands falling with throughput (warm caches at high rates).
+        let samples = DemandSamples {
+            station_names: vec!["cpu".into(), "disk".into()],
+            server_counts: vec![4, 1],
+            think_time: 0.0,
+            levels: vec![1.0, 40.0, 80.0], // throughputs
+            demands: vec![vec![0.030, 0.027, 0.026], vec![0.012, 0.011, 0.0105]],
+        };
+        ServiceDemandProfile::from_samples(
+            &samples,
+            InterpolationKind::CubicNotAKnot,
+            DemandAxis::Throughput,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_produces_rising_response() {
+        let p = throughput_profile();
+        let lambdas: Vec<f64> = (1..=9).map(|i| i as f64 * 10.0).collect();
+        let sweep = predict_open(&p, &lambdas).unwrap();
+        assert!(sweep.points.len() >= 5);
+        for w in sweep.points.windows(2) {
+            assert!(w[1].response > w[0].response, "response must rise with λ");
+        }
+        // Utilization law: U_disk = λ·D_disk(λ).
+        for pt in &sweep.points {
+            let d = p.demands_at(pt.lambda)[1];
+            assert!((pt.utilization[1] - pt.lambda * d).abs() < 1e-9);
+            assert!((pt.number_in_system - pt.lambda * pt.response).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn saturation_detected_where_varying_demand_predicts() {
+        let p = throughput_profile();
+        // Disk demand clamps at 0.0105 => ceiling ≈ 95.2/s.
+        let lambdas: Vec<f64> = (1..=12).map(|i| i as f64 * 10.0).collect();
+        let sweep = predict_open(&p, &lambdas).unwrap();
+        assert_eq!(sweep.saturation_lambda, Some(100.0));
+        assert_eq!(sweep.points.len(), 9); // 10..=90 stable
+    }
+
+    #[test]
+    fn rejects_concurrency_axis_and_bad_rates() {
+        let samples = DemandSamples {
+            station_names: vec!["s".into()],
+            server_counts: vec![1],
+            think_time: 1.0,
+            levels: vec![1.0, 10.0],
+            demands: vec![vec![0.01, 0.01]],
+        };
+        let p = ServiceDemandProfile::from_samples(
+            &samples,
+            InterpolationKind::Linear,
+            DemandAxis::Concurrency,
+        )
+        .unwrap();
+        assert!(predict_open(&p, &[1.0]).is_err());
+
+        let pt = ServiceDemandProfile::from_samples(
+            &samples,
+            InterpolationKind::Linear,
+            DemandAxis::Throughput,
+        )
+        .unwrap();
+        assert!(predict_open(&pt, &[]).is_err());
+        assert!(predict_open(&pt, &[0.0]).is_err());
+        assert!(predict_open(&pt, &[2.0, 1.0]).is_err());
+        assert!(predict_open(&pt, &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn open_matches_closed_at_light_load() {
+        // With a modest λ the open response approaches Σ D (no queueing).
+        let p = throughput_profile();
+        let sweep = predict_open(&p, &[1.0]).unwrap();
+        let d_total: f64 = p.demands_at(1.0).iter().sum();
+        assert!((sweep.points[0].response - d_total).abs() < 0.01 * d_total + 1e-3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Banded linear solvers.
+//!
+//! Cubic-spline construction reduces to a tridiagonal system in the spline
+//! moments (second derivatives at the knots), solved here with the Thomas
+//! algorithm. The smoothing spline of paper eq. 12 additionally needs a
+//! symmetric positive-definite *pentadiagonal* solve (Green & Silverman's
+//! `(W + λ Δ Δᵀ) γ = Δ y` system), provided by [`solve_spd_pentadiagonal`].
+
+use crate::NumericsError;
+
+/// Solves a tridiagonal system `A x = d` with the Thomas algorithm.
+///
+/// * `sub` — sub-diagonal, length `n - 1` (`sub[i]` multiplies `x[i]` in row `i + 1`);
+/// * `diag` — main diagonal, length `n`;
+/// * `sup` — super-diagonal, length `n - 1` (`sup[i]` multiplies `x[i + 1]` in row `i`);
+/// * `rhs` — right-hand side, length `n`.
+///
+/// Runs in `O(n)` time and `O(n)` scratch. Returns
+/// [`NumericsError::SingularSystem`] when a pivot underflows; the Thomas
+/// algorithm is unpivoted, so this is only reliable for diagonally dominant
+/// or SPD systems — which all of our spline systems are.
+pub fn solve_tridiagonal(
+    sub: &[f64],
+    diag: &[f64],
+    sup: &[f64],
+    rhs: &[f64],
+) -> Result<Vec<f64>, NumericsError> {
+    let n = diag.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if sub.len() != n - 1 || sup.len() != n - 1 || rhs.len() != n {
+        return Err(NumericsError::InvalidParameter {
+            what: "tridiagonal band lengths must be n-1, n, n-1, n",
+        });
+    }
+
+    let mut c_prime = vec![0.0; n];
+    let mut d_prime = vec![0.0; n];
+
+    if diag[0].abs() < f64::MIN_POSITIVE {
+        return Err(NumericsError::SingularSystem);
+    }
+    c_prime[0] = if n > 1 { sup[0] / diag[0] } else { 0.0 };
+    d_prime[0] = rhs[0] / diag[0];
+
+    for i in 1..n {
+        let denom = diag[i] - sub[i - 1] * c_prime[i - 1];
+        if denom.abs() < f64::MIN_POSITIVE || !denom.is_finite() {
+            return Err(NumericsError::SingularSystem);
+        }
+        c_prime[i] = if i < n - 1 { sup[i] / denom } else { 0.0 };
+        d_prime[i] = (rhs[i] - sub[i - 1] * d_prime[i - 1]) / denom;
+    }
+
+    let mut x = d_prime;
+    for i in (0..n - 1).rev() {
+        let next = x[i + 1];
+        x[i] -= c_prime[i] * next;
+    }
+    Ok(x)
+}
+
+/// Solves a symmetric positive-definite pentadiagonal system `A x = b` via an
+/// in-place banded LDLᵀ factorization (bandwidth 2).
+///
+/// The matrix is given by three bands:
+/// * `d0` — main diagonal, length `n`;
+/// * `d1` — first off-diagonal, length `n - 1` (`A[i][i+1] = A[i+1][i] = d1[i]`);
+/// * `d2` — second off-diagonal, length `n - 2` (`A[i][i+2] = A[i+2][i] = d2[i]`).
+///
+/// Used by the smoothing spline, where `A = W + λ Δ Δᵀ` is SPD for every
+/// `λ ≥ 0`. `O(n)` time.
+pub fn solve_spd_pentadiagonal(
+    d0: &[f64],
+    d1: &[f64],
+    d2: &[f64],
+    b: &[f64],
+) -> Result<Vec<f64>, NumericsError> {
+    let n = d0.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let ok_lens = b.len() == n
+        && d1.len() == n.saturating_sub(1)
+        && d2.len() == n.saturating_sub(2);
+    if !ok_lens {
+        return Err(NumericsError::InvalidParameter {
+            what: "pentadiagonal band lengths must be n, n-1, n-2 and rhs n",
+        });
+    }
+
+    // LDL^T with L unit lower triangular, bandwidth 2:
+    //   D[i]      pivot
+    //   l1[i]     L[i+1][i]
+    //   l2[i]     L[i+2][i]
+    let mut dpiv = vec![0.0; n];
+    let mut l1 = vec![0.0; n.saturating_sub(1)];
+    let mut l2 = vec![0.0; n.saturating_sub(2)];
+
+    for i in 0..n {
+        let mut di = d0[i];
+        if i >= 1 {
+            di -= l1[i - 1] * l1[i - 1] * dpiv[i - 1];
+        }
+        if i >= 2 {
+            di -= l2[i - 2] * l2[i - 2] * dpiv[i - 2];
+        }
+        if di <= 0.0 || !di.is_finite() {
+            return Err(NumericsError::SingularSystem);
+        }
+        dpiv[i] = di;
+
+        if i + 1 < n {
+            let mut e = d1[i];
+            if i >= 1 {
+                e -= l1[i - 1] * dpiv[i - 1] * l2[i - 1];
+            }
+            l1[i] = e / di;
+        }
+        if i + 2 < n {
+            l2[i] = d2[i] / di;
+        }
+    }
+
+    // Forward solve L z = b.
+    let mut z = b.to_vec();
+    for i in 0..n {
+        if i >= 1 {
+            z[i] -= l1[i - 1] * z[i - 1];
+        }
+        if i >= 2 {
+            z[i] -= l2[i - 2] * z[i - 2];
+        }
+    }
+    // Diagonal solve D w = z.
+    for i in 0..n {
+        z[i] /= dpiv[i];
+    }
+    // Backward solve L^T x = w.
+    for i in (0..n).rev() {
+        if i + 1 < n {
+            let t = l1[i] * z[i + 1];
+            z[i] -= t;
+        }
+        if i + 2 < n {
+            let t = l2[i] * z[i + 2];
+            z[i] -= t;
+        }
+    }
+    Ok(z)
+}
+
+/// Multiplies a symmetric pentadiagonal matrix (bands as in
+/// [`solve_spd_pentadiagonal`]) by a vector. Primarily a test helper, but
+/// exposed because residual checks are useful for calibration code too.
+pub fn spd_pentadiagonal_matvec(d0: &[f64], d1: &[f64], d2: &[f64], x: &[f64]) -> Vec<f64> {
+    let n = d0.len();
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = d0[i] * x[i];
+        if i >= 1 {
+            acc += d1[i - 1] * x[i - 1];
+        }
+        if i + 1 < n {
+            acc += d1[i] * x[i + 1];
+        }
+        if i >= 2 {
+            acc += d2[i - 2] * x[i - 2];
+        }
+        if i + 2 < n {
+            acc += d2[i] * x[i + 2];
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn tridiagonal_identity() {
+        let x = solve_tridiagonal(&[0.0, 0.0], &[1.0, 1.0, 1.0], &[0.0, 0.0], &[3.0, 4.0, 5.0])
+            .unwrap();
+        assert_eq!(x, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn tridiagonal_single_element() {
+        let x = solve_tridiagonal(&[], &[2.0], &[], &[10.0]).unwrap();
+        assert_eq!(x, vec![5.0]);
+    }
+
+    #[test]
+    fn tridiagonal_empty() {
+        assert!(solve_tridiagonal(&[], &[], &[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tridiagonal_known_system() {
+        // [ 2 1 0 ] [x0]   [ 4 ]
+        // [ 1 3 1 ] [x1] = [ 9 ]
+        // [ 0 1 2 ] [x2]   [ 7 ]
+        // Solution: x = [1.125, 1.75, 2.625]
+        let x =
+            solve_tridiagonal(&[1.0, 1.0], &[2.0, 3.0, 2.0], &[1.0, 1.0], &[4.0, 9.0, 7.0])
+                .unwrap();
+        assert_close(x[0], 1.125, 1e-12);
+        assert_close(x[1], 1.75, 1e-12);
+        assert_close(x[2], 2.625, 1e-12);
+    }
+
+    #[test]
+    fn tridiagonal_rejects_bad_lengths() {
+        assert!(solve_tridiagonal(&[1.0], &[1.0, 1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn tridiagonal_detects_singular() {
+        // Row 2 becomes exactly dependent after elimination.
+        let r = solve_tridiagonal(&[1.0], &[1.0, 1.0], &[1.0], &[1.0, 1.0]);
+        assert_eq!(r, Err(NumericsError::SingularSystem));
+    }
+
+    #[test]
+    fn pentadiagonal_identity() {
+        let x = solve_spd_pentadiagonal(
+            &[1.0, 1.0, 1.0, 1.0],
+            &[0.0, 0.0, 0.0],
+            &[0.0, 0.0],
+            &[1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn pentadiagonal_matches_matvec_roundtrip() {
+        // SPD by diagonal dominance.
+        let d0 = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
+        let d1 = [1.0, -2.0, 0.5, 1.5, -1.0];
+        let d2 = [0.3, 0.7, -0.2, 0.9];
+        let x_true = [1.0, -1.0, 2.0, 0.5, -0.25, 3.0];
+        let b = spd_pentadiagonal_matvec(&d0, &d1, &d2, &x_true);
+        let x = solve_spd_pentadiagonal(&d0, &d1, &d2, &b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert_close(*xi, *ti, 1e-10);
+        }
+    }
+
+    #[test]
+    fn pentadiagonal_small_sizes() {
+        // n = 1
+        let x = solve_spd_pentadiagonal(&[4.0], &[], &[], &[8.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+        // n = 2
+        let x = solve_spd_pentadiagonal(&[4.0, 4.0], &[1.0], &[], &[5.0, 5.0]).unwrap();
+        assert_close(x[0], 1.0, 1e-12);
+        assert_close(x[1], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn pentadiagonal_rejects_indefinite() {
+        // Not positive definite: pivot goes negative.
+        let r = solve_spd_pentadiagonal(&[1.0, -5.0], &[2.0], &[], &[1.0, 1.0]);
+        assert_eq!(r, Err(NumericsError::SingularSystem));
+    }
+
+    #[test]
+    fn pentadiagonal_rejects_bad_lengths() {
+        assert!(solve_spd_pentadiagonal(&[1.0, 1.0], &[], &[], &[1.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Chebyshev Nodes and the interpolation error bound — paper Section 8.
+//!
+//! The paper uses Chebyshev Nodes to pick *which concurrency levels to load
+//! test*: eq. 16 gives the nodes on `(−1, 1)`, eq. 17 maps them to an
+//! arbitrary interval `[a, b]`, and eq. 18–19 bound the interpolation error,
+//! which the paper evaluates for exponential functions of varying mean
+//! (Fig. 13) to argue that ≳ 5 nodes suffice for < 0.2 % error.
+
+use crate::NumericsError;
+
+/// Chebyshev Nodes of the first kind on `(−1, 1)` — paper eq. 16:
+///
+/// ```text
+/// x_k = cos((2k − 1)/(2n) · π),  k = 1, …, n
+/// ```
+///
+/// Returned in the natural (descending) cosine order, matching the formula.
+pub fn chebyshev_nodes_unit(n: usize) -> Vec<f64> {
+    (1..=n)
+        .map(|k| ((2.0 * k as f64 - 1.0) / (2.0 * n as f64) * std::f64::consts::PI).cos())
+        .collect()
+}
+
+/// Chebyshev Nodes mapped to `[a, b]` — paper eq. 17:
+///
+/// ```text
+/// x_k = (a + b)/2 + (b − a)/2 · cos((2k − 1)/(2n) · π)
+/// ```
+///
+/// Order follows eq. 16 (descending in `x`); callers that need ascending
+/// knots should sort. See [`chebyshev_levels`] for the integer concurrency
+/// levels the paper derives from these.
+pub fn chebyshev_nodes(n: usize, a: f64, b: f64) -> Vec<f64> {
+    chebyshev_nodes_unit(n)
+        .into_iter()
+        .map(|x| 0.5 * (a + b) + 0.5 * (b - a) * x)
+        .collect()
+}
+
+/// Integer concurrency levels from Chebyshev Nodes: takes the ceiling of
+/// eq. 17 (a virtual-user count must be a whole user, and the paper's
+/// published sets — e.g. a = 1, b = 300, n = 3 → {22, 151, 280} — are the
+/// ceilings of the real-valued nodes), sorts ascending, and deduplicates.
+pub fn chebyshev_levels(n: usize, a: f64, b: f64) -> Vec<u64> {
+    let mut levels: Vec<u64> = chebyshev_nodes(n, a, b)
+        .into_iter()
+        .map(|x| x.ceil().max(1.0) as u64)
+        .collect();
+    levels.sort_unstable();
+    levels.dedup();
+    levels
+}
+
+/// Evaluates the Chebyshev polynomial of the first kind `T_n(x)` by the
+/// three-term recurrence (stable on `[-1, 1]`).
+pub fn chebyshev_t(n: usize, x: f64) -> f64 {
+    match n {
+        0 => 1.0,
+        1 => x,
+        _ => {
+            let mut t_prev = 1.0;
+            let mut t = x;
+            for _ in 2..=n {
+                let t_next = 2.0 * x * t - t_prev;
+                t_prev = t;
+                t = t_next;
+            }
+            t
+        }
+    }
+}
+
+/// The Chebyshev interpolation error bound of paper eq. 19 on `[-1, 1]`:
+///
+/// ```text
+/// |f(x) − P(x)| ≤ 1 / (2^{n−1} n!) · max_{x∈[−1,1]} |f⁽ⁿ⁾(x)|
+/// ```
+///
+/// `max_nth_deriv` is the caller-supplied `max |f⁽ⁿ⁾|` over the interval.
+/// Returns an error for `n = 0` (the bound needs at least one node).
+pub fn chebyshev_error_bound(n: usize, max_nth_deriv: f64) -> Result<f64, NumericsError> {
+    if n == 0 {
+        return Err(NumericsError::InvalidParameter { what: "n >= 1" });
+    }
+    if !(max_nth_deriv.is_finite() && max_nth_deriv >= 0.0) {
+        return Err(NumericsError::NonFinite {
+            what: "max |f^(n)| must be finite and non-negative",
+        });
+    }
+    // 1 / (2^{n-1} n!) computed in log space to survive large n.
+    let log2 = (n as f64 - 1.0) * std::f64::consts::LN_2;
+    let logfact: f64 = (1..=n).map(|k| (k as f64).ln()).sum();
+    Ok((max_nth_deriv.ln() - log2 - logfact).exp())
+}
+
+/// Error bound of eq. 19 specialized to `f(x) = e^{µx}` on `[-1, 1]`
+/// (so `max |f⁽ⁿ⁾| = µⁿ e^µ`) — the family the paper's Fig. 13 sweeps.
+pub fn chebyshev_error_bound_exponential(n: usize, mu: f64) -> Result<f64, NumericsError> {
+    if !(mu.is_finite() && mu > 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            what: "mu must be finite and > 0",
+        });
+    }
+    if n == 0 {
+        return Err(NumericsError::InvalidParameter { what: "n >= 1" });
+    }
+    // Work in log space: ln bound = n ln µ + µ − (n−1) ln 2 − ln n!.
+    let logfact: f64 = (1..=n).map(|k| (k as f64).ln()).sum();
+    Ok((n as f64 * mu.ln() + mu - (n as f64 - 1.0) * std::f64::consts::LN_2 - logfact).exp())
+}
+
+/// Generality helper for eq. 18: the node polynomial `∏ (x − xᵢ)` evaluated
+/// at `x`, which appears in the pointwise interpolation error term.
+pub fn node_polynomial(nodes: &[f64], x: f64) -> f64 {
+    nodes.iter().map(|&xi| x - xi).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn unit_nodes_known_values() {
+        // n = 1: cos(π/2) = 0.
+        let n1 = chebyshev_nodes_unit(1);
+        assert!(close(n1[0], 0.0, 1e-15));
+        // n = 2: cos(π/4), cos(3π/4) = ±√2/2.
+        let n2 = chebyshev_nodes_unit(2);
+        assert!(close(n2[0], std::f64::consts::FRAC_1_SQRT_2, 1e-12));
+        assert!(close(n2[1], -std::f64::consts::FRAC_1_SQRT_2, 1e-12));
+    }
+
+    #[test]
+    fn nodes_inside_open_interval_and_symmetric() {
+        for n in 1..=12 {
+            let nodes = chebyshev_nodes_unit(n);
+            assert_eq!(nodes.len(), n);
+            for &x in &nodes {
+                assert!(x > -1.0 && x < 1.0);
+            }
+            // Symmetry: node k and node n+1-k are negatives.
+            for k in 0..n {
+                assert!(close(nodes[k], -nodes[n - 1 - k], 1e-12));
+            }
+            // Strictly descending.
+            for w in nodes.windows(2) {
+                assert!(w[0] > w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_are_roots_of_t_n() {
+        for n in 1..=10 {
+            for &x in &chebyshev_nodes_unit(n) {
+                assert!(chebyshev_t(n, x).abs() < 1e-9, "T_{n}({x}) != 0");
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_nodes_paper_jpetstore_values() {
+        // Paper Section 8, a = 1, b = 300:
+        // Chebyshev 3 → N = 22, 151, 280
+        assert_eq!(chebyshev_levels(3, 1.0, 300.0), vec![22, 151, 280]);
+        // Chebyshev 5 → N = 9, 63, 151, 239, 293
+        assert_eq!(chebyshev_levels(5, 1.0, 300.0), vec![9, 63, 151, 239, 293]);
+        // Chebyshev 7 → N = 5, 34, 86, 151, 216, 268, 297
+        assert_eq!(
+            chebyshev_levels(7, 1.0, 300.0),
+            vec![5, 34, 86, 151, 216, 268, 297]
+        );
+    }
+
+    #[test]
+    fn mapped_nodes_stay_in_interval() {
+        let nodes = chebyshev_nodes(9, 10.0, 20.0);
+        for &x in &nodes {
+            assert!(x > 10.0 && x < 20.0);
+        }
+    }
+
+    #[test]
+    fn chebyshev_t_recurrence_vs_trig_identity() {
+        // T_n(cos θ) = cos(n θ).
+        for n in 0..=8 {
+            for i in 0..=10 {
+                let theta = i as f64 * 0.3;
+                let x = theta.cos();
+                assert!(
+                    close(chebyshev_t(n, x), (n as f64 * theta).cos(), 1e-10),
+                    "n={n} theta={theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_bound_decreases_with_n() {
+        let mut prev = f64::INFINITY;
+        for n in 1..=12 {
+            let b = chebyshev_error_bound_exponential(n, 1.0).unwrap();
+            assert!(b < prev, "bound should shrink with n");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn error_bound_below_0_2_percent_beyond_5_nodes() {
+        // Paper Fig. 13: "for greater than 5 nodes, the error rate drops to
+        // less than 0.2% for all cases". With the bound normalized by the
+        // function scale e^µ this holds from n = 7 for every µ ≤ 2 (and
+        // already from n = 6 for µ ≤ 1.5).
+        for mu in [0.5, 1.0, 1.5] {
+            let b = chebyshev_error_bound_exponential(6, mu).unwrap();
+            assert!(b / mu.exp() < 0.002, "n=6 mu={mu}: {}", b / mu.exp());
+        }
+        for mu in [0.5, 1.0, 1.5, 2.0] {
+            let b = chebyshev_error_bound_exponential(7, mu).unwrap();
+            assert!(b / mu.exp() < 0.002, "n=7 mu={mu}: {}", b / mu.exp());
+        }
+    }
+
+    #[test]
+    fn error_bound_matches_generic_formula() {
+        for n in 1..=8 {
+            let mu: f64 = 1.3;
+            let generic = chebyshev_error_bound(n, mu.powi(n as i32) * mu.exp()).unwrap();
+            let special = chebyshev_error_bound_exponential(n, mu).unwrap();
+            assert!(close(generic, special, generic * 1e-10));
+        }
+    }
+
+    #[test]
+    fn error_bound_rejects_bad_inputs() {
+        assert!(chebyshev_error_bound(0, 1.0).is_err());
+        assert!(chebyshev_error_bound(3, f64::NAN).is_err());
+        assert!(chebyshev_error_bound_exponential(3, -1.0).is_err());
+        assert!(chebyshev_error_bound_exponential(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn node_polynomial_vanishes_at_nodes() {
+        let nodes = chebyshev_nodes(5, 0.0, 10.0);
+        for &x in &nodes {
+            assert!(node_polynomial(&nodes, x).abs() < 1e-9);
+        }
+        assert!(node_polynomial(&nodes, 11.0).abs() > 0.0);
+    }
+
+    #[test]
+    fn chebyshev_minimizes_node_polynomial_sup_vs_equispaced() {
+        // The defining optimality: max |∏(x−xᵢ)| is smaller for Chebyshev
+        // nodes than equi-spaced ones.
+        let n = 9;
+        let cheb = chebyshev_nodes(n, -1.0, 1.0);
+        let eq: Vec<f64> = (0..n)
+            .map(|i| -1.0 + 2.0 * i as f64 / (n - 1) as f64)
+            .collect();
+        let sup = |nodes: &[f64]| {
+            (0..=2000)
+                .map(|i| -1.0 + 2.0 * i as f64 / 2000.0)
+                .map(|x| node_polynomial(nodes, x).abs())
+                .fold(0.0_f64, f64::max)
+        };
+        assert!(sup(&cheb) < sup(&eq));
+        // And the Chebyshev sup equals 2^{1-n} (monic Chebyshev minimax).
+        assert!(close(sup(&cheb), 2.0_f64.powi(1 - n as i32), 1e-6));
+    }
+}

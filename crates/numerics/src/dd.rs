@@ -1,0 +1,310 @@
+//! Double-double (~106-bit) arithmetic.
+//!
+//! Exact load-dependent/multi-server MVA is numerically unstable: the
+//! `p(0) = 1 − Σ…` closure cancels catastrophically once a multi-server
+//! station nears saturation, and the population recursion then amplifies
+//! the round-off *exponentially* (for a 16-core station — the paper's
+//! hardware — plain `f64` throughput is wrong by several percent around
+//! the knee and even violates the Bottleneck Law). Carrying the recursion
+//! state in double-double pushes the base error from 2⁻⁵³ to ≈ 2⁻¹⁰⁶,
+//! which widens the usable population range by orders of magnitude (the
+//! solvers switch to convolution evaluation past the remaining envelope —
+//! see `mvasd-queueing`).
+//!
+//! The implementation uses the standard error-free transforms (Knuth
+//! two-sum, FMA-based two-product; Dekker/Bailey style renormalization).
+//! The full `Add/Sub/Mul/Div/Neg` operator set is provided for `Dd ∘ Dd`
+//! and `Dd ∘ f64`.
+
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A double-double value `hi + lo` with `|lo| ≤ ulp(hi)/2`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Dd {
+    /// Leading component.
+    pub hi: f64,
+    /// Trailing error component.
+    pub lo: f64,
+}
+
+/// Error-free sum: returns `(s, e)` with `s = fl(a+b)` and `a+b = s+e`.
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Error-free sum for `|a| ≥ |b|`.
+#[inline]
+fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+/// Error-free product via FMA: `a·b = p + e` exactly.
+#[inline]
+fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let e = a.mul_add(b, -p);
+    (p, e)
+}
+
+impl Dd {
+    /// Zero.
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+    /// One.
+    pub const ONE: Dd = Dd { hi: 1.0, lo: 0.0 };
+
+    /// Lifts an `f64`.
+    #[inline]
+    pub fn from_f64(x: f64) -> Dd {
+        Dd { hi: x, lo: 0.0 }
+    }
+
+    /// Rounds to the nearest `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Renormalizes a raw `(hi, lo)` pair.
+    #[inline]
+    fn renorm(hi: f64, lo: f64) -> Dd {
+        let (s, e) = quick_two_sum(hi, lo);
+        Dd { hi: s, lo: e }
+    }
+
+    /// Divides an `f64` by this value.
+    #[inline]
+    pub fn recip_mul(self, numerator: f64) -> Dd {
+        Dd::from_f64(numerator) / self
+    }
+
+    /// `max(self, 0)` as a probability clamp.
+    #[inline]
+    pub fn max_zero(self) -> Dd {
+        if self.to_f64() < 0.0 {
+            Dd::ZERO
+        } else {
+            self
+        }
+    }
+
+    /// Whether the rounded value is positive.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.to_f64() > 0.0
+    }
+}
+
+impl Add for Dd {
+    type Output = Dd;
+    #[inline]
+    fn add(self, other: Dd) -> Dd {
+        let (s, e) = two_sum(self.hi, other.hi);
+        let e = e + self.lo + other.lo;
+        Dd::renorm(s, e)
+    }
+}
+
+impl Add<f64> for Dd {
+    type Output = Dd;
+    #[inline]
+    fn add(self, other: f64) -> Dd {
+        let (s, e) = two_sum(self.hi, other);
+        let e = e + self.lo;
+        Dd::renorm(s, e)
+    }
+}
+
+impl Neg for Dd {
+    type Output = Dd;
+    #[inline]
+    fn neg(self) -> Dd {
+        Dd {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
+    }
+}
+
+impl Sub for Dd {
+    type Output = Dd;
+    #[inline]
+    fn sub(self, other: Dd) -> Dd {
+        self + (-other)
+    }
+}
+
+impl Sub<f64> for Dd {
+    type Output = Dd;
+    #[inline]
+    fn sub(self, other: f64) -> Dd {
+        self + (-other)
+    }
+}
+
+impl Mul for Dd {
+    type Output = Dd;
+    #[inline]
+    fn mul(self, other: Dd) -> Dd {
+        let (p, e) = two_prod(self.hi, other.hi);
+        let e = e + self.hi * other.lo + self.lo * other.hi;
+        Dd::renorm(p, e)
+    }
+}
+
+impl Mul<f64> for Dd {
+    type Output = Dd;
+    #[inline]
+    fn mul(self, other: f64) -> Dd {
+        let (p, e) = two_prod(self.hi, other);
+        let e = e + self.lo * other;
+        Dd::renorm(p, e)
+    }
+}
+
+impl Div for Dd {
+    type Output = Dd;
+    /// Division with two Newton-style correction terms (~105 bits).
+    #[inline]
+    fn div(self, other: Dd) -> Dd {
+        let q1 = self.hi / other.hi;
+        // r = self − q1·other, computed in double-double.
+        let r = self - other * q1;
+        let q2 = r.hi / other.hi;
+        let r2 = r - other * q2;
+        let q3 = r2.hi / other.hi;
+        let (s, e) = quick_two_sum(q1, q2);
+        Dd::renorm(s, e + q3)
+    }
+}
+
+impl Div<f64> for Dd {
+    type Output = Dd;
+    #[inline]
+    fn div(self, other: f64) -> Dd {
+        self / Dd::from_f64(other)
+    }
+}
+
+impl From<f64> for Dd {
+    #[inline]
+    fn from(x: f64) -> Dd {
+        Dd::from_f64(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_roundtrip_and_identities() {
+        let a = Dd::from_f64(1.5);
+        assert_eq!(a.to_f64(), 1.5);
+        assert_eq!((Dd::ZERO + a).to_f64(), 1.5);
+        assert_eq!((a * Dd::ONE).to_f64(), 1.5);
+        assert_eq!((a - a).to_f64(), 0.0);
+        assert_eq!(Dd::from(2.0), Dd::from_f64(2.0));
+    }
+
+    #[test]
+    fn captures_error_beyond_f64() {
+        // 1 + 2^-70 is unrepresentable in f64 but exact in Dd.
+        let tiny = (2.0f64).powi(-70);
+        let x = Dd::ONE + tiny;
+        assert_eq!(x.hi, 1.0);
+        assert_eq!(x.lo, tiny);
+        // Subtracting 1 recovers the tiny part exactly.
+        assert_eq!((x - Dd::ONE).to_f64(), tiny);
+        assert_eq!((x - 1.0).to_f64(), tiny);
+    }
+
+    #[test]
+    fn big_small_cancellation() {
+        // (1e16 + 1) − 1e16 = 1 exactly in Dd; in f64 it is 0 or 2.
+        let big = 1e16;
+        let x = Dd::from_f64(big) + 1.0;
+        assert_eq!((x - Dd::from_f64(big)).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Dd::from_f64(0.123456789);
+        let b = Dd::from_f64(9.87654321e3);
+        let q = a / b;
+        let back = q * b;
+        let err = back - a;
+        assert!(err.to_f64().abs() < 1e-30, "err {}", err.to_f64());
+    }
+
+    #[test]
+    fn one_third_division_high_precision() {
+        let third = Dd::ONE / Dd::from_f64(3.0);
+        // 3·(1/3) − 1 should vanish to ~1e-32.
+        let resid = third * 3.0 - Dd::ONE;
+        assert!(resid.to_f64().abs() < 1e-31, "resid {}", resid.to_f64());
+    }
+
+    #[test]
+    fn scalar_division() {
+        let x = Dd::from_f64(10.0) / 4.0;
+        assert_eq!(x.to_f64(), 2.5);
+    }
+
+    #[test]
+    fn kahan_style_series() {
+        // Σ 1/2^k for k = 0..120 = 2 − 2^-120; f64 stalls at 2.0 exactly
+        // after k = 53, Dd keeps refining.
+        let mut acc = Dd::ZERO;
+        let mut term = 1.0f64;
+        for _ in 0..=120 {
+            acc = acc + term;
+            term *= 0.5;
+        }
+        let defect = Dd::from_f64(2.0) - acc;
+        assert!(defect.to_f64() > 0.0, "must still see the 2^-120 defect region");
+        assert!(defect.to_f64() < 1e-30);
+    }
+
+    #[test]
+    fn clamps_and_predicates() {
+        assert_eq!(Dd::from_f64(-1.0).max_zero(), Dd::ZERO);
+        assert_eq!(Dd::from_f64(2.0).max_zero().to_f64(), 2.0);
+        assert!(Dd::from_f64(0.1).is_positive());
+        assert!(!Dd::ZERO.is_positive());
+        assert!(!Dd::from_f64(-0.1).is_positive());
+        assert_eq!((-Dd::from_f64(3.0)).to_f64(), -3.0);
+    }
+
+    #[test]
+    fn recip_mul_matches_div() {
+        let d = Dd::from_f64(7.0);
+        let a = d.recip_mul(3.0);
+        let b = Dd::from_f64(3.0) / d;
+        assert!((a.to_f64() - b.to_f64()).abs() < 1e-30);
+    }
+
+    #[test]
+    fn simulated_mva_cancellation_pattern() {
+        // The pattern that breaks f64 MVA: p0 = 1 − u/C − w with u/C → 1.
+        // With u/C = 1 − 2^-40 and w = 2^-41, exact p0 = 2^-41.
+        let u_over_c = Dd::ONE - Dd::from_f64((2.0f64).powi(-40));
+        let w = Dd::from_f64((2.0f64).powi(-41));
+        let p0 = Dd::ONE - u_over_c - w;
+        let exact = (2.0f64).powi(-41);
+        assert!((p0.to_f64() - exact).abs() < exact * 1e-15);
+    }
+
+    #[test]
+    fn mixed_scalar_ops() {
+        let x = Dd::from_f64(2.0);
+        assert_eq!((x * 3.0).to_f64(), 6.0);
+        assert_eq!((x + 1.0).to_f64(), 3.0);
+        assert_eq!((x - 0.5).to_f64(), 1.5);
+    }
+}

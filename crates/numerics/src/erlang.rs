@@ -1,0 +1,264 @@
+//! Erlang loss/delay formulas and M/M/c closed forms.
+//!
+//! These are *not* in the paper; they exist so the multi-server queueing code
+//! elsewhere in the workspace (the exact multi-server MVA of paper Algorithm
+//! 2, and the DES station model) can be cross-validated against independent
+//! textbook results: an open M/M/c queue is the infinite-population limit the
+//! multi-server station must approach, and a closed machine-repair model has
+//! an exact product-form solution expressible through these functions.
+
+use crate::NumericsError;
+
+/// Erlang B (blocking probability of M/M/c/c) via the numerically stable
+/// recurrence `B(0) = 1`, `B(k) = a·B(k−1) / (k + a·B(k−1))` where
+/// `a = λ/µ` is the offered load in Erlangs.
+pub fn erlang_b(servers: usize, offered_load: f64) -> Result<f64, NumericsError> {
+    if !(offered_load.is_finite() && offered_load >= 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            what: "offered load must be finite and >= 0",
+        });
+    }
+    let mut b = 1.0;
+    for k in 1..=servers {
+        b = offered_load * b / (k as f64 + offered_load * b);
+    }
+    Ok(b)
+}
+
+/// Erlang C (probability of queueing in M/M/c) from Erlang B:
+/// `C = c·B / (c − a·(1 − B))`. Requires `a < c` for stability.
+pub fn erlang_c(servers: usize, offered_load: f64) -> Result<f64, NumericsError> {
+    if servers == 0 {
+        return Err(NumericsError::InvalidParameter {
+            what: "servers must be >= 1",
+        });
+    }
+    if !(offered_load.is_finite() && offered_load >= 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            what: "offered load must be finite and >= 0",
+        });
+    }
+    if offered_load >= servers as f64 {
+        return Err(NumericsError::InvalidParameter {
+            what: "offered load must be < servers for a stable M/M/c",
+        });
+    }
+    let b = erlang_b(servers, offered_load)?;
+    let c = servers as f64;
+    Ok(c * b / (c - offered_load * (1.0 - b)))
+}
+
+/// Steady-state metrics of an open M/M/c queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmcMetrics {
+    /// Server utilization `ρ = λ/(cµ)`.
+    pub utilization: f64,
+    /// Probability an arrival must wait (Erlang C).
+    pub prob_wait: f64,
+    /// Mean wait in queue `W_q`.
+    pub wait_queue: f64,
+    /// Mean sojourn (queue + service) `W = W_q + 1/µ`.
+    pub sojourn: f64,
+    /// Mean number in queue `L_q = λ·W_q`.
+    pub num_in_queue: f64,
+    /// Mean number in system `L = λ·W`.
+    pub num_in_system: f64,
+}
+
+/// Solves an open M/M/c queue with arrival rate `lambda`, per-server service
+/// rate `mu`, and `c` servers. Requires `λ < cµ`.
+pub fn mmc(servers: usize, lambda: f64, mu: f64) -> Result<MmcMetrics, NumericsError> {
+    if servers == 0 {
+        return Err(NumericsError::InvalidParameter {
+            what: "servers must be >= 1",
+        });
+    }
+    if !(lambda.is_finite() && lambda > 0.0 && mu.is_finite() && mu > 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            what: "lambda and mu must be finite and > 0",
+        });
+    }
+    let a = lambda / mu;
+    let c = servers as f64;
+    if a >= c {
+        return Err(NumericsError::InvalidParameter {
+            what: "lambda must be < c*mu for stability",
+        });
+    }
+    let pc = erlang_c(servers, a)?;
+    let wq = pc / (c * mu - lambda);
+    let w = wq + 1.0 / mu;
+    Ok(MmcMetrics {
+        utilization: a / c,
+        prob_wait: pc,
+        wait_queue: wq,
+        sojourn: w,
+        num_in_queue: lambda * wq,
+        num_in_system: lambda * w,
+    })
+}
+
+/// Exact solution of the closed machine-repair ("finite-source") model:
+/// `n` customers cycling between an infinite-server think stage (mean `z`)
+/// and a single queueing station with `c` servers (mean service `s`,
+/// exponential). Returns `(throughput, mean number at the station)`.
+///
+/// Used to validate both the exact multi-server MVA (paper Algorithm 2) and
+/// the DES: all three must agree on this product-form network.
+pub fn machine_repair(
+    n: usize,
+    c: usize,
+    s: f64,
+    z: f64,
+) -> Result<(f64, f64), NumericsError> {
+    if c == 0 {
+        return Err(NumericsError::InvalidParameter {
+            what: "servers must be >= 1",
+        });
+    }
+    if !(s.is_finite() && s > 0.0 && z.is_finite() && z >= 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            what: "s must be > 0 and z >= 0, both finite",
+        });
+    }
+    if z == 0.0 && n > 0 {
+        // Degenerate: all customers always at the station.
+        let busy = n.min(c) as f64;
+        return Ok((busy / s, n as f64));
+    }
+    // Unnormalized probability of k customers at the station:
+    //   p(k) ∝ C(n,k)·k!/(z^k) · s^k / β(k)   with β(k) = ∏_{j≤k} min(j,c)
+    // Standard finite-source multi-server derivation. The running product
+    // spans hundreds of orders of magnitude for large n, so it is carried
+    // in log space and normalized by its maximum before exponentiation.
+    let mut log_terms = Vec::with_capacity(n + 1);
+    let mut lt = 0.0f64;
+    log_terms.push(lt);
+    for k in 1..=n {
+        let sources = (n - k + 1) as f64; // remaining thinkers
+        let rate_in = sources / z;
+        let service_rate = (k.min(c)) as f64 / s;
+        lt += (rate_in / service_rate).ln();
+        log_terms.push(lt);
+    }
+    let m = log_terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let terms: Vec<f64> = log_terms.iter().map(|l| (l - m).exp()).collect();
+    let norm: f64 = terms.iter().sum();
+    let mean_q: f64 = terms
+        .iter()
+        .enumerate()
+        .map(|(k, p)| k as f64 * p)
+        .sum::<f64>()
+        / norm;
+    // Throughput via Little on the think stage: X = (n − E[Q]) / z.
+    let x = (n as f64 - mean_q) / z;
+    Ok((x, mean_q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn erlang_b_known_values() {
+        // Classic table value: a = 2 Erlangs, c = 3 => B ≈ 0.2105.
+        let b = erlang_b(3, 2.0).unwrap();
+        assert!(close(b, 4.0 / 19.0, 1e-12));
+        // c = 0 means every arrival blocked.
+        assert_eq!(erlang_b(0, 5.0).unwrap(), 1.0);
+        // Zero load never blocks (with servers).
+        assert_eq!(erlang_b(4, 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn erlang_c_known_value() {
+        // a = 2, c = 3: C = 3B/(3−2(1−B)) with B = 4/19 => C = 4/9.
+        let c = erlang_c(3, 2.0).unwrap();
+        assert!(close(c, 4.0 / 9.0, 1e-12));
+    }
+
+    #[test]
+    fn erlang_c_requires_stability() {
+        assert!(erlang_c(2, 2.0).is_err());
+        assert!(erlang_c(2, 2.5).is_err());
+    }
+
+    #[test]
+    fn mm1_special_case() {
+        // M/M/1: W = 1/(µ−λ), L = ρ/(1−ρ).
+        let m = mmc(1, 0.5, 1.0).unwrap();
+        assert!(close(m.sojourn, 2.0, 1e-12));
+        assert!(close(m.num_in_system, 1.0, 1e-12));
+        assert!(close(m.utilization, 0.5, 1e-12));
+        assert!(close(m.prob_wait, 0.5, 1e-12)); // Erlang C = ρ for c = 1
+    }
+
+    #[test]
+    fn mmc_utilization_and_littles_law() {
+        let m = mmc(4, 3.0, 1.0).unwrap();
+        assert!(close(m.utilization, 0.75, 1e-12));
+        assert!(close(m.num_in_queue, 3.0 * m.wait_queue, 1e-12));
+        assert!(close(m.num_in_system, 3.0 * m.sojourn, 1e-12));
+    }
+
+    #[test]
+    fn mmc_more_servers_less_waiting() {
+        let w2 = mmc(2, 1.5, 1.0).unwrap().wait_queue;
+        let w4 = mmc(4, 1.5, 1.0).unwrap().wait_queue;
+        assert!(w4 < w2);
+    }
+
+    #[test]
+    fn mmc_rejects_bad_inputs() {
+        assert!(mmc(0, 1.0, 1.0).is_err());
+        assert!(mmc(2, -1.0, 1.0).is_err());
+        assert!(mmc(2, 1.0, f64::NAN).is_err());
+        assert!(mmc(2, 2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn machine_repair_single_customer() {
+        // n = 1: X = 1/(s + z) exactly.
+        let (x, q) = machine_repair(1, 4, 0.25, 1.0).unwrap();
+        assert!(close(x, 1.0 / 1.25, 1e-12));
+        assert!(close(q, x * 0.25, 1e-12)); // Little at the station
+    }
+
+    #[test]
+    fn machine_repair_throughput_saturates_at_c_over_s() {
+        let c = 2;
+        let s = 0.5;
+        let cap = c as f64 / s; // 4 jobs/s
+        let (x_small, _) = machine_repair(1, c, s, 1.0).unwrap();
+        let (x_big, _) = machine_repair(200, c, s, 1.0).unwrap();
+        assert!(x_small < x_big);
+        assert!(x_big <= cap + 1e-9);
+        assert!(x_big > 0.99 * cap);
+    }
+
+    #[test]
+    fn machine_repair_littles_law_at_station() {
+        // X * R_station = E[Q]; R = E[Q]/X must also satisfy N = X(R+Z).
+        let (x, q) = machine_repair(10, 3, 0.2, 1.0).unwrap();
+        let r = q / x;
+        assert!(close(10.0, x * (r + 1.0), 1e-9));
+    }
+
+    #[test]
+    fn machine_repair_zero_think_time() {
+        let (x, q) = machine_repair(5, 2, 0.5, 0.0).unwrap();
+        assert!(close(x, 4.0, 1e-12)); // both servers busy
+        assert!(close(q, 5.0, 1e-12));
+    }
+
+    #[test]
+    fn machine_repair_rejects_bad_inputs() {
+        assert!(machine_repair(5, 0, 0.5, 1.0).is_err());
+        assert!(machine_repair(5, 2, -0.5, 1.0).is_err());
+        assert!(machine_repair(5, 2, 0.5, -1.0).is_err());
+    }
+}

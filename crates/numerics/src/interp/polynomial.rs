@@ -1,0 +1,214 @@
+//! Global polynomial interpolation in Newton form.
+//!
+//! Included to *demonstrate* the Runge phenomenon the paper cites (Section 8:
+//! "the problem of oscillation that occurs when using polynomial
+//! interpolation over a set of equi-spaced interpolation points") and to
+//! validate the Chebyshev-node error bound of eq. 18–19. Production code in
+//! the suite uses piecewise splines; this type is for the analysis benches.
+
+use super::{Extrapolation, Interpolant};
+use crate::{validate_knots, NumericsError};
+
+/// Newton-form interpolating polynomial through `(xs, ys)`.
+#[derive(Debug, Clone)]
+pub struct NewtonPolynomial {
+    xs: Vec<f64>,
+    /// Divided-difference coefficients `f[x₀], f[x₀,x₁], …`.
+    coeffs: Vec<f64>,
+    extrapolation: Extrapolation,
+}
+
+impl NewtonPolynomial {
+    /// Builds the unique degree-`n−1` polynomial through `n ≥ 1` points.
+    /// Unlike the spline constructors, a single point is allowed (a constant).
+    pub fn new(xs: &[f64], ys: &[f64]) -> Result<Self, NumericsError> {
+        if xs.len() == 1 {
+            if !xs[0].is_finite() || !ys[0].is_finite() {
+                return Err(NumericsError::NonFinite { what: "knot" });
+            }
+            return Ok(Self {
+                xs: xs.to_vec(),
+                coeffs: ys.to_vec(),
+                extrapolation: Extrapolation::Extend,
+            });
+        }
+        validate_knots(xs, ys, 1)?;
+        let n = xs.len();
+        let mut coeffs = ys.to_vec();
+        // In-place divided-difference table: after pass k, coeffs[i] holds
+        // f[x_{i-k}, ..., x_i] for i >= k.
+        for k in 1..n {
+            for i in (k..n).rev() {
+                coeffs[i] = (coeffs[i] - coeffs[i - 1]) / (xs[i] - xs[i - k]);
+            }
+        }
+        Ok(Self {
+            xs: xs.to_vec(),
+            coeffs,
+            // A global polynomial is defined everywhere; Extend is natural.
+            extrapolation: Extrapolation::Extend,
+        })
+    }
+
+    /// Sets the extrapolation policy (builder style). `Clamp` pegs values
+    /// outside the knot range — useful when comparing against splines.
+    #[must_use]
+    pub fn with_extrapolation(mut self, e: Extrapolation) -> Self {
+        self.extrapolation = e;
+        self
+    }
+
+    /// The polynomial degree (`n − 1`).
+    pub fn degree(&self) -> usize {
+        self.xs.len() - 1
+    }
+
+    /// Newton coefficients (divided differences).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Horner-style nested evaluation of the Newton form.
+    fn eval_raw(&self, x: f64) -> f64 {
+        let n = self.coeffs.len();
+        let mut acc = self.coeffs[n - 1];
+        for i in (0..n - 1).rev() {
+            acc = acc * (x - self.xs[i]) + self.coeffs[i];
+        }
+        acc
+    }
+
+    /// Derivative via the product-rule recursion on the Newton form.
+    fn deriv_raw(&self, x: f64) -> f64 {
+        let n = self.coeffs.len();
+        // Evaluate p and p' simultaneously with nested form.
+        let mut p = self.coeffs[n - 1];
+        let mut dp = 0.0;
+        for i in (0..n - 1).rev() {
+            dp = dp * (x - self.xs[i]) + p;
+            p = p * (x - self.xs[i]) + self.coeffs[i];
+        }
+        dp
+    }
+}
+
+impl Interpolant for NewtonPolynomial {
+    fn eval(&self, x: f64) -> f64 {
+        let (lo, hi) = self.domain();
+        if self.extrapolation == Extrapolation::Clamp {
+            if x < lo {
+                return self.eval_raw(lo);
+            }
+            if x > hi {
+                return self.eval_raw(hi);
+            }
+        }
+        self.eval_raw(x)
+    }
+
+    fn deriv(&self, x: f64) -> f64 {
+        let (lo, hi) = self.domain();
+        if self.extrapolation == Extrapolation::Clamp && (x < lo || x > hi) {
+            return 0.0;
+        }
+        self.deriv_raw(x)
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("non-empty"))
+    }
+}
+
+/// The Runge test function `f(x) = 1 / (1 + 25 x²)`, the canonical example of
+/// equi-spaced polynomial interpolation divergence on `[-1, 1]`.
+pub fn runge(x: f64) -> f64 {
+    1.0 / (1.0 + 25.0 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chebyshev::chebyshev_nodes;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn constant_polynomial() {
+        let p = NewtonPolynomial::new(&[3.0], &[7.0]).unwrap();
+        assert_eq!(p.eval(100.0), 7.0);
+        assert_eq!(p.degree(), 0);
+        assert_eq!(p.deriv(0.0), 0.0);
+    }
+
+    #[test]
+    fn reproduces_line_and_parabola() {
+        let p = NewtonPolynomial::new(&[0.0, 1.0], &[1.0, 3.0]).unwrap();
+        assert!(close(p.eval(2.0), 5.0, 1e-12));
+        assert!(close(p.deriv(0.5), 2.0, 1e-12));
+
+        let f = |x: f64| 2.0 * x * x - x + 1.0;
+        let xs = [-1.0, 0.0, 2.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+        let p = NewtonPolynomial::new(&xs, &ys).unwrap();
+        for i in -10..=10 {
+            let x = i as f64 * 0.3;
+            assert!(close(p.eval(x), f(x), 1e-10));
+            assert!(close(p.deriv(x), 4.0 * x - 1.0, 1e-10));
+        }
+    }
+
+    #[test]
+    fn interpolates_knots_high_degree() {
+        let xs: Vec<f64> = (0..9).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (x).sin()).collect();
+        let p = NewtonPolynomial::new(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!(close(p.eval(*x), *y, 1e-9));
+        }
+    }
+
+    #[test]
+    fn runge_phenomenon_equispaced_vs_chebyshev() {
+        // Degree-14 interpolation of the Runge function: equi-spaced nodes
+        // diverge near the boundary, Chebyshev nodes stay accurate.
+        let n = 15;
+        let eq_xs: Vec<f64> = (0..n)
+            .map(|i| -1.0 + 2.0 * i as f64 / (n - 1) as f64)
+            .collect();
+        let eq_ys: Vec<f64> = eq_xs.iter().map(|&x| runge(x)).collect();
+        let p_eq = NewtonPolynomial::new(&eq_xs, &eq_ys).unwrap();
+
+        let mut ch_xs = chebyshev_nodes(n, -1.0, 1.0);
+        ch_xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let ch_ys: Vec<f64> = ch_xs.iter().map(|&x| runge(x)).collect();
+        let p_ch = NewtonPolynomial::new(&ch_xs, &ch_ys).unwrap();
+
+        let mut max_eq: f64 = 0.0;
+        let mut max_ch: f64 = 0.0;
+        for i in 0..=1000 {
+            let x = -1.0 + 2.0 * i as f64 / 1000.0;
+            max_eq = max_eq.max((p_eq.eval(x) - runge(x)).abs());
+            max_ch = max_ch.max((p_ch.eval(x) - runge(x)).abs());
+        }
+        assert!(max_eq > 1.0, "equi-spaced should oscillate wildly: {max_eq}");
+        assert!(max_ch < 0.2, "Chebyshev should stay tame: {max_ch}");
+        assert!(max_ch < max_eq / 10.0);
+    }
+
+    #[test]
+    fn clamp_extrapolation_pegs_values() {
+        let p = NewtonPolynomial::new(&[0.0, 1.0, 2.0], &[0.0, 1.0, 4.0])
+            .unwrap()
+            .with_extrapolation(Extrapolation::Clamp);
+        assert!(close(p.eval(-5.0), 0.0, 1e-12));
+        assert!(close(p.eval(10.0), 4.0, 1e-12));
+        assert_eq!(p.deriv(10.0), 0.0);
+    }
+
+    #[test]
+    fn rejects_duplicate_abscissae() {
+        assert!(NewtonPolynomial::new(&[0.0, 0.0], &[1.0, 2.0]).is_err());
+    }
+}

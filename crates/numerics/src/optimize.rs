@@ -1,0 +1,276 @@
+//! Derivative-free minimization (Nelder–Mead simplex).
+//!
+//! Used by the curve-fitting extrapolation baseline (`mvasd-core`'s
+//! reproduction of the paper's ref. \[4], which fits sigmoid saturation
+//! curves to measured throughput) and available for calibration tasks.
+//! Deliberately minimal: bounded iterations, absolute/relative convergence
+//! on the simplex spread, no constraints (callers encode constraints as
+//! penalties).
+
+use crate::NumericsError;
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Stop when the spread of simplex function values falls below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Initial simplex step per coordinate, relative to `|x0[i]|` (with an
+    /// absolute floor for zero coordinates).
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-10,
+            max_iterations: 2000,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeResult {
+    /// The best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Whether the tolerance was met (vs iteration cap).
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `x0` with the Nelder–Mead simplex method
+/// (standard α=1, γ=2, ρ=0.5, σ=0.5 coefficients).
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    opts: NelderMeadOptions,
+) -> Result<OptimizeResult, NumericsError> {
+    let dim = x0.len();
+    if dim == 0 {
+        return Err(NumericsError::InvalidParameter {
+            what: "need at least one dimension",
+        });
+    }
+    if x0.iter().any(|v| !v.is_finite()) {
+        return Err(NumericsError::NonFinite { what: "x0" });
+    }
+    let bad_tol = !opts.tolerance.is_finite() || opts.tolerance <= 0.0;
+    let bad_step = !opts.initial_step.is_finite() || opts.initial_step <= 0.0;
+    if bad_tol || opts.max_iterations == 0 || bad_step {
+        return Err(NumericsError::InvalidParameter {
+            what: "tolerance, max_iterations and initial_step must be positive",
+        });
+    }
+
+    // Initial simplex: x0 plus a perturbation along each axis.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(dim + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..dim {
+        let mut p = x0.to_vec();
+        let step = if p[i] != 0.0 {
+            p[i].abs() * opts.initial_step
+        } else {
+            opts.initial_step
+        };
+        p[i] += step;
+        simplex.push(p);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|p| f(p)).collect();
+    if values.iter().any(|v| v.is_nan()) {
+        return Err(NumericsError::NonFinite {
+            what: "objective at the initial simplex",
+        });
+    }
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < opts.max_iterations {
+        iterations += 1;
+        // Order the simplex.
+        let mut idx: Vec<usize> = (0..=dim).collect();
+        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN"));
+        let (best, worst, second_worst) = (idx[0], idx[dim], idx[dim - 1]);
+
+        // Converge on BOTH the function-value spread and the simplex size:
+        // a simplex straddling a minimum symmetrically has zero value
+        // spread while still being wide (the classic 1-D failure mode).
+        let value_spread_ok = (values[worst] - values[best]).abs()
+            <= opts.tolerance * (1.0 + values[best].abs());
+        let coord_tol = opts.tolerance.sqrt();
+        let coord_spread_ok = simplex.iter().all(|p| {
+            p.iter()
+                .zip(simplex[best].iter())
+                .all(|(a, b)| (a - b).abs() <= coord_tol * (1.0 + b.abs()))
+        });
+        if value_spread_ok && coord_spread_ok {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; dim];
+        for &i in idx.iter().take(dim) {
+            for (c, v) in centroid.iter_mut().zip(simplex[i].iter()) {
+                *c += v / dim as f64;
+            }
+        }
+
+        let blend = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b.iter()).map(|(x, y)| x + t * (y - x)).collect()
+        };
+
+        // Reflection.
+        let reflected = blend(&centroid, &simplex[worst], -1.0);
+        let fr = f(&reflected);
+        if fr < values[best] {
+            // Expansion.
+            let expanded = blend(&centroid, &simplex[worst], -2.0);
+            let fe = f(&expanded);
+            if fe < fr {
+                simplex[worst] = expanded;
+                values[worst] = fe;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = fr;
+            }
+            continue;
+        }
+        if fr < values[second_worst] {
+            simplex[worst] = reflected;
+            values[worst] = fr;
+            continue;
+        }
+        // Contraction.
+        let contracted = blend(&centroid, &simplex[worst], 0.5);
+        let fc = f(&contracted);
+        if fc < values[worst] {
+            simplex[worst] = contracted;
+            values[worst] = fc;
+            continue;
+        }
+        // Shrink toward the best.
+        let best_point = simplex[best].clone();
+        for &i in idx.iter().skip(1) {
+            simplex[i] = blend(&best_point, &simplex[i], 0.5);
+            values[i] = f(&simplex[i]);
+        }
+    }
+
+    let (mut bi, mut bv) = (0usize, values[0]);
+    for (i, &v) in values.iter().enumerate() {
+        if v < bv {
+            bi = i;
+            bv = v;
+        }
+    }
+    Ok(OptimizeResult {
+        x: simplex[bi].clone(),
+        value: bv,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_shifted_quadratic() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.5).powi(2) + 7.0,
+            &[0.0, 0.0],
+            NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!(r.converged);
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] + 1.5).abs() < 1e-4);
+        assert!((r.value - 7.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn handles_rosenbrock() {
+        let r = nelder_mead(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            NelderMeadOptions {
+                max_iterations: 8000,
+                tolerance: 1e-14,
+                ..NelderMeadOptions::default()
+            },
+        )
+        .unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let r = nelder_mead(|x| (x[0] - 42.0).powi(2), &[1.0], NelderMeadOptions::default())
+            .unwrap();
+        assert!((r.x[0] - 42.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let r = nelder_mead(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[100.0, -100.0, 50.0],
+            NelderMeadOptions {
+                max_iterations: 3,
+                ..NelderMeadOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 3);
+    }
+
+    #[test]
+    fn sigmoid_fit_use_case() {
+        // The actual downstream use: fit Xmax/(1+exp(-(n-n0)/s)) to points.
+        let truth = |n: f64| 120.0 / (1.0 + (-(n - 80.0) / 25.0).exp());
+        let data: Vec<(f64, f64)> = [10.0, 40.0, 80.0, 120.0, 200.0]
+            .iter()
+            .map(|&n| (n, truth(n)))
+            .collect();
+        let sse = |p: &[f64]| {
+            if p[0] <= 0.0 || p[2] <= 0.0 {
+                return 1e12;
+            }
+            data.iter()
+                .map(|&(n, x)| {
+                    let m = p[0] / (1.0 + (-(n - p[1]) / p[2]).exp());
+                    (m - x).powi(2)
+                })
+                .sum()
+        };
+        let r = nelder_mead(sse, &[130.0, 60.0, 20.0], NelderMeadOptions {
+            max_iterations: 5000,
+            ..NelderMeadOptions::default()
+        })
+        .unwrap();
+        assert!((r.x[0] - 120.0).abs() < 1.0, "{:?}", r.x);
+        assert!((r.x[1] - 80.0).abs() < 2.0);
+        assert!((r.x[2] - 25.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(nelder_mead(|x| x[0], &[], NelderMeadOptions::default()).is_err());
+        assert!(nelder_mead(|x| x[0], &[f64::NAN], NelderMeadOptions::default()).is_err());
+        let bad = NelderMeadOptions {
+            tolerance: 0.0,
+            ..NelderMeadOptions::default()
+        };
+        assert!(nelder_mead(|x| x[0], &[1.0], bad).is_err());
+        assert!(nelder_mead(|_| f64::NAN, &[1.0], NelderMeadOptions::default()).is_err());
+    }
+}

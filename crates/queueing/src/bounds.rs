@@ -1,0 +1,141 @@
+//! Asymptotic throughput/response bounds for closed networks.
+//!
+//! Sanity envelopes around the MVA solutions (paper eq. 5–6): every exact
+//! or approximate solver output in this workspace is property-tested
+//! against these bounds, and the capacity-planning example uses them for
+//! quick feasibility checks before running a solver.
+//!
+//! * The **optimistic** side combines the low-population limit
+//!   `X ≤ n/(D + Z)` (no queueing anywhere) with the Bottleneck Law
+//!   `X ≤ 1/max_k(D_k/C_k)`.
+//! * The **pessimistic** side assumes every one of the other `n − 1`
+//!   customers is queued ahead at the bottleneck: `R ≤ D + (n−1)·D_max`,
+//!   hence `X ≥ n/(D + Z + (n−1)·D_max)`.
+//!
+//! Both sides use **effective demands** `D_k / C_k` for multi-server
+//! stations: exact for the saturation term; for the pessimistic queueing
+//! term a `C`-server station delays strictly less than a single server of
+//! demand `D/C` under the same backlog only when more than one server can
+//! engage, so the bound stays valid (it is loose, not wrong).
+//!
+//! Tighter balanced-job bounds exist (Zahorjan et al. 1982) but their
+//! terminal-workload, multi-server generalizations are easy to get subtly
+//! wrong; since these bounds gate property tests, we deliberately keep the
+//! provably safe forms.
+
+use crate::network::ClosedNetwork;
+
+/// Throughput envelope at population `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputBounds {
+    /// Optimistic bound `min(n / (D + Z), 1 / max(D_k/C_k))`.
+    pub upper: f64,
+    /// Pessimistic bound `n / (D + Z + (n−1)·D_max)`.
+    pub lower: f64,
+}
+
+/// Response-time envelope at population `n` (system response, excluding
+/// think time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseBounds {
+    /// `max(D, n·max(D_k/C_k) − Z)` (paper eq. 6 generalized).
+    pub lower: f64,
+    /// `D + (n−1)·D_max` — full queueing at the bottleneck.
+    pub upper: f64,
+}
+
+/// Effective-demand summary of a network: `(D_total, D_max, Z)`.
+fn demand_summary(net: &ClosedNetwork) -> (f64, f64, f64) {
+    let ds: Vec<f64> = net.stations().iter().map(|s| s.effective_demand()).collect();
+    let d_total: f64 = ds.iter().sum();
+    let d_max = ds.iter().cloned().fold(0.0f64, f64::max);
+    (d_total, d_max, net.think_time())
+}
+
+/// Asymptotic throughput bounds at population `n` (module docs for the
+/// derivation).
+pub fn throughput_bounds(net: &ClosedNetwork, n: usize) -> ThroughputBounds {
+    let (d_total, d_max, z) = demand_summary(net);
+    let nf = n as f64;
+    let upper =
+        (nf / (d_total + z)).min(if d_max > 0.0 { 1.0 / d_max } else { f64::INFINITY });
+    let lower = nf / (d_total + z + (nf - 1.0) * d_max);
+    ThroughputBounds { upper, lower }
+}
+
+/// Asymptotic response bounds at population `n` (module docs for the
+/// derivation).
+pub fn response_bounds(net: &ClosedNetwork, n: usize) -> ResponseBounds {
+    let (d_total, d_max, z) = demand_summary(net);
+    let nf = n as f64;
+    let lower = d_total.max(nf * d_max - z);
+    let upper = d_total + (nf - 1.0) * d_max;
+    ResponseBounds { lower, upper }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Station;
+
+    fn net() -> ClosedNetwork {
+        ClosedNetwork::new(
+            vec![
+                Station::queueing("a", 1, 1.0, 0.02),
+                Station::queueing("b", 1, 1.0, 0.01),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_customer_bounds_are_tight() {
+        let n = net();
+        let tb = throughput_bounds(&n, 1);
+        let rb = response_bounds(&n, 1);
+        // n = 1: X = 1/(D+Z) exactly; both bounds must pinch it.
+        let x = 1.0 / (0.03 + 1.0);
+        assert!((tb.upper - x).abs() < 1e-12);
+        assert!((tb.lower - x).abs() < 1e-12);
+        assert!((rb.lower - 0.03).abs() < 1e-12);
+        assert!((rb.upper - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_saturates_at_bottleneck() {
+        let n = net();
+        let tb = throughput_bounds(&n, 10_000);
+        assert!((tb.upper - 50.0).abs() < 1e-9); // 1/0.02
+    }
+
+    #[test]
+    fn lower_below_upper_everywhere() {
+        let n = net();
+        for pop in [1usize, 2, 5, 10, 50, 100, 1000] {
+            let tb = throughput_bounds(&n, pop);
+            let rb = response_bounds(&n, pop);
+            assert!(tb.lower <= tb.upper + 1e-12, "pop {pop}");
+            assert!(rb.lower <= rb.upper + 1e-12, "pop {pop}");
+        }
+    }
+
+    #[test]
+    fn multiserver_effective_demand_raises_ceiling() {
+        let single = ClosedNetwork::new(vec![Station::queueing("cpu", 1, 1.0, 0.02)], 0.5).unwrap();
+        let multi = ClosedNetwork::new(vec![Station::queueing("cpu", 4, 1.0, 0.02)], 0.5).unwrap();
+        let ts = throughput_bounds(&single, 10_000).upper;
+        let tm = throughput_bounds(&multi, 10_000).upper;
+        assert!((ts - 50.0).abs() < 1e-9);
+        assert!((tm - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_lower_grows_linearly_past_knee() {
+        let n = net();
+        let r1 = response_bounds(&n, 100).lower;
+        let r2 = response_bounds(&n, 200).lower;
+        // Past the knee the slope is D_max per customer.
+        assert!((r2 - r1 - 100.0 * 0.02).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Operational laws — paper Section 3 (Table 1 notation).
+//!
+//! These are measurement identities, not stochastic assumptions: they hold
+//! for any observation window in which flow is balanced. They are used both
+//! by the analytic solvers and by the testbed's demand-extraction pipeline
+//! (which applies the Service Demand Law to monitored utilizations exactly
+//! as the paper does with vmstat/iostat/netstat data).
+
+/// Utilization Law (paper eq. 1): `Uᵢ = Xᵢ · Sᵢ`.
+///
+/// `throughput` is the station's completion rate `Xᵢ`, `service_time` the
+/// mean service time per visit `Sᵢ`.
+pub fn utilization(throughput: f64, service_time: f64) -> f64 {
+    throughput * service_time
+}
+
+/// Forced Flow Law (paper eq. 2): `Xᵢ = Vᵢ · X`.
+pub fn station_throughput(system_throughput: f64, visits: f64) -> f64 {
+    system_throughput * visits
+}
+
+/// Service Demand Law (paper eq. 3): `Dᵢ = Vᵢ · Sᵢ = Uᵢ / X`.
+///
+/// This is the form used to *extract* demands from measurements: monitored
+/// utilization divided by measured system throughput. Returns `None` when
+/// throughput is zero (no completions observed — demand undefined).
+pub fn service_demand_from_utilization(utilization: f64, system_throughput: f64) -> Option<f64> {
+    if system_throughput <= 0.0 {
+        None
+    } else {
+        Some(utilization / system_throughput)
+    }
+}
+
+/// Little's Law (paper eq. 4) solved for throughput: `X = N / (R + Z)`.
+///
+/// Returns `None` if `R + Z` is non-positive.
+pub fn throughput_from_little(n: f64, response: f64, think: f64) -> Option<f64> {
+    let cycle = response + think;
+    if cycle <= 0.0 {
+        None
+    } else {
+        Some(n / cycle)
+    }
+}
+
+/// Little's Law solved for response time: `R = N/X − Z`.
+///
+/// Returns `None` for non-positive throughput.
+pub fn response_from_little(n: f64, throughput: f64, think: f64) -> Option<f64> {
+    if throughput <= 0.0 {
+        None
+    } else {
+        Some(n / throughput - think)
+    }
+}
+
+/// Little's Law applied to a single queue: `Qᵢ = Xᵢ · Rᵢ`.
+pub fn queue_length(station_throughput: f64, residence_time: f64) -> f64 {
+    station_throughput * residence_time
+}
+
+/// Bottleneck Law (paper eq. 5): `X ≤ 1 / D_max`.
+///
+/// Returns the throughput ceiling given per-station service demands; `None`
+/// for an empty demand set. For multi-server stations pass the *effective*
+/// demand `Dᵢ/Cᵢ` — a `C`-server station saturates at `C/Dᵢ`.
+pub fn throughput_bound(demands: &[f64]) -> Option<f64> {
+    let d_max = demands.iter().cloned().fold(f64::NAN, f64::max);
+    if d_max.is_nan() || d_max <= 0.0 {
+        None
+    } else {
+        Some(1.0 / d_max)
+    }
+}
+
+/// Minimum response-time bound from the Bottleneck Law (paper eq. 6):
+/// `R ≥ N · D_max − Z` (the high-population asymptote), combined with the
+/// low-population floor `R ≥ Σ Dᵢ`.
+pub fn response_lower_bound(n: f64, demands: &[f64], think: f64) -> Option<f64> {
+    let d_max = demands.iter().cloned().fold(f64::NAN, f64::max);
+    if d_max.is_nan() || d_max <= 0.0 {
+        return None;
+    }
+    let d_total: f64 = demands.iter().sum();
+    Some(d_total.max(n * d_max - think))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn utilization_law() {
+        assert!(close(utilization(50.0, 0.01), 0.5, 1e-12));
+    }
+
+    #[test]
+    fn forced_flow_law() {
+        // 7 pages per transaction at 10 tx/s => 70 page visits/s.
+        assert!(close(station_throughput(10.0, 7.0), 70.0, 1e-12));
+    }
+
+    #[test]
+    fn service_demand_law_roundtrip() {
+        // U = X * D must invert exactly.
+        let x = 42.0;
+        let d = 0.0123;
+        let u = utilization(x, d);
+        assert!(close(service_demand_from_utilization(u, x).unwrap(), d, 1e-12));
+        assert!(service_demand_from_utilization(0.5, 0.0).is_none());
+    }
+
+    #[test]
+    fn littles_law_consistency() {
+        let (n, r, z) = (100.0, 0.25, 1.0);
+        let x = throughput_from_little(n, r, z).unwrap();
+        assert!(close(x, 80.0, 1e-12));
+        assert!(close(response_from_little(n, x, z).unwrap(), r, 1e-12));
+        assert!(throughput_from_little(n, -2.0, 1.0).is_none());
+        assert!(response_from_little(n, 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn queue_little() {
+        assert!(close(queue_length(80.0, 0.05), 4.0, 1e-12));
+    }
+
+    #[test]
+    fn bottleneck_bound() {
+        // D_max = 0.02 => X <= 50.
+        assert!(close(throughput_bound(&[0.01, 0.02, 0.005]).unwrap(), 50.0, 1e-12));
+        assert!(throughput_bound(&[]).is_none());
+        assert!(throughput_bound(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn response_bound_two_regimes() {
+        let demands = [0.01, 0.02, 0.005];
+        // Low population: sum of demands dominates.
+        assert!(close(
+            response_lower_bound(1.0, &demands, 1.0).unwrap(),
+            0.035,
+            1e-12
+        ));
+        // High population: N*Dmax - Z dominates.
+        assert!(close(
+            response_lower_bound(1000.0, &demands, 1.0).unwrap(),
+            1000.0 * 0.02 - 1.0,
+            1e-12
+        ));
+        assert!(response_lower_bound(10.0, &[], 1.0).is_none());
+    }
+}

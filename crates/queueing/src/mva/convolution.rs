@@ -1,0 +1,541 @@
+//! Normalization-constant (convolution) evaluation of closed networks —
+//! Buzen's algorithm in log-domain.
+//!
+//! The exact MVA population recursion for multi-server / load-dependent
+//! stations closes the marginal distribution with `p(0) = 1 − Σ…`, which
+//! cancels catastrophically near saturation; the recursion then amplifies
+//! the round-off **exponentially** (a 16-core station — the paper's
+//! hardware — produces percent-level errors and Bottleneck-Law violations
+//! even in double-double arithmetic). The normalization-constant route has
+//! no subtraction anywhere: every quantity is a ratio of sums of positive
+//! terms, evaluated here with log-sum-exp so magnitudes like `Zⁿ/n!` never
+//! overflow. This is the numerically definitive evaluation used by
+//! [`super::multiserver_mva`] (paper Algorithm 2) and
+//! [`super::load_dependent_mva`], and by the quasi-static phase of the
+//! MVASD recursion.
+//!
+//! For a single-class network with stations `k` (demand `D_k`, rate
+//! multiplier `α_k(j)`) and terminal think time `Z`:
+//!
+//! ```text
+//! f_k(j) = D_k^j / ∏_{i=1}^{j} α_k(i)        (station factor)
+//! f_Z(j) = Z^j / j!                          (think stage, infinite-server)
+//! G      = f_1 ⊛ f_2 ⊛ … ⊛ f_K ⊛ f_Z         (convolution)
+//! X(n)   = G(n−1) / G(n)
+//! p_k(j|n) = f_k(j) · G₍₋ₖ₎(n−j) / G(n)
+//! Q_k(n)  = Σ_j j · p_k(j|n)
+//! ```
+//!
+//! `G₍₋ₖ₎` (the network without station `k`) is produced for every station
+//! from prefix/suffix partial convolutions, keeping the whole solve at
+//! `O(K · N²)` log-sum-exp operations.
+
+use super::loaddep::RateFunction;
+use super::{MvaSolution, PopulationPoint, StationPoint};
+use crate::QueueingError;
+
+/// One station of the convolution solver (internal normalized form).
+#[derive(Debug, Clone)]
+pub(crate) struct ConvStation {
+    pub name: String,
+    pub demand: f64,
+    pub rate: RateFunction,
+}
+
+/// `ln Σ exp(aᵢ)` over the pairwise products of a convolution cell:
+/// `c(n) = ln Σ_j exp(a(j) + b(n−j))`, skipping `−∞` terms.
+fn log_conv_cell(a: &[f64], b: &[f64], n: usize) -> f64 {
+    let lo = n.saturating_sub(b.len() - 1);
+    let hi = n.min(a.len() - 1);
+    let mut m = f64::NEG_INFINITY;
+    for j in lo..=hi {
+        let t = a[j] + b[n - j];
+        if t > m {
+            m = t;
+        }
+    }
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let mut acc = 0.0;
+    for j in lo..=hi {
+        let t = a[j] + b[n - j];
+        if t > f64::NEG_INFINITY {
+            acc += (t - m).exp();
+        }
+    }
+    m + acc.ln()
+}
+
+/// Full log-domain convolution `c = a ⊛ b` truncated at `n_max`.
+fn log_convolve(a: &[f64], b: &[f64], n_max: usize) -> Vec<f64> {
+    (0..=n_max).map(|n| log_conv_cell(a, b, n)).collect()
+}
+
+/// `ln f_k(j)` for `j = 0..=n_max`.
+fn log_factors(demand: f64, rate: &RateFunction, n_max: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n_max + 1);
+    out.push(0.0); // ln f(0) = ln 1
+    if demand <= 0.0 {
+        out.resize(n_max + 1, f64::NEG_INFINITY);
+        return out;
+    }
+    let ld = demand.ln();
+    let mut acc = 0.0;
+    for j in 1..=n_max {
+        acc += ld - rate.rate(j).ln();
+        out.push(acc);
+    }
+    out
+}
+
+/// `ln f_Z(j) = j·ln Z − ln j!`.
+fn log_think_factors(z: f64, n_max: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n_max + 1);
+    out.push(0.0);
+    if z <= 0.0 {
+        out.resize(n_max + 1, f64::NEG_INFINITY);
+        return out;
+    }
+    let lz = z.ln();
+    let mut acc = 0.0;
+    for j in 1..=n_max {
+        acc += lz - (j as f64).ln();
+        out.push(acc);
+    }
+    out
+}
+
+/// Complete convolution solution of a closed network (full population
+/// series).
+#[derive(Debug, Clone)]
+pub(crate) struct ConvSolution {
+    /// Throughput per population `1..=N`.
+    pub x: Vec<f64>,
+    /// `queues[k][n-1]` = mean customers at station `k` with population `n`.
+    pub queues: Vec<Vec<f64>>,
+    /// `marginals[k][n-1][j]` = `p_k(j|n)` for `j = 0..limit_k` where
+    /// `limit_k` is the station's marginal-tracking limit (server count for
+    /// multi-server stations; empty otherwise). Only filled for stations
+    /// where `marginal_limit > 0`.
+    pub marginals: Vec<Vec<Vec<f64>>>,
+}
+
+/// Solves the network exactly for all populations `1..=n_max`.
+///
+/// `marginal_limits[k]` requests the first `limit` marginal probabilities
+/// `p_k(0..limit−1 | n)` per population (0 = skip).
+pub(crate) fn solve(
+    stations: &[ConvStation],
+    think_time: f64,
+    n_max: usize,
+    marginal_limits: &[usize],
+) -> Result<ConvSolution, QueueingError> {
+    if stations.is_empty() {
+        return Err(QueueingError::EmptyNetwork);
+    }
+    if n_max == 0 {
+        return Err(QueueingError::InvalidParameter {
+            what: "population must be >= 1",
+        });
+    }
+    let k_count = stations.len();
+
+    // Factors: stations then the think stage.
+    let mut factors: Vec<Vec<f64>> = stations
+        .iter()
+        .map(|s| log_factors(s.demand, &s.rate, n_max))
+        .collect();
+    factors.push(log_think_factors(think_time, n_max));
+    let total = factors.len();
+
+    // Prefix/suffix partial convolutions:
+    //   prefix[i] = f_0 ⊛ … ⊛ f_{i−1}   (prefix[0] = identity)
+    //   suffix[i] = f_i ⊛ … ⊛ f_{total−1} (suffix[total] = identity)
+    let identity = {
+        let mut v = vec![f64::NEG_INFINITY; n_max + 1];
+        v[0] = 0.0;
+        v
+    };
+    let mut prefix: Vec<Vec<f64>> = Vec::with_capacity(total + 1);
+    prefix.push(identity.clone());
+    for f in factors.iter() {
+        let last = prefix.last().expect("non-empty");
+        prefix.push(log_convolve(last, f, n_max));
+    }
+    let mut suffix: Vec<Vec<f64>> = vec![identity.clone(); total + 1];
+    for i in (0..total).rev() {
+        suffix[i] = log_convolve(&factors[i], &suffix[i + 1], n_max);
+    }
+    let g = &prefix[total]; // full network G, log-domain
+
+    for (n, &gv) in g.iter().enumerate() {
+        if gv == f64::NEG_INFINITY && n > 0 && g[n - 1] != f64::NEG_INFINITY {
+            return Err(QueueingError::InvalidParameter {
+                what: "normalization constant vanished (all-zero demands?)",
+            });
+        }
+    }
+
+    let x: Vec<f64> = (1..=n_max).map(|n| (g[n - 1] - g[n]).exp()).collect();
+
+    // Per-station queue lengths and (optionally) low-order marginals via
+    // G₍₋ₖ₎ = prefix[k] ⊛ suffix[k+1].
+    let mut queues = vec![vec![0.0f64; n_max]; k_count];
+    let mut marginals: Vec<Vec<Vec<f64>>> = (0..k_count).map(|_| Vec::new()).collect();
+    for k in 0..k_count {
+        let want_marginals = marginal_limits.get(k).copied().unwrap_or(0);
+        if matches!(stations[k].rate, RateFunction::Delay) && want_marginals == 0 {
+            // Infinite-server: Q = X·D exactly (Little), skip the heavy path.
+            for n in 1..=n_max {
+                queues[k][n - 1] = x[n - 1] * stations[k].demand;
+            }
+            continue;
+        }
+        let g_minus = log_convolve(&prefix[k], &suffix[k + 1], n_max);
+        let fk = &factors[k];
+        if want_marginals > 0 {
+            marginals[k] = Vec::with_capacity(n_max);
+        }
+        for n in 1..=n_max {
+            // p_k(j|n) = exp(fk(j) + G₋ₖ(n−j) − G(n)).
+            let mut q = 0.0;
+            let mut snap = if want_marginals > 0 {
+                vec![0.0f64; want_marginals]
+            } else {
+                Vec::new()
+            };
+            for j in 0..=n {
+                let lp = fk[j] + g_minus[n - j] - g[n];
+                if lp > -700.0 {
+                    let p = lp.exp();
+                    q += j as f64 * p;
+                    if j < want_marginals {
+                        snap[j] = p;
+                    }
+                }
+            }
+            queues[k][n - 1] = q;
+            if want_marginals > 0 {
+                marginals[k].push(snap);
+            }
+        }
+    }
+
+    Ok(ConvSolution {
+        x,
+        queues,
+        marginals,
+    })
+}
+
+/// Assembles an [`MvaSolution`] from a convolution solve.
+pub(crate) fn to_mva_solution(
+    stations: &[ConvStation],
+    think_time: f64,
+    sol: &ConvSolution,
+) -> MvaSolution {
+    let n_max = sol.x.len();
+    let mut points = Vec::with_capacity(n_max);
+    for n in 1..=n_max {
+        let x = sol.x[n - 1];
+        let station_points = stations
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                let queue = sol.queues[k][n - 1];
+                let utilization = match s.rate.max_rate() {
+                    Some(mr) => x * s.demand / mr,
+                    None => x * s.demand,
+                };
+                StationPoint {
+                    queue,
+                    residence: if x > 0.0 { queue / x } else { 0.0 },
+                    utilization,
+                }
+            })
+            .collect();
+        let response: f64 = sol
+            .queues
+            .iter()
+            .map(|q| q[n - 1])
+            .sum::<f64>()
+            / if x > 0.0 { x } else { 1.0 };
+        points.push(PopulationPoint {
+            n,
+            throughput: x,
+            response,
+            cycle_time: response + think_time,
+            stations: station_points,
+        });
+    }
+    MvaSolution {
+        station_names: stations.iter().map(|s| s.name.clone()).collect(),
+        points,
+    }
+}
+
+/// Single-population solve result: `(X, per-station queues, per-station
+/// marginals p(0..limit−1 | n))`.
+pub(crate) type PointSolution = (f64, Vec<f64>, Vec<Vec<f64>>);
+
+/// Solves only the top population `n`. Used by the quasi-static phase of
+/// the MVASD recursion, where demands differ at every population.
+pub(crate) fn solve_at(
+    stations: &[ConvStation],
+    think_time: f64,
+    n: usize,
+    marginal_limits: &[usize],
+) -> Result<PointSolution, QueueingError> {
+    if stations.is_empty() {
+        return Err(QueueingError::EmptyNetwork);
+    }
+    if n == 0 {
+        return Err(QueueingError::InvalidParameter {
+            what: "population must be >= 1",
+        });
+    }
+    let k_count = stations.len();
+    let mut factors: Vec<Vec<f64>> = stations
+        .iter()
+        .map(|s| log_factors(s.demand, &s.rate, n))
+        .collect();
+    factors.push(log_think_factors(think_time, n));
+    let total = factors.len();
+
+    let identity = {
+        let mut v = vec![f64::NEG_INFINITY; n + 1];
+        v[0] = 0.0;
+        v
+    };
+    let mut prefix: Vec<Vec<f64>> = Vec::with_capacity(total + 1);
+    prefix.push(identity.clone());
+    for f in factors.iter() {
+        let last = prefix.last().expect("non-empty");
+        prefix.push(log_convolve(last, f, n));
+    }
+    let mut suffix: Vec<Vec<f64>> = vec![identity; total + 1];
+    for i in (0..total).rev() {
+        suffix[i] = log_convolve(&factors[i], &suffix[i + 1], n);
+    }
+    let g = &prefix[total];
+    let x = (g[n - 1] - g[n]).exp();
+
+    let mut queues = vec![0.0f64; k_count];
+    let mut marginals: Vec<Vec<f64>> = Vec::with_capacity(k_count);
+    for k in 0..k_count {
+        let limit = marginal_limits.get(k).copied().unwrap_or(0);
+        if matches!(stations[k].rate, RateFunction::Delay) && limit == 0 {
+            queues[k] = x * stations[k].demand;
+            marginals.push(Vec::new());
+            continue;
+        }
+        let g_minus = log_convolve(&prefix[k], &suffix[k + 1], n);
+        let fk = &factors[k];
+        let mut q = 0.0;
+        let mut snap = vec![0.0f64; limit];
+        for j in 0..=n {
+            let lp = fk[j] + g_minus[n - j] - g[n];
+            if lp > -700.0 {
+                let p = lp.exp();
+                q += j as f64 * p;
+                if j < limit {
+                    snap[j] = p;
+                }
+            }
+        }
+        queues[k] = q;
+        marginals.push(snap);
+    }
+    Ok((x, queues, marginals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    fn st(name: &str, demand: f64, rate: RateFunction) -> ConvStation {
+        ConvStation {
+            name: name.into(),
+            demand,
+            rate,
+        }
+    }
+
+    #[test]
+    fn machine_repair_exact_all_populations() {
+        // Single c-server station + think time: closed form available.
+        for (c, d, z) in [(1usize, 0.25f64, 1.0f64), (4, 0.25, 1.0), (16, 0.16, 1.0)] {
+            let stations = vec![st("s", d, RateFunction::MultiServer(c))];
+            let sol = solve(&stations, z, 400, &[c]).unwrap();
+            for n in 1..=400usize {
+                let (xe, qe) = mvasd_numerics::erlang::machine_repair(n, c, d, z).unwrap();
+                let x = sol.x[n - 1];
+                assert!(
+                    close(x, xe, 1e-9 * xe.max(1.0)),
+                    "c={c} n={n}: {x} vs {xe}"
+                );
+                assert!(
+                    close(sol.queues[0][n - 1], qe, 1e-7 * qe.max(1.0)),
+                    "queue c={c} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn population_conservation() {
+        let stations = vec![
+            st("cpu", 0.02, RateFunction::MultiServer(16)),
+            st("disk", 0.002, RateFunction::SingleServer),
+            st("lan", 0.001, RateFunction::Delay),
+        ];
+        let sol = solve(&stations, 1.0, 300, &[0, 0, 0]).unwrap();
+        for n in 1..=300usize {
+            let at_stations: f64 = (0..3).map(|k| sol.queues[k][n - 1]).sum();
+            let thinking = sol.x[n - 1] * 1.0;
+            assert!(
+                close(at_stations + thinking, n as f64, 1e-6 * n as f64),
+                "n={n}: {} + {}",
+                at_stations,
+                thinking
+            );
+        }
+    }
+
+    #[test]
+    fn bottleneck_law_never_violated() {
+        let stations = vec![
+            st("cpu", 0.16, RateFunction::MultiServer(16)),
+            st("disk", 0.004, RateFunction::SingleServer),
+        ];
+        let sol = solve(&stations, 1.0, 1500, &[0, 0]).unwrap();
+        let cap = (16.0 / 0.16f64).min(1.0 / 0.004);
+        let mut prev = 0.0;
+        for (i, &x) in sol.x.iter().enumerate() {
+            assert!(x <= cap + 1e-9, "n={}: {x} > {cap}", i + 1);
+            assert!(x >= prev - 1e-9, "monotonicity at n={}", i + 1);
+            prev = x;
+        }
+        assert!(sol.x[1499] > 0.999 * cap);
+    }
+
+    #[test]
+    fn marginals_are_probabilities_and_match_busy_identity() {
+        let c = 8;
+        let stations = vec![st("cpu", 0.08, RateFunction::MultiServer(c))];
+        let sol = solve(&stations, 0.5, 120, &[c]).unwrap();
+        for n in 1..=120usize {
+            let snap = &sol.marginals[0][n - 1];
+            let mass: f64 = snap.iter().sum();
+            assert!((0.0..=1.0 + 1e-9).contains(&mass));
+            // E[min(Q,C)] = X·D (busy-server identity), where
+            // E[min(Q,C)] = Σ_{j<C} j·p(j) + C·(1 − Σ_{j<C} p(j)).
+            let e_busy: f64 = snap
+                .iter()
+                .enumerate()
+                .map(|(j, p)| j as f64 * p)
+                .sum::<f64>()
+                + c as f64 * (1.0 - mass);
+            let u = sol.x[n - 1] * 0.08;
+            assert!(close(e_busy, u, 1e-8 * u.max(1e-12)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn solve_at_matches_full_series() {
+        let stations = vec![
+            st("cpu", 0.03, RateFunction::MultiServer(4)),
+            st("disk", 0.01, RateFunction::SingleServer),
+        ];
+        let full = solve(&stations, 1.0, 150, &[4, 1]).unwrap();
+        for n in [1usize, 17, 80, 150] {
+            let (x, q, m) = solve_at(&stations, 1.0, n, &[4, 1]).unwrap();
+            assert!(close(x, full.x[n - 1], 1e-12 * x));
+            assert!(close(q[0], full.queues[0][n - 1], 1e-9));
+            assert!(close(q[1], full.queues[1][n - 1], 1e-9));
+            for (j, mv) in m[0].iter().enumerate().take(4) {
+                assert!(close(*mv, full.marginals[0][n - 1][j], 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_think_time_supported() {
+        let stations = vec![st("s", 0.1, RateFunction::SingleServer)];
+        let sol = solve(&stations, 0.0, 50, &[0]).unwrap();
+        // Batch network: X = 1/D for every n >= 1 (single station).
+        for &x in &sol.x {
+            assert!(close(x, 10.0, 1e-9));
+        }
+    }
+
+    #[test]
+    fn zero_demand_station_is_transparent() {
+        let with = vec![
+            st("s", 0.1, RateFunction::SingleServer),
+            st("ghost", 0.0, RateFunction::SingleServer),
+        ];
+        let without = vec![st("s", 0.1, RateFunction::SingleServer)];
+        let a = solve(&with, 1.0, 60, &[0, 0]).unwrap();
+        let b = solve(&without, 1.0, 60, &[0]).unwrap();
+        for n in 0..60 {
+            assert!(close(a.x[n], b.x[n], 1e-12));
+            assert!(close(a.queues[1][n], 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(solve(&[], 1.0, 10, &[]).is_err());
+        let s = vec![st("s", 0.1, RateFunction::SingleServer)];
+        assert!(solve(&s, 1.0, 0, &[0]).is_err());
+        assert!(solve_at(&s, 1.0, 0, &[0]).is_err());
+        assert!(solve_at(&[], 1.0, 5, &[]).is_err());
+    }
+
+    #[test]
+    fn custom_rate_function_supported() {
+        // A "2.5-way effective" station: rates 1, 1.8, 2.5 then flat.
+        let stations = vec![st("s", 0.1, RateFunction::Custom(vec![1.0, 1.8, 2.5]))];
+        let sol = solve(&stations, 0.2, 200, &[0]).unwrap();
+        let cap = 2.5 / 0.1;
+        let mut prev = 0.0;
+        for &x in &sol.x {
+            assert!(x <= cap + 1e-9);
+            assert!(x >= prev - 1e-9);
+            prev = x;
+        }
+        assert!(sol.x[199] > 0.99 * cap);
+    }
+
+    #[test]
+    fn delay_dominated_network() {
+        // Queueing station negligible next to a big delay stage: X ≈ n/(Z+Ddelay).
+        let stations = vec![
+            st("tiny", 1e-5, RateFunction::SingleServer),
+            st("lan", 0.5, RateFunction::Delay),
+        ];
+        let sol = solve(&stations, 1.5, 50, &[0, 0]).unwrap();
+        for n in 1..=50usize {
+            let expect = n as f64 / 2.0; // ~ n/(1.5 + 0.5)
+            let x = sol.x[n - 1];
+            assert!((x - expect).abs() < 0.02 * expect, "n={n}: {x} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn huge_population_no_overflow() {
+        // Zⁿ/n! for n = 3000 spans hundreds of orders of magnitude; the
+        // log-domain evaluation must sail through.
+        let stations = vec![st("s", 0.01, RateFunction::SingleServer)];
+        let sol = solve(&stations, 10.0, 3000, &[0]).unwrap();
+        assert!(sol.x[2999].is_finite());
+        assert!(sol.x[2999] <= 100.0 + 1e-6);
+        assert!(sol.x[2999] > 99.0);
+    }
+}

@@ -1,0 +1,412 @@
+//! Exact multiclass MVA (extension beyond the paper).
+//!
+//! The paper restricts itself to "single class models wherein the customers
+//! are assumed to be indistinguishable from one another" (Section 5.1). Real
+//! load tests mix workflows — e.g. VINS' Registration vs Renew-Policy users
+//! — so the suite ships the exact multiclass recursion as an extension: the
+//! population recursion runs over the full lattice of class-population
+//! vectors, applying the multiclass Arrival Theorem
+//! `R_{c,k}(n⃗) = D_{c,k} · (1 + Q_k(n⃗ − e_c))`.
+//!
+//! Complexity is `O(K · Π_c (N_c + 1))`; the solver refuses lattices above a
+//! safety cap rather than exhausting memory.
+
+use crate::network::StationKind;
+use crate::QueueingError;
+
+/// One customer class: its population, think time, and per-station demands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Class label, e.g. `"renew-policy"`.
+    pub name: String,
+    /// Number of customers of this class, `N_c`.
+    pub population: usize,
+    /// Class think time `Z_c`.
+    pub think_time: f64,
+    /// Service demand of this class at each station, `D_{c,k}` (same station
+    /// order across classes).
+    pub demands: Vec<f64>,
+}
+
+/// Per-class results at the full population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMetrics {
+    /// Class label.
+    pub name: String,
+    /// Class throughput `X_c`.
+    pub throughput: f64,
+    /// Class response time `R_c` (excluding think time).
+    pub response: f64,
+}
+
+/// Solution of the multiclass model at the full population vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticlassSolution {
+    /// Per-class throughput/response.
+    pub classes: Vec<ClassMetrics>,
+    /// Mean total queue length per station (all classes).
+    pub station_queues: Vec<f64>,
+    /// Per-station total utilization `Σ_c X_c · D_{c,k}` (divided by server
+    /// count for multi-server stations).
+    pub station_utilizations: Vec<f64>,
+}
+
+/// Maximum number of lattice points the solver will allocate (`K` floats
+/// each). 16 M points ≈ 128 MB·K/8 — generous but bounded.
+const MAX_LATTICE: usize = 16_000_000;
+
+/// Runs exact multiclass MVA.
+///
+/// `station_kinds` gives the discipline per station (shared by all classes).
+/// Multi-server queueing stations are handled with the demand-normalization
+/// heuristic (`D/C`, plus a delay of `D·(C−1)/C`) — the exact multiclass
+/// multi-server recursion is out of scope, matching standard practice.
+pub fn multiclass_mva(
+    classes: &[ClassSpec],
+    station_kinds: &[StationKind],
+) -> Result<MulticlassSolution, QueueingError> {
+    if classes.is_empty() {
+        return Err(QueueingError::InvalidParameter {
+            what: "need at least one class",
+        });
+    }
+    let k_count = station_kinds.len();
+    if k_count == 0 {
+        return Err(QueueingError::EmptyNetwork);
+    }
+    for c in classes {
+        if c.demands.len() != k_count {
+            return Err(QueueingError::InvalidParameter {
+                what: "every class must give one demand per station",
+            });
+        }
+        if c.demands.iter().any(|d| !(d.is_finite() && *d >= 0.0)) {
+            return Err(QueueingError::InvalidParameter {
+                what: "demands must be finite and >= 0",
+            });
+        }
+        if !(c.think_time.is_finite() && c.think_time >= 0.0) {
+            return Err(QueueingError::InvalidParameter {
+                what: "think time must be finite and >= 0",
+            });
+        }
+    }
+    for kind in station_kinds {
+        if let StationKind::Queueing { servers: 0 } = kind {
+            return Err(QueueingError::InvalidParameter {
+                what: "station must have at least one server",
+            });
+        }
+    }
+
+    // Seidmann-style split per (class, station): queueing part + delay part.
+    let nclasses = classes.len();
+    let mut dq = vec![vec![0.0f64; k_count]; nclasses];
+    let mut dd = vec![vec![0.0f64; k_count]; nclasses];
+    for (ci, c) in classes.iter().enumerate() {
+        for (k, kind) in station_kinds.iter().enumerate() {
+            match kind {
+                StationKind::Delay => dd[ci][k] = c.demands[k],
+                StationKind::Queueing { servers } => {
+                    let cc = *servers as f64;
+                    dq[ci][k] = c.demands[k] / cc;
+                    dd[ci][k] = c.demands[k] * (cc - 1.0) / cc;
+                }
+            }
+        }
+    }
+
+    // Mixed-radix lattice over populations 0..=N_c.
+    let dims: Vec<usize> = classes.iter().map(|c| c.population + 1).collect();
+    let lattice: usize = dims.iter().try_fold(1usize, |acc, &d| {
+        acc.checked_mul(d).filter(|&v| v <= MAX_LATTICE)
+    })
+    .ok_or(QueueingError::InvalidParameter {
+        what: "population lattice too large for exact multiclass MVA",
+    })?;
+
+    let strides: Vec<usize> = {
+        let mut s = vec![1usize; nclasses];
+        for i in 1..nclasses {
+            s[i] = s[i - 1] * dims[i - 1];
+        }
+        s
+    };
+
+    // Q[idx * K + k]: total queue length at station k for population vector
+    // `idx`. Processed in lexicographic index order, which visits n⃗ − e_c
+    // (a strictly smaller index) before n⃗.
+    let mut q = vec![0.0f64; lattice * k_count];
+    let mut final_classes = Vec::with_capacity(nclasses);
+    let mut final_x = vec![0.0f64; nclasses];
+    let mut final_r = vec![0.0f64; nclasses];
+
+    let mut pops = vec![0usize; nclasses];
+    for idx in 1..lattice {
+        // Decode index -> population vector.
+        {
+            let mut rem = idx;
+            for c in 0..nclasses {
+                pops[c] = rem % dims[c];
+                rem /= dims[c];
+            }
+        }
+        let mut xs = vec![0.0f64; nclasses];
+        let mut rs = vec![0.0f64; nclasses];
+        for ci in 0..nclasses {
+            if pops[ci] == 0 {
+                continue;
+            }
+            let prev_idx = idx - strides[ci];
+            let mut r_c = 0.0;
+            for k in 0..k_count {
+                let q_prev = q[prev_idx * k_count + k];
+                r_c += dq[ci][k] * (1.0 + q_prev) + dd[ci][k];
+            }
+            rs[ci] = r_c;
+            xs[ci] = pops[ci] as f64 / (r_c + classes[ci].think_time);
+        }
+        // Q_k(n⃗) = Σ_c X_c · (residence of class c at k).
+        for k in 0..k_count {
+            let mut qk = 0.0;
+            for ci in 0..nclasses {
+                if pops[ci] == 0 {
+                    continue;
+                }
+                let prev_idx = idx - strides[ci];
+                let q_prev = q[prev_idx * k_count + k];
+                let res = dq[ci][k] * (1.0 + q_prev) + dd[ci][k];
+                qk += xs[ci] * res;
+            }
+            q[idx * k_count + k] = qk;
+        }
+        if idx == lattice - 1 {
+            final_x = xs;
+            final_r = rs;
+        }
+    }
+
+    // Handle the degenerate all-zero-population case.
+    let full_idx = lattice - 1;
+    for (ci, c) in classes.iter().enumerate() {
+        final_classes.push(ClassMetrics {
+            name: c.name.clone(),
+            throughput: if c.population == 0 { 0.0 } else { final_x[ci] },
+            response: if c.population == 0 { 0.0 } else { final_r[ci] },
+        });
+    }
+    let station_queues: Vec<f64> = (0..k_count).map(|k| q[full_idx * k_count + k]).collect();
+    let station_utilizations: Vec<f64> = (0..k_count)
+        .map(|k| {
+            let total: f64 = classes
+                .iter()
+                .enumerate()
+                .map(|(ci, c)| final_classes[ci].throughput * c.demands[k])
+                .sum();
+            match station_kinds[k] {
+                StationKind::Queueing { servers } => total / servers as f64,
+                StationKind::Delay => total,
+            }
+        })
+        .collect();
+
+    Ok(MulticlassSolution {
+        classes: final_classes,
+        station_queues,
+        station_utilizations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::exact_mva;
+    use crate::network::{ClosedNetwork, Station};
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn single_class_matches_exact_mva() {
+        let demands = vec![0.006, 0.010];
+        let classes = vec![ClassSpec {
+            name: "only".into(),
+            population: 40,
+            think_time: 1.0,
+            demands: demands.clone(),
+        }];
+        let kinds = vec![
+            StationKind::Queueing { servers: 1 },
+            StationKind::Queueing { servers: 1 },
+        ];
+        let mc = multiclass_mva(&classes, &kinds).unwrap();
+
+        let net = ClosedNetwork::new(
+            vec![
+                Station::queueing("a", 1, 1.0, 0.006),
+                Station::queueing("b", 1, 1.0, 0.010),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let sc = exact_mva(&net, 40).unwrap();
+        assert!(close(
+            mc.classes[0].throughput,
+            sc.last().throughput,
+            1e-9
+        ));
+        assert!(close(mc.classes[0].response, sc.last().response, 1e-9));
+        assert!(close(mc.station_queues[1], sc.last().stations[1].queue, 1e-8));
+    }
+
+    #[test]
+    fn two_identical_classes_equal_one_merged_class() {
+        let kinds = vec![StationKind::Queueing { servers: 1 }];
+        let half = |name: &str| ClassSpec {
+            name: name.into(),
+            population: 10,
+            think_time: 1.0,
+            demands: vec![0.02],
+        };
+        let split = multiclass_mva(&[half("a"), half("b")], &kinds).unwrap();
+        let merged = multiclass_mva(
+            &[ClassSpec {
+                name: "ab".into(),
+                population: 20,
+                think_time: 1.0,
+                demands: vec![0.02],
+            }],
+            &kinds,
+        )
+        .unwrap();
+        let x_split = split.classes[0].throughput + split.classes[1].throughput;
+        assert!(close(x_split, merged.classes[0].throughput, 1e-9));
+        assert!(close(split.station_queues[0], merged.station_queues[0], 1e-8));
+    }
+
+    #[test]
+    fn heavier_class_sees_longer_response() {
+        let kinds = vec![StationKind::Queueing { servers: 1 }];
+        let sol = multiclass_mva(
+            &[
+                ClassSpec {
+                    name: "light".into(),
+                    population: 5,
+                    think_time: 1.0,
+                    demands: vec![0.01],
+                },
+                ClassSpec {
+                    name: "heavy".into(),
+                    population: 5,
+                    think_time: 1.0,
+                    demands: vec![0.05],
+                },
+            ],
+            &kinds,
+        )
+        .unwrap();
+        assert!(sol.classes[1].response > sol.classes[0].response);
+    }
+
+    #[test]
+    fn empty_class_population_is_ok() {
+        let kinds = vec![StationKind::Queueing { servers: 1 }];
+        let sol = multiclass_mva(
+            &[
+                ClassSpec {
+                    name: "zero".into(),
+                    population: 0,
+                    think_time: 1.0,
+                    demands: vec![0.02],
+                },
+                ClassSpec {
+                    name: "busy".into(),
+                    population: 8,
+                    think_time: 1.0,
+                    demands: vec![0.02],
+                },
+            ],
+            &kinds,
+        )
+        .unwrap();
+        assert_eq!(sol.classes[0].throughput, 0.0);
+        assert!(sol.classes[1].throughput > 0.0);
+    }
+
+    #[test]
+    fn delay_station_handled() {
+        let kinds = vec![
+            StationKind::Queueing { servers: 1 },
+            StationKind::Delay,
+        ];
+        let sol = multiclass_mva(
+            &[ClassSpec {
+                name: "c".into(),
+                population: 15,
+                think_time: 0.5,
+                demands: vec![0.01, 0.003],
+            }],
+            &kinds,
+        )
+        .unwrap();
+        assert!(sol.classes[0].response >= 0.013 - 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let kinds = vec![StationKind::Queueing { servers: 1 }];
+        assert!(multiclass_mva(&[], &kinds).is_err());
+        assert!(multiclass_mva(
+            &[ClassSpec {
+                name: "c".into(),
+                population: 1,
+                think_time: 1.0,
+                demands: vec![0.1, 0.2], // wrong arity
+            }],
+            &kinds
+        )
+        .is_err());
+        assert!(multiclass_mva(
+            &[ClassSpec {
+                name: "c".into(),
+                population: 1,
+                think_time: -1.0,
+                demands: vec![0.1],
+            }],
+            &kinds
+        )
+        .is_err());
+        // Lattice blow-up guard.
+        let huge = ClassSpec {
+            name: "h".into(),
+            population: 100_000,
+            think_time: 1.0,
+            demands: vec![0.1],
+        };
+        let sol = multiclass_mva(&[huge.clone(), huge.clone(), huge], &kinds);
+        assert!(sol.is_err());
+    }
+
+    #[test]
+    fn utilizations_are_reported_per_station() {
+        let kinds = vec![
+            StationKind::Queueing { servers: 2 },
+            StationKind::Queueing { servers: 1 },
+        ];
+        let sol = multiclass_mva(
+            &[ClassSpec {
+                name: "c".into(),
+                population: 30,
+                think_time: 1.0,
+                demands: vec![0.02, 0.01],
+            }],
+            &kinds,
+        )
+        .unwrap();
+        assert_eq!(sol.station_utilizations.len(), 2);
+        for u in &sol.station_utilizations {
+            assert!(*u >= 0.0 && *u <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The closed queueing-network model of paper Fig. 2.
+//!
+//! A load test is modelled as `N` statistically identical customers cycling
+//! through a think stage (mean `Z`) and a set of service stations. Each of
+//! the three servers (load injector, web/application, database) contributes
+//! four hardware stations — multi-core CPU, Disk, Net-Tx, Net-Rx — giving
+//! the 12-station networks used throughout the evaluation. Software
+//! bottlenecks (locks, connection pools) are assumed tuned away, as in the
+//! paper.
+
+use crate::QueueingError;
+
+/// What kind of service a station provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StationKind {
+    /// FCFS queueing station with `servers` identical servers (paper's
+    /// multi-server queue; `servers = 1` is the classic single-server case).
+    Queueing {
+        /// Number of servers `C_k` (CPU cores, disk spindles, …).
+        servers: usize,
+    },
+    /// Infinite-server (delay) station: no queueing, pure latency.
+    Delay,
+}
+
+impl StationKind {
+    /// Number of servers; `usize::MAX` conceptually for delay stations, but
+    /// callers should branch on the kind instead.
+    pub fn servers(&self) -> usize {
+        match self {
+            StationKind::Queueing { servers } => *servers,
+            StationKind::Delay => usize::MAX,
+        }
+    }
+}
+
+/// One service station of the closed network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Station {
+    /// Human-readable identifier, e.g. `"db-disk"`.
+    pub name: String,
+    /// Queueing discipline / server count.
+    pub kind: StationKind,
+    /// Mean visits per system-level interaction, `V_k`.
+    pub visits: f64,
+    /// Mean service time per visit, `S_k` (seconds).
+    pub service_time: f64,
+}
+
+impl Station {
+    /// Convenience constructor for a queueing station.
+    pub fn queueing(name: &str, servers: usize, visits: f64, service_time: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: StationKind::Queueing { servers },
+            visits,
+            service_time,
+        }
+    }
+
+    /// Convenience constructor for a delay (infinite-server) station.
+    pub fn delay(name: &str, visits: f64, service_time: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: StationKind::Delay,
+            visits,
+            service_time,
+        }
+    }
+
+    /// Service demand `D_k = V_k · S_k` (paper eq. 3).
+    pub fn demand(&self) -> f64 {
+        self.visits * self.service_time
+    }
+
+    /// Effective demand for bottleneck analysis: `D_k / C_k` for a
+    /// queueing station (a `C`-server station saturates at `C/D_k`),
+    /// `0` for a delay station (it never saturates).
+    pub fn effective_demand(&self) -> f64 {
+        match self.kind {
+            StationKind::Queueing { servers } => self.demand() / servers as f64,
+            StationKind::Delay => 0.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), QueueingError> {
+        if let StationKind::Queueing { servers } = self.kind {
+            if servers == 0 {
+                return Err(QueueingError::InvalidParameter {
+                    what: "station must have at least one server",
+                });
+            }
+        }
+        if !(self.visits.is_finite() && self.visits >= 0.0) {
+            return Err(QueueingError::InvalidParameter {
+                what: "visits must be finite and >= 0",
+            });
+        }
+        if !(self.service_time.is_finite() && self.service_time >= 0.0) {
+            return Err(QueueingError::InvalidParameter {
+                what: "service time must be finite and >= 0",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A single-class closed queueing network with terminal think time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedNetwork {
+    stations: Vec<Station>,
+    think_time: f64,
+}
+
+impl ClosedNetwork {
+    /// Builds a network; validates every station and the think time.
+    pub fn new(stations: Vec<Station>, think_time: f64) -> Result<Self, QueueingError> {
+        if stations.is_empty() {
+            return Err(QueueingError::EmptyNetwork);
+        }
+        for s in &stations {
+            s.validate()?;
+        }
+        if !(think_time.is_finite() && think_time >= 0.0) {
+            return Err(QueueingError::InvalidParameter {
+                what: "think time must be finite and >= 0",
+            });
+        }
+        if stations.iter().all(|s| s.demand() == 0.0) {
+            return Err(QueueingError::InvalidParameter {
+                what: "at least one station must have positive demand",
+            });
+        }
+        Ok(Self {
+            stations,
+            think_time,
+        })
+    }
+
+    /// The stations, in declaration order.
+    pub fn stations(&self) -> &[Station] {
+        &self.stations
+    }
+
+    /// Mean terminal think time `Z`.
+    pub fn think_time(&self) -> f64 {
+        self.think_time
+    }
+
+    /// Returns a copy with a different think time (used in think-time
+    /// sensitivity sweeps).
+    pub fn with_think_time(&self, z: f64) -> Result<Self, QueueingError> {
+        Self::new(self.stations.clone(), z)
+    }
+
+    /// Returns a copy with station demands replaced by `demands` (same
+    /// order; visits are kept, service times rescaled). Panics are avoided:
+    /// errors if lengths mismatch or a demand is negative.
+    ///
+    /// This is how MVASD's interpolated demand array is injected into the
+    /// static solvers for comparison runs.
+    pub fn with_demands(&self, demands: &[f64]) -> Result<Self, QueueingError> {
+        if demands.len() != self.stations.len() {
+            return Err(QueueingError::InvalidParameter {
+                what: "demand array length must match station count",
+            });
+        }
+        let mut stations = self.stations.clone();
+        for (s, &d) in stations.iter_mut().zip(demands.iter()) {
+            if !(d.is_finite() && d >= 0.0) {
+                return Err(QueueingError::InvalidParameter {
+                    what: "demands must be finite and >= 0",
+                });
+            }
+            if s.visits > 0.0 {
+                s.service_time = d / s.visits;
+            } else {
+                s.visits = 1.0;
+                s.service_time = d;
+            }
+        }
+        Self::new(stations, self.think_time)
+    }
+
+    /// Per-station service demands `D_k` in declaration order.
+    pub fn demands(&self) -> Vec<f64> {
+        self.stations.iter().map(Station::demand).collect()
+    }
+
+    /// Total demand `Σ D_k` — the zero-contention response time.
+    pub fn total_demand(&self) -> f64 {
+        self.stations.iter().map(Station::demand).sum()
+    }
+
+    /// The bottleneck: index and effective demand of the station with the
+    /// largest `D_k / C_k`.
+    pub fn bottleneck(&self) -> (usize, f64) {
+        let mut best = (0usize, 0.0f64);
+        for (i, s) in self.stations.iter().enumerate() {
+            let d = s.effective_demand();
+            if d > best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+
+    /// Maximum achievable throughput `1 / max_k(D_k / C_k)` (paper eq. 5
+    /// generalized for multi-server stations).
+    pub fn max_throughput(&self) -> f64 {
+        let (_, d) = self.bottleneck();
+        if d > 0.0 {
+            1.0 / d
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Population at which the asymptotic bounds cross,
+    /// `N* = (Σ D_k + Z) / max_k(D_k/C_k)` — the knee of the throughput
+    /// curve and a useful default for test-range selection.
+    pub fn knee_population(&self) -> f64 {
+        let (_, d) = self.bottleneck();
+        if d > 0.0 {
+            (self.total_demand() + self.think_time) / d
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> ClosedNetwork {
+        ClosedNetwork::new(
+            vec![
+                Station::queueing("cpu", 16, 1.0, 0.004),
+                Station::queueing("disk", 1, 1.0, 0.012),
+                Station::delay("lan", 1.0, 0.001),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn demand_is_visits_times_service() {
+        let s = Station::queueing("cpu", 4, 7.0, 0.002);
+        assert!((s.demand() - 0.014).abs() < 1e-15);
+    }
+
+    #[test]
+    fn effective_demand_divides_by_servers() {
+        let s = Station::queueing("cpu", 4, 1.0, 0.02);
+        assert!((s.effective_demand() - 0.005).abs() < 1e-15);
+        let d = Station::delay("z", 1.0, 5.0);
+        assert_eq!(d.effective_demand(), 0.0);
+    }
+
+    #[test]
+    fn bottleneck_accounts_for_servers() {
+        let n = net();
+        // cpu effective = 0.004/16 = 0.00025; disk = 0.012 => disk wins.
+        let (idx, d) = n.bottleneck();
+        assert_eq!(idx, 1);
+        assert!((d - 0.012).abs() < 1e-15);
+        assert!((n.max_throughput() - 1.0 / 0.012).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knee_population_formula() {
+        let n = net();
+        let expect = (0.004 + 0.012 + 0.001 + 1.0) / 0.012;
+        assert!((n.knee_population() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_demands_rescales() {
+        let n = net();
+        let n2 = n.with_demands(&[0.008, 0.006, 0.001]).unwrap();
+        let d = n2.demands();
+        assert!((d[0] - 0.008).abs() < 1e-15);
+        assert!((d[1] - 0.006).abs() < 1e-15);
+        // Bottleneck moved to... cpu effective 0.0005 vs disk 0.006: disk still.
+        assert_eq!(n2.bottleneck().0, 1);
+        assert!(n.with_demands(&[0.1]).is_err());
+        assert!(n.with_demands(&[0.1, -0.1, 0.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_models() {
+        assert!(ClosedNetwork::new(vec![], 1.0).is_err());
+        assert!(ClosedNetwork::new(vec![Station::queueing("s", 0, 1.0, 0.1)], 1.0).is_err());
+        assert!(ClosedNetwork::new(vec![Station::queueing("s", 1, -1.0, 0.1)], 1.0).is_err());
+        assert!(
+            ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, f64::NAN)], 1.0).is_err()
+        );
+        assert!(ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, 0.1)], -1.0).is_err());
+        assert!(ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, 0.0)], 1.0).is_err());
+    }
+
+    #[test]
+    fn with_think_time_changes_z_only() {
+        let n = net().with_think_time(2.0).unwrap();
+        assert_eq!(n.think_time(), 2.0);
+        assert_eq!(n.stations().len(), 3);
+    }
+
+    #[test]
+    fn effective_demand_drives_knee_not_raw_demand() {
+        // A 16-core CPU with the biggest raw demand must NOT be the
+        // bottleneck when a single-server disk has higher effective demand.
+        let net = ClosedNetwork::new(
+            vec![
+                Station::queueing("cpu", 16, 1.0, 0.06), // eff 3.75 ms
+                Station::queueing("disk", 1, 1.0, 0.009), // eff 9 ms
+            ],
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(net.bottleneck().0, 1);
+        assert!((net.max_throughput() - 1.0 / 0.009).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_think_time_is_legal() {
+        // Batch (no terminals) workloads have Z = 0.
+        let n = ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, 0.1)], 0.0).unwrap();
+        assert_eq!(n.think_time(), 0.0);
+    }
+}

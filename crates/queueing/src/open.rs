@@ -1,0 +1,223 @@
+//! Open (Jackson-style) network analysis.
+//!
+//! Section 7 of the paper notes that modelling service demand against
+//! *throughput* "may be useful for open systems where throughput can be
+//! modified much easier rather than increasing the concurrency". This module
+//! provides the open-system counterpart of the closed solvers: each tier is
+//! an M/M/C_k station visited `V_k` times per transaction, driven by a
+//! Poisson transaction stream of rate `λ`. By Jackson's theorem the stations
+//! decouple, so each is solved with the Erlang-C closed forms from
+//! `mvasd-numerics`.
+
+use crate::network::{ClosedNetwork, StationKind};
+use crate::QueueingError;
+use mvasd_numerics::erlang::mmc;
+
+/// Per-station open-model metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenStationMetrics {
+    /// Station name.
+    pub name: String,
+    /// Per-server utilization.
+    pub utilization: f64,
+    /// Mean residence time per transaction, `V_k · W_k`.
+    pub residence: f64,
+    /// Mean number of customers at the station.
+    pub queue: f64,
+}
+
+/// Open-network solution at arrival rate `λ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenSolution {
+    /// Transaction arrival rate analyzed.
+    pub lambda: f64,
+    /// End-to-end mean response time per transaction.
+    pub response: f64,
+    /// Mean number of transactions in the system (Little).
+    pub number_in_system: f64,
+    /// Per-station metrics.
+    pub stations: Vec<OpenStationMetrics>,
+}
+
+/// Solves the open version of `net` at transaction arrival rate `lambda`.
+///
+/// The think-time stage of the closed model has no meaning in an open
+/// system and is ignored. Errors with [`QueueingError::Unstable`] if any
+/// station would saturate (`λ·D_k ≥ C_k`).
+pub fn solve_open(net: &ClosedNetwork, lambda: f64) -> Result<OpenSolution, QueueingError> {
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(QueueingError::InvalidParameter {
+            what: "lambda must be finite and > 0",
+        });
+    }
+    let mut response = 0.0;
+    let mut stations = Vec::with_capacity(net.stations().len());
+    for s in net.stations() {
+        let d = s.demand();
+        if d == 0.0 {
+            stations.push(OpenStationMetrics {
+                name: s.name.clone(),
+                utilization: 0.0,
+                residence: 0.0,
+                queue: 0.0,
+            });
+            continue;
+        }
+        let metrics = match s.kind {
+            StationKind::Delay => OpenStationMetrics {
+                name: s.name.clone(),
+                utilization: lambda * d,
+                residence: d,
+                queue: lambda * d,
+            },
+            StationKind::Queueing { servers } => {
+                // Station-level arrival rate λ_k = λ·V_k; per-visit service
+                // time S_k. Stability: λ·D_k < C_k.
+                if lambda * d >= servers as f64 {
+                    return Err(QueueingError::Unstable {
+                        station: s.name.clone(),
+                    });
+                }
+                let lam_k = lambda * s.visits;
+                let m = mmc(servers, lam_k, 1.0 / s.service_time)?;
+                OpenStationMetrics {
+                    name: s.name.clone(),
+                    utilization: m.utilization,
+                    residence: s.visits * m.sojourn,
+                    queue: m.num_in_system,
+                }
+            }
+        };
+        response += metrics.residence;
+        stations.push(metrics);
+    }
+    Ok(OpenSolution {
+        lambda,
+        response,
+        number_in_system: lambda * response,
+        stations,
+    })
+}
+
+/// Sweeps arrival rate from `lambda_lo` to just below saturation in `steps`
+/// points, returning the response-time curve `(λ, R)`. Stops early at the
+/// first unstable point.
+pub fn response_curve(
+    net: &ClosedNetwork,
+    lambda_lo: f64,
+    lambda_hi: f64,
+    steps: usize,
+) -> Result<Vec<(f64, f64)>, QueueingError> {
+    if steps < 2 || lambda_lo <= 0.0 || lambda_hi <= lambda_lo || !lambda_lo.is_finite() {
+        return Err(QueueingError::InvalidParameter {
+            what: "need steps >= 2 and 0 < lambda_lo < lambda_hi",
+        });
+    }
+    let mut pts = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let lam = lambda_lo + (lambda_hi - lambda_lo) * i as f64 / (steps - 1) as f64;
+        match solve_open(net, lam) {
+            Ok(sol) => pts.push((lam, sol.response)),
+            Err(QueueingError::Unstable { .. }) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Station;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    fn net() -> ClosedNetwork {
+        ClosedNetwork::new(
+            vec![
+                Station::queueing("cpu", 4, 1.0, 0.02),
+                Station::queueing("disk", 1, 1.0, 0.01),
+                Station::delay("lan", 1.0, 0.002),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn low_load_response_is_sum_of_demands() {
+        let sol = solve_open(&net(), 0.001).unwrap();
+        assert!(close(sol.response, 0.032, 1e-3));
+    }
+
+    #[test]
+    fn littles_law() {
+        let sol = solve_open(&net(), 30.0).unwrap();
+        assert!(close(sol.number_in_system, 30.0 * sol.response, 1e-12));
+    }
+
+    #[test]
+    fn mm1_station_matches_closed_form() {
+        let n = ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, 0.01)], 0.0).unwrap();
+        let sol = solve_open(&n, 50.0).unwrap();
+        // M/M/1 with rho = 0.5: W = S/(1-rho) = 0.02.
+        assert!(close(sol.response, 0.02, 1e-12));
+        assert!(close(sol.stations[0].utilization, 0.5, 1e-12));
+    }
+
+    #[test]
+    fn saturation_detected() {
+        let n = net();
+        // disk saturates at lambda = 100.
+        assert!(matches!(
+            solve_open(&n, 100.0),
+            Err(QueueingError::Unstable { .. })
+        ));
+        assert!(solve_open(&n, 99.0).is_ok());
+    }
+
+    #[test]
+    fn response_grows_with_load() {
+        let n = net();
+        let curve = response_curve(&n, 1.0, 99.0, 20).unwrap();
+        for w in curve.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn visits_only_demand_matters_in_mm1() {
+        // 7 visits of 1 ms vs 1 visit of 7 ms: same demand => same
+        // utilization, and in M/M/1 the residence V·W = D/(1−ρ) depends on
+        // the demand only, so the responses coincide too.
+        let a = ClosedNetwork::new(vec![Station::queueing("s", 1, 7.0, 0.001)], 0.0).unwrap();
+        let b = ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, 0.007)], 0.0).unwrap();
+        let sa = solve_open(&a, 100.0).unwrap();
+        let sb = solve_open(&b, 100.0).unwrap();
+        assert!(close(
+            sa.stations[0].utilization,
+            sb.stations[0].utilization,
+            1e-12
+        ));
+        assert!(close(sa.response, sb.response, 1e-12));
+    }
+
+    #[test]
+    fn rejects_bad_lambda_and_sweep_args() {
+        let n = net();
+        assert!(solve_open(&n, 0.0).is_err());
+        assert!(solve_open(&n, f64::NAN).is_err());
+        assert!(response_curve(&n, 1.0, 0.5, 10).is_err());
+        assert!(response_curve(&n, 1.0, 10.0, 1).is_err());
+    }
+
+    #[test]
+    fn sweep_stops_at_saturation() {
+        let n = net();
+        let curve = response_curve(&n, 50.0, 200.0, 16).unwrap();
+        assert!(!curve.is_empty());
+        assert!(curve.last().unwrap().0 < 100.0);
+    }
+}

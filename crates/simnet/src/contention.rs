@@ -1,0 +1,125 @@
+//! In-run contention: queue-length-dependent service inflation.
+//!
+//! The testbed's primary varying-demand mechanism is *across* runs (demand
+//! curves evaluated at each tested population, exactly like the paper's
+//! per-level load tests). This module adds the complementary *within-run*
+//! mechanism: a station whose effective service time inflates with its own
+//! instantaneous queue length — lock convoys, cache thrash, elevated
+//! context-switch rates. Product-form analysis cannot capture it (service
+//! depends on local state), which makes it useful for robustness studies:
+//! how badly do MVA/MVASD degrade when the real system violates their
+//! assumptions? (`SimStation::with_contention` opts in; the default is
+//! none, keeping the validation testbed product-form.)
+
+/// Queue-length-dependent service-time multiplier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentionModel {
+    /// `1 + slope · max(0, q − threshold)`: service inflates linearly once
+    /// more than `threshold` customers are present, capped at `max_factor`.
+    LinearBeyond {
+        /// Queue length at which inflation starts.
+        threshold: usize,
+        /// Relative inflation per extra customer.
+        slope: f64,
+        /// Upper bound on the multiplier.
+        max_factor: f64,
+    },
+    /// Arbitrary table: multiplier for queue length `q` is
+    /// `table[min(q, len−1)]` (1-indexed by customers present; entry 0 is
+    /// the multiplier with a single customer).
+    Table(Vec<f64>),
+}
+
+impl ContentionModel {
+    /// Multiplier applied to a sampled service time when `q ≥ 1` customers
+    /// (including the one entering service) are at the station.
+    pub fn factor(&self, q: usize) -> f64 {
+        match self {
+            ContentionModel::LinearBeyond {
+                threshold,
+                slope,
+                max_factor,
+            } => {
+                let excess = q.saturating_sub(*threshold) as f64;
+                (1.0 + slope * excess).min(*max_factor)
+            }
+            ContentionModel::Table(t) => t[(q.saturating_sub(1)).min(t.len() - 1)],
+        }
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), crate::SimError> {
+        let ok = match self {
+            ContentionModel::LinearBeyond {
+                slope, max_factor, ..
+            } => slope.is_finite() && *slope >= 0.0 && max_factor.is_finite() && *max_factor >= 1.0,
+            ContentionModel::Table(t) => {
+                !t.is_empty() && t.iter().all(|f| f.is_finite() && *f > 0.0)
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(crate::SimError::InvalidParameter {
+                what: "contention model parameters out of domain",
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_beyond_threshold() {
+        let m = ContentionModel::LinearBeyond {
+            threshold: 4,
+            slope: 0.1,
+            max_factor: 2.0,
+        };
+        assert_eq!(m.factor(1), 1.0);
+        assert_eq!(m.factor(4), 1.0);
+        assert!((m.factor(5) - 1.1).abs() < 1e-12);
+        assert!((m.factor(9) - 1.5).abs() < 1e-12);
+        assert_eq!(m.factor(100), 2.0); // capped
+    }
+
+    #[test]
+    fn table_lookup_clamps() {
+        let m = ContentionModel::Table(vec![1.0, 1.2, 1.5]);
+        assert_eq!(m.factor(1), 1.0);
+        assert_eq!(m.factor(2), 1.2);
+        assert_eq!(m.factor(3), 1.5);
+        assert_eq!(m.factor(50), 1.5);
+        assert_eq!(m.factor(0), 1.0); // degenerate: treated as 1 customer
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ContentionModel::LinearBeyond {
+            threshold: 0,
+            slope: 0.1,
+            max_factor: 3.0
+        }
+        .validate()
+        .is_ok());
+        assert!(ContentionModel::LinearBeyond {
+            threshold: 0,
+            slope: -0.1,
+            max_factor: 3.0
+        }
+        .validate()
+        .is_err());
+        assert!(ContentionModel::LinearBeyond {
+            threshold: 0,
+            slope: 0.1,
+            max_factor: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(ContentionModel::Table(vec![]).validate().is_err());
+        assert!(ContentionModel::Table(vec![1.0, 0.0]).validate().is_err());
+        assert!(ContentionModel::Table(vec![1.0, 1.1]).validate().is_ok());
+    }
+}

@@ -1,0 +1,635 @@
+//! The discrete-event engine.
+//!
+//! `N` customers cycle: (optional staggered entry) → station 0 → station 1 →
+//! … → station K−1 → think → repeat. Multi-server FCFS queueing, seeded and
+//! fully deterministic for a given configuration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::{Accumulators, SimReport, StationStats, SystemStats, TimeSeriesBucket};
+use crate::station::{SimNetwork, StationModel};
+use crate::SimError;
+
+/// Run-level configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of concurrent virtual users `N`.
+    pub customers: usize,
+    /// Simulated duration (seconds).
+    pub horizon: f64,
+    /// Prefix excluded from steady-state statistics (seconds).
+    pub warmup: f64,
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Gap between successive customer entries (seconds). `0` starts all
+    /// customers at t = 0; positive values reproduce The Grinder's
+    /// `processIncrementInterval`/`initialSleepTime` ramp-up.
+    pub stagger: f64,
+    /// Width of the time-series buckets (seconds).
+    pub bucket_width: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            customers: 1,
+            horizon: 100.0,
+            warmup: 10.0,
+            seed: 0,
+            stagger: 0.0,
+            bucket_width: 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Customer {
+    /// Index of the station the customer is currently heading to/at.
+    stage: usize,
+    /// Start of the in-flight interaction.
+    interaction_start: f64,
+    /// Time it arrived at the current station (for per-visit sojourn).
+    station_arrival: f64,
+}
+
+#[derive(Debug, Default)]
+struct StationState {
+    busy: usize,
+    waiting: VecDeque<usize>,
+}
+
+/// A configured, runnable simulation.
+#[derive(Debug)]
+pub struct Simulation {
+    net: SimNetwork,
+    cfg: SimConfig,
+}
+
+impl Simulation {
+    /// Validates the configuration and binds it to a network.
+    pub fn new(net: SimNetwork, cfg: SimConfig) -> Result<Self, SimError> {
+        if cfg.customers == 0 {
+            return Err(SimError::InvalidParameter {
+                what: "need at least one customer",
+            });
+        }
+        if !(cfg.horizon.is_finite() && cfg.horizon > 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "horizon must be finite and > 0",
+            });
+        }
+        if !(cfg.warmup.is_finite() && cfg.warmup >= 0.0 && cfg.warmup < cfg.horizon) {
+            return Err(SimError::InvalidParameter {
+                what: "warmup must be in [0, horizon)",
+            });
+        }
+        if !(cfg.stagger.is_finite() && cfg.stagger >= 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "stagger must be finite and >= 0",
+            });
+        }
+        if !(cfg.bucket_width.is_finite() && cfg.bucket_width > 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "bucket width must be finite and > 0",
+            });
+        }
+        Ok(Self { net, cfg })
+    }
+
+    /// Runs the simulation to its horizon and reports.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        let k_count = self.net.stations().len();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut events = EventQueue::new();
+        let mut acc = Accumulators::new(
+            k_count,
+            self.cfg.warmup,
+            self.cfg.horizon,
+            self.cfg.bucket_width,
+        );
+        let mut customers = vec![
+            Customer {
+                stage: 0,
+                interaction_start: 0.0,
+                station_arrival: 0.0,
+            };
+            self.cfg.customers
+        ];
+        let mut stations: Vec<StationState> = (0..k_count).map(|_| StationState::default()).collect();
+
+        for c in 0..self.cfg.customers {
+            events.schedule(c as f64 * self.cfg.stagger, EventKind::CustomerArrives {
+                customer: c,
+            });
+        }
+
+        while let Some((t, kind)) = events.pop() {
+            if t > self.cfg.horizon {
+                break;
+            }
+            acc.advance(t);
+            match kind {
+                EventKind::CustomerArrives { customer } => {
+                    customers[customer].interaction_start = t;
+                    customers[customer].stage = 0;
+                    Self::enter_station(
+                        &self.net,
+                        &mut stations,
+                        &mut customers,
+                        &mut acc,
+                        &mut events,
+                        &mut rng,
+                        0,
+                        customer,
+                        t,
+                    );
+                }
+                EventKind::ThinkDone { customer } => {
+                    customers[customer].interaction_start = t;
+                    customers[customer].stage = 0;
+                    Self::enter_station(
+                        &self.net,
+                        &mut stations,
+                        &mut customers,
+                        &mut acc,
+                        &mut events,
+                        &mut rng,
+                        0,
+                        customer,
+                        t,
+                    );
+                }
+                EventKind::ServiceDone { station, customer } => {
+                    // Leave the station.
+                    acc.at_station[station] -= 1;
+                    acc.record_visit(station, t, t - customers[customer].station_arrival);
+                    let st = &mut stations[station];
+                    match self.net.stations()[station].model {
+                        StationModel::Queueing { .. } => {
+                            st.busy -= 1;
+                            acc.busy[station] -= 1;
+                            if let Some(next) = st.waiting.pop_front() {
+                                st.busy += 1;
+                                acc.busy[station] += 1;
+                                let spec = &self.net.stations()[station];
+                                let mut s = spec.service.sample(&mut rng);
+                                if let Some(c) = &spec.contention {
+                                    s *= c.factor(acc.at_station[station]);
+                                }
+                                events.schedule(t + s, EventKind::ServiceDone {
+                                    station,
+                                    customer: next,
+                                });
+                            }
+                        }
+                        StationModel::Delay => {
+                            acc.busy[station] -= 1;
+                        }
+                    }
+                    // Move on.
+                    let next_stage = customers[customer].stage + 1;
+                    if next_stage < k_count {
+                        customers[customer].stage = next_stage;
+                        Self::enter_station(
+                            &self.net,
+                            &mut stations,
+                            &mut customers,
+                            &mut acc,
+                            &mut events,
+                            &mut rng,
+                            next_stage,
+                            customer,
+                            t,
+                        );
+                    } else {
+                        // Interaction complete.
+                        let r = t - customers[customer].interaction_start;
+                        acc.record_completion(t, r);
+                        let z = self.net.think().sample(&mut rng);
+                        events.schedule(t + z, EventKind::ThinkDone { customer });
+                    }
+                }
+            }
+        }
+        acc.advance(self.cfg.horizon);
+
+        Ok(self.build_report(acc))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enter_station(
+        net: &SimNetwork,
+        stations: &mut [StationState],
+        customers: &mut [Customer],
+        acc: &mut Accumulators,
+        events: &mut EventQueue,
+        rng: &mut StdRng,
+        k: usize,
+        customer: usize,
+        t: f64,
+    ) {
+        customers[customer].station_arrival = t;
+        acc.at_station[k] += 1;
+        let spec = &net.stations()[k];
+        match spec.model {
+            StationModel::Delay => {
+                acc.busy[k] += 1;
+                let s = spec.service.sample(rng);
+                events.schedule(t + s, EventKind::ServiceDone {
+                    station: k,
+                    customer,
+                });
+            }
+            StationModel::Queueing { servers } => {
+                let st = &mut stations[k];
+                if st.busy < servers {
+                    st.busy += 1;
+                    acc.busy[k] += 1;
+                    let mut s = spec.service.sample(rng);
+                    if let Some(c) = &spec.contention {
+                        s *= c.factor(acc.at_station[k]);
+                    }
+                    events.schedule(t + s, EventKind::ServiceDone {
+                        station: k,
+                        customer,
+                    });
+                } else {
+                    st.waiting.push_back(customer);
+                }
+            }
+        }
+    }
+
+    fn build_report(&self, acc: Accumulators) -> SimReport {
+        let measured = (self.cfg.horizon - self.cfg.warmup).max(f64::MIN_POSITIVE);
+        let stations = self
+            .net
+            .stations()
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                let servers = match s.model {
+                    StationModel::Queueing { servers } => servers as f64,
+                    StationModel::Delay => f64::INFINITY,
+                };
+                let utilization = if servers.is_finite() {
+                    acc.busy_time[k] / (measured * servers)
+                } else {
+                    acc.busy_time[k] / measured
+                };
+                StationStats {
+                    name: s.name.clone(),
+                    utilization,
+                    throughput: acc.visits[k] as f64 / measured,
+                    mean_queue: acc.queue_time[k] / measured,
+                    mean_visit_time: if acc.visits[k] > 0 {
+                        acc.visit_time_sum[k] / acc.visits[k] as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+
+        let mean_response = if acc.completions > 0 {
+            acc.response_sum / acc.completions as f64
+        } else {
+            0.0
+        };
+        let p95 = mvasd_numerics::stats::percentile(&acc.samples, 95.0).unwrap_or(0.0);
+
+        let time_series = acc
+            .bucket_counts
+            .iter()
+            .zip(acc.bucket_response.iter())
+            .enumerate()
+            .map(|(i, (&count, &rsum))| TimeSeriesBucket {
+                start: i as f64 * acc.bucket_width,
+                tps: count as f64 / acc.bucket_width,
+                mean_response: if count > 0 { rsum / count as f64 } else { 0.0 },
+            })
+            .collect();
+
+        SimReport {
+            horizon: self.cfg.horizon,
+            warmup: self.cfg.warmup,
+            system: SystemStats {
+                throughput: acc.completions as f64 / measured,
+                mean_response,
+                p95_response: p95,
+                completions: acc.completions,
+            },
+            stations,
+            time_series,
+            busy_series: acc.bucket_busy,
+            bucket_width: self.cfg.bucket_width,
+            station_servers: self
+                .net
+                .stations()
+                .iter()
+                .map(|s| match s.model {
+                    StationModel::Queueing { servers } => servers,
+                    StationModel::Delay => usize::MAX,
+                })
+                .collect(),
+            response_samples: acc.samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Distribution;
+    use crate::station::SimStation;
+
+    fn rel(a: f64, b: f64) -> f64 {
+        (a - b).abs() / b.abs().max(1e-12)
+    }
+
+    fn run(net: SimNetwork, n: usize, horizon: f64, seed: u64) -> SimReport {
+        Simulation::new(net, SimConfig {
+            customers: n,
+            horizon,
+            warmup: horizon * 0.2,
+            seed,
+            ..SimConfig::default()
+        })
+        .unwrap()
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_machine_repair_closed_form() {
+        // 1 station, 4 servers, exp service 0.25, exp think 1.0.
+        let net = SimNetwork::new(
+            vec![SimStation::queueing("st", 4, 0.25)],
+            Distribution::Exponential { mean: 1.0 },
+        )
+        .unwrap();
+        let rep = run(net, 12, 4000.0, 11);
+        let (x_exact, q_exact) = mvasd_numerics::erlang::machine_repair(12, 4, 0.25, 1.0).unwrap();
+        assert!(
+            rel(rep.system.throughput, x_exact) < 0.03,
+            "X {} vs {}",
+            rep.system.throughput,
+            x_exact
+        );
+        assert!(
+            rel(rep.stations[0].mean_queue, q_exact) < 0.06,
+            "Q {} vs {}",
+            rep.stations[0].mean_queue,
+            q_exact
+        );
+    }
+
+    #[test]
+    fn matches_exact_mva_on_two_station_chain() {
+        let net = SimNetwork::new(
+            vec![
+                SimStation::queueing("cpu", 1, 0.006),
+                SimStation::queueing("disk", 1, 0.010),
+            ],
+            Distribution::Exponential { mean: 0.5 },
+        )
+        .unwrap();
+        let rep = run(net, 40, 3000.0, 5);
+        let qnet = mvasd_queueing_testhelper(40);
+        assert!(
+            rel(rep.system.throughput, qnet.0) < 0.03,
+            "X {} vs MVA {}",
+            rep.system.throughput,
+            qnet.0
+        );
+        assert!(
+            rel(rep.system.mean_response, qnet.1) < 0.06,
+            "R {} vs MVA {}",
+            rep.system.mean_response,
+            qnet.1
+        );
+    }
+
+    /// Exact MVA for the two-station test network, computed inline to avoid
+    /// a circular dev-dependency on mvasd-queueing.
+    fn mvasd_queueing_testhelper(n: usize) -> (f64, f64) {
+        let demands = [0.006f64, 0.010];
+        let z = 0.5;
+        let mut q = [0.0f64; 2];
+        let (mut x, mut r_total) = (0.0, 0.0);
+        for pop in 1..=n {
+            let r: Vec<f64> = (0..2).map(|k| demands[k] * (1.0 + q[k])).collect();
+            r_total = r.iter().sum();
+            x = pop as f64 / (r_total + z);
+            for k in 0..2 {
+                q[k] = x * r[k];
+            }
+        }
+        (x, r_total)
+    }
+
+    #[test]
+    fn utilization_law_holds_in_simulation() {
+        let net = SimNetwork::new(
+            vec![
+                SimStation::queueing("cpu", 2, 0.01),
+                SimStation::queueing("disk", 1, 0.004),
+            ],
+            Distribution::Exponential { mean: 0.2 },
+        )
+        .unwrap();
+        let rep = run(net, 20, 2000.0, 9);
+        // U_k = X · D_k / C_k (paper eq. 1 + 3).
+        let x = rep.system.throughput;
+        assert!(rel(rep.stations[0].utilization, x * 0.01 / 2.0) < 0.04);
+        assert!(rel(rep.stations[1].utilization, x * 0.004) < 0.04);
+    }
+
+    #[test]
+    fn littles_law_holds_in_simulation() {
+        let net = SimNetwork::new(
+            vec![SimStation::queueing("s", 1, 0.02)],
+            Distribution::Exponential { mean: 1.0 },
+        )
+        .unwrap();
+        let rep = run(net, 30, 3000.0, 13);
+        // N = X (R + Z): the sim measures X and R; Z is exact by design.
+        let n_est = rep.system.throughput * (rep.system.mean_response + 1.0);
+        assert!(rel(n_est, 30.0) < 0.03, "N_est {n_est}");
+    }
+
+    #[test]
+    fn deterministic_runs_reproduce() {
+        let net = SimNetwork::new(
+            vec![SimStation::queueing("s", 1, 0.02)],
+            Distribution::Exponential { mean: 1.0 },
+        )
+        .unwrap();
+        let a = run(net.clone(), 10, 200.0, 77);
+        let b = run(net, 10, 200.0, 77);
+        assert_eq!(a.system, b.system);
+        assert_eq!(a.stations, b.stations);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let net = SimNetwork::new(
+            vec![SimStation::queueing("s", 1, 0.02)],
+            Distribution::Exponential { mean: 1.0 },
+        )
+        .unwrap();
+        let a = run(net.clone(), 10, 200.0, 1);
+        let b = run(net, 10, 200.0, 2);
+        assert_ne!(a.system.completions, b.system.completions);
+    }
+
+    #[test]
+    fn ramp_up_visible_in_time_series() {
+        let net = SimNetwork::new(
+            vec![SimStation::queueing("s", 4, 0.05)],
+            Distribution::Exponential { mean: 1.0 },
+        )
+        .unwrap();
+        let rep = Simulation::new(net, SimConfig {
+            customers: 60,
+            horizon: 300.0,
+            warmup: 150.0,
+            seed: 3,
+            stagger: 1.0, // one customer per second: 60 s ramp
+            bucket_width: 5.0,
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        let early: f64 = rep.time_series[0..4].iter().map(|b| b.tps).sum();
+        let late: f64 = rep.time_series[40..44].iter().map(|b| b.tps).sum();
+        assert!(early < late * 0.6, "ramp-up should depress early tps: {early} vs {late}");
+    }
+
+    #[test]
+    fn delay_station_equivalent_to_think() {
+        // Station chain {queueing + delay-z} with zero think time behaves
+        // like {queueing} with think z.
+        let with_delay = SimNetwork::new(
+            vec![
+                SimStation::queueing("s", 1, 0.02),
+                SimStation::delay("z", 1.0),
+            ],
+            Distribution::Deterministic { value: 0.0 },
+        )
+        .unwrap();
+        let with_think = SimNetwork::new(
+            vec![SimStation::queueing("s", 1, 0.02)],
+            Distribution::Exponential { mean: 1.0 },
+        )
+        .unwrap();
+        let a = run(with_delay, 25, 2000.0, 21);
+        let b = run(with_think, 25, 2000.0, 22);
+        // Throughputs agree statistically.
+        assert!(rel(a.system.throughput, b.system.throughput) < 0.04);
+    }
+
+    #[test]
+    fn config_validation() {
+        let net = SimNetwork::new(
+            vec![SimStation::queueing("s", 1, 0.02)],
+            Distribution::Exponential { mean: 1.0 },
+        )
+        .unwrap();
+        let bad = |cfg: SimConfig| Simulation::new(net.clone(), cfg).is_err();
+        assert!(bad(SimConfig {
+            customers: 0,
+            ..SimConfig::default()
+        }));
+        assert!(bad(SimConfig {
+            horizon: 0.0,
+            ..SimConfig::default()
+        }));
+        assert!(bad(SimConfig {
+            warmup: 200.0,
+            horizon: 100.0,
+            ..SimConfig::default()
+        }));
+        assert!(bad(SimConfig {
+            stagger: -1.0,
+            ..SimConfig::default()
+        }));
+        assert!(bad(SimConfig {
+            bucket_width: 0.0,
+            ..SimConfig::default()
+        }));
+    }
+
+    #[test]
+    fn contention_inflates_response_only_under_load() {
+        use crate::contention::ContentionModel;
+        let mk = |contention: Option<ContentionModel>, n: usize| {
+            let mut st = SimStation::queueing("s", 1, 0.02);
+            if let Some(c) = contention {
+                st = st.with_contention(c);
+            }
+            let net =
+                SimNetwork::new(vec![st], Distribution::Exponential { mean: 1.0 }).unwrap();
+            Simulation::new(net, SimConfig {
+                customers: n,
+                horizon: 1500.0,
+                warmup: 200.0,
+                seed: 77,
+                ..SimConfig::default()
+            })
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+        let model = ContentionModel::LinearBeyond {
+            threshold: 3,
+            slope: 0.25,
+            max_factor: 4.0,
+        };
+        // Single user: the queue never exceeds the threshold, so the
+        // seeded runs are bit-identical with and without contention.
+        let base1 = mk(None, 1);
+        let cont1 = mk(Some(model.clone()), 1);
+        assert_eq!(base1.system, cont1.system);
+        // Heavy load: contention inflates service and response markedly.
+        let base = mk(None, 40);
+        let cont = mk(Some(model), 40);
+        assert!(
+            cont.system.mean_response > base.system.mean_response * 1.3,
+            "contended {} vs base {}",
+            cont.system.mean_response,
+            base.system.mean_response
+        );
+        assert!(cont.system.throughput < base.system.throughput);
+    }
+
+    #[test]
+    fn p95_at_least_mean() {
+        let net = SimNetwork::new(
+            vec![SimStation::queueing("s", 1, 0.02)],
+            Distribution::Exponential { mean: 0.5 },
+        )
+        .unwrap();
+        let rep = run(net, 40, 1000.0, 17);
+        assert!(rep.system.p95_response >= rep.system.mean_response);
+    }
+
+    #[test]
+    fn response_ci_covers_mean() {
+        let net = SimNetwork::new(
+            vec![SimStation::queueing("s", 1, 0.02)],
+            Distribution::Exponential { mean: 1.0 },
+        )
+        .unwrap();
+        let rep = run(net, 20, 2000.0, 31);
+        let ci = rep.response_ci(20).unwrap();
+        // Batch means truncates to a multiple of the batch size, so the
+        // grand mean can differ slightly from the full-sample mean.
+        let rel = (ci.mean - rep.system.mean_response).abs() / rep.system.mean_response;
+        assert!(rel < 0.02, "ci mean {} vs sample mean {}", ci.mean, rep.system.mean_response);
+        assert!(ci.half_width > 0.0);
+    }
+}

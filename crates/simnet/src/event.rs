@@ -1,0 +1,147 @@
+//! The future-event list.
+//!
+//! A binary min-heap keyed on `(time, sequence)`; the monotonically
+//! increasing sequence number makes simultaneous events deterministic, which
+//! keeps seeded runs exactly reproducible across platforms.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A customer enters the system for the first time (ramp-up).
+    CustomerArrives {
+        /// Customer index.
+        customer: usize,
+    },
+    /// A customer finishes thinking and starts its next interaction.
+    ThinkDone {
+        /// Customer index.
+        customer: usize,
+    },
+    /// A service completes at a station.
+    ServiceDone {
+        /// Station index.
+        station: usize,
+        /// Customer index.
+        customer: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap; ties broken by insertion order.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at absolute time `time` (must be finite).
+    pub fn schedule(&mut self, time: f64, kind: EventKind) {
+        debug_assert!(time.is_finite(), "event time must be finite");
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(f64, EventKind)> {
+        self.heap.pop().map(|s| (s.time, s.kind))
+    }
+
+    /// Number of pending events.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, EventKind::ThinkDone { customer: 2 });
+        q.schedule(1.0, EventKind::CustomerArrives { customer: 0 });
+        q.schedule(2.0, EventKind::ThinkDone { customer: 1 });
+        let t1 = q.pop().unwrap();
+        let t2 = q.pop().unwrap();
+        let t3 = q.pop().unwrap();
+        assert_eq!(t1.0, 1.0);
+        assert_eq!(t2.0, 2.0);
+        assert_eq!(t3.0, 3.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, EventKind::CustomerArrives { customer: 10 });
+        q.schedule(5.0, EventKind::CustomerArrives { customer: 11 });
+        q.schedule(5.0, EventKind::CustomerArrives { customer: 12 });
+        let order: Vec<usize> = (0..3)
+            .map(|_| match q.pop().unwrap().1 {
+                EventKind::CustomerArrives { customer } => customer,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, EventKind::CustomerArrives { customer: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Measurement collection: steady-state accumulators (post-warm-up) plus the
+//! full-run time series used to reproduce the ramp-up transient of the
+//! paper's Fig. 1.
+
+/// Steady-state statistics of one station.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationStats {
+    /// Station label.
+    pub name: String,
+    /// Per-server utilization: busy server-time / (elapsed · servers).
+    /// For delay stations: mean number in service.
+    pub utilization: f64,
+    /// Completions per second at the station.
+    pub throughput: f64,
+    /// Time-averaged number of customers at the station (queued + served).
+    pub mean_queue: f64,
+    /// Mean time per visit (wait + service).
+    pub mean_visit_time: f64,
+}
+
+/// Steady-state system statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemStats {
+    /// Completed interactions per second.
+    pub throughput: f64,
+    /// Mean end-to-end interaction response time (excluding think).
+    pub mean_response: f64,
+    /// 95th percentile of interaction response times.
+    pub p95_response: f64,
+    /// Number of completed interactions measured.
+    pub completions: u64,
+}
+
+/// One bucket of the full-run time series (`Fig. 1`-style output; includes
+/// the warm-up transient).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSeriesBucket {
+    /// Bucket start time (seconds since simulation start).
+    pub start: f64,
+    /// Interactions completed per second within the bucket.
+    pub tps: f64,
+    /// Mean response time of interactions completed within the bucket
+    /// (0 when none completed).
+    pub mean_response: f64,
+}
+
+/// Full report of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Wall-clock horizon simulated.
+    pub horizon: f64,
+    /// Warm-up prefix excluded from steady-state statistics.
+    pub warmup: f64,
+    /// System-level steady-state statistics.
+    pub system: SystemStats,
+    /// Per-station steady-state statistics (network order).
+    pub stations: Vec<StationStats>,
+    /// Whole-run completion time series.
+    pub time_series: Vec<TimeSeriesBucket>,
+    /// Whole-run per-station busy server-time per time-series bucket
+    /// (`busy_series[k][b]`, in server-seconds) — the raw material of a
+    /// vmstat/iostat-style sampled utilization timeline.
+    pub busy_series: Vec<Vec<f64>>,
+    /// Width of the time-series buckets (seconds).
+    pub bucket_width: f64,
+    /// Per-station server counts (`usize::MAX` = delay station), needed to
+    /// normalize the busy series into utilizations.
+    pub station_servers: Vec<usize>,
+    /// Raw post-warm-up response-time samples (for batch-means CIs).
+    pub response_samples: Vec<f64>,
+}
+
+impl SimReport {
+    /// Utilization of station `k`.
+    pub fn utilization(&self, k: usize) -> f64 {
+        self.stations[k].utilization
+    }
+
+    /// Batch-means 95 % half-width of the mean response estimate, if enough
+    /// samples were collected.
+    pub fn response_ci(&self, batches: usize) -> Option<mvasd_numerics::stats::BatchMeansEstimate> {
+        mvasd_numerics::stats::batch_means(&self.response_samples, batches).ok()
+    }
+
+    /// vmstat/iostat-style sampled utilization timeline of station `k`:
+    /// one per-server utilization value per time-series bucket (including
+    /// the warm-up transient). Delay stations report mean jobs in service.
+    pub fn utilization_timeline(&self, k: usize) -> Vec<f64> {
+        let servers = self.station_servers[k];
+        let denom = if servers == usize::MAX {
+            self.bucket_width
+        } else {
+            self.bucket_width * servers as f64
+        };
+        self.busy_series[k].iter().map(|b| b / denom).collect()
+    }
+}
+
+/// Internal accumulator used by the engine.
+#[derive(Debug)]
+pub(crate) struct Accumulators {
+    pub warmup: f64,
+    pub horizon: f64,
+    pub last_time: f64,
+    /// Per-station busy server count right now.
+    pub busy: Vec<usize>,
+    /// Per-station customer count right now (queued + in service).
+    pub at_station: Vec<usize>,
+    /// Integral of busy servers over post-warm-up time.
+    pub busy_time: Vec<f64>,
+    /// Integral of station population over post-warm-up time.
+    pub queue_time: Vec<f64>,
+    /// Post-warm-up visit completions per station.
+    pub visits: Vec<u64>,
+    /// Sum of per-visit sojourn (wait+service) post-warm-up.
+    pub visit_time_sum: Vec<f64>,
+    /// Post-warm-up interaction completions.
+    pub completions: u64,
+    /// Sum of interaction response times post-warm-up.
+    pub response_sum: f64,
+    /// Response samples post-warm-up.
+    pub samples: Vec<f64>,
+    /// Whole-run time-series buckets.
+    pub bucket_width: f64,
+    pub bucket_counts: Vec<u64>,
+    pub bucket_response: Vec<f64>,
+    /// Per-station busy server-seconds per bucket (whole run).
+    pub bucket_busy: Vec<Vec<f64>>,
+}
+
+impl Accumulators {
+    pub fn new(k: usize, warmup: f64, horizon: f64, bucket_width: f64) -> Self {
+        let buckets = (horizon / bucket_width).ceil() as usize + 1;
+        Self {
+            warmup,
+            horizon,
+            last_time: 0.0,
+            busy: vec![0; k],
+            at_station: vec![0; k],
+            busy_time: vec![0.0; k],
+            queue_time: vec![0.0; k],
+            visits: vec![0; k],
+            visit_time_sum: vec![0.0; k],
+            completions: 0,
+            response_sum: 0.0,
+            samples: Vec::new(),
+            bucket_width,
+            bucket_counts: vec![0; buckets],
+            bucket_response: vec![0.0; buckets],
+            bucket_busy: vec![vec![0.0; buckets]; k],
+        }
+    }
+
+    /// Advances the clock to `now`, accumulating time-weighted state over
+    /// the post-warm-up, pre-horizon part of the interval.
+    pub fn advance(&mut self, now: f64) {
+        let lo = self.last_time.max(self.warmup);
+        let hi = now.min(self.horizon);
+        if hi > lo {
+            let dt = hi - lo;
+            for k in 0..self.busy.len() {
+                self.busy_time[k] += dt * self.busy[k] as f64;
+                self.queue_time[k] += dt * self.at_station[k] as f64;
+            }
+        }
+        // Whole-run busy timeline (includes warm-up, clipped at horizon):
+        // split the interval across the buckets it spans.
+        let tl_lo = self.last_time.min(self.horizon);
+        let tl_hi = now.min(self.horizon);
+        if tl_hi > tl_lo {
+            let w = self.bucket_width;
+            let mut b = (tl_lo / w) as usize;
+            let last_bucket = self.bucket_busy.first().map(|v| v.len()).unwrap_or(0);
+            while b < last_bucket {
+                let b_start = b as f64 * w;
+                let b_end = b_start + w;
+                let overlap = tl_hi.min(b_end) - tl_lo.max(b_start);
+                if overlap <= 0.0 {
+                    break;
+                }
+                for k in 0..self.busy.len() {
+                    self.bucket_busy[k][b] += overlap * self.busy[k] as f64;
+                }
+                b += 1;
+            }
+        }
+        self.last_time = now;
+    }
+
+    /// Records a completed interaction at time `t` with response `r`.
+    pub fn record_completion(&mut self, t: f64, r: f64) {
+        if t >= self.warmup && t <= self.horizon {
+            self.completions += 1;
+            self.response_sum += r;
+            self.samples.push(r);
+        }
+        let b = (t / self.bucket_width) as usize;
+        if b < self.bucket_counts.len() {
+            self.bucket_counts[b] += 1;
+            self.bucket_response[b] += r;
+        }
+    }
+
+    /// Records a completed station visit with sojourn `w` at time `t`.
+    pub fn record_visit(&mut self, k: usize, t: f64, w: f64) {
+        if t >= self.warmup && t <= self.horizon {
+            self.visits[k] += 1;
+            self.visit_time_sum[k] += w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_respects_warmup_and_horizon() {
+        let mut a = Accumulators::new(1, 10.0, 100.0, 1.0);
+        a.busy[0] = 1;
+        a.at_station[0] = 2;
+        a.advance(5.0); // entirely inside warm-up: nothing accumulated
+        assert_eq!(a.busy_time[0], 0.0);
+        a.advance(20.0); // 10 post-warm-up seconds
+        assert!((a.busy_time[0] - 10.0).abs() < 1e-12);
+        assert!((a.queue_time[0] - 20.0).abs() < 1e-12);
+        a.advance(200.0); // clipped at horizon: 80 more seconds
+        assert!((a.busy_time[0] - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completions_filtered_but_buckets_cover_whole_run() {
+        let mut a = Accumulators::new(1, 10.0, 100.0, 1.0);
+        a.record_completion(5.0, 0.2); // warm-up: bucket only
+        a.record_completion(50.0, 0.3); // counted everywhere
+        assert_eq!(a.completions, 1);
+        assert_eq!(a.bucket_counts[5], 1);
+        assert_eq!(a.bucket_counts[50], 1);
+        assert!((a.response_sum - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn visit_recording() {
+        let mut a = Accumulators::new(2, 0.0, 10.0, 1.0);
+        a.record_visit(1, 5.0, 0.05);
+        a.record_visit(1, 20.0, 0.05); // past horizon: ignored
+        assert_eq!(a.visits[1], 1);
+        assert_eq!(a.visits[0], 0);
+    }
+}

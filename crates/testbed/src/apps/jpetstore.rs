@@ -1,0 +1,150 @@
+//! JPetStore — the open-source Pet Store e-commerce benchmark (paper
+//! Section 4.3, Tables 3 & 5, Figs. 7–9, 11–12, 14–16).
+//!
+//! The paper's deployment: 16-core CPU machines, 1 GB initial data with
+//! 2,000,000 items, 125,000-user datapool, think time 1 s, 14-page
+//! workflow, concurrency tested at {1, 14, 28, 70, 140, 168, 210}.
+//! Narrative facts encoded by the calibration:
+//!
+//! * "Typically this is a CPU heavy application" and "we notice saturation
+//!   of CPU and disk with 140 users" — the 16-core DB CPU is the
+//!   bottleneck with the DB disk close behind; the knee sits just above
+//!   140 users;
+//! * Fig. 7: "MVASD … is even able to pick up the deviation in throughput
+//!   between 140 and 168 users" — a mild contention-driven demand rise on
+//!   the DB CPU past ≈ 155 users makes measured throughput dip after its
+//!   peak;
+//! * Section 8 uses Chebyshev Nodes over `[a, b] = [1, 300]`.
+
+use super::{three_tier_stations, AppModel};
+use crate::demand::DemandCurve;
+
+/// Concurrency levels of the paper's JPetStore campaign.
+pub const STANDARD_LEVELS: [u64; 7] = [1, 14, 28, 70, 140, 168, 210];
+
+/// Chebyshev design interval of paper Section 8.
+pub const CHEBYSHEV_RANGE: (f64, f64) = (1.0, 300.0);
+
+/// Think time used in the paper's JPetStore tests.
+pub const THINK_TIME: f64 = 1.0;
+
+/// Pages in the shopping workflow.
+pub const PAGES: u32 = 14;
+
+/// Builds the calibrated JPetStore application model.
+pub fn model() -> AppModel {
+    let stations = three_tier_stations([
+        (
+            "load",
+            16,
+            [
+                DemandCurve::warming(0.0060, 0.15, 40.0),
+                DemandCurve::warming(0.0030, 0.15, 40.0),
+                DemandCurve::warming(0.0015, 0.10, 30.0),
+                DemandCurve::warming(0.0020, 0.10, 30.0),
+            ],
+        ),
+        (
+            "app",
+            16,
+            [
+                DemandCurve::warming(0.0350, 0.20, 40.0),
+                DemandCurve::warming(0.0025, 0.15, 40.0),
+                DemandCurve::warming(0.0020, 0.10, 30.0),
+                DemandCurve::warming(0.0020, 0.10, 30.0),
+            ],
+        ),
+        (
+            "db",
+            16,
+            [
+                // THE bottleneck: 16-core CPU chewing through 2 M-item
+                // catalogue queries; the knee lands at ≈ 140 users, and a
+                // contention rise past ≈ 155 lowers the ceiling so measured
+                // throughput peaks just past 140 and dips by ~3 % at 210 —
+                // the feature MVASD "picks up" in the paper's Fig. 7.
+                DemandCurve::warming(0.1350, 0.25, 40.0).with_contention(0.08, 155.0, 8.0),
+                // DB disk saturates almost together with the CPU (~92 %).
+                DemandCurve::warming(0.0080, 0.20, 40.0),
+                DemandCurve::warming(0.0018, 0.10, 30.0),
+                DemandCurve::warming(0.0015, 0.10, 30.0),
+            ],
+        ),
+    ]);
+    AppModel {
+        name: "JPetStore".into(),
+        pages: PAGES,
+        think_time: THINK_TIME,
+        stations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_cpu_is_the_bottleneck() {
+        let app = model();
+        let (_, name) = app.bottleneck();
+        assert_eq!(name, "db-cpu");
+        // Pre-contention ceiling ≈ 16 / 0.135 ≈ 118.5 pages/s.
+        assert!((app.max_throughput() - 16.0 / 0.135).abs() < 1e-9);
+    }
+
+    #[test]
+    fn db_disk_close_behind_cpu() {
+        let app = model();
+        let x_star = app.max_throughput();
+        let u_disk = x_star * app.stations[9].curve.base;
+        assert!((0.85..1.0).contains(&u_disk), "got {u_disk}");
+    }
+
+    #[test]
+    fn knee_just_above_140_users() {
+        let app = model();
+        let net = app.closed_network_at(140.0).unwrap();
+        let knee = net.knee_population();
+        assert!((130.0..180.0).contains(&knee), "knee {knee}");
+    }
+
+    #[test]
+    fn contention_creates_throughput_dip_potential() {
+        // The bottleneck demand rises by ~8 % across the contention zone,
+        // so the asymptotic ceiling falls between N = 140 and N = 210.
+        let app = model();
+        let d140 = app.stations[8].curve.at(140.0);
+        let d210 = app.stations[8].curve.at(210.0);
+        assert!(d210 > d140 * 1.03, "d140 {d140}, d210 {d210}");
+    }
+
+    #[test]
+    fn model_is_valid() {
+        let app = model();
+        app.validate().unwrap();
+        assert_eq!(app.stations.len(), 12);
+        assert_eq!(app.pages, 14);
+    }
+
+    #[test]
+    fn standard_levels_match_paper() {
+        assert_eq!(STANDARD_LEVELS, [1, 14, 28, 70, 140, 168, 210]);
+    }
+
+    #[test]
+    fn chebyshev_levels_match_paper_section8() {
+        let (a, b) = CHEBYSHEV_RANGE;
+        assert_eq!(
+            mvasd_numerics::chebyshev::chebyshev_levels(3, a, b),
+            vec![22, 151, 280]
+        );
+        assert_eq!(
+            mvasd_numerics::chebyshev::chebyshev_levels(5, a, b),
+            vec![9, 63, 151, 239, 293]
+        );
+        assert_eq!(
+            mvasd_numerics::chebyshev::chebyshev_levels(7, a, b),
+            vec![5, 34, 86, 151, 216, 268, 297]
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Application models under test.
+//!
+//! An [`AppModel`] is the testbed's description of a deployed multi-tier
+//! application: the 12 hardware stations of paper Fig. 2 (3 servers × CPU /
+//! Disk / Net-Tx / Net-Rx), each with a concurrency-varying demand curve,
+//! plus the workload's think time. From it the testbed derives
+//!
+//! * a [`mvasd_simnet::SimNetwork`] at a given concurrency (demand curves
+//!   evaluated at that level — the "measured system"), and
+//! * a [`mvasd_queueing::network::ClosedNetwork`] (the analytic model fed to
+//!   MVA/MVASD).
+
+pub mod jpetstore;
+pub mod vins;
+
+use crate::demand::DemandCurve;
+use crate::TestbedError;
+use mvasd_queueing::network::{ClosedNetwork, Station};
+use mvasd_simnet::{ContentionModel, Distribution, SimNetwork, SimStation};
+
+/// One hardware resource of one server tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppStation {
+    /// Station label, e.g. `"db-disk"`.
+    pub name: String,
+    /// Parallel servers (16 for the paper's multi-core CPUs, 1 otherwise).
+    pub servers: usize,
+    /// Concurrency-varying demand curve.
+    pub curve: DemandCurve,
+    /// Optional in-run software contention (locks, pools) — the effect the
+    /// paper assumes "tuned prior to performance analysis". `None` (the
+    /// default for the calibrated apps) keeps the system product-form;
+    /// setting it lets robustness experiments violate the MVA assumptions
+    /// on purpose.
+    pub contention: Option<ContentionModel>,
+}
+
+impl AppStation {
+    /// Convenience constructor.
+    pub fn new(name: &str, servers: usize, curve: DemandCurve) -> Self {
+        Self {
+            name: name.to_string(),
+            servers,
+            curve,
+            contention: None,
+        }
+    }
+
+    /// Attaches in-run software contention (builder style).
+    #[must_use]
+    pub fn with_contention(mut self, c: ContentionModel) -> Self {
+        self.contention = Some(c);
+        self
+    }
+}
+
+/// A deployed multi-tier application, ready to be load-tested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppModel {
+    /// Application name.
+    pub name: String,
+    /// Pages in the exercised workflow (documentation; throughput is
+    /// reported per page, matching The Grinder's pages/second).
+    pub pages: u32,
+    /// Mean think time between page requests (seconds).
+    pub think_time: f64,
+    /// The hardware stations, in visiting order.
+    pub stations: Vec<AppStation>,
+}
+
+impl AppModel {
+    /// Validates all curves and basic parameters.
+    pub fn validate(&self) -> Result<(), TestbedError> {
+        if self.stations.is_empty() {
+            return Err(TestbedError::InvalidParameter {
+                what: "application must have stations",
+            });
+        }
+        if !(self.think_time.is_finite() && self.think_time >= 0.0) {
+            return Err(TestbedError::InvalidParameter {
+                what: "think time must be finite and >= 0",
+            });
+        }
+        for s in &self.stations {
+            if s.servers == 0 {
+                return Err(TestbedError::InvalidParameter {
+                    what: "station needs at least one server",
+                });
+            }
+            s.curve.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Station names in order.
+    pub fn station_names(&self) -> Vec<String> {
+        self.stations.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Server counts in order.
+    pub fn server_counts(&self) -> Vec<usize> {
+        self.stations.iter().map(|s| s.servers).collect()
+    }
+
+    /// Ground-truth demands at concurrency `n` (what the lab would measure
+    /// with infinite precision).
+    pub fn demands_at(&self, n: f64) -> Vec<f64> {
+        self.stations.iter().map(|s| s.curve.at(n)).collect()
+    }
+
+    /// The simulated system at concurrency `n`: demand curves evaluated at
+    /// `n`, exponential service, exponential think.
+    pub fn sim_network(&self, n: usize) -> Result<SimNetwork, TestbedError> {
+        self.validate()?;
+        let stations = self
+            .stations
+            .iter()
+            .map(|s| {
+                let mut st = SimStation::queueing(&s.name, s.servers, s.curve.at(n as f64));
+                if let Some(c) = &s.contention {
+                    st = st.with_contention(c.clone());
+                }
+                st
+            })
+            .collect();
+        Ok(SimNetwork::new(
+            stations,
+            Distribution::Exponential {
+                mean: self.think_time,
+            },
+        )?)
+    }
+
+    /// The analytic closed network with demands evaluated at concurrency
+    /// `n` (what MVA·i uses when its input demands were collected at level
+    /// `i = n`).
+    pub fn closed_network_at(&self, n: f64) -> Result<ClosedNetwork, TestbedError> {
+        self.validate()?;
+        let stations = self
+            .stations
+            .iter()
+            .map(|s| Station::queueing(&s.name, s.servers, 1.0, s.curve.at(n)))
+            .collect();
+        Ok(ClosedNetwork::new(stations, self.think_time)?)
+    }
+
+    /// The analytic closed network with explicitly supplied demands (e.g.
+    /// demands extracted from a measured campaign).
+    pub fn closed_network_with(&self, demands: &[f64]) -> Result<ClosedNetwork, TestbedError> {
+        self.closed_network_at(1.0)?
+            .with_demands(demands)
+            .map_err(Into::into)
+    }
+
+    /// Index and name of the asymptotic bottleneck (largest effective
+    /// demand `D_k(∞)/C_k`).
+    pub fn bottleneck(&self) -> (usize, &str) {
+        let mut best = (0usize, 0.0f64);
+        for (i, s) in self.stations.iter().enumerate() {
+            let eff = s.curve.base / s.servers as f64;
+            if eff > best.1 {
+                best = (i, eff);
+            }
+        }
+        (best.0, &self.stations[best.0].name)
+    }
+
+    /// Asymptotic maximum page throughput `1 / max_k(D_k(∞)/C_k)`,
+    /// ignoring any contention rise.
+    pub fn max_throughput(&self) -> f64 {
+        let (i, _) = self.bottleneck();
+        let s = &self.stations[i];
+        s.servers as f64 / s.curve.base
+    }
+}
+
+/// Builds the canonical 12-station, 3-tier station list of paper Fig. 2.
+/// `specs` supplies, per tier (load, web/app, database), the CPU core count
+/// and the four demand curves in CPU/Disk/Net-Tx/Net-Rx order.
+pub(crate) fn three_tier_stations(
+    specs: [(&str, usize, [DemandCurve; 4]); 3],
+) -> Vec<AppStation> {
+    let mut out = Vec::with_capacity(12);
+    for (tier, cores, [cpu, disk, tx, rx]) in specs {
+        out.push(AppStation::new(&format!("{tier}-cpu"), cores, cpu));
+        out.push(AppStation::new(&format!("{tier}-disk"), 1, disk));
+        out.push(AppStation::new(&format!("{tier}-net-tx"), 1, tx));
+        out.push(AppStation::new(&format!("{tier}-net-rx"), 1, rx));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_app() -> AppModel {
+        AppModel {
+            name: "tiny".into(),
+            pages: 1,
+            think_time: 1.0,
+            stations: vec![
+                AppStation::new("cpu", 4, DemandCurve::warming(0.01, 0.2, 20.0)),
+                AppStation::new("disk", 1, DemandCurve::constant(0.02)),
+            ],
+        }
+    }
+
+    #[test]
+    fn demands_follow_curves() {
+        let app = tiny_app();
+        let d1 = app.demands_at(1.0);
+        let d100 = app.demands_at(100.0);
+        assert!(d1[0] > d100[0]); // warming curve falls
+        assert_eq!(d1[1], d100[1]); // constant stays
+    }
+
+    #[test]
+    fn conversions_share_demands() {
+        let app = tiny_app();
+        let sim = app.sim_network(50).unwrap();
+        let net = app.closed_network_at(50.0).unwrap();
+        for (ss, qs) in sim.stations().iter().zip(net.stations().iter()) {
+            assert!((ss.demand() - qs.demand()).abs() < 1e-15);
+        }
+        assert_eq!(net.think_time(), 1.0);
+    }
+
+    #[test]
+    fn bottleneck_and_ceiling() {
+        let app = tiny_app();
+        let (i, name) = app.bottleneck();
+        assert_eq!(i, 1);
+        assert_eq!(name, "disk");
+        assert!((app.max_throughput() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_network_with_overrides() {
+        let app = tiny_app();
+        let net = app.closed_network_with(&[0.005, 0.004]).unwrap();
+        assert!((net.demands()[0] - 0.005).abs() < 1e-15);
+        assert!(app.closed_network_with(&[0.1]).is_err());
+    }
+
+    #[test]
+    fn three_tier_builder_names() {
+        let c = DemandCurve::constant(0.001);
+        let st = three_tier_stations([
+            ("load", 16, [c; 4]),
+            ("app", 16, [c; 4]),
+            ("db", 16, [c; 4]),
+        ]);
+        assert_eq!(st.len(), 12);
+        assert_eq!(st[0].name, "load-cpu");
+        assert_eq!(st[5].name, "app-disk");
+        assert_eq!(st[11].name, "db-net-rx");
+        assert_eq!(st[4].servers, 16);
+        assert_eq!(st[5].servers, 1);
+    }
+
+    #[test]
+    fn validation_rejects_broken_models() {
+        let mut app = tiny_app();
+        app.stations[0].servers = 0;
+        assert!(app.validate().is_err());
+        let mut app = tiny_app();
+        app.think_time = -1.0;
+        assert!(app.validate().is_err());
+        let mut app = tiny_app();
+        app.stations.clear();
+        assert!(app.validate().is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! VINS — the Vehicle INSurance registration application (paper Section
+//! 4.3, Tables 2 & 4, Figs. 4–6, 10).
+//!
+//! The paper's deployment: 16-core CPU machines, 10 GB database
+//! (13,000,000 customers), 200,000-user datapool, think time 1 s, Renew
+//! Policy workflow of 7 pages, concurrency swept 1 → 1500. Narrative facts
+//! the calibration below encodes (the numeric cells of Table 2 are corrupt
+//! in the only available text, so constants are fit to the prose):
+//!
+//! * "the load injecting server disk and the database server disk reach
+//!   near-saturation" — `load-disk` and `db-disk` carry the largest
+//!   single-server demands;
+//! * "The database server disk utilization value is 93 % compared to CPU
+//!   utilization of about 35 %" — at the saturated throughput
+//!   `X* = 1/D_db-disk ≈ 102 pages/s`, the 16-core DB CPU demand gives
+//!   `X*·D/16 ≈ 0.35`;
+//! * "Typically, this is a Disk heavy application" — the bottleneck is
+//!   `db-disk`;
+//! * Fig. 5/10: demands fall noticeably over the first couple hundred
+//!   users (α = 10–25 %, τ ≈ 50–80).
+
+use super::{three_tier_stations, AppModel};
+use crate::demand::DemandCurve;
+
+/// Concurrency levels of the paper's VINS campaign (1 → 1500; the paper's
+/// MVA·i labels include `MVA 203`, so 203 is one of the sampled levels).
+pub const STANDARD_LEVELS: [u64; 9] = [1, 10, 52, 103, 203, 406, 812, 1218, 1500];
+
+/// Think time used in the paper's VINS tests.
+pub const THINK_TIME: f64 = 1.0;
+
+/// Pages in the Renew Policy workflow.
+pub const PAGES: u32 = 7;
+
+/// Builds the calibrated VINS application model.
+pub fn model() -> AppModel {
+    let stations = three_tier_stations([
+        (
+            "load",
+            16,
+            [
+                // Script execution / protocol handling on the injector.
+                DemandCurve::warming(0.0040, 0.15, 60.0),
+                // Logging + datapool reads: the injector disk runs hot
+                // (≈ 87 % at saturation).
+                DemandCurve::warming(0.0085, 0.20, 70.0),
+                DemandCurve::warming(0.0012, 0.10, 50.0),
+                DemandCurve::warming(0.0018, 0.10, 50.0),
+            ],
+        ),
+        (
+            "app",
+            16,
+            [
+                DemandCurve::warming(0.0120, 0.20, 60.0),
+                DemandCurve::warming(0.0022, 0.15, 60.0),
+                DemandCurve::warming(0.0015, 0.10, 50.0),
+                DemandCurve::warming(0.0015, 0.10, 50.0),
+            ],
+        ),
+        (
+            "db",
+            16,
+            [
+                // 16-core DB CPU: ≈ 35 % busy at disk saturation.
+                DemandCurve::warming(0.0550, 0.25, 80.0),
+                // THE bottleneck: 9.8 ms/page ⇒ X* ≈ 102 pages/s.
+                DemandCurve::warming(0.0098, 0.25, 80.0),
+                DemandCurve::warming(0.0014, 0.10, 50.0),
+                DemandCurve::warming(0.0012, 0.10, 50.0),
+            ],
+        ),
+    ]);
+    AppModel {
+        name: "VINS".into(),
+        pages: PAGES,
+        think_time: THINK_TIME,
+        stations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_disk_is_the_bottleneck() {
+        let app = model();
+        let (_, name) = app.bottleneck();
+        assert_eq!(name, "db-disk");
+        // X* ≈ 102 pages/s.
+        assert!((app.max_throughput() - 1.0 / 0.0098).abs() < 1e-9);
+    }
+
+    #[test]
+    fn db_cpu_util_approx_35_pct_at_saturation() {
+        let app = model();
+        let x_star = app.max_throughput();
+        let d_dbcpu = app.stations[8].curve.base;
+        let u = x_star * d_dbcpu / 16.0;
+        assert!((0.30..0.40).contains(&u), "got {u}");
+    }
+
+    #[test]
+    fn load_disk_near_saturation() {
+        let app = model();
+        let x_star = app.max_throughput();
+        let u = x_star * app.stations[1].curve.base;
+        assert!((0.80..0.95).contains(&u), "got {u}");
+    }
+
+    #[test]
+    fn model_is_valid_and_12_stations() {
+        let app = model();
+        app.validate().unwrap();
+        assert_eq!(app.stations.len(), 12);
+        assert_eq!(app.think_time, 1.0);
+        assert_eq!(app.pages, 7);
+    }
+
+    #[test]
+    fn demands_fall_with_concurrency() {
+        let app = model();
+        let d1 = app.demands_at(1.0);
+        let d1500 = app.demands_at(1500.0);
+        for (k, (a, b)) in d1.iter().zip(d1500.iter()).enumerate() {
+            assert!(a > b, "station {k} demand should fall");
+        }
+    }
+
+    #[test]
+    fn standard_levels_ascending_with_203() {
+        assert!(STANDARD_LEVELS.windows(2).all(|w| w[0] < w[1]));
+        assert!(STANDARD_LEVELS.contains(&203));
+        assert_eq!(*STANDARD_LEVELS.last().unwrap(), 1500);
+    }
+
+    #[test]
+    fn knee_population_in_low_hundreds() {
+        // Saturation should begin well before the 1500-user sweep end, as
+        // in the paper's Fig. 4 (throughput flat long before 1500).
+        let app = model();
+        let net = app.closed_network_at(1500.0).unwrap();
+        let knee = net.knee_population();
+        assert!((90.0..200.0).contains(&knee), "knee {knee}");
+    }
+}

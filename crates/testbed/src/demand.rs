@@ -1,0 +1,204 @@
+//! Concurrency-varying service-demand curves.
+//!
+//! The central empirical observation of the paper (Figs. 5, 10, 12): the
+//! per-interaction service demand of a resource is *not* constant but falls
+//! as concurrency rises — "caching of resources at CPU Disk to improve
+//! efficient processing, batch processing at CPU Disk and superior branch
+//! prediction at CPU" — and can rise again past saturation from contention
+//! (the JPetStore throughput dip between 140 and 168 users that MVASD "is
+//! even able to pick up", Fig. 7).
+//!
+//! [`DemandCurve`] models both effects:
+//!
+//! ```text
+//! D(n) = base · (1 + α·e^{−(n−1)/τ}) · (1 + γ·σ((n − n₀)/w))
+//! ```
+//!
+//! where the first factor is the warm-up/caching benefit (`α` = relative
+//! extra cost of a cold, low-concurrency system; `τ` = concurrency scale on
+//! which caches/batches become effective) and the second a logistic
+//! contention penalty (`γ` = relative demand growth past the contention
+//! point `n₀`). With `α = γ = 0` the curve is the constant demand classic
+//! MVA assumes.
+
+use crate::TestbedError;
+
+/// A parametric concurrency-varying service demand `D(n)` (seconds per
+/// interaction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DemandCurve {
+    /// Asymptotic (fully warmed, pre-contention) demand `base` in seconds.
+    pub base: f64,
+    /// Relative extra demand at `n = 1` (e.g. `0.25` = 25 % slower cold).
+    pub warm_alpha: f64,
+    /// Concurrency scale of the warm-up effect.
+    pub warm_tau: f64,
+    /// Relative demand growth at full contention (0 disables the effect).
+    pub contention_gamma: f64,
+    /// Concurrency at which contention is half-developed.
+    pub contention_center: f64,
+    /// Width of the contention transition.
+    pub contention_width: f64,
+}
+
+impl DemandCurve {
+    /// A constant demand (no variation) — what classic MVA assumes.
+    pub fn constant(base: f64) -> Self {
+        Self {
+            base,
+            warm_alpha: 0.0,
+            warm_tau: 1.0,
+            contention_gamma: 0.0,
+            contention_center: 0.0,
+            contention_width: 1.0,
+        }
+    }
+
+    /// A falling curve with warm-up benefit only.
+    pub fn warming(base: f64, alpha: f64, tau: f64) -> Self {
+        Self {
+            base,
+            warm_alpha: alpha,
+            warm_tau: tau,
+            contention_gamma: 0.0,
+            contention_center: 0.0,
+            contention_width: 1.0,
+        }
+    }
+
+    /// Adds a contention rise past `center` (builder style).
+    #[must_use]
+    pub fn with_contention(mut self, gamma: f64, center: f64, width: f64) -> Self {
+        self.contention_gamma = gamma;
+        self.contention_center = center;
+        self.contention_width = width;
+        self
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), TestbedError> {
+        let ok = self.base.is_finite()
+            && self.base >= 0.0
+            && self.warm_alpha.is_finite()
+            && self.warm_alpha >= 0.0
+            && self.warm_tau.is_finite()
+            && self.warm_tau > 0.0
+            && self.contention_gamma.is_finite()
+            && self.contention_gamma >= 0.0
+            && self.contention_center.is_finite()
+            && self.contention_width.is_finite()
+            && self.contention_width > 0.0;
+        if ok {
+            Ok(())
+        } else {
+            Err(TestbedError::InvalidParameter {
+                what: "demand curve parameters out of domain",
+            })
+        }
+    }
+
+    /// Evaluates `D(n)` at (possibly fractional) concurrency `n ≥ 1`.
+    pub fn at(&self, n: f64) -> f64 {
+        let n = n.max(1.0);
+        let warm = 1.0 + self.warm_alpha * (-(n - 1.0) / self.warm_tau).exp();
+        let contention = if self.contention_gamma > 0.0 {
+            let t = (n - self.contention_center) / self.contention_width;
+            1.0 + self.contention_gamma / (1.0 + (-t).exp())
+        } else {
+            1.0
+        };
+        self.base * warm * contention
+    }
+
+    /// The cold (single-user) demand `D(1)`.
+    pub fn cold(&self) -> f64 {
+        self.at(1.0)
+    }
+
+    /// Samples the curve at a list of concurrency levels (the abscissa/
+    /// ordinate arrays `a_k`, `b_k` of the paper's Algorithm 3).
+    pub fn sample_at(&self, levels: &[u64]) -> Vec<f64> {
+        levels.iter().map(|&n| self.at(n as f64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn constant_curve_is_flat() {
+        let c = DemandCurve::constant(0.01);
+        for n in [1.0, 10.0, 100.0, 1000.0] {
+            assert_eq!(c.at(n), 0.01);
+        }
+    }
+
+    #[test]
+    fn warming_curve_falls_monotonically_to_base() {
+        let c = DemandCurve::warming(0.010, 0.3, 50.0);
+        assert!(close(c.cold(), 0.013, 1e-12));
+        let mut prev = f64::INFINITY;
+        for i in 0..100 {
+            let n = 1.0 + i as f64 * 10.0;
+            let d = c.at(n);
+            assert!(d <= prev + 1e-15, "must fall at n={n}");
+            assert!(d >= 0.010 - 1e-15);
+            prev = d;
+        }
+        assert!(close(c.at(5000.0), 0.010, 1e-6));
+    }
+
+    #[test]
+    fn contention_raises_demand_past_center() {
+        let c = DemandCurve::warming(0.010, 0.2, 30.0).with_contention(0.06, 150.0, 10.0);
+        // Well before the center: essentially no contention.
+        assert!(c.at(50.0) < 0.0105 * 1.01);
+        // Well past: ~6 % above base.
+        assert!(close(c.at(400.0), 0.010 * 1.06, 1e-5));
+    }
+
+    #[test]
+    fn below_one_clamps_to_one() {
+        let c = DemandCurve::warming(0.01, 0.5, 10.0);
+        assert_eq!(c.at(0.0), c.at(1.0));
+        assert_eq!(c.at(-5.0), c.at(1.0));
+    }
+
+    #[test]
+    fn sample_at_matches_pointwise() {
+        let c = DemandCurve::warming(0.02, 0.25, 40.0);
+        let levels = [1u64, 14, 28, 70, 140];
+        let s = c.sample_at(&levels);
+        for (l, v) in levels.iter().zip(s.iter()) {
+            assert_eq!(c.at(*l as f64), *v);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DemandCurve::constant(0.01).validate().is_ok());
+        assert!(DemandCurve::constant(-0.01).validate().is_err());
+        assert!(DemandCurve::warming(0.01, -0.1, 10.0).validate().is_err());
+        assert!(DemandCurve::warming(0.01, 0.1, 0.0).validate().is_err());
+        assert!(DemandCurve::warming(0.01, 0.1, 10.0)
+            .with_contention(0.1, 100.0, 0.0)
+            .validate()
+            .is_err());
+        assert!(DemandCurve::constant(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn paper_shape_fig5_like() {
+        // The paper's Fig. 5: demands fall steeply at low concurrency then
+        // flatten. Ratio of initial slope to late slope should be large.
+        let c = DemandCurve::warming(0.0098, 0.25, 80.0);
+        let slope_early = c.at(1.0) - c.at(51.0);
+        let slope_late = c.at(801.0) - c.at(851.0);
+        assert!(slope_early > 20.0 * slope_late);
+    }
+}

@@ -1,0 +1,289 @@
+//! A load driver with The Grinder's configuration surface (paper Section
+//! 4.1).
+//!
+//! The Grinder composes virtual users as `threads × processes × agents`,
+//! ramps worker processes up every `processIncrementInterval`, staggers
+//! thread starts with `initialSleepTime`, and runs either for a duration or
+//! a number of runs. [`GrinderConfig`] carries the same knobs; `load_test`
+//! maps them onto a `mvasd-simnet` run against an [`AppModel`] and returns
+//! the simulated Grinder report (TPS, mean page time, per-resource
+//! utilizations).
+
+use crate::apps::AppModel;
+use crate::TestbedError;
+use mvasd_simnet::{SimConfig, SimReport, Simulation};
+
+/// The Grinder-style test configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrinderConfig {
+    /// `grinder.processes` — worker processes per agent.
+    pub processes: u32,
+    /// `grinder.threads` — worker threads per process.
+    pub threads: u32,
+    /// Number of agent (injector) machines.
+    pub agents: u32,
+    /// `grinder.duration` — test length in seconds.
+    pub duration: f64,
+    /// `grinder.processIncrementInterval` — seconds between starting
+    /// successive worker processes (ramp-up); 0 starts everything at once.
+    pub process_increment_interval: f64,
+    /// `grinder.sleepTimeVariation` — if positive, think times are drawn
+    /// from a Normal distribution (clamped at zero) with this relative
+    /// standard deviation instead of the exponential default: "Varies the
+    /// sleep times according to a Normal distribution with specified
+    /// variance" (paper Section 4.1).
+    pub sleep_time_variation: f64,
+    /// Fraction of the run discarded as transient before steady-state
+    /// statistics are taken (the paper runs tests "long enough … to remove
+    /// such transient behavior").
+    pub warmup_fraction: f64,
+    /// RNG seed for the simulated run.
+    pub seed: u64,
+}
+
+impl Default for GrinderConfig {
+    fn default() -> Self {
+        Self {
+            processes: 1,
+            threads: 1,
+            agents: 1,
+            duration: 600.0,
+            process_increment_interval: 0.0,
+            sleep_time_variation: 0.0,
+            warmup_fraction: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+impl GrinderConfig {
+    /// Total simulated virtual users:
+    /// `threads × processes × agents` (paper Section 4.1).
+    pub fn virtual_users(&self) -> usize {
+        (self.threads as usize) * (self.processes as usize) * (self.agents as usize)
+    }
+
+    /// A config that drives exactly `n` users with sane defaults, seeding
+    /// deterministically per level so campaign runs are reproducible but
+    /// not correlated across levels.
+    pub fn for_users(n: usize, duration: f64) -> Self {
+        Self {
+            processes: 1,
+            threads: n as u32,
+            agents: 1,
+            duration,
+            seed: 0x5eed ^ (n as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            ..Self::default()
+        }
+    }
+
+    fn validate(&self) -> Result<(), TestbedError> {
+        if self.virtual_users() == 0 {
+            return Err(TestbedError::InvalidParameter {
+                what: "processes, threads and agents must all be >= 1",
+            });
+        }
+        if !(self.duration.is_finite() && self.duration > 0.0) {
+            return Err(TestbedError::InvalidParameter {
+                what: "duration must be finite and > 0",
+            });
+        }
+        if !(self.process_increment_interval.is_finite() && self.process_increment_interval >= 0.0)
+        {
+            return Err(TestbedError::InvalidParameter {
+                what: "process increment interval must be finite and >= 0",
+            });
+        }
+        if !(0.0..0.9).contains(&self.warmup_fraction) {
+            return Err(TestbedError::InvalidParameter {
+                what: "warmup fraction must be in [0, 0.9)",
+            });
+        }
+        if !(self.sleep_time_variation.is_finite() && self.sleep_time_variation >= 0.0) {
+            return Err(TestbedError::InvalidParameter {
+                what: "sleep time variation must be finite and >= 0",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of one simulated load test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadTestResult {
+    /// Number of virtual users driven.
+    pub users: usize,
+    /// The underlying simulation report.
+    pub report: SimReport,
+}
+
+impl LoadTestResult {
+    /// Pages per second (The Grinder's TPS column).
+    pub fn throughput(&self) -> f64 {
+        self.report.system.throughput
+    }
+
+    /// Mean page response time (seconds).
+    pub fn response_time(&self) -> f64 {
+        self.report.system.mean_response
+    }
+
+    /// Mean cycle time `R + Z` given the workload think time.
+    pub fn cycle_time(&self, think_time: f64) -> f64 {
+        self.response_time() + think_time
+    }
+
+    /// Per-station utilizations (network order) — the monitoring data of
+    /// paper Tables 2–3.
+    pub fn utilizations(&self) -> Vec<f64> {
+        self.report.stations.iter().map(|s| s.utilization).collect()
+    }
+}
+
+/// Runs one simulated load test of `app` under `cfg`.
+///
+/// The ramp-up schedule staggers users evenly across
+/// `processes × process_increment_interval` seconds, approximating The
+/// Grinder's per-process increments.
+pub fn load_test(app: &AppModel, cfg: &GrinderConfig) -> Result<LoadTestResult, TestbedError> {
+    cfg.validate()?;
+    let users = cfg.virtual_users();
+    let ramp_total = cfg.process_increment_interval * cfg.processes.saturating_sub(1) as f64;
+    let stagger = if users > 1 { ramp_total / (users - 1) as f64 } else { 0.0 };
+    let warmup = (cfg.duration * cfg.warmup_fraction).max(ramp_total.min(cfg.duration * 0.8));
+
+    let mut net = app.sim_network(users)?;
+    if cfg.sleep_time_variation > 0.0 {
+        net = net.with_think(mvasd_simnet::Distribution::NormalClamped {
+            mean: app.think_time,
+            std_dev: cfg.sleep_time_variation * app.think_time,
+        })?;
+    }
+    let report = Simulation::new(net, SimConfig {
+        customers: users,
+        horizon: cfg.duration,
+        warmup,
+        seed: cfg.seed,
+        stagger,
+        bucket_width: (cfg.duration / 120.0).max(1.0),
+    })?
+    .run()?;
+
+    Ok(LoadTestResult { users, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::vins;
+
+    #[test]
+    fn virtual_user_arithmetic() {
+        let cfg = GrinderConfig {
+            processes: 4,
+            threads: 25,
+            agents: 2,
+            ..GrinderConfig::default()
+        };
+        assert_eq!(cfg.virtual_users(), 200);
+    }
+
+    #[test]
+    fn for_users_sets_population_and_unique_seeds() {
+        let a = GrinderConfig::for_users(10, 100.0);
+        let b = GrinderConfig::for_users(20, 100.0);
+        assert_eq!(a.virtual_users(), 10);
+        assert_eq!(b.virtual_users(), 20);
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn single_user_load_test_measures_raw_demand() {
+        let app = vins::model();
+        let cfg = GrinderConfig::for_users(1, 400.0);
+        let res = load_test(&app, &cfg).unwrap();
+        // One user: R ≈ Σ D_k(1); X ≈ 1/(R + Z).
+        let d_total: f64 = app.demands_at(1.0).iter().sum();
+        let rel = (res.response_time() - d_total).abs() / d_total;
+        assert!(rel < 0.10, "R {} vs ΣD {}", res.response_time(), d_total);
+        let x_expect = 1.0 / (d_total + 1.0);
+        let rel_x = (res.throughput() - x_expect).abs() / x_expect;
+        assert!(rel_x < 0.05, "X {} vs {}", res.throughput(), x_expect);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let app = vins::model();
+        let bad = GrinderConfig {
+            threads: 0,
+            ..GrinderConfig::default()
+        };
+        assert!(load_test(&app, &bad).is_err());
+        let bad = GrinderConfig {
+            duration: 0.0,
+            ..GrinderConfig::default()
+        };
+        assert!(load_test(&app, &bad).is_err());
+        let bad = GrinderConfig {
+            warmup_fraction: 0.95,
+            ..GrinderConfig::default()
+        };
+        assert!(load_test(&app, &bad).is_err());
+        let bad = GrinderConfig {
+            process_increment_interval: -1.0,
+            ..GrinderConfig::default()
+        };
+        assert!(load_test(&app, &bad).is_err());
+    }
+
+    #[test]
+    fn sleep_time_variation_runs_and_preserves_mean_think() {
+        // Normal-clamped think with the same mean: throughput should stay
+        // within a few percent of the exponential-think run (think-time
+        // distribution is a second-order effect on mean throughput).
+        let app = vins::model();
+        let base = load_test(&app, &GrinderConfig::for_users(30, 400.0)).unwrap();
+        let varied = load_test(&app, &GrinderConfig {
+            sleep_time_variation: 0.3,
+            ..GrinderConfig::for_users(30, 400.0)
+        })
+        .unwrap();
+        let rel = (base.throughput() - varied.throughput()).abs() / base.throughput();
+        assert!(rel < 0.05, "base {} varied {}", base.throughput(), varied.throughput());
+        // Negative variation rejected.
+        let bad = GrinderConfig {
+            sleep_time_variation: -0.1,
+            ..GrinderConfig::default()
+        };
+        assert!(load_test(&app, &bad).is_err());
+    }
+
+    #[test]
+    fn cycle_time_adds_think() {
+        let app = vins::model();
+        let res = load_test(&app, &GrinderConfig::for_users(1, 200.0)).unwrap();
+        assert!((res.cycle_time(1.0) - res.response_time() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramped_test_runs() {
+        let app = vins::model();
+        let cfg = GrinderConfig {
+            processes: 5,
+            threads: 4,
+            agents: 1,
+            duration: 300.0,
+            process_increment_interval: 10.0,
+            ..GrinderConfig::default()
+        };
+        let res = load_test(&app, &cfg).unwrap();
+        assert_eq!(res.users, 20);
+        assert!(res.throughput() > 0.0);
+        // Early buckets must show the ramp (fewer completions).
+        let ts = &res.report.time_series;
+        let early: f64 = ts[0..3].iter().map(|b| b.tps).sum();
+        let mid = ts.len() / 2;
+        let late: f64 = ts[mid..mid + 3].iter().map(|b| b.tps).sum();
+        assert!(early < late, "early {early} late {late}");
+    }
+}

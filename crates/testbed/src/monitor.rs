@@ -1,0 +1,269 @@
+//! Monitoring observables — the vmstat/iostat/netstat layer of paper
+//! Section 4.2.
+//!
+//! In the real lab, CPU utilization comes from `vmstat`, disk from
+//! `iostat`, and network from `netstat` packet counters via eq. 7. Here the
+//! same observables are read off the simulator, and eq. 7 is implemented
+//! directly for the packet-counter path so network demands can be derived
+//! the way the paper derives them.
+
+use crate::apps::AppModel;
+use crate::grinder::LoadTestResult;
+use crate::TestbedError;
+
+/// Network utilization from packet counters — paper eq. 7:
+///
+/// ```text
+/// Util% = (#packets · packet_size) / (t · bandwidth) · 100
+/// ```
+///
+/// `packet_size` and `bandwidth` in consistent units (bytes and bytes/s).
+pub fn network_utilization_pct(
+    packets: u64,
+    packet_size_bytes: f64,
+    window_seconds: f64,
+    bandwidth_bytes_per_sec: f64,
+) -> Result<f64, TestbedError> {
+    if !(packet_size_bytes.is_finite() && packet_size_bytes > 0.0) {
+        return Err(TestbedError::InvalidParameter {
+            what: "packet size must be finite and > 0",
+        });
+    }
+    if !(window_seconds.is_finite() && window_seconds > 0.0) {
+        return Err(TestbedError::InvalidParameter {
+            what: "window must be finite and > 0",
+        });
+    }
+    if !(bandwidth_bytes_per_sec.is_finite() && bandwidth_bytes_per_sec > 0.0) {
+        return Err(TestbedError::InvalidParameter {
+            what: "bandwidth must be finite and > 0",
+        });
+    }
+    Ok(packets as f64 * packet_size_bytes / (window_seconds * bandwidth_bytes_per_sec) * 100.0)
+}
+
+/// One row of a Table 2/3-style utilization table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationRow {
+    /// Concurrency level of the load test.
+    pub users: usize,
+    /// Measured page throughput.
+    pub throughput: f64,
+    /// Measured mean response time.
+    pub response: f64,
+    /// Per-station utilization (fraction of capacity), network order.
+    pub utilization: Vec<f64>,
+}
+
+/// A full utilization table across concurrency levels, with station names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationTable {
+    /// Station names (column headers).
+    pub stations: Vec<String>,
+    /// One row per tested concurrency level, ascending.
+    pub rows: Vec<UtilizationRow>,
+}
+
+impl UtilizationTable {
+    /// Builds a row from a load-test result.
+    pub fn row_from(result: &LoadTestResult) -> UtilizationRow {
+        UtilizationRow {
+            users: result.users,
+            throughput: result.throughput(),
+            response: result.response_time(),
+            utilization: result.utilizations(),
+        }
+    }
+
+    /// The index of the station with the highest utilization in the last
+    /// (highest-concurrency) row — the measured bottleneck.
+    pub fn measured_bottleneck(&self) -> Option<usize> {
+        let last = self.rows.last()?;
+        last.utilization
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("utilizations are finite"))
+            .map(|(i, _)| i)
+    }
+
+    /// Renders the table in the layout of paper Tables 2–3 (percent, one
+    /// row per concurrency).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:>6} ", "Users"));
+        for s in &self.stations {
+            out.push_str(&format!("{s:>12} "));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{:>6} ", r.users));
+            for u in &r.utilization {
+                out.push_str(&format!("{:>11.1}% ", u * 100.0));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An `iostat`-style per-device report of one load test: each station's
+/// visit rate, mean concurrency, per-visit latency, and utilization — the
+/// columns a performance engineer reads off `iostat -x` (r/s+w/s, avgqu-sz,
+/// await, %util).
+pub fn render_iostat(result: &LoadTestResult, station_names: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>10} {:>12} {:>8}\n",
+        "Device", "visits/s", "avgqu-sz", "await(ms)", "%util"
+    ));
+    for (k, name) in station_names.iter().enumerate() {
+        let st = &result.report.stations[k];
+        out.push_str(&format!(
+            "{:<14} {:>10.2} {:>10.3} {:>12.3} {:>7.1}%\n",
+            name,
+            st.throughput,
+            st.mean_queue,
+            st.mean_visit_time * 1e3,
+            st.utilization * 100.0
+        ));
+    }
+    out
+}
+
+/// Extracts per-station service demands from a measured row via the
+/// Service Demand Law (paper eq. 3): `D_k = U_k · C_k / X`.
+///
+/// The monitored utilization of a multi-server station is per-server
+/// (fraction of total capacity), so the server count multiplies back in.
+/// Returns `None` when the row saw no throughput.
+pub fn demands_from_row(row: &UtilizationRow, server_counts: &[usize]) -> Option<Vec<f64>> {
+    if row.throughput <= 0.0 || row.utilization.len() != server_counts.len() {
+        return None;
+    }
+    Some(
+        row.utilization
+            .iter()
+            .zip(server_counts.iter())
+            .map(|(u, &c)| u * c as f64 / row.throughput)
+            .collect(),
+    )
+}
+
+/// Convenience: demands extracted from a load-test result against its app.
+pub fn extract_demands(app: &AppModel, result: &LoadTestResult) -> Option<Vec<f64>> {
+    demands_from_row(&UtilizationTable::row_from(result), &app.server_counts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::vins;
+    use crate::grinder::{load_test, GrinderConfig};
+
+    #[test]
+    fn eq7_network_utilization() {
+        // 1e9 bytes/s link, 1 s window, 500-byte packets, 1M packets:
+        // 5e8 / 1e9 = 50 %.
+        let u = network_utilization_pct(1_000_000, 500.0, 1.0, 1e9).unwrap();
+        assert!((u - 50.0).abs() < 1e-9);
+        assert!(network_utilization_pct(1, 0.0, 1.0, 1e9).is_err());
+        assert!(network_utilization_pct(1, 1.0, 0.0, 1e9).is_err());
+        assert!(network_utilization_pct(1, 1.0, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn demand_extraction_inverts_utilization_law() {
+        // Synthetic row where U = X·D/C exactly.
+        let demands = [0.004, 0.010];
+        let servers = [16usize, 1];
+        let x = 50.0;
+        let row = UtilizationRow {
+            users: 100,
+            throughput: x,
+            response: 0.1,
+            utilization: demands
+                .iter()
+                .zip(servers.iter())
+                .map(|(d, &c)| x * d / c as f64)
+                .collect(),
+        };
+        let d = demands_from_row(&row, &servers).unwrap();
+        assert!((d[0] - 0.004).abs() < 1e-12);
+        assert!((d[1] - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_extraction_rejects_degenerate_rows() {
+        let row = UtilizationRow {
+            users: 1,
+            throughput: 0.0,
+            response: 0.0,
+            utilization: vec![0.1],
+        };
+        assert!(demands_from_row(&row, &[1]).is_none());
+        let row = UtilizationRow {
+            users: 1,
+            throughput: 1.0,
+            response: 0.0,
+            utilization: vec![0.1],
+        };
+        assert!(demands_from_row(&row, &[1, 2]).is_none());
+    }
+
+    #[test]
+    fn iostat_render_lists_every_station() {
+        let app = vins::model();
+        let res = load_test(&app, &GrinderConfig::for_users(10, 200.0)).unwrap();
+        let txt = render_iostat(&res, &app.station_names());
+        assert_eq!(txt.lines().count(), 13); // header + 12 stations
+        assert!(txt.contains("db-disk"));
+        assert!(txt.contains("%util"));
+    }
+
+    #[test]
+    fn extracted_demands_close_to_ground_truth() {
+        let app = vins::model();
+        let res = load_test(&app, &GrinderConfig::for_users(50, 600.0)).unwrap();
+        let measured = extract_demands(&app, &res).unwrap();
+        let truth = app.demands_at(50.0);
+        for (k, (m, t)) in measured.iter().zip(truth.iter()).enumerate() {
+            let rel = (m - t).abs() / t;
+            assert!(rel < 0.15, "station {k}: measured {m} vs truth {t}");
+        }
+    }
+
+    #[test]
+    fn table_render_and_bottleneck() {
+        let table = UtilizationTable {
+            stations: vec!["cpu".into(), "disk".into()],
+            rows: vec![
+                UtilizationRow {
+                    users: 1,
+                    throughput: 1.0,
+                    response: 0.01,
+                    utilization: vec![0.01, 0.02],
+                },
+                UtilizationRow {
+                    users: 100,
+                    throughput: 50.0,
+                    response: 0.5,
+                    utilization: vec![0.40, 0.93],
+                },
+            ],
+        };
+        assert_eq!(table.measured_bottleneck(), Some(1));
+        let txt = table.render();
+        assert!(txt.contains("Users"));
+        assert!(txt.contains("93.0%"));
+        assert!(txt.lines().count() == 3);
+    }
+
+    #[test]
+    fn empty_table_has_no_bottleneck() {
+        let table = UtilizationTable {
+            stations: vec![],
+            rows: vec![],
+        };
+        assert_eq!(table.measured_bottleneck(), None);
+    }
+}

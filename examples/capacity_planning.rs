@@ -1,0 +1,84 @@
+//! Capacity planning with what-if analysis on the VINS application: the
+//! kind of question the paper's Section 1 motivates ("predict future
+//! performance indexes under changes in hardware or assumptions on
+//! concurrency").
+//!
+//! We (1) measure the simulated deployment at a few concurrency levels,
+//! (2) fit MVASD, (3) ask what an SSD upgrade of the database disk
+//! (demand halved) and a think-time change would do — without re-running
+//! any load test.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use mvasd_suite::core::algorithm::mvasd;
+use mvasd_suite::core::profile::{DemandAxis, InterpolationKind, ServiceDemandProfile};
+use mvasd_suite::queueing::mva::multiserver_mva;
+use mvasd_suite::testbed::apps::vins;
+use mvasd_suite::testbed::campaign::{run_campaign, CampaignConfig};
+
+fn main() {
+    let app = vins::model();
+    println!("== Step 1: measured campaign (simulated lab) ==");
+    let campaign = run_campaign(
+        &app,
+        &[1, 25, 75, 150, 300],
+        &CampaignConfig {
+            test_duration: 400.0,
+            ..CampaignConfig::default()
+        },
+    )
+    .expect("campaign");
+    for p in &campaign.points {
+        println!(
+            "  N={:<4} X={:>7.2} pages/s  R={:>7.4} s",
+            p.users, p.throughput, p.response
+        );
+    }
+
+    println!("\n== Step 2: MVASD fit & baseline prediction ==");
+    let samples = campaign.to_demand_samples();
+    let profile = ServiceDemandProfile::from_samples(
+        &samples,
+        InterpolationKind::CubicNotAKnot,
+        DemandAxis::Concurrency,
+    )
+    .expect("profile");
+    let baseline = mvasd(&profile, 600).expect("solver");
+    let disk = campaign.station_index("db-disk").expect("station");
+    println!(
+        "  predicted ceiling {:.1} pages/s; db-disk util at N=600: {:.1}%",
+        baseline.last().throughput,
+        baseline.last().stations[disk].utilization * 100.0
+    );
+
+    println!("\n== Step 3: what-if — SSD upgrade halves db-disk demand ==");
+    // Take the high-concurrency demands MVASD interpolated, halve the DB
+    // disk, and solve the modified static model.
+    let mut demands = profile.demands_at(600.0);
+    demands[disk] *= 0.5;
+    let upgraded_net = app
+        .closed_network_with(&demands)
+        .expect("modified model");
+    let upgraded = multiserver_mva(&upgraded_net, 600).expect("solver");
+    println!(
+        "  ceiling {:.1} -> {:.1} pages/s; new bottleneck: {}",
+        baseline.last().throughput,
+        upgraded.last().throughput,
+        upgraded_net.stations()[upgraded_net.bottleneck().0].name
+    );
+
+    println!("\n== Step 4: what-if — think time drops from 1.0 s to 0.5 s ==");
+    let hot_net = upgraded_net.with_think_time(0.5).expect("model");
+    let hot = multiserver_mva(&hot_net, 600).expect("solver");
+    for n in [100usize, 300, 600] {
+        println!(
+            "  N={:<4} X={:>7.2} (upgraded, Z=1.0: {:>7.2})",
+            n,
+            hot.at(n).unwrap().throughput,
+            upgraded.at(n).unwrap().throughput
+        );
+    }
+    println!("\nNo additional load tests were run for steps 3-4.");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: predict throughput and response time of a 3-tier system
+//! from service demands measured at a handful of concurrency levels.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mvasd_suite::core::accuracy::predictions_at;
+use mvasd_suite::core::algorithm::mvasd;
+use mvasd_suite::core::profile::{
+    DemandAxis, DemandSamples, InterpolationKind, ServiceDemandProfile,
+};
+
+fn main() {
+    // Suppose your load tests at N = 1, 50, 200 and 400 users measured the
+    // following per-page service demands (seconds), extracted from
+    // monitored utilizations with the Service Demand Law (D = U·C/X):
+    let samples = DemandSamples {
+        station_names: vec![
+            "app-cpu".into(),  // 8 cores
+            "db-cpu".into(),   // 8 cores
+            "db-disk".into(),  // single spindle
+        ],
+        server_counts: vec![8, 8, 1],
+        think_time: 1.0, // seconds between page requests
+        levels: vec![1.0, 50.0, 200.0, 400.0],
+        demands: vec![
+            vec![0.0240, 0.0215, 0.0205, 0.0200], // falls as caches warm
+            vec![0.0560, 0.0510, 0.0490, 0.0480],
+            vec![0.0082, 0.0075, 0.0072, 0.0071],
+        ],
+    };
+
+    // Interpolate the demand arrays (cubic splines, clamped outside the
+    // sampled range) and run MVASD up to 600 concurrent users.
+    let profile = ServiceDemandProfile::from_samples(
+        &samples,
+        InterpolationKind::CubicNotAKnot,
+        DemandAxis::Concurrency,
+    )
+    .expect("valid samples");
+    let prediction = mvasd(&profile, 600).expect("solver");
+
+    println!("{:>6} {:>14} {:>14} {:>12}", "users", "X (pages/s)", "R (s)", "db-disk util");
+    for n in [1u64, 50, 100, 200, 300, 400, 500, 600] {
+        let p = prediction.at(n as usize).expect("in range");
+        println!(
+            "{:>6} {:>14.2} {:>14.4} {:>11.1}%",
+            n,
+            p.throughput,
+            p.response,
+            p.stations[2].utilization * 100.0
+        );
+    }
+
+    let (xs, cycles) = predictions_at(&prediction, &[100, 300, 500]).expect("in range");
+    println!("\npredicted throughput at 100/300/500 users: {xs:.1?}");
+    println!("predicted cycle times  at 100/300/500 users: {cycles:.3?}");
+    println!(
+        "\nbottleneck ceiling: {:.1} pages/s (db-disk: 1 / {:.4})",
+        1.0 / 0.0071,
+        0.0071
+    );
+}

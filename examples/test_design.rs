@@ -1,0 +1,62 @@
+//! The paper's Fig. 17 workflow, end to end: design load-test points with
+//! Chebyshev Nodes, run the (simulated) load tests, interpolate the
+//! measured service demands, and predict with MVASD — then check how few
+//! tests you could have gotten away with.
+//!
+//! ```sh
+//! cargo run --release --example test_design
+//! ```
+
+use mvasd_suite::core::accuracy::compare_solution;
+use mvasd_suite::core::pipeline::PredictionWorkflow;
+use mvasd_suite::core::designer::SamplingStrategy;
+use mvasd_suite::testbed::apps::jpetstore;
+use mvasd_suite::testbed::campaign::{run_campaign, CampaignConfig};
+
+fn main() {
+    let app = jpetstore::model();
+    let cfg = CampaignConfig {
+        test_duration: 400.0,
+        ..CampaignConfig::default()
+    };
+
+    // Ground truth to score against: the paper's standard levels.
+    let reference = run_campaign(&app, &jpetstore::STANDARD_LEVELS, &cfg).expect("campaign");
+
+    println!("Fig. 17 workflow on JPetStore, design interval [1, 300]:");
+    for test_points in [3usize, 5, 7] {
+        // Step 1 — design the load-test points.
+        let workflow = PredictionWorkflow {
+            strategy: SamplingStrategy::Chebyshev,
+            test_points,
+            range: jpetstore::CHEBYSHEV_RANGE,
+            ..PredictionWorkflow::default()
+        };
+        let levels = workflow.design().expect("design");
+
+        // Step 2 — run the load tests (one simulated test per level).
+        let campaign = run_campaign(&app, &levels, &cfg).expect("campaign");
+
+        // Step 3 — interpolate demands + MVASD.
+        let prediction = workflow
+            .predict(&campaign.to_demand_samples(), 300)
+            .expect("solver");
+
+        let report = compare_solution(
+            &format!("Chebyshev {test_points}"),
+            &prediction,
+            &reference.levels(),
+            &reference.throughputs(),
+            &reference.cycle_times(),
+        )
+        .expect("deviation");
+        println!(
+            "  {} load tests at {:?}\n    -> throughput deviation {:.2} %, cycle-time deviation {:.2} %",
+            levels.len(),
+            levels,
+            report.throughput_mean_pct,
+            report.cycle_mean_pct
+        );
+    }
+    println!("\nEven 3 well-placed tests predict the whole curve (paper Fig. 16).");
+}

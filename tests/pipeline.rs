@@ -1,0 +1,171 @@
+//! End-to-end integration: the full Fig. 17 pipeline across all five
+//! crates — design points → simulated load tests → demand extraction →
+//! spline interpolation → MVASD prediction → accuracy inside the paper's
+//! bands.
+
+use mvasd_suite::core::accuracy::compare_solution;
+use mvasd_suite::core::designer::SamplingStrategy;
+use mvasd_suite::core::pipeline::PredictionWorkflow;
+use mvasd_suite::core::profile::{DemandAxis, InterpolationKind, ServiceDemandProfile};
+use mvasd_suite::core::algorithm::mvasd;
+use mvasd_suite::testbed::apps::{jpetstore, vins};
+use mvasd_suite::testbed::campaign::{run_campaign, CampaignConfig};
+
+fn quick_cfg() -> CampaignConfig {
+    CampaignConfig {
+        test_duration: 400.0,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn vins_pipeline_within_paper_bands() {
+    // The paper's headline claim (Table 4): MVASD throughput deviation
+    // < 3 %, cycle-time deviation < 9 %. VINS keeps every multi-server
+    // station below half utilization, so this exercises the carried
+    // double-double recursion end to end.
+    let app = vins::model();
+    let levels = [1u64, 52, 103, 203, 406];
+    let campaign = run_campaign(&app, &levels, &quick_cfg()).unwrap();
+    let profile = ServiceDemandProfile::from_samples(
+        &campaign.to_demand_samples(),
+        InterpolationKind::CubicNotAKnot,
+        DemandAxis::Concurrency,
+    )
+    .unwrap();
+    let prediction = mvasd(&profile, 406).unwrap();
+    let report = compare_solution(
+        "MVASD",
+        &prediction,
+        &campaign.levels(),
+        &campaign.throughputs(),
+        &campaign.cycle_times(),
+    )
+    .unwrap();
+    assert!(
+        report.throughput_mean_pct < 3.0,
+        "throughput deviation {:.2}%",
+        report.throughput_mean_pct
+    );
+    assert!(
+        report.cycle_mean_pct < 9.0,
+        "cycle deviation {:.2}%",
+        report.cycle_mean_pct
+    );
+}
+
+#[test]
+fn jpetstore_pipeline_crosses_saturation() {
+    // JPetStore saturates its 16-core DB CPU, exercising the quasi-static
+    // convolution phase of MVASD. Evaluate through the knee.
+    let app = jpetstore::model();
+    let levels = [1u64, 28, 70, 140, 168];
+    let campaign = run_campaign(&app, &levels, &quick_cfg()).unwrap();
+    let profile = ServiceDemandProfile::from_samples(
+        &campaign.to_demand_samples(),
+        InterpolationKind::CubicNotAKnot,
+        DemandAxis::Concurrency,
+    )
+    .unwrap();
+    let prediction = mvasd(&profile, 168).unwrap();
+    let report = compare_solution(
+        "MVASD",
+        &prediction,
+        &campaign.levels(),
+        &campaign.throughputs(),
+        &campaign.cycle_times(),
+    )
+    .unwrap();
+    assert!(
+        report.throughput_mean_pct < 3.0,
+        "throughput deviation {:.2}%",
+        report.throughput_mean_pct
+    );
+    assert!(
+        report.cycle_mean_pct < 9.0,
+        "cycle deviation {:.2}%",
+        report.cycle_mean_pct
+    );
+    // Physicality: never exceed the interpolated bottleneck ceiling.
+    for p in &prediction.points {
+        let demands = profile.demands_at(p.n as f64);
+        let cap = demands
+            .iter()
+            .zip(profile.stations().iter())
+            .map(|(d, s)| d / s.servers as f64)
+            .fold(0.0f64, f64::max);
+        assert!(p.throughput <= 1.0 / cap + 1e-6, "n={}", p.n);
+    }
+}
+
+#[test]
+fn workflow_design_then_predict() {
+    // PredictionWorkflow glue: design Chebyshev points on a smaller range,
+    // measure, predict; prediction at an unmeasured level must be close to
+    // a direct measurement there.
+    let app = vins::model();
+    let wf = PredictionWorkflow {
+        strategy: SamplingStrategy::Chebyshev,
+        test_points: 4,
+        range: (1.0, 160.0),
+        ..PredictionWorkflow::default()
+    };
+    let levels = wf.design().unwrap();
+    let campaign = run_campaign(&app, &levels, &quick_cfg()).unwrap();
+    let prediction = wf.predict(&campaign.to_demand_samples(), 160).unwrap();
+
+    let probe = run_campaign(&app, &[90], &quick_cfg()).unwrap();
+    let measured = probe.at(90).unwrap();
+    let predicted = prediction.at(90).unwrap();
+    let rel = (predicted.throughput - measured.throughput).abs() / measured.throughput;
+    assert!(
+        rel < 0.05,
+        "predicted {} vs measured {} at N=90",
+        predicted.throughput,
+        measured.throughput
+    );
+}
+
+#[test]
+fn mva_i_is_consistently_worse_than_mvasd() {
+    // The paper's core comparative claim, end to end: static MVA with
+    // cold-measured demands (MVA 1) deviates much more than MVASD.
+    let app = vins::model();
+    let levels = [1u64, 40, 120, 250];
+    let campaign = run_campaign(&app, &levels, &quick_cfg()).unwrap();
+
+    let profile = ServiceDemandProfile::from_samples(
+        &campaign.to_demand_samples(),
+        InterpolationKind::CubicNotAKnot,
+        DemandAxis::Concurrency,
+    )
+    .unwrap();
+    let sd = mvasd(&profile, 250).unwrap();
+    let sd_report = compare_solution(
+        "MVASD",
+        &sd,
+        &campaign.levels(),
+        &campaign.throughputs(),
+        &campaign.cycle_times(),
+    )
+    .unwrap();
+
+    let cold = campaign.at(1).unwrap().demands.clone();
+    let net = app.closed_network_with(&cold).unwrap();
+    let mva1 = mvasd_suite::queueing::mva::multiserver_mva(&net, 250).unwrap();
+    let mva1_report = compare_solution(
+        "MVA 1",
+        &mva1,
+        &campaign.levels(),
+        &campaign.throughputs(),
+        &campaign.cycle_times(),
+    )
+    .unwrap();
+
+    assert!(
+        sd_report.throughput_mean_pct < mva1_report.throughput_mean_pct / 2.0,
+        "MVASD {:.2}% should beat MVA1 {:.2}% by at least 2x",
+        sd_report.throughput_mean_pct,
+        mva1_report.throughput_mean_pct
+    );
+}
