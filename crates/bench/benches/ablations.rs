@@ -2,7 +2,7 @@
 //! double-double carried recursion vs per-step quasi-static convolution,
 //! and the full-series convolution solver across population scales.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvasd_bench::timing::{Bench, Plan};
 use mvasd_queueing::mva::{multiserver_mva, PopulationRecursion};
 use mvasd_queueing::network::{ClosedNetwork, Station};
 
@@ -17,45 +17,34 @@ fn net(cpu_demand: f64) -> ClosedNetwork {
     .unwrap()
 }
 
-fn bench_recursion_modes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("population_recursion_300_steps");
+fn main() {
+    let mut g = Bench::new("population_recursion_300_steps");
     // Low-utilization CPU: carried double-double recursion throughout.
-    g.bench_function("carried_dd", |b| {
-        b.iter(|| {
-            let mut rec = PopulationRecursion::new(vec![16, 1], 1.0);
-            let demands = [0.01, 0.004];
-            for n in 1..=300usize {
-                rec.step(n, &demands);
-            }
-            rec.is_quasi_static()
-        })
+    g.measure("carried_dd", Plan::light(10), || {
+        let mut rec = PopulationRecursion::new(vec![16, 1], 1.0);
+        let demands = [0.01, 0.004];
+        for n in 1..=300usize {
+            rec.step(n, &demands);
+        }
+        rec.is_quasi_static()
     });
     // Saturating CPU: switches to per-step quasi-static convolution.
-    g.sample_size(10);
-    g.bench_function("quasi_static_switch", |b| {
-        b.iter(|| {
-            let mut rec = PopulationRecursion::new(vec![16, 1], 1.0);
-            let demands = [0.16, 0.004];
-            for n in 1..=300usize {
-                rec.step(n, &demands);
-            }
-            rec.is_quasi_static()
-        })
+    g.measure("quasi_static_switch", Plan::heavy(), || {
+        let mut rec = PopulationRecursion::new(vec![16, 1], 1.0);
+        let demands = [0.16, 0.004];
+        for n in 1..=300usize {
+            rec.step(n, &demands);
+        }
+        rec.is_quasi_static()
     });
-    g.finish();
-}
+    println!("{}", g.report());
 
-fn bench_convolution_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("convolution_full_series");
-    g.sample_size(10);
+    let mut g = Bench::new("convolution_full_series");
     for n in [200usize, 800, 1500] {
         let network = net(0.16);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| multiserver_mva(&network, n).unwrap())
+        g.measure(&format!("n={n}"), Plan::heavy(), || {
+            multiserver_mva(&network, n).unwrap()
         });
     }
-    g.finish();
+    println!("{}", g.report());
 }
-
-criterion_group!(benches, bench_recursion_modes, bench_convolution_scaling);
-criterion_main!(benches);

@@ -1,27 +1,31 @@
 //! Solver benchmarks: the MVA family on paper-scale (12-station, 3-tier,
-//! 16-core) networks.
+//! 16-core) networks, all driven through the `ClosedSolver` trait.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mvasd_core::algorithm::{mvasd, mvasd_single_server};
+use mvasd_bench::timing::{Bench, Plan};
 use mvasd_core::profile::{DemandAxis, DemandSamples, InterpolationKind, ServiceDemandProfile};
-use mvasd_queueing::mva::{exact_mva, multiserver_mva, schweitzer_mva, SchweitzerOptions};
+use mvasd_core::solver::{MvasdSingleServerSolver, MvasdSolver};
+use mvasd_queueing::mva::{ClosedSolver, ExactMvaSolver, MultiserverMvaSolver, SchweitzerSolver};
 use mvasd_queueing::network::ClosedNetwork;
-use mvasd_testbed::apps::{jpetstore, vins};
+use mvasd_testbed::apps::{jpetstore, vins, AppModel};
 
 fn vins_network(n: f64) -> ClosedNetwork {
     vins::model().closed_network_at(n).unwrap()
 }
 
-fn vins_profile() -> ServiceDemandProfile {
-    let app = vins::model();
-    let levels: Vec<f64> = vins::STANDARD_LEVELS.iter().map(|&l| l as f64).collect();
+fn profile_of(app: &AppModel, levels: &[u64]) -> ServiceDemandProfile {
+    let levels: Vec<f64> = levels.iter().map(|&l| l as f64).collect();
     let samples = DemandSamples {
         station_names: app.station_names(),
         server_counts: app.server_counts(),
         think_time: app.think_time,
         levels: levels.clone(),
         demands: (0..app.stations.len())
-            .map(|k| levels.iter().map(|&l| app.stations[k].curve.at(l)).collect())
+            .map(|k| {
+                levels
+                    .iter()
+                    .map(|&l| app.stations[k].curve.at(l))
+                    .collect()
+            })
             .collect(),
     };
     ServiceDemandProfile::from_samples(
@@ -32,63 +36,42 @@ fn vins_profile() -> ServiceDemandProfile {
     .unwrap()
 }
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solvers_vins_12_stations");
-    // The convolution solver at N = 1500 costs ~1 s per solve; keep the
-    // bench wall-clock sane.
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::new("solvers_vins_12_stations");
+    // The convolution path at N = 1500 costs ~1 s per solve; keep the
+    // bench wall-clock sane with the heavy plan.
     for n in [100usize, 400, 1500] {
-        let net = vins_network(n as f64);
-        g.bench_with_input(BenchmarkId::new("exact_mva", n), &n, |b, &n| {
-            b.iter(|| exact_mva(&net, n).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("multiserver_mva", n), &n, |b, &n| {
-            b.iter(|| multiserver_mva(&net, n).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("schweitzer", n), &n, |b, &n| {
-            b.iter(|| schweitzer_mva(&net, n, SchweitzerOptions::default()).unwrap())
-        });
+        let solvers: Vec<Box<dyn ClosedSolver>> = vec![
+            Box::new(ExactMvaSolver::new(vins_network(n as f64))),
+            Box::new(MultiserverMvaSolver::new(vins_network(n as f64))),
+            Box::new(SchweitzerSolver::new(vins_network(n as f64))),
+        ];
+        for s in &solvers {
+            g.measure(&format!("{}/{n}", s.name()), Plan::heavy(), || {
+                s.solve(n).unwrap()
+            });
+        }
     }
-    g.finish();
-}
+    println!("{}", g.report());
 
-fn bench_mvasd(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mvasd");
-    let profile = vins_profile();
+    let mut g = Bench::new("mvasd");
     // VINS: CPUs stay below the quasi-static switch => pure carried
     // double-double recursion.
+    let vp = profile_of(&vins::model(), &vins::STANDARD_LEVELS);
     for n in [400usize, 1500] {
-        g.bench_with_input(BenchmarkId::new("vins_carried", n), &n, |b, &n| {
-            b.iter(|| mvasd(&profile, n).unwrap())
+        let carried = MvasdSolver::new(vp.clone());
+        g.measure(&format!("vins_carried/{n}"), Plan::heavy(), || {
+            carried.solve(n).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("vins_single_server", n), &n, |b, &n| {
-            b.iter(|| mvasd_single_server(&profile, n).unwrap())
+        let single = MvasdSingleServerSolver::new(vp.clone());
+        g.measure(&format!("vins_single_server/{n}"), Plan::heavy(), || {
+            single.solve(n).unwrap()
         });
     }
     // JPetStore: the DB CPU saturates => quasi-static convolution phase.
-    let app = jpetstore::model();
-    let levels: Vec<f64> = jpetstore::STANDARD_LEVELS.iter().map(|&l| l as f64).collect();
-    let samples = DemandSamples {
-        station_names: app.station_names(),
-        server_counts: app.server_counts(),
-        think_time: app.think_time,
-        levels: levels.clone(),
-        demands: (0..app.stations.len())
-            .map(|k| levels.iter().map(|&l| app.stations[k].curve.at(l)).collect())
-            .collect(),
-    };
-    let jp = ServiceDemandProfile::from_samples(
-        &samples,
-        InterpolationKind::CubicNotAKnot,
-        DemandAxis::Concurrency,
-    )
-    .unwrap();
-    g.sample_size(10);
-    g.bench_function("jpetstore_quasi_static_210", |b| {
-        b.iter(|| mvasd(&jp, 210).unwrap())
+    let jp = MvasdSolver::new(profile_of(&jpetstore::model(), &jpetstore::STANDARD_LEVELS));
+    g.measure("jpetstore_quasi_static_210", Plan::heavy(), || {
+        jp.solve(210).unwrap()
     });
-    g.finish();
+    println!("{}", g.report());
 }
-
-criterion_group!(benches, bench_solvers, bench_mvasd);
-criterion_main!(benches);

@@ -1,36 +1,33 @@
 //! Discrete-event simulator throughput: simulated load tests per second of
 //! wall clock at the paper's scales.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvasd_bench::timing::{Bench, Plan};
 use mvasd_simnet::{SimConfig, Simulation};
 use mvasd_testbed::apps::{jpetstore, vins};
 
-fn bench_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulated_load_test_60s");
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::new("simulated_load_test_60s");
     for (name, app, users) in [
         ("vins_50_users", vins::model(), 50usize),
         ("vins_1500_users", vins::model(), 1500),
         ("jpetstore_210_users", jpetstore::model(), 210),
     ] {
         let net = app.sim_network(users).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(name), &users, |b, &users| {
-            b.iter(|| {
-                Simulation::new(net.clone(), SimConfig {
+        g.measure(name, Plan::heavy(), || {
+            Simulation::new(
+                net.clone(),
+                SimConfig {
                     customers: users,
                     horizon: 60.0,
                     warmup: 10.0,
                     seed: 42,
                     ..SimConfig::default()
-                })
-                .unwrap()
-                .run()
-                .unwrap()
-            })
+                },
+            )
+            .unwrap()
+            .run()
+            .unwrap()
         });
     }
-    g.finish();
+    println!("{}", g.report());
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -1,59 +1,61 @@
 //! Interpolation benchmarks: construction and evaluation cost per family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvasd_bench::timing::{Bench, Plan};
 use mvasd_numerics::interp::{
     BoundaryCondition, CubicSpline, Interpolant, LinearInterp, NewtonPolynomial, PchipInterp,
     SmoothingSpline,
 };
 
 fn knots(n: usize) -> (Vec<f64>, Vec<f64>) {
-    let xs: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * (1500.0 / n as f64)).collect();
-    let ys: Vec<f64> = xs.iter().map(|&x| 0.01 * (1.0 + 0.25 * (-x / 80.0f64).exp())).collect();
+    let xs: Vec<f64> = (0..n)
+        .map(|i| 1.0 + i as f64 * (1500.0 / n as f64))
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| 0.01 * (1.0 + 0.25 * (-x / 80.0f64).exp()))
+        .collect();
     (xs, ys)
 }
 
-fn bench_construction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interpolant_construction");
+fn main() {
+    let mut g = Bench::new("interpolant_construction");
     for n in [7usize, 50, 500] {
         let (xs, ys) = knots(n);
-        g.bench_with_input(BenchmarkId::new("cubic_not_a_knot", n), &n, |b, _| {
-            b.iter(|| CubicSpline::new(&xs, &ys, BoundaryCondition::NotAKnot).unwrap())
+        let plan = Plan::light(if n <= 50 { 100 } else { 10 });
+        g.measure(&format!("cubic_not_a_knot/{n}"), plan, || {
+            CubicSpline::new(&xs, &ys, BoundaryCondition::NotAKnot).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("pchip", n), &n, |b, _| {
-            b.iter(|| PchipInterp::new(&xs, &ys).unwrap())
+        g.measure(&format!("pchip/{n}"), plan, || {
+            PchipInterp::new(&xs, &ys).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
-            b.iter(|| LinearInterp::new(&xs, &ys).unwrap())
+        g.measure(&format!("linear/{n}"), plan, || {
+            LinearInterp::new(&xs, &ys).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("smoothing", n), &n, |b, _| {
-            b.iter(|| SmoothingSpline::fit(&xs, &ys, 1e-4).unwrap())
+        g.measure(&format!("smoothing/{n}"), plan, || {
+            SmoothingSpline::fit(&xs, &ys, 1e-4).unwrap()
         });
         if n <= 50 {
-            g.bench_with_input(BenchmarkId::new("newton_poly", n), &n, |b, _| {
-                b.iter(|| NewtonPolynomial::new(&xs, &ys).unwrap())
+            g.measure(&format!("newton_poly/{n}"), plan, || {
+                NewtonPolynomial::new(&xs, &ys).unwrap()
             });
         }
     }
-    g.finish();
-}
+    println!("{}", g.report());
 
-fn bench_evaluation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interpolant_eval_1500_points");
+    let mut g = Bench::new("interpolant_eval_1500_points");
     let (xs, ys) = knots(9);
     let spline = CubicSpline::new(&xs, &ys, BoundaryCondition::NotAKnot).unwrap();
     let pchip = PchipInterp::new(&xs, &ys).unwrap();
     let linear = LinearInterp::new(&xs, &ys).unwrap();
-    g.bench_function("cubic", |b| {
-        b.iter(|| (1..=1500).map(|n| spline.eval(n as f64)).sum::<f64>())
+    let plan = Plan::light(20);
+    g.measure("cubic", plan, || {
+        (1..=1500).map(|n| spline.eval(n as f64)).sum::<f64>()
     });
-    g.bench_function("pchip", |b| {
-        b.iter(|| (1..=1500).map(|n| pchip.eval(n as f64)).sum::<f64>())
+    g.measure("pchip", plan, || {
+        (1..=1500).map(|n| pchip.eval(n as f64)).sum::<f64>()
     });
-    g.bench_function("linear", |b| {
-        b.iter(|| (1..=1500).map(|n| linear.eval(n as f64)).sum::<f64>())
+    g.measure("linear", plan, || {
+        (1..=1500).map(|n| linear.eval(n as f64)).sum::<f64>()
     });
-    g.finish();
+    println!("{}", g.report());
 }
-
-criterion_group!(benches, bench_construction, bench_evaluation);
-criterion_main!(benches);

@@ -11,8 +11,7 @@ use mvasd_core::designer::{design_levels, SamplingStrategy};
 use mvasd_core::extrapolation::CurveFitPredictor;
 use mvasd_core::profile::{DemandAxis, InterpolationKind, ServiceDemandProfile};
 use mvasd_queueing::mva::{
-    exact_mva, load_dependent_mva, multiserver_mva, schweitzer_mva, LdStation, RateFunction,
-    SchweitzerOptions,
+    ClosedSolver, ExactMvaSolver, LoadDependentSolver, MultiserverMvaSolver, SchweitzerSolver,
 };
 use mvasd_queueing::network::{ClosedNetwork, Station};
 use mvasd_testbed::apps::jpetstore;
@@ -39,7 +38,10 @@ pub fn interpolation(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
         ("cubic-natural", InterpolationKind::CubicNatural),
         ("cubic-not-a-knot", InterpolationKind::CubicNotAKnot),
         ("pchip", InterpolationKind::Pchip),
-        ("smoothing(l=1e-4)", InterpolationKind::Smoothing { lambda: 1e-4 }),
+        (
+            "smoothing(l=1e-4)",
+            InterpolationKind::Smoothing { lambda: 1e-4 },
+        ),
     ];
     let mut summary = format!(
         "Ablation — interpolation family (JPetStore, MVASD)\n\
@@ -48,9 +50,8 @@ pub fn interpolation(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
         reference.levels()
     );
     for (name, kind) in kinds {
-        let profile =
-            ServiceDemandProfile::from_samples(&samples, kind, DemandAxis::Concurrency)
-                .expect("profile");
+        let profile = ServiceDemandProfile::from_samples(&samples, kind, DemandAxis::Concurrency)
+            .expect("profile");
         let sol = mvasd(&profile, 300).expect("solver");
         let rep = compare_solution(
             name,
@@ -72,7 +73,8 @@ pub fn interpolation(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
 
 /// Solver-family ablation on a 16-core CPU + disk network: exact
 /// multi-server (convolution) vs Schweitzer/Seidmann vs single-server
-/// normalization vs the load-dependent reference.
+/// normalization vs the load-dependent reference. Every contender runs
+/// through the shared [`ClosedSolver`] interface.
 pub fn solvers(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     let net = ClosedNetwork::new(
         vec![
@@ -82,34 +84,42 @@ pub fn solvers(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
         1.0,
     )
     .expect("static model");
-    let n_max = 300;
-
-    let reference = load_dependent_mva(
-        &[
-            LdStation::new("cpu16", 0.12, RateFunction::MultiServer(16)),
-            LdStation::new("disk", 0.006, RateFunction::SingleServer),
+    // Single-server normalization: D/C on the CPU.
+    let norm = ClosedNetwork::new(
+        vec![
+            Station::queueing("cpu16", 1, 1.0, 0.12 / 16.0),
+            Station::queueing("disk", 1, 1.0, 0.006),
         ],
         1.0,
-        n_max,
     )
-    .expect("reference");
+    .expect("static model");
+    let n_max = 300;
 
-    let exact_ms = multiserver_mva(&net, n_max).expect("solver");
-    let schweitzer = schweitzer_mva(&net, n_max, SchweitzerOptions::default()).expect("solver");
-    let normalized = {
-        // Single-server normalization: D/C on the CPU.
-        let norm = ClosedNetwork::new(
-            vec![
-                Station::queueing("cpu16", 1, 1.0, 0.12 / 16.0),
-                Station::queueing("disk", 1, 1.0, 0.006),
-            ],
-            1.0,
-        )
-        .expect("static model");
-        exact_mva(&norm, n_max).expect("solver")
-    };
+    let reference = LoadDependentSolver::from_network(&net)
+        .solve(n_max)
+        .expect("reference");
 
-    let dev = |sol: &mvasd_queueing::mva::MvaSolution| {
+    let contenders: Vec<(&str, Box<dyn ClosedSolver>)> = vec![
+        (
+            "exact multi-server (Algorithm 2)",
+            Box::new(MultiserverMvaSolver::new(net.clone())),
+        ),
+        (
+            "Schweitzer + Seidmann",
+            Box::new(SchweitzerSolver::new(net)),
+        ),
+        (
+            "single-server normalization (D/C)",
+            Box::new(ExactMvaSolver::new(norm)),
+        ),
+    ];
+
+    let mut summary = format!(
+        "Ablation — multi-server solver family vs load-dependent reference\n\
+         (16-core CPU D=0.12 + disk D=0.006, Z=1, N=1..{n_max})\n"
+    );
+    for (label, solver) in &contenders {
+        let sol = solver.solve(n_max).expect("solver");
         let mut mean = 0.0;
         let mut worst: f64 = 0.0;
         for n in 1..=n_max {
@@ -119,18 +129,13 @@ pub fn solvers(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
             mean += d;
             worst = worst.max(d);
         }
-        (mean / n_max as f64 * 100.0, worst * 100.0)
-    };
-    let (m1, w1) = dev(&exact_ms);
-    let (m2, w2) = dev(&schweitzer);
-    let (m3, w3) = dev(&normalized);
-    let summary = format!(
-        "Ablation — multi-server solver family vs load-dependent reference\n\
-         (16-core CPU D=0.12 + disk D=0.006, Z=1, N=1..{n_max})\n\
-         exact multi-server (Algorithm 2):   mean {m1:.4} %, worst {w1:.4} %\n\
-         Schweitzer + Seidmann:              mean {m2:.2} %, worst {w2:.2} %\n\
-         single-server normalization (D/C):  mean {m3:.2} %, worst {w3:.2} %\n"
-    );
+        summary.push_str(&format!(
+            "{label:<36} [{}]: mean {:.4} %, worst {:.4} %\n",
+            solver.name(),
+            mean / n_max as f64 * 100.0,
+            worst * 100.0
+        ));
+    }
     let p = write_text(dir, "ablation_solvers.txt", &summary)?;
     println!("{summary}");
     Ok(vec![p])
@@ -207,8 +212,7 @@ pub fn curvefit(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
 
     // Curve-fit path: same measured points, throughput-only model.
     let lv: Vec<f64> = fit.levels().iter().map(|&l| l as f64).collect();
-    let cf = CurveFitPredictor::fit(&lv, &fit.throughputs(), app.think_time)
-        .expect("fit");
+    let cf = CurveFitPredictor::fit(&lv, &fit.throughputs(), app.think_time).expect("fit");
     let cf_x: Vec<f64> = reference
         .levels()
         .iter()
@@ -243,7 +247,9 @@ pub fn curvefit(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
         cf_rep.throughput_mean_pct,
         cf_rep.cycle_mean_pct,
         cf.shape(),
-        sd.at(210).map(|p| p.stations[8].utilization * 100.0).unwrap_or(0.0),
+        sd.at(210)
+            .map(|p| p.stations[8].utilization * 100.0)
+            .unwrap_or(0.0),
     );
     let p = write_text(dir, "ablation_curvefit.txt", &summary)?;
     println!("{summary}");
@@ -340,13 +346,14 @@ pub fn robustness(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
 
     // Contended system: a lock convoy on the DB CPU.
     let mut app = jpetstore::model();
-    app.stations[8] = app.stations[8].clone().with_contention(
-        mvasd_simnet::ContentionModel::LinearBeyond {
-            threshold: 16,
-            slope: 0.015,
-            max_factor: 2.0,
-        },
-    );
+    app.stations[8] =
+        app.stations[8]
+            .clone()
+            .with_contention(mvasd_simnet::ContentionModel::LinearBeyond {
+                threshold: 16,
+                slope: 0.015,
+                max_factor: 2.0,
+            });
     let contended = measure(&app, &jpetstore::STANDARD_LEVELS);
     let profile = ServiceDemandProfile::from_samples(
         &contended.to_demand_samples(),
@@ -383,8 +390,16 @@ pub fn robustness(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
         clean_rep.cycle_mean_pct,
         rep.throughput_mean_pct,
         rep.cycle_mean_pct,
-        clean_reference.throughputs().iter().cloned().fold(0.0f64, f64::max),
-        contended.throughputs().iter().cloned().fold(0.0f64, f64::max),
+        clean_reference
+            .throughputs()
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max),
+        contended
+            .throughputs()
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max),
     );
     let p = write_text(dir, "ablation_robustness.txt", &summary)?;
     println!("{summary}");

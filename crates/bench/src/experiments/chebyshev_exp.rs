@@ -199,8 +199,7 @@ mod tests {
     fn fig13_is_cheap_and_correct() {
         let dir = std::env::temp_dir().join("mvasd_fig13_test");
         fig13(&dir).unwrap();
-        let csv =
-            std::fs::read_to_string(dir.join("fig13_chebyshev_error_bounds.csv")).unwrap();
+        let csv = std::fs::read_to_string(dir.join("fig13_chebyshev_error_bounds.csv")).unwrap();
         assert_eq!(csv.lines().count(), 11);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -6,13 +6,14 @@
 
 use std::path::{Path, PathBuf};
 
-use mvasd_core::accuracy::{compare_solution, render_table};
+use mvasd_core::accuracy::{compare_solution, compare_solver, render_table};
 use mvasd_core::algorithm::{mvasd, mvasd_single_server};
 use mvasd_core::profile::{DemandAxis, InterpolationKind, ServiceDemandProfile};
+use mvasd_core::solver::{MvasdSingleServerSolver, MvasdSolver};
 use mvasd_numerics::interp::{BoundaryCondition, CubicSpline, Extrapolation, Interpolant};
-use mvasd_queueing::mva::MvaSolution;
+use mvasd_queueing::mva::{ClosedSolver, MvaSolution};
 
-use super::vins_exp::{mva_i, mvasd_from};
+use super::vins_exp::{mva_i, mva_i_solver, mvasd_from};
 use super::Ctx;
 use crate::output::{write_text, Table};
 
@@ -180,19 +181,23 @@ pub fn table5(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
         DemandAxis::Concurrency,
     )
     .expect("profile");
-    let mut reports = Vec::new();
-    let ss = mvasd_single_server(&profile, N_MAX).expect("solver");
-    reports.push(
-        compare_solution("MVASD: Single-Server", &ss, &levels, &mx, &mc).expect("deviation"),
-    );
-    let sd = mvasd(&profile, N_MAX).expect("solver");
-    reports.push(compare_solution("MVASD", &sd, &levels, &mx, &mc).expect("deviation"));
+    // Every model is a ClosedSolver, so the comparison is a single sweep.
+    let mut models: Vec<(String, Box<dyn ClosedSolver>)> = vec![
+        (
+            "MVASD: Single-Server".to_string(),
+            Box::new(MvasdSingleServerSolver::new(profile.clone())),
+        ),
+        ("MVASD".to_string(), Box::new(MvasdSolver::new(profile))),
+    ];
     for &i in &MVA_I_LEVELS {
-        let sol = mva_i(c, i, N_MAX);
-        reports.push(
-            compare_solution(&format!("MVA {i}"), &sol, &levels, &mx, &mc).expect("deviation"),
-        );
+        models.push((format!("MVA {i}"), Box::new(mva_i_solver(c, i))));
     }
+    let reports: Vec<_> = models
+        .iter()
+        .map(|(name, solver)| {
+            compare_solver(name, solver.as_ref(), &levels, &mx, &mc).expect("deviation")
+        })
+        .collect();
     let rendered = render_table(
         "Table 5 — Mean Deviation in Modeling the JPetStore application",
         &reports,
@@ -219,9 +224,13 @@ pub fn fig11(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
     // Demand-vs-throughput spline curves.
     let mut t = Table::new(vec!["throughput", "db_cpu_demand", "db_disk_demand"]);
     let spline = |k: usize| {
-        CubicSpline::new(&samples.levels, &samples.demands[k], BoundaryCondition::NotAKnot)
-            .expect("spline")
-            .with_extrapolation(Extrapolation::Clamp)
+        CubicSpline::new(
+            &samples.levels,
+            &samples.demands[k],
+            BoundaryCondition::NotAKnot,
+        )
+        .expect("spline")
+        .with_extrapolation(Extrapolation::Clamp)
     };
     let (s_cpu, s_disk) = (spline(cpu), spline(disk));
     let (lo, hi) = (samples.levels[0], *samples.levels.last().unwrap());
@@ -233,9 +242,12 @@ pub fn fig11(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
     let p1 = t.write(dir, "fig11_jpetstore_demand_vs_throughput.csv")?;
 
     // Prediction with the throughput-indexed profile.
-    let profile =
-        ServiceDemandProfile::from_samples(&samples, InterpolationKind::CubicNotAKnot, DemandAxis::Throughput)
-            .expect("profile");
+    let profile = ServiceDemandProfile::from_samples(
+        &samples,
+        InterpolationKind::CubicNotAKnot,
+        DemandAxis::Throughput,
+    )
+    .expect("profile");
     let sol = mvasd(&profile, N_MAX).expect("solver");
     let report = compare_solution(
         "MVASD (demand vs throughput)",

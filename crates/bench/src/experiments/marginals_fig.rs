@@ -50,8 +50,7 @@ mod tests {
     fn fig3_probabilities_drain_into_all_busy() {
         let dir = std::env::temp_dir().join("mvasd_fig3_test");
         fig3(&dir).unwrap();
-        let content =
-            std::fs::read_to_string(dir.join("fig3_core_busy_marginals.csv")).unwrap();
+        let content = std::fs::read_to_string(dir.join("fig3_core_busy_marginals.csv")).unwrap();
         assert_eq!(content.lines().count(), 61);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -47,10 +47,31 @@ impl Ctx {
 
 /// All known experiment ids, in paper order.
 pub const ALL: &[&str] = &[
-    "fig1", "fig3", "table2", "fig4", "fig5", "fig6", "table3", "fig7", "fig8", "fig9",
-    "table4", "table5", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "ablation-interp", "ablation-solvers", "ablation-sampling", "ablation-curvefit",
-    "ablation-demandfit", "ablation-robustness",
+    "fig1",
+    "fig3",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table3",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table4",
+    "table5",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "ablation-interp",
+    "ablation-solvers",
+    "ablation-sampling",
+    "ablation-curvefit",
+    "ablation-demandfit",
+    "ablation-robustness",
 ];
 
 /// Runs one experiment by id; returns the artifact paths it wrote.

@@ -4,11 +4,11 @@
 
 use std::path::{Path, PathBuf};
 
-use mvasd_core::accuracy::{compare_solution, render_table, DeviationReport};
-use mvasd_core::algorithm::mvasd;
+use mvasd_core::accuracy::{compare_solver, render_table, DeviationReport};
 use mvasd_core::profile::{DemandAxis, InterpolationKind, ServiceDemandProfile};
+use mvasd_core::solver::MvasdSolver;
 use mvasd_numerics::interp::{BoundaryCondition, CubicSpline, Extrapolation, Interpolant};
-use mvasd_queueing::mva::{multiserver_mva, MvaSolution};
+use mvasd_queueing::mva::{ClosedSolver, MultiserverMvaSolver, MvaSolution};
 use mvasd_queueing::network::{ClosedNetwork, Station};
 use mvasd_testbed::campaign::Campaign;
 
@@ -34,22 +34,48 @@ pub(crate) fn network_from_demands(c: &Campaign, demands: &[f64]) -> ClosedNetwo
     ClosedNetwork::new(stations, c.think_time).expect("measured demands form a valid network")
 }
 
-/// Solves MVA·i (Algorithm 2 with demands sampled at level `i`).
-pub(crate) fn mva_i(c: &Campaign, i: usize, n_max: usize) -> MvaSolution {
+/// The MVA·i baseline (Algorithm 2 with demands sampled at level `i`) as a
+/// [`ClosedSolver`].
+pub(crate) fn mva_i_solver(c: &Campaign, i: usize) -> MultiserverMvaSolver {
     let point = c.at(i).unwrap_or_else(|| panic!("level {i} not measured"));
-    let net = network_from_demands(c, &point.demands);
-    multiserver_mva(&net, n_max).expect("solver")
+    MultiserverMvaSolver::new(network_from_demands(c, &point.demands))
 }
 
-/// Solves MVASD from the campaign's full demand array.
-pub(crate) fn mvasd_from(c: &Campaign, n_max: usize) -> MvaSolution {
+/// MVASD over the campaign's full demand array as a [`ClosedSolver`].
+pub(crate) fn mvasd_solver(c: &Campaign) -> MvasdSolver {
     let profile = ServiceDemandProfile::from_samples(
         &c.to_demand_samples(),
         InterpolationKind::CubicNotAKnot,
         DemandAxis::Concurrency,
     )
     .expect("campaign demands form a valid profile");
-    mvasd(&profile, n_max).expect("solver")
+    MvasdSolver::new(profile)
+}
+
+/// All models the paper compares on a campaign: MVASD plus the MVA·i
+/// baselines at whichever of `levels` were measured.
+pub(crate) fn model_solvers(
+    c: &Campaign,
+    levels: &[usize],
+) -> Vec<(String, Box<dyn ClosedSolver>)> {
+    let mut models: Vec<(String, Box<dyn ClosedSolver>)> =
+        vec![("MVASD".to_string(), Box::new(mvasd_solver(c)))];
+    for &i in levels {
+        if c.at(i).is_some() {
+            models.push((format!("MVA {i}"), Box::new(mva_i_solver(c, i))));
+        }
+    }
+    models
+}
+
+/// Solves MVA·i (Algorithm 2 with demands sampled at level `i`).
+pub(crate) fn mva_i(c: &Campaign, i: usize, n_max: usize) -> MvaSolution {
+    mva_i_solver(c, i).solve(n_max).expect("solver")
+}
+
+/// Solves MVASD from the campaign's full demand array.
+pub(crate) fn mvasd_from(c: &Campaign, n_max: usize) -> MvaSolution {
+    mvasd_solver(c).solve(n_max).expect("solver")
 }
 
 /// Writes measured (levels) + predicted (full curves) throughput/cycle-time
@@ -124,8 +150,7 @@ pub fn fig4(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
         .iter()
         .map(|&i| (format!("mva{i}"), mva_i(c, i, N_MAX)))
         .collect();
-    let model_refs: Vec<(&str, &MvaSolution)> =
-        sols.iter().map(|(n, s)| (n.as_str(), s)).collect();
+    let model_refs: Vec<(&str, &MvaSolution)> = sols.iter().map(|(n, s)| (n.as_str(), s)).collect();
     write_prediction_tables(dir, "fig4_vins_mva_i", c, &model_refs)
 }
 
@@ -166,37 +191,34 @@ pub fn fig6(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
     for &i in &MVA_I_LEVELS {
         sols.push((format!("mva{i}"), mva_i(c, i, N_MAX)));
     }
-    let model_refs: Vec<(&str, &MvaSolution)> =
-        sols.iter().map(|(n, s)| (n.as_str(), s)).collect();
+    let model_refs: Vec<(&str, &MvaSolution)> = sols.iter().map(|(n, s)| (n.as_str(), s)).collect();
     write_prediction_tables(dir, "fig6_vins_mvasd", c, &model_refs)
 }
 
 /// Builds the deviation reports (eq. 15) of MVASD and the MVA·i baselines
-/// against the measured campaign.
-pub(crate) fn deviation_reports(c: &Campaign, n_max: usize) -> Vec<DeviationReport> {
+/// against the measured campaign. Every model runs through the shared
+/// [`ClosedSolver`] interface, so adding one is a one-line change to
+/// [`model_solvers`].
+pub(crate) fn deviation_reports(c: &Campaign, mva_i_levels: &[usize]) -> Vec<DeviationReport> {
     let levels = c.levels();
     let mx = c.throughputs();
     let mc = c.cycle_times();
-    let mut reports = Vec::new();
-    let sd = mvasd_from(c, n_max);
-    reports.push(compare_solution("MVASD", &sd, &levels, &mx, &mc).expect("deviation"));
-    for &i in &MVA_I_LEVELS {
-        if c.at(i).is_none() {
-            continue;
-        }
-        let sol = mva_i(c, i, n_max);
-        reports.push(
-            compare_solution(&format!("MVA {i}"), &sol, &levels, &mx, &mc).expect("deviation"),
-        );
-    }
-    reports
+    model_solvers(c, mva_i_levels)
+        .iter()
+        .map(|(name, solver)| {
+            compare_solver(name, solver.as_ref(), &levels, &mx, &mc).expect("deviation")
+        })
+        .collect()
 }
 
 /// Table 4 — mean deviation in modeling VINS.
 pub fn table4(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
     let c = ctx.vins();
-    let reports = deviation_reports(c, N_MAX);
-    let rendered = render_table("Table 4 — Mean Deviation in Modeling the VINS application", &reports);
+    let reports = deviation_reports(c, &MVA_I_LEVELS);
+    let rendered = render_table(
+        "Table 4 — Mean Deviation in Modeling the VINS application",
+        &reports,
+    );
     let p1 = write_text(dir, "table4_vins_deviation.txt", &rendered)?;
     let mut csv = Table::new(vec!["model_index", "throughput_dev_pct", "cycle_dev_pct"]);
     for (i, r) in reports.iter().enumerate() {

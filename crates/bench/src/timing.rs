@@ -1,0 +1,231 @@
+//! A small std-only timing harness for the `harness = false` benches.
+//!
+//! Each measurement runs the closure for a few warmup iterations, then
+//! takes `samples` timed samples of `iters` iterations each and reports
+//! min / median / mean. No statistics beyond that: the benches here exist
+//! to catch order-of-magnitude regressions and to document relative cost,
+//! not to resolve nanoseconds.
+//!
+//! Set `MVASD_BENCH_QUICK=1` to cut samples roughly in half (useful in CI
+//! smoke runs); the knob is read once per process.
+
+use std::hint::black_box;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// True when `MVASD_BENCH_QUICK=1`: benches drop to a fast smoke pass.
+pub fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::var_os("MVASD_BENCH_QUICK").is_some_and(|v| v == "1"))
+}
+
+/// How a [`Bench`] measures one target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Plan {
+    /// Untimed iterations before sampling starts.
+    pub warmup: u32,
+    /// Number of timed samples.
+    pub samples: u32,
+    /// Closure invocations per sample (raise for sub-microsecond targets).
+    pub iters: u32,
+}
+
+impl Default for Plan {
+    fn default() -> Self {
+        Self {
+            warmup: 3,
+            samples: 15,
+            iters: 1,
+        }
+    }
+}
+
+impl Plan {
+    /// A plan for expensive targets (seconds per call): fewer samples.
+    pub fn heavy() -> Self {
+        Self {
+            warmup: 1,
+            samples: 5,
+            iters: 1,
+        }
+    }
+
+    /// A plan for cheap targets: batch iterations per sample so the timer
+    /// resolution doesn't dominate.
+    pub fn light(iters: u32) -> Self {
+        Self {
+            warmup: 5,
+            samples: 21,
+            iters,
+        }
+    }
+
+    fn effective(self) -> Self {
+        if quick_mode() {
+            Self {
+                warmup: self.warmup.min(1),
+                samples: ((self.samples + 1) / 2).max(3),
+                iters: self.iters,
+            }
+        } else {
+            self
+        }
+    }
+}
+
+/// One measured target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Target label.
+    pub name: String,
+    /// Per-iteration sample durations, ascending.
+    pub sorted: Vec<Duration>,
+}
+
+impl Measurement {
+    /// Fastest observed per-iteration time.
+    pub fn min(&self) -> Duration {
+        self.sorted[0]
+    }
+
+    /// Median per-iteration time (the headline number).
+    pub fn median(&self) -> Duration {
+        let s = &self.sorted;
+        let mid = s.len() / 2;
+        if s.len() % 2 == 1 {
+            s[mid]
+        } else {
+            (s[mid - 1] + s[mid]) / 2
+        }
+    }
+
+    /// Mean per-iteration time.
+    pub fn mean(&self) -> Duration {
+        self.sorted.iter().sum::<Duration>() / self.sorted.len() as u32
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of measurements, printed as an aligned table on `report`.
+#[derive(Debug, Default)]
+pub struct Bench {
+    group: String,
+    results: Vec<Measurement>,
+}
+
+impl Bench {
+    /// Starts a benchmark group.
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures `f` under `plan` and records the result. The closure's
+    /// return value is passed through [`black_box`] so the optimizer can't
+    /// delete the work.
+    pub fn measure<R>(&mut self, name: &str, plan: Plan, mut f: impl FnMut() -> R) -> &Measurement {
+        let plan = plan.effective();
+        for _ in 0..plan.warmup {
+            black_box(f());
+        }
+        let mut sorted = Vec::with_capacity(plan.samples as usize);
+        for _ in 0..plan.samples {
+            let start = Instant::now();
+            for _ in 0..plan.iters {
+                black_box(f());
+            }
+            sorted.push(start.elapsed() / plan.iters);
+        }
+        sorted.sort();
+        self.results.push(Measurement {
+            name: name.to_string(),
+            sorted,
+        });
+        self.results.last().expect("just pushed")
+    }
+
+    /// Renders the group as an aligned text table.
+    pub fn report(&self) -> String {
+        let width = self
+            .results
+            .iter()
+            .map(|m| m.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        let mut out = format!(
+            "{}\n{:<width$}  {:>10}  {:>10}  {:>10}\n",
+            self.group, "target", "median", "mean", "min"
+        );
+        for m in &self.results {
+            out.push_str(&format!(
+                "{:<width$}  {:>10}  {:>10}  {:>10}\n",
+                m.name,
+                fmt_duration(m.median()),
+                fmt_duration(m.mean()),
+                fmt_duration(m.min())
+            ));
+        }
+        out
+    }
+
+    /// The recorded measurements.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut b = Bench::new("demo");
+        let m = b.measure("spin", Plan::light(10), || {
+            (0..100u64).map(black_box).sum::<u64>()
+        });
+        assert!(m.min() <= m.median() && m.median() <= *m.sorted.last().unwrap());
+        assert!(m.mean() > Duration::ZERO);
+        let txt = b.report();
+        assert!(txt.contains("demo"));
+        assert!(txt.contains("spin"));
+        assert!(txt.contains("median"));
+    }
+
+    #[test]
+    fn median_of_even_and_odd_sample_counts() {
+        let m = Measurement {
+            name: "x".into(),
+            sorted: vec![Duration::from_nanos(10), Duration::from_nanos(30)],
+        };
+        assert_eq!(m.median(), Duration::from_nanos(20));
+        let m = Measurement {
+            name: "x".into(),
+            sorted: (1..=3).map(Duration::from_nanos).collect(),
+        };
+        assert_eq!(m.median(), Duration::from_nanos(2));
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(500)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(500)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(20)).ends_with(" s"));
+    }
+}

@@ -2,7 +2,7 @@
 //! eq. 15 and the model-comparison layout of Tables 4–5.
 
 use mvasd_numerics::stats::{max_pct_deviation, mean_pct_deviation};
-use mvasd_queueing::mva::MvaSolution;
+use mvasd_queueing::mva::{ClosedSolver, MvaSolution};
 
 use crate::CoreError;
 
@@ -31,11 +31,9 @@ pub fn predictions_at(
     let mut xs = Vec::with_capacity(levels.len());
     let mut cs = Vec::with_capacity(levels.len());
     for &n in levels {
-        let p = solution
-            .at(n as usize)
-            .ok_or(CoreError::InvalidParameter {
-                what: "level outside the solved population range",
-            })?;
+        let p = solution.at(n as usize).ok_or(CoreError::InvalidParameter {
+            what: "level outside the solved population range",
+        })?;
         xs.push(p.throughput);
         cs.push(p.cycle_time);
     }
@@ -71,6 +69,44 @@ pub fn compare_solution(
 ) -> Result<DeviationReport, CoreError> {
     let (xs, cs) = predictions_at(solution, levels)?;
     compare(model, &xs, &cs, measured_throughput, measured_cycle)
+}
+
+/// Convenience: solves any [`ClosedSolver`] up to the largest measured
+/// level and reports its deviation. The Tables 4–5 comparisons reduce to
+/// one call per solver:
+///
+/// ```no_run
+/// # use mvasd_core::accuracy::compare_solver;
+/// # use mvasd_queueing::mva::ClosedSolver;
+/// # fn demo(solvers: &[Box<dyn ClosedSolver>], levels: &[u64],
+/// #         x_meas: &[f64], c_meas: &[f64]) {
+/// for s in solvers {
+///     let report = compare_solver(s.name(), s, levels, x_meas, c_meas).unwrap();
+///     println!("{}: {:.2}%", report.model, report.throughput_mean_pct);
+/// }
+/// # }
+/// ```
+pub fn compare_solver<S: ClosedSolver + ?Sized>(
+    model: &str,
+    solver: &S,
+    levels: &[u64],
+    measured_throughput: &[f64],
+    measured_cycle: &[f64],
+) -> Result<DeviationReport, CoreError> {
+    let n_max = levels.iter().copied().max().unwrap_or(0) as usize;
+    if n_max == 0 {
+        return Err(CoreError::InvalidParameter {
+            what: "need at least one nonzero measurement level",
+        });
+    }
+    let solution = solver.solve(n_max).map_err(CoreError::from)?;
+    compare_solution(
+        model,
+        &solution,
+        levels,
+        measured_throughput,
+        measured_cycle,
+    )
 }
 
 /// Renders reports in the layout of paper Tables 4–5 (two metric blocks,
@@ -167,6 +203,21 @@ mod tests {
         assert!(txt.contains("Throughput"));
         assert!(txt.contains("Cycle Time"));
         assert!(txt.contains("20.00")); // r2 deviation
+    }
+
+    #[test]
+    fn compare_solver_solves_to_max_level() {
+        use mvasd_queueing::mva::ExactMvaSolver;
+        use mvasd_queueing::network::{ClosedNetwork, Station};
+        let net = ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, 0.02)], 1.0).unwrap();
+        let solver = ExactMvaSolver::new(net);
+        // Measurements are the solver's own predictions: zero deviation.
+        let sol = solver.solve(20).unwrap();
+        let (xs, cs) = predictions_at(&sol, &[5, 20]).unwrap();
+        let r = compare_solver("exact-mva", &solver, &[5, 20], &xs, &cs).unwrap();
+        assert!(r.throughput_mean_pct < 1e-12);
+        assert!(r.cycle_max_pct < 1e-12);
+        assert!(compare_solver("exact-mva", &solver, &[], &[], &[]).is_err());
     }
 
     #[test]

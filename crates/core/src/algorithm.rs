@@ -357,8 +357,7 @@ mod tests {
         assert!(sd.last().throughput > 97.0, "{}", sd.last().throughput);
         assert!(sd.last().throughput <= 100.0 + 1e-6);
 
-        let mva1 = ClosedNetwork::new(vec![Station::queueing("disk", 1, 1.0, 0.012)], 1.0)
-            .unwrap();
+        let mva1 = ClosedNetwork::new(vec![Station::queueing("disk", 1, 1.0, 0.012)], 1.0).unwrap();
         let x1 = multiserver_mva(&mva1, 600).unwrap().last().throughput;
         assert!(x1 < 84.0);
         assert!(sd.last().throughput > x1 * 1.15);
@@ -389,7 +388,11 @@ mod tests {
         );
         assert!(close(r_multi, 0.16, 0.02));
         // Same asymptotic ceiling 16/0.16 = 100.
-        assert!(close(single.last().throughput, multi.last().throughput, 2.0));
+        assert!(close(
+            single.last().throughput,
+            multi.last().throughput,
+            2.0
+        ));
     }
 
     #[test]
@@ -441,7 +444,10 @@ mod tests {
         let xs = sol.throughputs();
         let peak = xs.iter().cloned().fold(0.0f64, f64::max);
         let x_end = *xs.last().unwrap();
-        assert!(x_end < peak * 0.997, "dip expected: peak {peak}, end {x_end}");
+        assert!(
+            x_end < peak * 0.997,
+            "dip expected: peak {peak}, end {x_end}"
+        );
         // And the peak is reached strictly before the end of the range.
         let peak_n = xs.iter().position(|&x| x == peak).unwrap() + 1;
         assert!(peak_n < 200, "peak at n={peak_n}");
@@ -489,13 +495,22 @@ mod tests {
             assert!(rel < 0.22, "n={n}: exact {xe} vs approx {xa}");
             // Little's law holds for the approximation too.
             let p = approx.at(n).unwrap();
-            assert!(close(p.n as f64, p.throughput * p.cycle_time, 1e-6 * p.n as f64));
+            assert!(close(
+                p.n as f64,
+                p.throughput * p.cycle_time,
+                1e-6 * p.n as f64
+            ));
         }
         // Same asymptotic ceiling (interpolated bottleneck), approached
         // slowly by the approximation — 5 % far past the knee.
-        let rel = (exact.last().throughput - approx.last().throughput).abs()
-            / exact.last().throughput;
-        assert!(rel < 0.05, "ceilings: {} vs {}", exact.last().throughput, approx.last().throughput);
+        let rel =
+            (exact.last().throughput - approx.last().throughput).abs() / exact.last().throughput;
+        assert!(
+            rel < 0.05,
+            "ceilings: {} vs {}",
+            exact.last().throughput,
+            approx.last().throughput
+        );
     }
 
     #[test]

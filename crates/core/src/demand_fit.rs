@@ -78,8 +78,11 @@ impl WarmupLaw {
         let span = levels.last().unwrap() - levels[0];
         // Parameterize positively via squares to keep NM unconstrained:
         // p = [d_inf, alpha, tau] directly with penalty guards.
-        let data: Vec<(f64, f64)> =
-            levels.iter().cloned().zip(demands.iter().cloned()).collect();
+        let data: Vec<(f64, f64)> = levels
+            .iter()
+            .cloned()
+            .zip(demands.iter().cloned())
+            .collect();
         let objective = |p: &[f64]| -> f64 {
             let (d_inf, alpha, tau) = (p[0], p[1], p[2]);
             if d_inf <= 0.0 || alpha < 0.0 || tau <= 0.0 {
@@ -97,10 +100,14 @@ impl WarmupLaw {
             ((d_first / d_min) - 1.0).max(0.01),
             (span / 4.0).max(1.0),
         ];
-        let fit = nelder_mead(objective, &init, NelderMeadOptions {
-            max_iterations: 6000,
-            ..NelderMeadOptions::default()
-        })?;
+        let fit = nelder_mead(
+            objective,
+            &init,
+            NelderMeadOptions {
+                max_iterations: 6000,
+                ..NelderMeadOptions::default()
+            },
+        )?;
         let rms = (fit.value / data.len() as f64).sqrt();
         Ok(WarmupLaw {
             d_inf: fit.x[0],
@@ -117,7 +124,9 @@ impl WarmupLaw {
 /// Internally the laws are densely tabulated and handed to the standard
 /// profile machinery (PCHIP through law-generated points reproduces the
 /// law to ~1e-6, and keeps the solver interface uniform).
-pub fn fit_profile(samples: &DemandSamples) -> Result<(Vec<WarmupLaw>, ServiceDemandProfile), CoreError> {
+pub fn fit_profile(
+    samples: &DemandSamples,
+) -> Result<(Vec<WarmupLaw>, ServiceDemandProfile), CoreError> {
     let laws: Vec<WarmupLaw> = samples
         .demands
         .iter()
@@ -146,8 +155,11 @@ pub fn fit_profile(samples: &DemandSamples) -> Result<(Vec<WarmupLaw>, ServiceDe
             .map(|law| grid.iter().map(|&n| law.at(n)).collect())
             .collect(),
     };
-    let profile =
-        ServiceDemandProfile::from_samples(&dense, InterpolationKind::Pchip, DemandAxis::Concurrency)?;
+    let profile = ServiceDemandProfile::from_samples(
+        &dense,
+        InterpolationKind::Pchip,
+        DemandAxis::Concurrency,
+    )?;
     Ok((laws, profile))
 }
 

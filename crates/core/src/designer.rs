@@ -8,8 +8,7 @@
 //! all three strategies so the benches can reproduce the comparison.
 
 use mvasd_numerics::chebyshev::chebyshev_levels;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mvasd_numerics::rng::Xoshiro256pp;
 
 use crate::CoreError;
 
@@ -61,9 +60,9 @@ pub fn design_levels(
             }
         }
         SamplingStrategy::Random { seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
             (0..points)
-                .map(|_| rng.gen_range(a..=b).round().max(1.0) as u64)
+                .map(|_| rng.uniform_inclusive(a, b).round().max(1.0) as u64)
                 .collect()
         }
     };

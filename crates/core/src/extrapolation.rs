@@ -62,7 +62,11 @@ impl CurveFitPredictor {
                 what: "need at least 3 measured points",
             });
         }
-        if levels.iter().chain(throughputs.iter()).any(|v| !v.is_finite()) {
+        if levels
+            .iter()
+            .chain(throughputs.iter())
+            .any(|v| !v.is_finite())
+        {
             return Err(CoreError::InvalidParameter {
                 what: "levels and throughputs must be finite",
             });
@@ -91,7 +95,9 @@ impl CurveFitPredictor {
             .map(|(&n, &x)| (n, x))
             .unzip();
         let slope = if low.0.len() >= 2 {
-            linear_regression(&low.0, &low.1).map(|r| r.slope).unwrap_or(0.0)
+            linear_regression(&low.0, &low.1)
+                .map(|r| r.slope)
+                .unwrap_or(0.0)
         } else {
             // Degenerate: use the first point's ray.
             throughputs[0] / levels[0].max(1.0)
@@ -115,7 +121,11 @@ impl CurveFitPredictor {
 
         // Candidate 2: sigmoid, fitted by Nelder–Mead on SSE with
         // positivity penalties.
-        let data: Vec<(f64, f64)> = levels.iter().cloned().zip(throughputs.iter().cloned()).collect();
+        let data: Vec<(f64, f64)> = levels
+            .iter()
+            .cloned()
+            .zip(throughputs.iter().cloned())
+            .collect();
         let sse = |p: &[f64]| -> f64 {
             if p[0] <= 0.0 || p[2] <= 0.0 {
                 return 1e30;
@@ -256,9 +266,7 @@ mod tests {
         assert!(CurveFitPredictor::fit(&[1.0, 2.0], &[1.0, 2.0], 1.0).is_err());
         assert!(CurveFitPredictor::fit(&[1.0, 2.0, 3.0], &[1.0, 2.0], 1.0).is_err());
         assert!(CurveFitPredictor::fit(&[1.0, 2.0, 3.0], &[1.0, -2.0, 3.0], 1.0).is_err());
-        assert!(
-            CurveFitPredictor::fit(&[1.0, 2.0, f64::NAN], &[1.0, 2.0, 3.0], 1.0).is_err()
-        );
+        assert!(CurveFitPredictor::fit(&[1.0, 2.0, f64::NAN], &[1.0, 2.0, 3.0], 1.0).is_err());
         assert!(CurveFitPredictor::fit(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], -1.0).is_err());
     }
 

@@ -34,12 +34,16 @@
 //!   throughput-indexed profiles, the extension paper Section 7 motivates.
 //! * [`pipeline`] — the three-step prediction workflow of paper Fig. 17
 //!   (design points → load test → interpolate + predict).
+//! * [`solver`] — [`mvasd_queueing::mva::ClosedSolver`] adapters for the
+//!   MVASD family, so the algorithms here slot into the same comparison
+//!   pipelines as the static solvers and the simulation estimator.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use mvasd_core::profile::{DemandSamples, ServiceDemandProfile, InterpolationKind, DemandAxis};
-//! use mvasd_core::algorithm::mvasd;
+//! use mvasd_core::solver::MvasdSolver;
+//! use mvasd_queueing::mva::ClosedSolver;
 //!
 //! // Demands measured at 3 concurrency levels for 2 stations.
 //! let samples = DemandSamples {
@@ -55,7 +59,11 @@
 //! let profile = ServiceDemandProfile::from_samples(
 //!     &samples, InterpolationKind::CubicNotAKnot, DemandAxis::Concurrency,
 //! ).unwrap();
-//! let prediction = mvasd(&profile, 300).unwrap();
+//! // MvasdSolver implements the workspace-wide ClosedSolver trait, so it
+//! // drops into any pipeline alongside the static MVA solvers.
+//! let solver = MvasdSolver::new(profile);
+//! assert_eq!(solver.name(), "mvasd");
+//! let prediction = solver.solve(300).unwrap();
 //! assert!(prediction.last().throughput <= 1.0 / 0.0105 + 1e-9);
 //! ```
 
@@ -70,6 +78,7 @@ pub mod extrapolation;
 pub mod open_system;
 pub mod pipeline;
 pub mod profile;
+pub mod solver;
 
 /// Errors from MVASD model construction and solution.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,6 +128,8 @@ mod tests {
         assert!(!e.to_string().is_empty());
         let e: CoreError = mvasd_queueing::QueueingError::EmptyNetwork.into();
         assert!(!e.to_string().is_empty());
-        assert!(!CoreError::InvalidParameter { what: "x" }.to_string().is_empty());
+        assert!(!CoreError::InvalidParameter { what: "x" }
+            .to_string()
+            .is_empty());
     }
 }

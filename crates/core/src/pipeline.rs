@@ -14,12 +14,29 @@
 //! [`PredictionWorkflow::predict`] is Step 3. This keeps `mvasd-core` pure
 //! math while still encoding the full recipe.
 
-use mvasd_queueing::mva::MvaSolution;
+use mvasd_queueing::mva::{ClosedSolver, MvaSolution};
 
-use crate::algorithm::mvasd;
 use crate::designer::{design_levels, SamplingStrategy};
 use crate::profile::{DemandAxis, DemandSamples, InterpolationKind, ServiceDemandProfile};
+use crate::solver::{MvasdSchweitzerSolver, MvasdSingleServerSolver, MvasdSolver};
 use crate::CoreError;
+
+/// Which member of the MVASD family backs Step 3 of the workflow.
+///
+/// All variants implement [`ClosedSolver`], so switching backend — or
+/// comparing against an external solver via
+/// [`PredictionWorkflow::predict_with_solver`] — never changes the
+/// surrounding pipeline code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Exact multi-server MVASD (paper Algorithm 3) — the default.
+    #[default]
+    Mvasd,
+    /// The paper's single-server baseline (demands normalized by cores).
+    MvasdSingleServer,
+    /// Approximate Schweitzer fixed point (fast for huge populations).
+    MvasdSchweitzer,
+}
 
 /// The Fig. 17 workflow configuration.
 ///
@@ -56,6 +73,8 @@ pub struct PredictionWorkflow {
     pub interpolation: InterpolationKind,
     /// Demand abscissa (concurrency in the paper's main model).
     pub axis: DemandAxis,
+    /// Step 3 solver backend (exact MVASD in the paper's workflow).
+    pub backend: SolverBackend,
 }
 
 impl Default for PredictionWorkflow {
@@ -66,6 +85,7 @@ impl Default for PredictionWorkflow {
             range: (1.0, 300.0),
             interpolation: InterpolationKind::CubicNotAKnot,
             axis: DemandAxis::Concurrency,
+            backend: SolverBackend::default(),
         }
     }
 }
@@ -76,17 +96,13 @@ impl PredictionWorkflow {
         design_levels(self.strategy, self.test_points, self.range.0, self.range.1)
     }
 
-    /// **Step 3** — interpolate the measured demand samples and run MVASD
-    /// up to `n_max`. `samples.levels` need not equal the designed levels
-    /// (labs sometimes can't hit exact user counts), but should cover a
-    /// similar range.
-    pub fn predict(
-        &self,
-        samples: &DemandSamples,
-        n_max: usize,
-    ) -> Result<MvaSolution, CoreError> {
-        let profile = ServiceDemandProfile::from_samples(samples, self.interpolation, self.axis)?;
-        mvasd(&profile, n_max)
+    /// **Step 3** — interpolate the measured demand samples and solve up
+    /// to `n_max` with the configured [`SolverBackend`]. `samples.levels`
+    /// need not equal the designed levels (labs sometimes can't hit exact
+    /// user counts), but should cover a similar range.
+    pub fn predict(&self, samples: &DemandSamples, n_max: usize) -> Result<MvaSolution, CoreError> {
+        let solver = self.solver(samples)?;
+        self.predict_with_solver(&solver, n_max)
     }
 
     /// Step 3 with the profile exposed (for utilization inspection, Fig. 9).
@@ -96,8 +112,38 @@ impl PredictionWorkflow {
         n_max: usize,
     ) -> Result<(ServiceDemandProfile, MvaSolution), CoreError> {
         let profile = ServiceDemandProfile::from_samples(samples, self.interpolation, self.axis)?;
-        let sol = mvasd(&profile, n_max)?;
+        let sol = self
+            .solver_for_profile(profile.clone())
+            .solve(n_max)
+            .map_err(CoreError::from)?;
         Ok((profile, sol))
+    }
+
+    /// Builds the Step 3 solver for measured samples under this workflow's
+    /// interpolation settings and backend.
+    pub fn solver(&self, samples: &DemandSamples) -> Result<Box<dyn ClosedSolver>, CoreError> {
+        let profile = ServiceDemandProfile::from_samples(samples, self.interpolation, self.axis)?;
+        Ok(self.solver_for_profile(profile))
+    }
+
+    /// Wraps an already-built profile in the configured backend.
+    pub fn solver_for_profile(&self, profile: ServiceDemandProfile) -> Box<dyn ClosedSolver> {
+        match self.backend {
+            SolverBackend::Mvasd => Box::new(MvasdSolver::new(profile)),
+            SolverBackend::MvasdSingleServer => Box::new(MvasdSingleServerSolver::new(profile)),
+            SolverBackend::MvasdSchweitzer => Box::new(MvasdSchweitzerSolver::new(profile)),
+        }
+    }
+
+    /// Runs **any** [`ClosedSolver`] as the workflow's Step 3 — the hook
+    /// that makes external backends (static MVA·i baselines, the testbed's
+    /// simulation estimator) one-line swaps in comparison code.
+    pub fn predict_with_solver<S: ClosedSolver + ?Sized>(
+        &self,
+        solver: &S,
+        n_max: usize,
+    ) -> Result<MvaSolution, CoreError> {
+        solver.solve(n_max).map_err(CoreError::from)
     }
 }
 

@@ -127,6 +127,7 @@ impl DemandSamples {
 }
 
 /// One station's interpolated demand function.
+#[derive(Clone)]
 pub struct StationProfile {
     /// Station name.
     pub name: String,
@@ -161,7 +162,9 @@ impl StationProfile {
 }
 
 /// The full interpolated demand model handed to the MVASD solver.
-#[derive(Debug)]
+///
+/// Cloning is cheap: the per-station interpolants are shared behind `Arc`.
+#[derive(Debug, Clone)]
 pub struct ServiceDemandProfile {
     stations: Vec<StationProfile>,
     think_time: f64,
@@ -244,9 +247,9 @@ fn build_interpolant(
         }));
     }
     let interp: Arc<dyn Interpolant> = match kind {
-        InterpolationKind::Linear => Arc::new(
-            LinearInterp::new(levels, demands)?.with_extrapolation(Extrapolation::Clamp),
-        ),
+        InterpolationKind::Linear => {
+            Arc::new(LinearInterp::new(levels, demands)?.with_extrapolation(Extrapolation::Clamp))
+        }
         InterpolationKind::CubicNatural => Arc::new(
             CubicSpline::new(levels, demands, BoundaryCondition::Natural)?
                 .with_extrapolation(Extrapolation::Clamp),
@@ -255,15 +258,14 @@ fn build_interpolant(
             CubicSpline::new(levels, demands, BoundaryCondition::NotAKnot)?
                 .with_extrapolation(Extrapolation::Clamp),
         ),
-        InterpolationKind::Pchip => Arc::new(
-            PchipInterp::new(levels, demands)?.with_extrapolation(Extrapolation::Clamp),
-        ),
+        InterpolationKind::Pchip => {
+            Arc::new(PchipInterp::new(levels, demands)?.with_extrapolation(Extrapolation::Clamp))
+        }
         InterpolationKind::Smoothing { lambda } => {
             if levels.len() < 3 {
                 // Smoothing needs >= 3 knots; degrade to linear.
                 Arc::new(
-                    LinearInterp::new(levels, demands)?
-                        .with_extrapolation(Extrapolation::Clamp),
+                    LinearInterp::new(levels, demands)?.with_extrapolation(Extrapolation::Clamp),
                 )
             } else {
                 Arc::new(
@@ -340,9 +342,8 @@ mod tests {
             InterpolationKind::Pchip,
             InterpolationKind::Smoothing { lambda: 0.0 },
         ] {
-            let p =
-                ServiceDemandProfile::from_samples(&samples(), kind, DemandAxis::Concurrency)
-                    .unwrap();
+            let p = ServiceDemandProfile::from_samples(&samples(), kind, DemandAxis::Concurrency)
+                .unwrap();
             let d = p.demands_at(100.0);
             assert!((d[0] - 0.024).abs() < 1e-8, "{kind:?}");
         }

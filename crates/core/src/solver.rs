@@ -1,0 +1,189 @@
+//! [`ClosedSolver`] implementations for the MVASD family.
+//!
+//! These adapters put the paper's Algorithm 3 (and its single-server and
+//! Schweitzer variants) behind the same interface as the static MVA
+//! solvers in `mvasd-queueing`, so "MVA·i vs MVASD" comparisons — and any
+//! pipeline stage that consumes a solver — are one-line swaps.
+//!
+//! The model bound at construction is a [`ServiceDemandProfile`] rather
+//! than a static network: the defining feature of MVASD is that demands
+//! are re-interpolated at every population step.
+
+use mvasd_queueing::mva::{ClosedSolver, MvaSolution};
+use mvasd_queueing::QueueingError;
+
+use crate::algorithm::{mvasd, mvasd_schweitzer, mvasd_single_server};
+use crate::profile::ServiceDemandProfile;
+use crate::CoreError;
+
+impl From<CoreError> for QueueingError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::InvalidParameter { what } => QueueingError::InvalidParameter { what },
+            CoreError::Numerics(n) => QueueingError::Numerics(n),
+            CoreError::Queueing(q) => q,
+        }
+    }
+}
+
+/// MVASD (paper Algorithm 3): exact multi-server MVA with per-population
+/// interpolated service demands.
+#[derive(Debug, Clone)]
+pub struct MvasdSolver {
+    profile: ServiceDemandProfile,
+}
+
+impl MvasdSolver {
+    /// Binds the solver to an interpolated demand profile.
+    pub fn new(profile: ServiceDemandProfile) -> Self {
+        Self { profile }
+    }
+
+    /// The underlying profile.
+    pub fn profile(&self) -> &ServiceDemandProfile {
+        &self.profile
+    }
+}
+
+impl ClosedSolver for MvasdSolver {
+    fn name(&self) -> &str {
+        "mvasd"
+    }
+
+    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
+        mvasd(&self.profile, n_max).map_err(QueueingError::from)
+    }
+}
+
+/// The paper's "MVASD: Single-Server" baseline: interpolated demands
+/// normalized by core count, Algorithm-1 recursion.
+#[derive(Debug, Clone)]
+pub struct MvasdSingleServerSolver {
+    profile: ServiceDemandProfile,
+}
+
+impl MvasdSingleServerSolver {
+    /// Binds the solver to an interpolated demand profile.
+    pub fn new(profile: ServiceDemandProfile) -> Self {
+        Self { profile }
+    }
+}
+
+impl ClosedSolver for MvasdSingleServerSolver {
+    fn name(&self) -> &str {
+        "mvasd-single-server"
+    }
+
+    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
+        mvasd_single_server(&self.profile, n_max).map_err(QueueingError::from)
+    }
+}
+
+/// Approximate MVASD: Schweitzer fixed point with the Seidmann transform
+/// over per-population interpolated demands. Expect the documented ~2–20 %
+/// knee-region deviation of the Schweitzer family.
+#[derive(Debug, Clone)]
+pub struct MvasdSchweitzerSolver {
+    profile: ServiceDemandProfile,
+}
+
+impl MvasdSchweitzerSolver {
+    /// Binds the solver to an interpolated demand profile.
+    pub fn new(profile: ServiceDemandProfile) -> Self {
+        Self { profile }
+    }
+}
+
+impl ClosedSolver for MvasdSchweitzerSolver {
+    fn name(&self) -> &str {
+        "mvasd-schweitzer"
+    }
+
+    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
+        mvasd_schweitzer(&self.profile, n_max).map_err(QueueingError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{DemandAxis, DemandSamples, InterpolationKind};
+    use mvasd_queueing::mva::{ExactMvaSolver, MultiserverMvaSolver};
+    use mvasd_queueing::network::{ClosedNetwork, Station};
+
+    fn flat_profile(demand: f64, servers: usize) -> ServiceDemandProfile {
+        let samples = DemandSamples {
+            station_names: vec!["s0".into()],
+            server_counts: vec![servers],
+            think_time: 1.0,
+            levels: vec![1.0, 100.0],
+            demands: vec![vec![demand, demand]],
+        };
+        ServiceDemandProfile::from_samples(
+            &samples,
+            InterpolationKind::Linear,
+            DemandAxis::Concurrency,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mvasd_solvers_implement_the_trait() {
+        let p = flat_profile(0.01, 1);
+        let solvers: Vec<Box<dyn ClosedSolver>> = vec![
+            Box::new(MvasdSolver::new(p.clone())),
+            Box::new(MvasdSingleServerSolver::new(p.clone())),
+            Box::new(MvasdSchweitzerSolver::new(p)),
+        ];
+        for s in &solvers {
+            let sol = s.solve(30).unwrap();
+            assert_eq!(sol.points.len(), 30, "{}", s.name());
+        }
+        assert_eq!(solvers[0].name(), "mvasd");
+        assert_eq!(solvers[1].name(), "mvasd-single-server");
+        assert_eq!(solvers[2].name(), "mvasd-schweitzer");
+    }
+
+    #[test]
+    fn flat_profile_matches_static_solvers_through_trait() {
+        // On a constant single-server profile the whole family is exact and
+        // must agree with Algorithm 1 to machine precision.
+        let p = flat_profile(0.016, 1);
+        let net = ClosedNetwork::new(vec![Station::queueing("s0", 1, 1.0, 0.016)], 1.0).unwrap();
+        let reference = ExactMvaSolver::new(net.clone()).solve(50).unwrap();
+        let family: Vec<Box<dyn ClosedSolver>> = vec![
+            Box::new(MvasdSolver::new(p.clone())),
+            Box::new(MvasdSingleServerSolver::new(p)),
+            Box::new(MultiserverMvaSolver::new(net)),
+        ];
+        for s in &family {
+            let sol = s.solve(50).unwrap();
+            for (a, b) in sol.points.iter().zip(reference.points.iter()) {
+                assert!(
+                    (a.throughput - b.throughput).abs() < 1e-9,
+                    "{} n={}",
+                    s.name(),
+                    a.n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_errors_cross_the_layer_boundary() {
+        let p = flat_profile(0.01, 1);
+        let err = MvasdSolver::new(p).solve(0).unwrap_err();
+        assert!(matches!(err, QueueingError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn core_error_converts_to_queueing_error() {
+        let e: QueueingError = CoreError::InvalidParameter { what: "x" }.into();
+        assert!(matches!(e, QueueingError::InvalidParameter { what: "x" }));
+        let e: QueueingError = CoreError::Queueing(QueueingError::EmptyNetwork).into();
+        assert_eq!(e, QueueingError::EmptyNetwork);
+        let e: QueueingError =
+            CoreError::Numerics(mvasd_numerics::NumericsError::SingularSystem).into();
+        assert!(matches!(e, QueueingError::Numerics(_)));
+    }
+}

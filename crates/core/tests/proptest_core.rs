@@ -1,123 +1,147 @@
 //! Property-based tests of the MVASD layer: algorithm invariants over
 //! random demand profiles and the designer/extrapolation helpers.
+//!
+//! Runs on the in-house deterministic harness (`mvasd_numerics::propcheck`).
 
-use proptest::prelude::*;
+use mvasd_numerics::propcheck::{check, Config, Gen};
 
 use mvasd_core::algorithm::{mvasd, mvasd_single_server};
 use mvasd_core::designer::{design_levels, SamplingStrategy};
 use mvasd_core::extrapolation::CurveFitPredictor;
-use mvasd_core::profile::{
-    DemandAxis, DemandSamples, InterpolationKind, ServiceDemandProfile,
-};
+use mvasd_core::profile::{DemandAxis, DemandSamples, InterpolationKind, ServiceDemandProfile};
 
-/// Random monotone-falling demand samples for a small station set.
-fn arb_samples() -> impl Strategy<Value = DemandSamples> {
-    let station = (
-        prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16)],
-        0.002f64..0.08, // asymptotic demand
-        0.0f64..0.4,    // cold surcharge
-    );
-    (proptest::collection::vec(station, 1..4), 0.1f64..2.0).prop_map(|(specs, z)| {
-        let levels = vec![1.0, 25.0, 75.0, 150.0];
-        DemandSamples {
-            station_names: (0..specs.len()).map(|i| format!("s{i}")).collect(),
-            server_counts: specs.iter().map(|s| s.0).collect(),
-            think_time: z,
-            levels: levels.clone(),
-            demands: specs
-                .iter()
-                .map(|&(_, base, alpha)| {
-                    levels
-                        .iter()
-                        .map(|&l| base * (1.0 + alpha * (-(l - 1.0) / 40.0).exp()))
-                        .collect()
-                })
-                .collect(),
-        }
-    })
+fn cfg() -> Config {
+    Config::default().cases(24)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Random monotone-falling demand samples for a small station set.
+fn gen_samples(g: &mut Gen) -> DemandSamples {
+    let count = g.usize_in(1, 3);
+    let levels: Vec<f64> = vec![1.0, 25.0, 75.0, 150.0];
+    let mut server_counts = Vec::with_capacity(count);
+    let mut demands = Vec::with_capacity(count);
+    for _ in 0..count {
+        let c = *g.choose(&[1usize, 2, 4, 8, 16]);
+        let base = g.f64_in(0.002, 0.08); // asymptotic demand
+        let alpha = g.f64_in(0.0, 0.4); // cold surcharge
+        server_counts.push(c);
+        demands.push(
+            levels
+                .iter()
+                .map(|&l| base * (1.0 + alpha * (-(l - 1.0) / 40.0).exp()))
+                .collect(),
+        );
+    }
+    DemandSamples {
+        station_names: (0..count).map(|i| format!("s{i}")).collect(),
+        server_counts,
+        think_time: g.f64_in(0.1, 2.0),
+        levels,
+        demands,
+    }
+}
 
-    #[test]
-    fn mvasd_satisfies_operational_invariants(samples in arb_samples(), n_max in 5usize..160) {
+#[test]
+fn mvasd_satisfies_operational_invariants() {
+    check("mvasd_satisfies_operational_invariants", &cfg(), |g| {
+        let samples = gen_samples(g);
+        let n_max = g.usize_in(5, 159);
         let profile = ServiceDemandProfile::from_samples(
-            &samples, InterpolationKind::CubicNotAKnot, DemandAxis::Concurrency,
-        ).unwrap();
+            &samples,
+            InterpolationKind::CubicNotAKnot,
+            DemandAxis::Concurrency,
+        )
+        .unwrap();
         let sol = mvasd(&profile, n_max).unwrap();
         for p in &sol.points {
             // Little's law.
-            prop_assert!((p.n as f64 - p.throughput * p.cycle_time).abs() < 1e-6 * p.n as f64);
+            assert!((p.n as f64 - p.throughput * p.cycle_time).abs() < 1e-6 * p.n as f64);
             // Bottleneck law with the *minimum* interpolated demand over
             // the curve (demands are monotone falling here).
-            let cap = samples.demands.iter().zip(samples.server_counts.iter())
+            let cap = samples
+                .demands
+                .iter()
+                .zip(samples.server_counts.iter())
                 .map(|(row, &c)| row.last().unwrap() / c as f64)
                 .fold(0.0f64, f64::max);
-            prop_assert!(p.throughput <= 1.0 / cap * (1.0 + 1e-6), "n={}", p.n);
+            assert!(p.throughput <= 1.0 / cap * (1.0 + 1e-6), "n={}", p.n);
             // Utilizations are fractions.
             for sp in &p.stations {
-                prop_assert!(sp.utilization <= 1.0 + 1e-9);
-                prop_assert!(sp.utilization >= -1e-12);
+                assert!(sp.utilization <= 1.0 + 1e-9);
+                assert!(sp.utilization >= -1e-12);
             }
         }
         // Response never below the zero-contention floor at n = 1.
         let d1: f64 = profile.demands_at(1.0).iter().sum();
-        prop_assert!(sol.at(1).unwrap().response >= d1 * (1.0 - 1e-9));
-    }
+        assert!(sol.at(1).unwrap().response >= d1 * (1.0 - 1e-9));
+    });
+}
 
-    #[test]
-    fn design_levels_cover_the_interval(
-        points in 2usize..10,
-        a in 1.0f64..20.0,
-        width in 20.0f64..400.0,
-    ) {
-        let b = a + width;
+#[test]
+fn design_levels_cover_the_interval() {
+    check("design_levels_cover_the_interval", &cfg(), |g| {
+        let points = g.usize_in(2, 9);
+        let a = g.f64_in(1.0, 20.0);
+        let b = a + g.f64_in(20.0, 400.0);
         for strat in [
             SamplingStrategy::Chebyshev,
             SamplingStrategy::EquiSpaced,
-            SamplingStrategy::Random { seed: points as u64 },
+            SamplingStrategy::Random {
+                seed: points as u64,
+            },
         ] {
             let levels = design_levels(strat, points, a, b).unwrap();
-            prop_assert!(!levels.is_empty());
-            prop_assert!(levels.windows(2).all(|w| w[0] < w[1]));
+            assert!(!levels.is_empty());
+            assert!(levels.windows(2).all(|w| w[0] < w[1]));
             for &l in &levels {
-                prop_assert!((l as f64) >= a.floor() && (l as f64) <= b.ceil(), "{strat:?}: {l}");
+                assert!(
+                    (l as f64) >= a.floor() && (l as f64) <= b.ceil(),
+                    "{strat:?}: {l}"
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn curvefit_recovers_noiseless_sigmoids(
-        xmax in 20.0f64..200.0,
-        n0 in 30.0f64..120.0,
-        s in 8.0f64..30.0,
-    ) {
+#[test]
+fn curvefit_recovers_noiseless_sigmoids() {
+    check("curvefit_recovers_noiseless_sigmoids", &cfg(), |g| {
+        let xmax = g.f64_in(20.0, 200.0);
+        let n0 = g.f64_in(30.0, 120.0);
+        let s = g.f64_in(8.0, 30.0);
         let truth = move |n: f64| xmax / (1.0 + (-(n - n0) / s).exp());
         let levels: Vec<f64> = vec![5.0, 25.0, 55.0, 90.0, 140.0, 220.0, 320.0];
         let xs: Vec<f64> = levels.iter().map(|&n| truth(n)).collect();
         let p = CurveFitPredictor::fit(&levels, &xs, 1.0).unwrap();
         for n in [15.0, 70.0, 180.0, 400.0] {
             let t = truth(n);
-            prop_assert!(
+            assert!(
                 (p.throughput(n) - t).abs() <= 0.05 * t + 0.5,
-                "n={n}: {} vs {t}", p.throughput(n)
+                "n={n}: {} vs {t}",
+                p.throughput(n)
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn throughput_axis_profile_keeps_littles_law(samples in arb_samples(), n_max in 5usize..120) {
+#[test]
+fn throughput_axis_profile_keeps_littles_law() {
+    check("throughput_axis_profile_keeps_littles_law", &cfg(), |g| {
+        let samples = gen_samples(g);
+        let n_max = g.usize_in(5, 119);
         // Reinterpret the levels as throughputs (any ascending positive
         // axis is legal) and solve with feedback.
         let profile = ServiceDemandProfile::from_samples(
-            &samples, InterpolationKind::CubicNotAKnot, DemandAxis::Throughput,
-        ).unwrap();
+            &samples,
+            InterpolationKind::CubicNotAKnot,
+            DemandAxis::Throughput,
+        )
+        .unwrap();
         let sol = mvasd(&profile, n_max).unwrap();
         for p in &sol.points {
-            prop_assert!((p.n as f64 - p.throughput * p.cycle_time).abs() < 1e-6 * p.n as f64);
+            assert!((p.n as f64 - p.throughput * p.cycle_time).abs() < 1e-6 * p.n as f64);
         }
-    }
+    });
 }
 
 /// Deterministic (non-property) checks that would be too expensive to run
@@ -148,8 +172,8 @@ fn single_server_variant_shares_the_ceiling_fixed_cases() {
         let n = 400;
         let multi = mvasd(&profile, n).unwrap();
         let single = mvasd_single_server(&profile, n).unwrap();
-        let rel = (multi.last().throughput - single.last().throughput).abs()
-            / multi.last().throughput;
+        let rel =
+            (multi.last().throughput - single.last().throughput).abs() / multi.last().throughput;
         assert!(
             rel < 0.05,
             "c={c}: multi {} vs single {}",

@@ -81,9 +81,8 @@ pub fn solve_spd_pentadiagonal(
     if n == 0 {
         return Ok(Vec::new());
     }
-    let ok_lens = b.len() == n
-        && d1.len() == n.saturating_sub(1)
-        && d2.len() == n.saturating_sub(2);
+    let ok_lens =
+        b.len() == n && d1.len() == n.saturating_sub(1) && d2.len() == n.saturating_sub(2);
     if !ok_lens {
         return Err(NumericsError::InvalidParameter {
             what: "pentadiagonal band lengths must be n, n-1, n-2 and rhs n",
@@ -208,9 +207,8 @@ mod tests {
         // [ 1 3 1 ] [x1] = [ 9 ]
         // [ 0 1 2 ] [x2]   [ 7 ]
         // Solution: x = [1.125, 1.75, 2.625]
-        let x =
-            solve_tridiagonal(&[1.0, 1.0], &[2.0, 3.0, 2.0], &[1.0, 1.0], &[4.0, 9.0, 7.0])
-                .unwrap();
+        let x = solve_tridiagonal(&[1.0, 1.0], &[2.0, 3.0, 2.0], &[1.0, 1.0], &[4.0, 9.0, 7.0])
+            .unwrap();
         assert_close(x[0], 1.125, 1e-12);
         assert_close(x[1], 1.75, 1e-12);
         assert_close(x[2], 2.625, 1e-12);
@@ -218,7 +216,9 @@ mod tests {
 
     #[test]
     fn tridiagonal_rejects_bad_lengths() {
-        assert!(solve_tridiagonal(&[1.0], &[1.0, 1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0, 1.0]).is_err());
+        assert!(
+            solve_tridiagonal(&[1.0], &[1.0, 1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0, 1.0]).is_err()
+        );
     }
 
     #[test]

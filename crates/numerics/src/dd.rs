@@ -267,7 +267,10 @@ mod tests {
             term *= 0.5;
         }
         let defect = Dd::from_f64(2.0) - acc;
-        assert!(defect.to_f64() > 0.0, "must still see the 2^-120 defect region");
+        assert!(
+            defect.to_f64() > 0.0,
+            "must still see the 2^-120 defect region"
+        );
         assert!(defect.to_f64() < 1e-30);
     }
 

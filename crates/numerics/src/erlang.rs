@@ -105,12 +105,7 @@ pub fn mmc(servers: usize, lambda: f64, mu: f64) -> Result<MmcMetrics, NumericsE
 ///
 /// Used to validate both the exact multi-server MVA (paper Algorithm 2) and
 /// the DES: all three must agree on this product-form network.
-pub fn machine_repair(
-    n: usize,
-    c: usize,
-    s: f64,
-    z: f64,
-) -> Result<(f64, f64), NumericsError> {
+pub fn machine_repair(n: usize, c: usize, s: f64, z: f64) -> Result<(f64, f64), NumericsError> {
     if c == 0 {
         return Err(NumericsError::InvalidParameter {
             what: "servers must be >= 1",

@@ -72,7 +72,10 @@ impl Interpolant for LinearInterp {
     }
 
     fn domain(&self) -> (f64, f64) {
-        (self.xs[0], *self.xs.last().expect("non-empty by construction"))
+        (
+            self.xs[0],
+            *self.xs.last().expect("non-empty by construction"),
+        )
     }
 }
 

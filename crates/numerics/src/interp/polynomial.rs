@@ -192,7 +192,10 @@ mod tests {
             max_eq = max_eq.max((p_eq.eval(x) - runge(x)).abs());
             max_ch = max_ch.max((p_ch.eval(x) - runge(x)).abs());
         }
-        assert!(max_eq > 1.0, "equi-spaced should oscillate wildly: {max_eq}");
+        assert!(
+            max_eq > 1.0,
+            "equi-spaced should oscillate wildly: {max_eq}"
+        );
         assert!(max_ch < 0.2, "Chebyshev should stay tame: {max_ch}");
         assert!(max_ch < max_eq / 10.0);
     }

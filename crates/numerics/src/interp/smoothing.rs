@@ -183,7 +183,11 @@ mod tests {
         let reg = linear_regression(&xs, &ys).unwrap();
         for &x in &xs {
             let line = reg.intercept + reg.slope * x;
-            assert!(close(s.eval(x), line, 1e-3), "x={x}: {} vs {line}", s.eval(x));
+            assert!(
+                close(s.eval(x), line, 1e-3),
+                "x={x}: {} vs {line}",
+                s.eval(x)
+            );
         }
         // Essentially straight => negligible roughness.
         assert!(s.roughness() < 1e-10);
@@ -195,7 +199,14 @@ mod tests {
         // Noisy falling demand curve.
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 0.02 * (-x / 6.0_f64).exp() + if (x as usize).is_multiple_of(2) { 1e-3 } else { -1e-3 })
+            .map(|&x| {
+                0.02 * (-x / 6.0_f64).exp()
+                    + if (x as usize).is_multiple_of(2) {
+                        1e-3
+                    } else {
+                        -1e-3
+                    }
+            })
             .collect();
         let mut prev_rough = f64::INFINITY;
         let mut prev_rss = -1.0;

@@ -32,6 +32,12 @@
 //! * [`stats`] — descriptive statistics and the mean percentage deviation
 //!   metric of paper eq. 15.
 //! * [`erlang`] — Erlang B/C formulas and M/M/c performance metrics.
+//! * [`rng`] — deterministic xoshiro256++ pseudo-random generation with
+//!   SplitMix64 seeding; uniform / exponential / Box–Muller normal
+//!   variates. The whole workspace draws from here (zero-dependency
+//!   policy: no `rand`).
+//! * [`propcheck`] — a small deterministic property-test harness (seeded
+//!   case generation, tape-based bounded shrinking) replacing `proptest`.
 //!
 //! ## Quick example
 //!
@@ -57,6 +63,8 @@ pub mod dd;
 pub mod erlang;
 pub mod interp;
 pub mod optimize;
+pub mod propcheck;
+pub mod rng;
 pub mod stats;
 
 /// Errors produced while constructing numerical objects.

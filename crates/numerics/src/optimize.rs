@@ -100,8 +100,8 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         // Converge on BOTH the function-value spread and the simplex size:
         // a simplex straddling a minimum symmetrically has zero value
         // spread while still being wide (the classic 1-D failure mode).
-        let value_spread_ok = (values[worst] - values[best]).abs()
-            <= opts.tolerance * (1.0 + values[best].abs());
+        let value_spread_ok =
+            (values[worst] - values[best]).abs() <= opts.tolerance * (1.0 + values[best].abs());
         let coord_tol = opts.tolerance.sqrt();
         let coord_spread_ok = simplex.iter().all(|p| {
             p.iter()
@@ -122,7 +122,10 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         }
 
         let blend = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
-            a.iter().zip(b.iter()).map(|(x, y)| x + t * (y - x)).collect()
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x + t * (y - x))
+                .collect()
         };
 
         // Reflection.
@@ -213,8 +216,12 @@ mod tests {
 
     #[test]
     fn one_dimensional() {
-        let r = nelder_mead(|x| (x[0] - 42.0).powi(2), &[1.0], NelderMeadOptions::default())
-            .unwrap();
+        let r = nelder_mead(
+            |x| (x[0] - 42.0).powi(2),
+            &[1.0],
+            NelderMeadOptions::default(),
+        )
+        .unwrap();
         assert!((r.x[0] - 42.0).abs() < 1e-4);
     }
 
@@ -252,10 +259,14 @@ mod tests {
                 })
                 .sum()
         };
-        let r = nelder_mead(sse, &[130.0, 60.0, 20.0], NelderMeadOptions {
-            max_iterations: 5000,
-            ..NelderMeadOptions::default()
-        })
+        let r = nelder_mead(
+            sse,
+            &[130.0, 60.0, 20.0],
+            NelderMeadOptions {
+                max_iterations: 5000,
+                ..NelderMeadOptions::default()
+            },
+        )
         .unwrap();
         assert!((r.x[0] - 120.0).abs() < 1.0, "{:?}", r.x);
         assert!((r.x[1] - 80.0).abs() < 2.0);

@@ -1,0 +1,258 @@
+//! Deterministic pseudo-random number generation (std-only).
+//!
+//! The workspace policy is zero external dependencies, so the simulator,
+//! the test designer, and the property-test harness all draw from this
+//! module instead of the `rand` crate. The core generator is
+//! **xoshiro256++** (Blackman & Vigna), seeded through **SplitMix64** so a
+//! single `u64` seed expands into a well-mixed 256-bit state — the same
+//! construction the reference implementations recommend. On top of the raw
+//! stream sit the variate families the suite needs: uniform reals,
+//! inverse-CDF exponentials, and Box–Muller normals.
+//!
+//! Determinism is a feature, not an accident: every simulation, campaign,
+//! and property-test case in the workspace is reproducible from its seed,
+//! and the generator has no global or thread-local state.
+
+/// One step of the SplitMix64 sequence; returns the next state and output.
+///
+/// Used for seed expansion and for deriving independent per-case / per-level
+/// seeds from a base seed without correlation between consecutive values.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ pseudo-random generator with SplitMix64 seeding.
+///
+/// 256 bits of state, period `2^256 − 1`, passes BigCrush. Not
+/// cryptographically secure — this is a simulation/testing generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Builds a generator from a single `u64` seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256pp { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // Top 53 bits scaled by 2^-53 — the standard uniform-double recipe.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `(0, 1)` — never exactly zero, safe under `ln()`.
+    #[inline]
+    pub fn open01(&mut self) -> f64 {
+        loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)` (`lo` if the interval is empty).
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            lo
+        } else {
+            lo + (hi - lo) * self.next_f64()
+        }
+    }
+
+    /// Uniform `f64` on the **closed** interval `[lo, hi]`.
+    #[inline]
+    pub fn uniform_inclusive(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            lo
+        } else {
+            lo + (hi - lo) * (self.next_u64() as f64 / u64::MAX as f64)
+        }
+    }
+
+    /// Uniform `u64` in `[0, n)` (Lemire-style rejection-free for our
+    /// purposes: a simple modulo is fine given `n ≪ 2^64`, but we debias
+    /// anyway by rejecting the short final stripe).
+    #[inline]
+    pub fn next_u64_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "next_u64_below requires n > 0");
+        if n == 0 {
+            return 0;
+        }
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform `usize` on the closed range `[lo, hi]`.
+    #[inline]
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        let span = (hi - lo) as u64 + 1;
+        lo + self.next_u64_below(span) as usize
+    }
+
+    /// Exponential variate with the given mean (inverse CDF).
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean == 0.0 {
+            0.0
+        } else {
+            -mean * self.open01().ln()
+        }
+    }
+
+    /// Normal variate via Box–Muller (one of the pair; the twin is dropped
+    /// to keep the draw count per call fixed, which matters for replayable
+    /// streams).
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = self.open01();
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Reference: seeding xoshiro256++ with state {1, 2, 3, 4} must give
+        // the published sequence. We bypass SplitMix64 by constructing the
+        // state via a generator whose internals we set through the public
+        // surface — instead, check the first outputs of the documented
+        // construction are stable (regression pin, not external vector).
+        let mut r = Xoshiro256pp::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut r2 = Xoshiro256pp::seed_from_u64(0);
+        let again: Vec<u64> = (0..4).map(|_| r2.next_u64()).collect();
+        assert_eq!(first, again);
+        // SplitMix64 reference: first output for state 0 is 0xE220A8397B1DCDAF.
+        let mut sm = 0u64;
+        assert_eq!(splitmix64(&mut sm), 0xE220A8397B1DCDAF);
+    }
+
+    #[test]
+    fn splitmix_known_values() {
+        // Published SplitMix64 test vector (seed 1234567).
+        let mut s = 1234567u64;
+        assert_eq!(splitmix64(&mut s), 6457827717110365317);
+        assert_eq!(splitmix64(&mut s), 3203168211198807973);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = Xoshiro256pp::seed_from_u64(1);
+        let mut b = Xoshiro256pp::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Xoshiro256pp::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_converges() {
+        let mut r = Xoshiro256pp::seed_from_u64(11);
+        let n = 100_000;
+        let m = (0..n).map(|_| r.uniform(2.0, 4.0)).sum::<f64>() / n as f64;
+        assert!((m - 3.0).abs() < 0.01, "got {m}");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = Xoshiro256pp::seed_from_u64(13);
+        let n = 200_000;
+        let m = (0..n).map(|_| r.exponential(0.25)).sum::<f64>() / n as f64;
+        assert!((m - 0.25).abs() < 0.005, "got {m}");
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut r = Xoshiro256pp::seed_from_u64(17);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(1.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn usize_in_bounds_and_covers() {
+        let mut r = Xoshiro256pp::seed_from_u64(19);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = r.usize_in(3, 7);
+            assert!((3..=7).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+        assert_eq!(r.usize_in(4, 4), 4);
+    }
+
+    #[test]
+    fn uniform_inclusive_degenerate_and_bounds() {
+        let mut r = Xoshiro256pp::seed_from_u64(23);
+        assert_eq!(r.uniform_inclusive(2.5, 2.5), 2.5);
+        for _ in 0..1000 {
+            let v = r.uniform_inclusive(-1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_mean_exponential_is_zero() {
+        let mut r = Xoshiro256pp::seed_from_u64(29);
+        assert_eq!(r.exponential(0.0), 0.0);
+    }
+}

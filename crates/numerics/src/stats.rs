@@ -143,7 +143,11 @@ pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Result<Regression, NumericsE
     let mx = xs.iter().sum::<f64>() / n;
     let my = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
-    let sxy: f64 = xs.iter().zip(ys.iter()).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys.iter())
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum();
     if sxx == 0.0 {
         return Err(NumericsError::SingularSystem);
     }
@@ -158,7 +162,11 @@ pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Result<Regression, NumericsE
             (y - f) * (y - f)
         })
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Ok(Regression {
         slope,
         intercept,
@@ -182,7 +190,10 @@ pub struct BatchMeansEstimate {
 /// Splits a steady-state sample stream into `num_batches` equal batches and
 /// returns the batch-means estimate of the mean. Standard technique for
 /// confidence intervals on correlated DES output.
-pub fn batch_means(samples: &[f64], num_batches: usize) -> Result<BatchMeansEstimate, NumericsError> {
+pub fn batch_means(
+    samples: &[f64],
+    num_batches: usize,
+) -> Result<BatchMeansEstimate, NumericsError> {
     if num_batches < 2 {
         return Err(NumericsError::InvalidParameter {
             what: "need at least 2 batches",

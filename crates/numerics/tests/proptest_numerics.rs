@@ -1,7 +1,8 @@
 //! Property-based tests of the numerical substrate: invariants that must
 //! hold for arbitrary (valid) inputs, not just the hand-picked unit cases.
-
-use proptest::prelude::*;
+//!
+//! Runs on the in-house deterministic harness (`mvasd_numerics::propcheck`)
+//! instead of `proptest`, keeping the workspace dependency-free.
 
 use mvasd_numerics::chebyshev::{chebyshev_error_bound_exponential, chebyshev_t};
 use mvasd_numerics::dd::Dd;
@@ -10,172 +11,213 @@ use mvasd_numerics::interp::{
     BoundaryCondition, CubicSpline, Interpolant, LinearInterp, PchipInterp, SmoothingSpline,
 };
 use mvasd_numerics::optimize::{nelder_mead, NelderMeadOptions};
+use mvasd_numerics::propcheck::{check, Config, Gen};
 use mvasd_numerics::stats::{mean_pct_deviation, percentile};
 
-/// Strictly increasing abscissae with positive ordinates.
-fn arb_knots(min: usize, max: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
-    proptest::collection::vec((0.5f64..50.0, 0.001f64..2.0), min..=max).prop_map(|steps| {
-        let mut x = 0.0;
-        let mut xs = Vec::with_capacity(steps.len());
-        let mut ys = Vec::with_capacity(steps.len());
-        for (dx, y) in steps {
-            x += dx;
-            xs.push(x);
-            ys.push(y);
-        }
-        (xs, ys)
-    })
+fn cfg() -> Config {
+    Config::default().cases(64)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Strictly increasing abscissae with positive ordinates.
+fn gen_knots(g: &mut Gen, min: usize, max: usize) -> (Vec<f64>, Vec<f64>) {
+    let len = g.usize_in(min, max);
+    let mut x = 0.0;
+    let mut xs = Vec::with_capacity(len);
+    let mut ys = Vec::with_capacity(len);
+    for _ in 0..len {
+        x += g.f64_in(0.5, 50.0);
+        xs.push(x);
+        ys.push(g.f64_in(0.001, 2.0));
+    }
+    (xs, ys)
+}
 
-    #[test]
-    fn cubic_spline_is_c1_c2_at_interior_knots((xs, ys) in arb_knots(4, 10)) {
+#[test]
+fn cubic_spline_is_c1_c2_at_interior_knots() {
+    check("cubic_spline_is_c1_c2_at_interior_knots", &cfg(), |g| {
+        let (xs, ys) = gen_knots(g, 4, 10);
         let s = CubicSpline::new(&xs, &ys, BoundaryCondition::NotAKnot).unwrap();
         for &x in &xs[1..xs.len() - 1] {
             let eps = 1e-6 * (xs[xs.len() - 1] - xs[0]);
             let (_, d_lo, dd_lo, _) = s.eval_all(x - eps);
             let (_, d_hi, dd_hi, _) = s.eval_all(x + eps);
             let scale = d_lo.abs().max(1.0);
-            prop_assert!((d_lo - d_hi).abs() < 1e-3 * scale, "C1 at {x}");
+            assert!((d_lo - d_hi).abs() < 1e-3 * scale, "C1 at {x}");
             let dscale = dd_lo.abs().max(1.0);
-            prop_assert!((dd_lo - dd_hi).abs() < 2e-2 * dscale, "C2 at {x}");
+            assert!((dd_lo - dd_hi).abs() < 2e-2 * dscale, "C2 at {x}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn interpolants_pass_through_knots((xs, ys) in arb_knots(3, 9)) {
+#[test]
+fn interpolants_pass_through_knots() {
+    check("interpolants_pass_through_knots", &cfg(), |g| {
+        let (xs, ys) = gen_knots(g, 3, 9);
         let c = CubicSpline::new(&xs, &ys, BoundaryCondition::Natural).unwrap();
         let p = PchipInterp::new(&xs, &ys).unwrap();
         let l = LinearInterp::new(&xs, &ys).unwrap();
         for (x, y) in xs.iter().zip(ys.iter()) {
             let tol = 1e-8 * y.abs().max(1.0);
-            prop_assert!((c.eval(*x) - y).abs() < tol);
-            prop_assert!((p.eval(*x) - y).abs() < tol);
-            prop_assert!((l.eval(*x) - y).abs() < tol);
+            assert!((c.eval(*x) - y).abs() < tol);
+            assert!((p.eval(*x) - y).abs() < tol);
+            assert!((l.eval(*x) - y).abs() < tol);
         }
-    }
+    });
+}
 
-    #[test]
-    fn pchip_stays_inside_local_envelope((xs, ys) in arb_knots(3, 9)) {
-        // Shape preservation: between two knots the PCHIP value never
-        // leaves [min(y_i, y_{i+1}), max(y_i, y_{i+1})].
+#[test]
+fn pchip_stays_inside_local_envelope() {
+    // Shape preservation: between two knots the PCHIP value never
+    // leaves [min(y_i, y_{i+1}), max(y_i, y_{i+1})].
+    check("pchip_stays_inside_local_envelope", &cfg(), |g| {
+        let (xs, ys) = gen_knots(g, 3, 9);
         let p = PchipInterp::new(&xs, &ys).unwrap();
         for i in 0..xs.len() - 1 {
             let (lo, hi) = (ys[i].min(ys[i + 1]), ys[i].max(ys[i + 1]));
             for t in 1..10 {
                 let x = xs[i] + (xs[i + 1] - xs[i]) * t as f64 / 10.0;
                 let v = p.eval(x);
-                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "x={x} v={v} in [{lo},{hi}]");
+                assert!(
+                    v >= lo - 1e-9 && v <= hi + 1e-9,
+                    "x={x} v={v} in [{lo},{hi}]"
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn smoothing_spline_objective_is_optimal(
-        (xs, ys) in arb_knots(4, 9),
-        lambda in 1e-6f64..1.0,
-    ) {
-        // The fit must (weakly) beat the pure interpolant in its own
-        // objective — the defining property of the minimizer.
+#[test]
+fn smoothing_spline_objective_is_optimal() {
+    // The fit must (weakly) beat the pure interpolant in its own
+    // objective — the defining property of the minimizer.
+    check("smoothing_spline_objective_is_optimal", &cfg(), |g| {
+        let (xs, ys) = gen_knots(g, 4, 9);
+        let lambda = g.f64_in(1e-6, 1.0);
         let smooth = SmoothingSpline::fit(&xs, &ys, lambda).unwrap();
         let interp = SmoothingSpline::fit(&xs, &ys, 0.0).unwrap();
         let interp_obj = interp.rss() + lambda * interp.roughness();
-        prop_assert!(smooth.objective() <= interp_obj + 1e-9 * (1.0 + interp_obj.abs()));
-    }
+        assert!(smooth.objective() <= interp_obj + 1e-9 * (1.0 + interp_obj.abs()));
+    });
+}
 
-    #[test]
-    fn dd_add_sub_roundtrip(a in -1e12f64..1e12, b in -1e12f64..1e12) {
+#[test]
+fn dd_add_sub_roundtrip() {
+    check("dd_add_sub_roundtrip", &cfg(), |g| {
+        let a = g.f64_in(-1e12, 1e12);
+        let b = g.f64_in(-1e12, 1e12);
         let x = Dd::from_f64(a) + Dd::from_f64(b) - Dd::from_f64(b);
-        prop_assert!((x.to_f64() - a).abs() <= a.abs() * 1e-25 + 1e-280);
-    }
+        assert!((x.to_f64() - a).abs() <= a.abs() * 1e-25 + 1e-280);
+    });
+}
 
-    #[test]
-    fn dd_mul_div_roundtrip(a in -1e8f64..1e8, b in 1e-6f64..1e8) {
+#[test]
+fn dd_mul_div_roundtrip() {
+    check("dd_mul_div_roundtrip", &cfg(), |g| {
+        let a = g.f64_in(-1e8, 1e8);
+        let b = g.f64_in(1e-6, 1e8);
         let x = Dd::from_f64(a) * Dd::from_f64(b) / Dd::from_f64(b);
-        prop_assert!((x.to_f64() - a).abs() <= a.abs() * 1e-25 + 1e-280);
-    }
+        assert!((x.to_f64() - a).abs() <= a.abs() * 1e-25 + 1e-280);
+    });
+}
 
-    #[test]
-    fn chebyshev_t_matches_trig(n in 0usize..12, theta in 0.0f64..std::f64::consts::PI) {
+#[test]
+fn chebyshev_t_matches_trig() {
+    check("chebyshev_t_matches_trig", &cfg(), |g| {
+        let n = g.usize_in(0, 11);
+        let theta = g.f64_in(0.0, std::f64::consts::PI);
         let x = theta.cos();
         let expected = (n as f64 * theta).cos();
-        prop_assert!((chebyshev_t(n, x) - expected).abs() < 1e-8);
-    }
+        assert!((chebyshev_t(n, x) - expected).abs() < 1e-8);
+    });
+}
 
-    #[test]
-    fn chebyshev_error_bound_monotone_in_nodes(mu in 0.1f64..3.0) {
+#[test]
+fn chebyshev_error_bound_monotone_in_nodes() {
+    check("chebyshev_error_bound_monotone_in_nodes", &cfg(), |g| {
+        let mu = g.f64_in(0.1, 3.0);
         let mut prev = f64::INFINITY;
         for n in 1..=10 {
             let b = chebyshev_error_bound_exponential(n, mu).unwrap();
-            prop_assert!(b < prev);
+            assert!(b < prev);
             prev = b;
         }
-    }
+    });
+}
 
-    #[test]
-    fn erlang_b_bounded_and_monotone(servers in 1usize..30, load in 0.01f64..50.0) {
+#[test]
+fn erlang_b_bounded_and_monotone() {
+    check("erlang_b_bounded_and_monotone", &cfg(), |g| {
+        let servers = g.usize_in(1, 29);
+        let load = g.f64_in(0.01, 50.0);
         let b = erlang_b(servers, load).unwrap();
-        prop_assert!((0.0..=1.0).contains(&b));
+        assert!((0.0..=1.0).contains(&b));
         // More servers => less blocking.
         let b_more = erlang_b(servers + 1, load).unwrap();
-        prop_assert!(b_more <= b + 1e-12);
+        assert!(b_more <= b + 1e-12);
         // More load => more blocking.
         let b_heavier = erlang_b(servers, load * 1.5).unwrap();
-        prop_assert!(b_heavier >= b - 1e-12);
-    }
+        assert!(b_heavier >= b - 1e-12);
+    });
+}
 
-    #[test]
-    fn machine_repair_conserves_population(
-        n in 1usize..200,
-        c in 1usize..16,
-        s in 0.01f64..1.0,
-        z in 0.1f64..5.0,
-    ) {
+#[test]
+fn machine_repair_conserves_population() {
+    check("machine_repair_conserves_population", &cfg(), |g| {
+        let n = g.usize_in(1, 199);
+        let c = g.usize_in(1, 15);
+        let s = g.f64_in(0.01, 1.0);
+        let z = g.f64_in(0.1, 5.0);
         let (x, q) = machine_repair(n, c, s, z).unwrap();
         // N = X·Z + Q (population at think stage + at station).
-        prop_assert!((x * z + q - n as f64).abs() < 1e-6 * n as f64);
+        assert!((x * z + q - n as f64).abs() < 1e-6 * n as f64);
         // Throughput bounded by both population and capacity.
-        prop_assert!(x <= c as f64 / s + 1e-9);
-        prop_assert!(x <= n as f64 / z + 1e-9);
-    }
+        assert!(x <= c as f64 / s + 1e-9);
+        assert!(x <= n as f64 / z + 1e-9);
+    });
+}
 
-    #[test]
-    fn nelder_mead_minimizes_random_quadratic(
-        cx in -50.0f64..50.0,
-        cy in -50.0f64..50.0,
-        ax in 0.1f64..10.0,
-        ay in 0.1f64..10.0,
-    ) {
+#[test]
+fn nelder_mead_minimizes_random_quadratic() {
+    check("nelder_mead_minimizes_random_quadratic", &cfg(), |g| {
+        let cx = g.f64_in(-50.0, 50.0);
+        let cy = g.f64_in(-50.0, 50.0);
+        let ax = g.f64_in(0.1, 10.0);
+        let ay = g.f64_in(0.1, 10.0);
         let r = nelder_mead(
             |p| ax * (p[0] - cx).powi(2) + ay * (p[1] - cy).powi(2),
             &[0.0, 0.0],
-            NelderMeadOptions { max_iterations: 5000, ..NelderMeadOptions::default() },
+            NelderMeadOptions {
+                max_iterations: 5000,
+                ..NelderMeadOptions::default()
+            },
         )
         .unwrap();
-        prop_assert!((r.x[0] - cx).abs() < 1e-2, "{:?} vs ({cx},{cy})", r.x);
-        prop_assert!((r.x[1] - cy).abs() < 1e-2);
-    }
+        assert!((r.x[0] - cx).abs() < 1e-2, "{:?} vs ({cx},{cy})", r.x);
+        assert!((r.x[1] - cy).abs() < 1e-2);
+    });
+}
 
-    #[test]
-    fn percentile_between_min_and_max(
-        mut xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
-        p in 0.0f64..100.0,
-    ) {
+#[test]
+fn percentile_between_min_and_max() {
+    check("percentile_between_min_and_max", &cfg(), |g| {
+        let mut xs = g.vec_f64(1, 49, -1e6, 1e6);
+        let p = g.f64_in(0.0, 100.0);
         let v = percentile(&xs, p).unwrap();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assert!(v >= xs[0] - 1e-9);
-        prop_assert!(v <= xs[xs.len() - 1] + 1e-9);
-    }
+        assert!(v >= xs[0] - 1e-9);
+        assert!(v <= xs[xs.len() - 1] + 1e-9);
+    });
+}
 
-    #[test]
-    fn pct_deviation_zero_iff_equal(xs in proptest::collection::vec(0.1f64..1e6, 1..20)) {
+#[test]
+fn pct_deviation_zero_iff_equal() {
+    check("pct_deviation_zero_iff_equal", &cfg(), |g| {
+        let xs = g.vec_f64(1, 19, 0.1, 1e6);
         let d = mean_pct_deviation(&xs, &xs).unwrap();
-        prop_assert!(d.abs() < 1e-12);
+        assert!(d.abs() < 1e-12);
         // Scaling all predictions by 1.1 gives exactly 10 %.
         let scaled: Vec<f64> = xs.iter().map(|x| x * 1.1).collect();
         let d = mean_pct_deviation(&scaled, &xs).unwrap();
-        prop_assert!((d - 10.0).abs() < 1e-6);
-    }
+        assert!((d - 10.0).abs() < 1e-6);
+    });
 }

@@ -46,7 +46,11 @@ pub struct ResponseBounds {
 
 /// Effective-demand summary of a network: `(D_total, D_max, Z)`.
 fn demand_summary(net: &ClosedNetwork) -> (f64, f64, f64) {
-    let ds: Vec<f64> = net.stations().iter().map(|s| s.effective_demand()).collect();
+    let ds: Vec<f64> = net
+        .stations()
+        .iter()
+        .map(|s| s.effective_demand())
+        .collect();
     let d_total: f64 = ds.iter().sum();
     let d_max = ds.iter().cloned().fold(0.0f64, f64::max);
     (d_total, d_max, net.think_time())
@@ -57,8 +61,11 @@ fn demand_summary(net: &ClosedNetwork) -> (f64, f64, f64) {
 pub fn throughput_bounds(net: &ClosedNetwork, n: usize) -> ThroughputBounds {
     let (d_total, d_max, z) = demand_summary(net);
     let nf = n as f64;
-    let upper =
-        (nf / (d_total + z)).min(if d_max > 0.0 { 1.0 / d_max } else { f64::INFINITY });
+    let upper = (nf / (d_total + z)).min(if d_max > 0.0 {
+        1.0 / d_max
+    } else {
+        f64::INFINITY
+    });
     let lower = nf / (d_total + z + (nf - 1.0) * d_max);
     ThroughputBounds { upper, lower }
 }

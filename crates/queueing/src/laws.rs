@@ -111,7 +111,11 @@ mod tests {
         let x = 42.0;
         let d = 0.0123;
         let u = utilization(x, d);
-        assert!(close(service_demand_from_utilization(u, x).unwrap(), d, 1e-12));
+        assert!(close(
+            service_demand_from_utilization(u, x).unwrap(),
+            d,
+            1e-12
+        ));
         assert!(service_demand_from_utilization(0.5, 0.0).is_none());
     }
 
@@ -133,7 +137,11 @@ mod tests {
     #[test]
     fn bottleneck_bound() {
         // D_max = 0.02 => X <= 50.
-        assert!(close(throughput_bound(&[0.01, 0.02, 0.005]).unwrap(), 50.0, 1e-12));
+        assert!(close(
+            throughput_bound(&[0.01, 0.02, 0.005]).unwrap(),
+            50.0,
+            1e-12
+        ));
         assert!(throughput_bound(&[]).is_none());
         assert!(throughput_bound(&[0.0, 0.0]).is_none());
     }

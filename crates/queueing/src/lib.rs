@@ -18,7 +18,10 @@
 //!   robust exact form (the naive marginal recursion diverges near
 //!   multi-server saturation; see the `multiserver` module docs). The
 //!   shared stepping engine [`mva::PopulationRecursion`] powers MVASD, and
-//!   [`mva::multiclass_mva`] adds the exact multiclass extension.
+//!   [`mva::multiclass_mva`] adds the exact multiclass extension. All of
+//!   them (and the MVASD variants and simulation estimator downstream) are
+//!   callable through the unified [`mva::ClosedSolver`] trait, which makes
+//!   solver backends one-line swaps in comparison pipelines.
 //! * [`open`] — open Jackson-network analysis (M/M/c tiers) for
 //!   cross-validation and for the "open systems" discussion of Section 7.
 //!

@@ -255,12 +255,8 @@ pub(crate) fn to_mva_solution(
                 }
             })
             .collect();
-        let response: f64 = sol
-            .queues
-            .iter()
-            .map(|q| q[n - 1])
-            .sum::<f64>()
-            / if x > 0.0 { x } else { 1.0 };
+        let response: f64 =
+            sol.queues.iter().map(|q| q[n - 1]).sum::<f64>() / if x > 0.0 { x } else { 1.0 };
         points.push(PopulationPoint {
             n,
             throughput: x,
@@ -375,10 +371,7 @@ mod tests {
             for n in 1..=400usize {
                 let (xe, qe) = mvasd_numerics::erlang::machine_repair(n, c, d, z).unwrap();
                 let x = sol.x[n - 1];
-                assert!(
-                    close(x, xe, 1e-9 * xe.max(1.0)),
-                    "c={c} n={n}: {x} vs {xe}"
-                );
+                assert!(close(x, xe, 1e-9 * xe.max(1.0)), "c={c} n={n}: {x} vs {xe}");
                 assert!(
                     close(sol.queues[0][n - 1], qe, 1e-7 * qe.max(1.0)),
                     "queue c={c} n={n}"

@@ -120,7 +120,11 @@ mod tests {
         let sol = exact_mva(&net, 50).unwrap();
         for p in &sol.points {
             // N = X (R + Z)
-            assert!(close(p.n as f64, p.throughput * p.cycle_time, 1e-9), "n={}", p.n);
+            assert!(
+                close(p.n as f64, p.throughput * p.cycle_time, 1e-9),
+                "n={}",
+                p.n
+            );
             // Per-queue Little: Q_k = X * residence_k.
             for sp in &p.stations {
                 assert!(close(sp.queue, p.throughput * sp.residence, 1e-9));
@@ -155,8 +159,7 @@ mod tests {
     #[test]
     fn matches_machine_repair_closed_form() {
         // Single queueing station + think time = machine repair with c = 1.
-        let net =
-            ClosedNetwork::new(vec![Station::queueing("st", 1, 1.0, 0.25)], 1.0).unwrap();
+        let net = ClosedNetwork::new(vec![Station::queueing("st", 1, 1.0, 0.25)], 1.0).unwrap();
         let sol = exact_mva(&net, 20).unwrap();
         for n in 1..=20usize {
             let (x_exact, q_exact) =

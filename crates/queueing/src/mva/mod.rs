@@ -12,6 +12,7 @@ mod loaddep;
 mod multiclass;
 mod multiserver;
 mod schweitzer;
+mod solver;
 
 pub use exact::exact_mva;
 pub use loaddep::{load_dependent_mva, LdStation, RateFunction};
@@ -20,6 +21,10 @@ pub use multiserver::{
     multiserver_mva, multiserver_mva_with_marginals, MarginalTrace, PopulationRecursion,
 };
 pub use schweitzer::{schweitzer_mva, SchweitzerOptions};
+pub use solver::{
+    ClosedSolver, ConvolutionSolver, ExactMvaSolver, LoadDependentSolver, MultiserverMvaSolver,
+    SchweitzerSolver,
+};
 
 /// Per-station metrics at one population level.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,7 +75,9 @@ impl MvaSolution {
 
     /// The highest-population point.
     pub fn last(&self) -> &PopulationPoint {
-        self.points.last().expect("solver always produces N >= 1 points")
+        self.points
+            .last()
+            .expect("solver always produces N >= 1 points")
     }
 
     /// Throughput series `X_1..X_N`.
@@ -90,7 +97,10 @@ impl MvaSolution {
 
     /// Per-population utilization series for station `k`.
     pub fn utilizations(&self, k: usize) -> Vec<f64> {
-        self.points.iter().map(|p| p.stations[k].utilization).collect()
+        self.points
+            .iter()
+            .map(|p| p.stations[k].utilization)
+            .collect()
     }
 }
 

@@ -118,12 +118,14 @@ pub fn multiclass_mva(
 
     // Mixed-radix lattice over populations 0..=N_c.
     let dims: Vec<usize> = classes.iter().map(|c| c.population + 1).collect();
-    let lattice: usize = dims.iter().try_fold(1usize, |acc, &d| {
-        acc.checked_mul(d).filter(|&v| v <= MAX_LATTICE)
-    })
-    .ok_or(QueueingError::InvalidParameter {
-        what: "population lattice too large for exact multiclass MVA",
-    })?;
+    let lattice: usize = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| {
+            acc.checked_mul(d).filter(|&v| v <= MAX_LATTICE)
+        })
+        .ok_or(QueueingError::InvalidParameter {
+            what: "population lattice too large for exact multiclass MVA",
+        })?;
 
     let strides: Vec<usize> = {
         let mut s = vec![1usize; nclasses];
@@ -251,13 +253,13 @@ mod tests {
         )
         .unwrap();
         let sc = exact_mva(&net, 40).unwrap();
-        assert!(close(
-            mc.classes[0].throughput,
-            sc.last().throughput,
-            1e-9
-        ));
+        assert!(close(mc.classes[0].throughput, sc.last().throughput, 1e-9));
         assert!(close(mc.classes[0].response, sc.last().response, 1e-9));
-        assert!(close(mc.station_queues[1], sc.last().stations[1].queue, 1e-8));
+        assert!(close(
+            mc.station_queues[1],
+            sc.last().stations[1].queue,
+            1e-8
+        ));
     }
 
     #[test]
@@ -282,7 +284,11 @@ mod tests {
         .unwrap();
         let x_split = split.classes[0].throughput + split.classes[1].throughput;
         assert!(close(x_split, merged.classes[0].throughput, 1e-9));
-        assert!(close(split.station_queues[0], merged.station_queues[0], 1e-8));
+        assert!(close(
+            split.station_queues[0],
+            merged.station_queues[0],
+            1e-8
+        ));
     }
 
     #[test]
@@ -336,10 +342,7 @@ mod tests {
 
     #[test]
     fn delay_station_handled() {
-        let kinds = vec![
-            StationKind::Queueing { servers: 1 },
-            StationKind::Delay,
-        ];
+        let kinds = vec![StationKind::Queueing { servers: 1 }, StationKind::Delay];
         let sol = multiclass_mva(
             &[ClassSpec {
                 name: "c".into(),

@@ -342,7 +342,13 @@ mod tests {
         let ss = exact_mva(&net, 200).unwrap();
         for (pm, ps) in ms.points.iter().zip(ss.points.iter()) {
             let rel = (pm.throughput - ps.throughput).abs() / ps.throughput;
-            assert!(rel < 1e-9, "n={}: {} vs {}", pm.n, pm.throughput, ps.throughput);
+            assert!(
+                rel < 1e-9,
+                "n={}: {} vs {}",
+                pm.n,
+                pm.throughput,
+                ps.throughput
+            );
             assert!(close(pm.response, ps.response, 1e-8 * ps.response.max(1.0)));
         }
     }
@@ -359,7 +365,11 @@ mod tests {
         .unwrap();
         let sol = multiserver_mva(&net, 400).unwrap();
         for p in &sol.points {
-            assert!(close(p.n as f64, p.throughput * p.cycle_time, 1e-6 * p.n as f64));
+            assert!(close(
+                p.n as f64,
+                p.throughput * p.cycle_time,
+                1e-6 * p.n as f64
+            ));
         }
     }
 
@@ -386,7 +396,10 @@ mod tests {
                 let (x_exact, _) = mvasd_numerics::erlang::machine_repair(n, c, s, z).unwrap();
                 let x = sol.at(n).unwrap().throughput;
                 let rel = (x - x_exact).abs() / x_exact;
-                assert!(rel < 1e-9, "c={c} n={n}: {x} vs exact {x_exact} (rel {rel:e})");
+                assert!(
+                    rel < 1e-9,
+                    "c={c} n={n}: {x} vs exact {x_exact} (rel {rel:e})"
+                );
             }
         }
     }
@@ -527,7 +540,12 @@ mod tests {
         let sol = multiserver_mva(&net, 1500).unwrap();
         let cap = net.max_throughput();
         for p in &sol.points {
-            assert!(p.throughput <= cap + 1e-6, "n={}: {} > {cap}", p.n, p.throughput);
+            assert!(
+                p.throughput <= cap + 1e-6,
+                "n={}: {} > {cap}",
+                p.n,
+                p.throughput
+            );
         }
         assert!(sol.last().throughput > 0.99 * cap);
     }
@@ -558,7 +576,10 @@ mod tests {
             let pr = reference.at(n).unwrap();
             let rel = (x - pr.throughput).abs() / pr.throughput;
             assert!(rel < 1e-6, "n={n}: {x} vs {} (rel {rel:e})", pr.throughput);
-            assert!(close(r, pr.response, 1e-5 * pr.response.max(1e-9)), "R at n={n}");
+            assert!(
+                close(r, pr.response, 1e-5 * pr.response.max(1e-9)),
+                "R at n={n}"
+            );
         }
         // The switch must have fired well before the knee (~116).
         let s = switched_at.expect("must switch for a saturating CPU");

@@ -1,0 +1,340 @@
+//! The unified closed-network solver interface.
+//!
+//! Every analytic MVA variant in this crate — and, downstream, the MVASD
+//! algorithms in `mvasd-core` and the discrete-event estimator in
+//! `mvasd-testbed` — solves the same problem: given a closed network and a
+//! maximum population `N`, produce throughput / cycle-time / queue-length
+//! curves for populations `1..=N`. [`ClosedSolver`] captures exactly that,
+//! so the paper's "MVA·i vs MVASD" comparisons (and any future backend)
+//! are one-line swaps in `core::pipeline`, `core::accuracy`, and the bench
+//! experiments.
+//!
+//! The model is bound at construction (different solvers consume different
+//! model descriptions: a static [`ClosedNetwork`], a demand profile, a
+//! simulation network); only the target population is a solve-time input.
+
+use super::convolution;
+use super::{
+    exact_mva, load_dependent_mva, multiserver_mva, schweitzer_mva, LdStation, MvaSolution,
+    RateFunction, SchweitzerOptions,
+};
+use crate::network::{ClosedNetwork, StationKind};
+use crate::QueueingError;
+
+/// A solver for closed queueing networks.
+///
+/// Implementations walk the population from 1 to `n_max` and return the
+/// full per-population series as an [`MvaSolution`]. Approximate solvers
+/// (Schweitzer) and statistical estimators (discrete-event simulation)
+/// implement the same contract; callers that need exactness guarantees
+/// must choose an exact backend.
+pub trait ClosedSolver {
+    /// Short stable identifier, e.g. `"exact-mva"` — used in reports and
+    /// comparison tables.
+    fn name(&self) -> &str;
+
+    /// Solves for populations `1..=n_max`.
+    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError>;
+}
+
+impl<S: ClosedSolver + ?Sized> ClosedSolver for &S {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
+        (**self).solve(n_max)
+    }
+}
+
+impl<S: ClosedSolver + ?Sized> ClosedSolver for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
+        (**self).solve(n_max)
+    }
+}
+
+/// Maps a static station description onto the load-dependent rate model.
+fn rate_of(kind: StationKind) -> RateFunction {
+    match kind {
+        StationKind::Queueing { servers: 1 } => RateFunction::SingleServer,
+        StationKind::Queueing { servers } => RateFunction::MultiServer(servers),
+        StationKind::Delay => RateFunction::Delay,
+    }
+}
+
+/// Exact single-server MVA (paper Algorithm 1) over a static network.
+///
+/// Multi-server stations are rejected at solve time by the underlying
+/// algorithm; use [`MultiserverMvaSolver`] for those.
+#[derive(Debug, Clone)]
+pub struct ExactMvaSolver {
+    net: ClosedNetwork,
+}
+
+impl ExactMvaSolver {
+    /// Binds the solver to a network.
+    pub fn new(net: ClosedNetwork) -> Self {
+        Self { net }
+    }
+}
+
+impl ClosedSolver for ExactMvaSolver {
+    fn name(&self) -> &str {
+        "exact-mva"
+    }
+
+    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
+        exact_mva(&self.net, n_max)
+    }
+}
+
+/// Exact multi-server MVA (paper Algorithm 2) over a static network.
+#[derive(Debug, Clone)]
+pub struct MultiserverMvaSolver {
+    net: ClosedNetwork,
+}
+
+impl MultiserverMvaSolver {
+    /// Binds the solver to a network.
+    pub fn new(net: ClosedNetwork) -> Self {
+        Self { net }
+    }
+}
+
+impl ClosedSolver for MultiserverMvaSolver {
+    fn name(&self) -> &str {
+        "multiserver-mva"
+    }
+
+    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
+        multiserver_mva(&self.net, n_max)
+    }
+}
+
+/// Exact load-dependent MVA over arbitrary per-station rate functions.
+#[derive(Debug, Clone)]
+pub struct LoadDependentSolver {
+    stations: Vec<LdStation>,
+    think_time: f64,
+}
+
+impl LoadDependentSolver {
+    /// Binds the solver to explicit load-dependent stations.
+    pub fn new(stations: Vec<LdStation>, think_time: f64) -> Self {
+        Self {
+            stations,
+            think_time,
+        }
+    }
+
+    /// Derives the rate functions from a static network (single-server /
+    /// multi-server / delay stations).
+    pub fn from_network(net: &ClosedNetwork) -> Self {
+        let stations = net
+            .stations()
+            .iter()
+            .map(|s| LdStation::new(&s.name, s.demand(), rate_of(s.kind)))
+            .collect();
+        Self {
+            stations,
+            think_time: net.think_time(),
+        }
+    }
+}
+
+impl ClosedSolver for LoadDependentSolver {
+    fn name(&self) -> &str {
+        "load-dependent-mva"
+    }
+
+    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
+        load_dependent_mva(&self.stations, self.think_time, n_max)
+    }
+}
+
+/// Buzen's convolution (normalization-constant) algorithm in log-domain,
+/// driven directly rather than through the load-dependent MVA wrapper.
+#[derive(Debug, Clone)]
+pub struct ConvolutionSolver {
+    net: ClosedNetwork,
+}
+
+impl ConvolutionSolver {
+    /// Binds the solver to a network.
+    pub fn new(net: ClosedNetwork) -> Self {
+        Self { net }
+    }
+}
+
+impl ClosedSolver for ConvolutionSolver {
+    fn name(&self) -> &str {
+        "convolution"
+    }
+
+    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
+        let stations: Vec<convolution::ConvStation> = self
+            .net
+            .stations()
+            .iter()
+            .map(|s| convolution::ConvStation {
+                name: s.name.clone(),
+                demand: s.demand(),
+                rate: rate_of(s.kind),
+            })
+            .collect();
+        let limits = vec![0usize; stations.len()];
+        let sol = convolution::solve(&stations, self.net.think_time(), n_max, &limits)?;
+        Ok(convolution::to_mva_solution(
+            &stations,
+            self.net.think_time(),
+            &sol,
+        ))
+    }
+}
+
+/// Schweitzer's approximate MVA (paper eq. 9, Seidmann transform for
+/// multi-server stations). Approximate: expect a few percent deviation
+/// from the exact solvers near the knee.
+#[derive(Debug, Clone)]
+pub struct SchweitzerSolver {
+    net: ClosedNetwork,
+    opts: SchweitzerOptions,
+}
+
+impl SchweitzerSolver {
+    /// Binds the solver to a network with default fixed-point options.
+    pub fn new(net: ClosedNetwork) -> Self {
+        Self {
+            net,
+            opts: SchweitzerOptions::default(),
+        }
+    }
+
+    /// Overrides the fixed-point options.
+    pub fn with_options(mut self, opts: SchweitzerOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+}
+
+impl ClosedSolver for SchweitzerSolver {
+    fn name(&self) -> &str {
+        "schweitzer-mva"
+    }
+
+    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
+        schweitzer_mva(&self.net, n_max, self.opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Station;
+
+    fn single_server_net() -> ClosedNetwork {
+        ClosedNetwork::new(
+            vec![
+                Station::queueing("cpu", 1, 1.0, 0.01),
+                Station::queueing("disk", 1, 1.0, 0.016),
+            ],
+            0.5,
+        )
+        .unwrap()
+    }
+
+    fn solvers(net: &ClosedNetwork) -> Vec<Box<dyn ClosedSolver>> {
+        vec![
+            Box::new(ExactMvaSolver::new(net.clone())),
+            Box::new(MultiserverMvaSolver::new(net.clone())),
+            Box::new(LoadDependentSolver::from_network(net)),
+            Box::new(ConvolutionSolver::new(net.clone())),
+        ]
+    }
+
+    #[test]
+    fn exact_family_agrees_through_the_trait() {
+        let net = single_server_net();
+        let reference = exact_mva(&net, 40).unwrap();
+        for s in solvers(&net) {
+            let sol = s.solve(40).unwrap();
+            assert_eq!(sol.points.len(), 40, "{}", s.name());
+            for (a, b) in sol.points.iter().zip(reference.points.iter()) {
+                assert!(
+                    (a.throughput - b.throughput).abs() < 1e-9,
+                    "{} at n={}: {} vs {}",
+                    s.name(),
+                    a.n,
+                    a.throughput,
+                    b.throughput
+                );
+                assert!((a.cycle_time - b.cycle_time).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn schweitzer_close_but_approximate() {
+        let net = single_server_net();
+        let approx = SchweitzerSolver::new(net.clone()).solve(40).unwrap();
+        let exact = exact_mva(&net, 40).unwrap();
+        for (a, b) in approx.points.iter().zip(exact.points.iter()) {
+            let rel = (a.throughput - b.throughput).abs() / b.throughput;
+            assert!(rel < 0.06, "n={} rel={rel}", a.n);
+        }
+    }
+
+    #[test]
+    fn multiserver_network_through_trait() {
+        let net = ClosedNetwork::new(
+            vec![
+                Station::queueing("cpu4", 4, 1.0, 0.02),
+                Station::queueing("disk", 1, 1.0, 0.006),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let ms = MultiserverMvaSolver::new(net.clone()).solve(60).unwrap();
+        let ld = LoadDependentSolver::from_network(&net).solve(60).unwrap();
+        let cv = ConvolutionSolver::new(net).solve(60).unwrap();
+        for n in 1..=60 {
+            let a = ms.at(n).unwrap().throughput;
+            let b = ld.at(n).unwrap().throughput;
+            let c = cv.at(n).unwrap().throughput;
+            assert!((a - b).abs() < 1e-8, "ms vs ld at {n}");
+            assert!((b - c).abs() < 1e-12, "ld vs conv at {n}");
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let net = single_server_net();
+        assert_eq!(ExactMvaSolver::new(net.clone()).name(), "exact-mva");
+        assert_eq!(
+            MultiserverMvaSolver::new(net.clone()).name(),
+            "multiserver-mva"
+        );
+        assert_eq!(
+            LoadDependentSolver::from_network(&net).name(),
+            "load-dependent-mva"
+        );
+        assert_eq!(ConvolutionSolver::new(net.clone()).name(), "convolution");
+        assert_eq!(SchweitzerSolver::new(net).name(), "schweitzer-mva");
+    }
+
+    #[test]
+    fn trait_objects_and_references_compose() {
+        let net = single_server_net();
+        let exact = ExactMvaSolver::new(net);
+        let by_ref: &dyn ClosedSolver = &exact;
+        let boxed: Box<dyn ClosedSolver> = Box::new(exact.clone());
+        assert_eq!(by_ref.name(), boxed.name());
+        let a = by_ref.solve(5).unwrap();
+        let b = boxed.solve(5).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -294,9 +294,7 @@ mod tests {
         assert!(ClosedNetwork::new(vec![], 1.0).is_err());
         assert!(ClosedNetwork::new(vec![Station::queueing("s", 0, 1.0, 0.1)], 1.0).is_err());
         assert!(ClosedNetwork::new(vec![Station::queueing("s", 1, -1.0, 0.1)], 1.0).is_err());
-        assert!(
-            ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, f64::NAN)], 1.0).is_err()
-        );
+        assert!(ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, f64::NAN)], 1.0).is_err());
         assert!(ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, 0.1)], -1.0).is_err());
         assert!(ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, 0.0)], 1.0).is_err());
     }
@@ -314,7 +312,7 @@ mod tests {
         // bottleneck when a single-server disk has higher effective demand.
         let net = ClosedNetwork::new(
             vec![
-                Station::queueing("cpu", 16, 1.0, 0.06), // eff 3.75 ms
+                Station::queueing("cpu", 16, 1.0, 0.06),  // eff 3.75 ms
                 Station::queueing("disk", 1, 1.0, 0.009), // eff 9 ms
             ],
             1.0,

@@ -4,8 +4,7 @@
 //! … → station K−1 → think → repeat. Multi-server FCFS queueing, seeded and
 //! fully deterministic for a given configuration.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mvasd_numerics::rng::Xoshiro256pp;
 use std::collections::VecDeque;
 
 use crate::event::{EventKind, EventQueue};
@@ -102,7 +101,7 @@ impl Simulation {
     /// Runs the simulation to its horizon and reports.
     pub fn run(self) -> Result<SimReport, SimError> {
         let k_count = self.net.stations().len();
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.cfg.seed);
         let mut events = EventQueue::new();
         let mut acc = Accumulators::new(
             k_count,
@@ -118,12 +117,14 @@ impl Simulation {
             };
             self.cfg.customers
         ];
-        let mut stations: Vec<StationState> = (0..k_count).map(|_| StationState::default()).collect();
+        let mut stations: Vec<StationState> =
+            (0..k_count).map(|_| StationState::default()).collect();
 
         for c in 0..self.cfg.customers {
-            events.schedule(c as f64 * self.cfg.stagger, EventKind::CustomerArrives {
-                customer: c,
-            });
+            events.schedule(
+                c as f64 * self.cfg.stagger,
+                EventKind::CustomerArrives { customer: c },
+            );
         }
 
         while let Some((t, kind)) = events.pop() {
@@ -179,10 +180,13 @@ impl Simulation {
                                 if let Some(c) = &spec.contention {
                                     s *= c.factor(acc.at_station[station]);
                                 }
-                                events.schedule(t + s, EventKind::ServiceDone {
-                                    station,
-                                    customer: next,
-                                });
+                                events.schedule(
+                                    t + s,
+                                    EventKind::ServiceDone {
+                                        station,
+                                        customer: next,
+                                    },
+                                );
                             }
                         }
                         StationModel::Delay => {
@@ -226,7 +230,7 @@ impl Simulation {
         customers: &mut [Customer],
         acc: &mut Accumulators,
         events: &mut EventQueue,
-        rng: &mut StdRng,
+        rng: &mut Xoshiro256pp,
         k: usize,
         customer: usize,
         t: f64,
@@ -238,10 +242,13 @@ impl Simulation {
             StationModel::Delay => {
                 acc.busy[k] += 1;
                 let s = spec.service.sample(rng);
-                events.schedule(t + s, EventKind::ServiceDone {
-                    station: k,
-                    customer,
-                });
+                events.schedule(
+                    t + s,
+                    EventKind::ServiceDone {
+                        station: k,
+                        customer,
+                    },
+                );
             }
             StationModel::Queueing { servers } => {
                 let st = &mut stations[k];
@@ -252,10 +259,13 @@ impl Simulation {
                     if let Some(c) = &spec.contention {
                         s *= c.factor(acc.at_station[k]);
                     }
-                    events.schedule(t + s, EventKind::ServiceDone {
-                        station: k,
-                        customer,
-                    });
+                    events.schedule(
+                        t + s,
+                        EventKind::ServiceDone {
+                            station: k,
+                            customer,
+                        },
+                    );
                 } else {
                     st.waiting.push_back(customer);
                 }
@@ -351,13 +361,16 @@ mod tests {
     }
 
     fn run(net: SimNetwork, n: usize, horizon: f64, seed: u64) -> SimReport {
-        Simulation::new(net, SimConfig {
-            customers: n,
-            horizon,
-            warmup: horizon * 0.2,
-            seed,
-            ..SimConfig::default()
-        })
+        Simulation::new(
+            net,
+            SimConfig {
+                customers: n,
+                horizon,
+                warmup: horizon * 0.2,
+                seed,
+                ..SimConfig::default()
+            },
+        )
         .unwrap()
         .run()
         .unwrap()
@@ -493,20 +506,26 @@ mod tests {
             Distribution::Exponential { mean: 1.0 },
         )
         .unwrap();
-        let rep = Simulation::new(net, SimConfig {
-            customers: 60,
-            horizon: 300.0,
-            warmup: 150.0,
-            seed: 3,
-            stagger: 1.0, // one customer per second: 60 s ramp
-            bucket_width: 5.0,
-        })
+        let rep = Simulation::new(
+            net,
+            SimConfig {
+                customers: 60,
+                horizon: 300.0,
+                warmup: 150.0,
+                seed: 3,
+                stagger: 1.0, // one customer per second: 60 s ramp
+                bucket_width: 5.0,
+            },
+        )
         .unwrap()
         .run()
         .unwrap();
         let early: f64 = rep.time_series[0..4].iter().map(|b| b.tps).sum();
         let late: f64 = rep.time_series[40..44].iter().map(|b| b.tps).sum();
-        assert!(early < late * 0.6, "ramp-up should depress early tps: {early} vs {late}");
+        assert!(
+            early < late * 0.6,
+            "ramp-up should depress early tps: {early} vs {late}"
+        );
     }
 
     #[test]
@@ -571,15 +590,17 @@ mod tests {
             if let Some(c) = contention {
                 st = st.with_contention(c);
             }
-            let net =
-                SimNetwork::new(vec![st], Distribution::Exponential { mean: 1.0 }).unwrap();
-            Simulation::new(net, SimConfig {
-                customers: n,
-                horizon: 1500.0,
-                warmup: 200.0,
-                seed: 77,
-                ..SimConfig::default()
-            })
+            let net = SimNetwork::new(vec![st], Distribution::Exponential { mean: 1.0 }).unwrap();
+            Simulation::new(
+                net,
+                SimConfig {
+                    customers: n,
+                    horizon: 1500.0,
+                    warmup: 200.0,
+                    seed: 77,
+                    ..SimConfig::default()
+                },
+            )
             .unwrap()
             .run()
             .unwrap()
@@ -629,7 +650,12 @@ mod tests {
         // Batch means truncates to a multiple of the batch size, so the
         // grand mean can differ slightly from the full-sample mean.
         let rel = (ci.mean - rep.system.mean_response).abs() / rep.system.mean_response;
-        assert!(rel < 0.02, "ci mean {} vs sample mean {}", ci.mean, rep.system.mean_response);
+        assert!(
+            rel < 0.02,
+            "ci mean {} vs sample mean {}",
+            ci.mean,
+            rep.system.mean_response
+        );
         assert!(ci.half_width > 0.0);
     }
 }

@@ -96,6 +96,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(!SimError::EmptyNetwork.to_string().is_empty());
-        assert!(!SimError::InvalidParameter { what: "x" }.to_string().is_empty());
+        assert!(!SimError::InvalidParameter { what: "x" }
+            .to_string()
+            .is_empty());
     }
 }

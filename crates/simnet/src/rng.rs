@@ -6,7 +6,7 @@
 //! [`Distribution::NormalClamped`]. Deterministic and Erlang-k cover the
 //! low-variance end for robustness studies.
 
-use rand::Rng;
+use mvasd_numerics::rng::Xoshiro256pp;
 
 /// A non-negative random-variate family with a configurable mean.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,7 +72,11 @@ impl Distribution {
             },
             Distribution::Uniform { lo, hi } => {
                 let old_mean = 0.5 * (lo + hi);
-                let scale = if old_mean > 0.0 { new_mean / old_mean } else { 0.0 };
+                let scale = if old_mean > 0.0 {
+                    new_mean / old_mean
+                } else {
+                    0.0
+                };
                 Distribution::Uniform {
                     lo: lo * scale,
                     hi: hi * scale,
@@ -111,44 +115,19 @@ impl Distribution {
     }
 
     /// Draws one variate.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
         match self {
-            Distribution::Exponential { mean } => {
-                if *mean == 0.0 {
-                    0.0
-                } else {
-                    // Inverse CDF; guard the log argument away from 0.
-                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                    -mean * u.ln()
-                }
-            }
+            Distribution::Exponential { mean } => rng.exponential(*mean),
             Distribution::Deterministic { value } => *value,
             Distribution::Erlang { k, mean } => {
                 if *mean == 0.0 {
                     return 0.0;
                 }
                 let stage_mean = mean / *k as f64;
-                let mut acc = 0.0;
-                for _ in 0..*k {
-                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                    acc += -stage_mean * u.ln();
-                }
-                acc
+                (0..*k).map(|_| rng.exponential(stage_mean)).sum()
             }
-            Distribution::Uniform { lo, hi } => {
-                if lo == hi {
-                    *lo
-                } else {
-                    rng.gen_range(*lo..*hi)
-                }
-            }
-            Distribution::NormalClamped { mean, std_dev } => {
-                // Box–Muller.
-                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                let u2: f64 = rng.gen_range(0.0..1.0);
-                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                (mean + std_dev * z).max(0.0)
-            }
+            Distribution::Uniform { lo, hi } => rng.uniform(*lo, *hi),
+            Distribution::NormalClamped { mean, std_dev } => rng.normal(*mean, *std_dev).max(0.0),
         }
     }
 }
@@ -156,11 +135,9 @@ impl Distribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn sample_mean(d: &Distribution, n: usize, seed: u64) -> f64 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
     }
 
@@ -174,7 +151,7 @@ mod tests {
     #[test]
     fn deterministic_is_constant() {
         let d = Distribution::Deterministic { value: 3.5 };
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         for _ in 0..10 {
             assert_eq!(d.sample(&mut rng), 3.5);
         }
@@ -184,7 +161,7 @@ mod tests {
     fn erlang_mean_and_lower_variance() {
         let e1 = Distribution::Exponential { mean: 1.0 };
         let e4 = Distribution::Erlang { k: 4, mean: 1.0 };
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let n = 100_000;
         let s1: Vec<f64> = (0..n).map(|_| e1.sample(&mut rng)).collect();
         let s4: Vec<f64> = (0..n).map(|_| e4.sample(&mut rng)).collect();
@@ -194,13 +171,16 @@ mod tests {
             v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
         };
         assert!((mean(&s4) - 1.0).abs() < 0.02);
-        assert!(var(&s4) < var(&s1) / 2.0, "Erlang-4 must have ~1/4 variance");
+        assert!(
+            var(&s4) < var(&s1) / 2.0,
+            "Erlang-4 must have ~1/4 variance"
+        );
     }
 
     #[test]
     fn uniform_bounds_respected() {
         let d = Distribution::Uniform { lo: 1.0, hi: 2.0 };
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         for _ in 0..1000 {
             let x = d.sample(&mut rng);
             assert!((1.0..=2.0).contains(&x));
@@ -214,7 +194,7 @@ mod tests {
             mean: 0.1,
             std_dev: 0.5,
         };
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
         for _ in 0..1000 {
             assert!(d.sample(&mut rng) >= 0.0);
         }
@@ -239,16 +219,24 @@ mod tests {
 
     #[test]
     fn zero_mean_samples_zero() {
-        let mut rng = StdRng::seed_from_u64(7);
-        assert_eq!(Distribution::Exponential { mean: 0.0 }.sample(&mut rng), 0.0);
-        assert_eq!(Distribution::Erlang { k: 2, mean: 0.0 }.sample(&mut rng), 0.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        assert_eq!(
+            Distribution::Exponential { mean: 0.0 }.sample(&mut rng),
+            0.0
+        );
+        assert_eq!(
+            Distribution::Erlang { k: 2, mean: 0.0 }.sample(&mut rng),
+            0.0
+        );
     }
 
     #[test]
     fn validation_catches_bad_params() {
         assert!(Distribution::Exponential { mean: -1.0 }.validate().is_err());
         assert!(Distribution::Erlang { k: 0, mean: 1.0 }.validate().is_err());
-        assert!(Distribution::Uniform { lo: 2.0, hi: 1.0 }.validate().is_err());
+        assert!(Distribution::Uniform { lo: 2.0, hi: 1.0 }
+            .validate()
+            .is_err());
         assert!(Distribution::NormalClamped {
             mean: f64::NAN,
             std_dev: 1.0

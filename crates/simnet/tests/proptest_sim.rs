@@ -1,9 +1,10 @@
 //! Property-based validation of the discrete-event simulator against exact
 //! analysis: for randomly drawn product-form networks, the simulator's
 //! steady-state estimates must track the exact MVA recursion.
+//!
+//! Runs on the in-house deterministic harness (`mvasd_numerics::propcheck`).
 
-use proptest::prelude::*;
-
+use mvasd_numerics::propcheck::{check, Config};
 use mvasd_simnet::{Distribution, SimConfig, SimNetwork, SimStation, Simulation};
 
 /// Exact single-server MVA (inline; avoids a dev-dependency cycle).
@@ -11,7 +12,11 @@ fn exact_mva_x_r(demands: &[f64], z: f64, n: usize) -> (f64, f64) {
     let mut q = vec![0.0f64; demands.len()];
     let (mut x, mut r_total) = (0.0, 0.0);
     for pop in 1..=n {
-        let r: Vec<f64> = demands.iter().zip(q.iter()).map(|(d, qk)| d * (1.0 + qk)).collect();
+        let r: Vec<f64> = demands
+            .iter()
+            .zip(q.iter())
+            .map(|(d, qk)| d * (1.0 + qk))
+            .collect();
         r_total = r.iter().sum();
         x = pop as f64 / (r_total + z);
         for (qk, rk) in q.iter_mut().zip(r.iter()) {
@@ -21,74 +26,110 @@ fn exact_mva_x_r(demands: &[f64], z: f64, n: usize) -> (f64, f64) {
     (x, r_total)
 }
 
-proptest! {
+#[test]
+fn simulator_tracks_exact_mva() {
     // DES runs are comparatively expensive; a handful of random cases per
     // run is plenty (each case exercises thousands of events).
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    check(
+        "simulator_tracks_exact_mva",
+        &Config::default().cases(8),
+        |g| {
+            let demands = g.vec_f64(1, 3, 0.005, 0.05);
+            let z = g.f64_in(0.2, 2.0);
+            let n = g.usize_in(5, 39);
+            let seed = g.raw() % 1000;
+            let stations: Vec<SimStation> = demands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| SimStation::queueing(&format!("s{i}"), 1, d))
+                .collect();
+            let net = SimNetwork::new(stations, Distribution::Exponential { mean: z }).unwrap();
+            let rep = Simulation::new(
+                net,
+                SimConfig {
+                    customers: n,
+                    horizon: 2500.0,
+                    warmup: 500.0,
+                    seed,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap()
+            .run()
+            .unwrap();
 
-    #[test]
-    fn simulator_tracks_exact_mva(
-        demands in proptest::collection::vec(0.005f64..0.05, 1..4),
-        z in 0.2f64..2.0,
-        n in 5usize..40,
-        seed in 0u64..1000,
-    ) {
-        let stations: Vec<SimStation> = demands.iter().enumerate()
-            .map(|(i, &d)| SimStation::queueing(&format!("s{i}"), 1, d))
-            .collect();
-        let net = SimNetwork::new(stations, Distribution::Exponential { mean: z }).unwrap();
-        let rep = Simulation::new(net, SimConfig {
-            customers: n,
-            horizon: 2500.0,
-            warmup: 500.0,
-            seed,
-            ..SimConfig::default()
-        }).unwrap().run().unwrap();
+            let (x_exact, r_exact) = exact_mva_x_r(&demands, z, n);
+            let rel_x = (rep.system.throughput - x_exact).abs() / x_exact;
+            assert!(
+                rel_x < 0.05,
+                "X sim {} vs exact {}",
+                rep.system.throughput,
+                x_exact
+            );
+            // Response is noisier, especially when tiny; allow a wider band.
+            let rel_r = (rep.system.mean_response - r_exact).abs() / r_exact.max(1e-3);
+            assert!(
+                rel_r < 0.15,
+                "R sim {} vs exact {}",
+                rep.system.mean_response,
+                r_exact
+            );
 
-        let (x_exact, r_exact) = exact_mva_x_r(&demands, z, n);
-        let rel_x = (rep.system.throughput - x_exact).abs() / x_exact;
-        prop_assert!(rel_x < 0.05, "X sim {} vs exact {}", rep.system.throughput, x_exact);
-        // Response is noisier, especially when tiny; allow a wider band.
-        let rel_r = (rep.system.mean_response - r_exact).abs() / r_exact.max(1e-3);
-        prop_assert!(rel_r < 0.15, "R sim {} vs exact {}", rep.system.mean_response, r_exact);
+            // Operational laws hold on the measurements themselves.
+            for (k, &d) in demands.iter().enumerate() {
+                let u = rep.stations[k].utilization;
+                assert!(
+                    (u - rep.system.throughput * d).abs() < 0.05,
+                    "utilization law k={k}"
+                );
+                assert!(u <= 1.0 + 1e-9);
+            }
+            // Population conservation: E[at stations] + X·Z = N.
+            let at_stations: f64 = rep.stations.iter().map(|s| s.mean_queue).sum();
+            let thinking = rep.system.throughput * z;
+            assert!(
+                (at_stations + thinking - n as f64).abs() < 0.06 * n as f64,
+                "conservation: {} + {} vs {}",
+                at_stations,
+                thinking,
+                n
+            );
+        },
+    );
+}
 
-        // Operational laws hold on the measurements themselves.
-        for (k, &d) in demands.iter().enumerate() {
-            let u = rep.stations[k].utilization;
-            prop_assert!((u - rep.system.throughput * d).abs() < 0.05, "utilization law k={k}");
-            prop_assert!(u <= 1.0 + 1e-9);
-        }
-        // Population conservation: E[at stations] + X·Z = N.
-        let at_stations: f64 = rep.stations.iter().map(|s| s.mean_queue).sum();
-        let thinking = rep.system.throughput * z;
-        prop_assert!(
-            (at_stations + thinking - n as f64).abs() < 0.06 * n as f64,
-            "conservation: {} + {} vs {}",
-            at_stations, thinking, n
-        );
-    }
-
-    #[test]
-    fn seeded_runs_are_deterministic(
-        demand in 0.005f64..0.05,
-        n in 1usize..30,
-        seed in 0u64..100,
-    ) {
-        let mk = || {
-            let net = SimNetwork::new(
-                vec![SimStation::queueing("s", 2, demand)],
-                Distribution::Exponential { mean: 1.0 },
-            ).unwrap();
-            Simulation::new(net, SimConfig {
-                customers: n,
-                horizon: 300.0,
-                warmup: 30.0,
-                seed,
-                ..SimConfig::default()
-            }).unwrap().run().unwrap()
-        };
-        let (a, b) = (mk(), mk());
-        prop_assert_eq!(a.system, b.system);
-        prop_assert_eq!(a.stations, b.stations);
-    }
+#[test]
+fn seeded_runs_are_deterministic() {
+    check(
+        "seeded_runs_are_deterministic",
+        &Config::default().cases(8),
+        |g| {
+            let demand = g.f64_in(0.005, 0.05);
+            let n = g.usize_in(1, 29);
+            let seed = g.raw() % 100;
+            let mk = || {
+                let net = SimNetwork::new(
+                    vec![SimStation::queueing("s", 2, demand)],
+                    Distribution::Exponential { mean: 1.0 },
+                )
+                .unwrap();
+                Simulation::new(
+                    net,
+                    SimConfig {
+                        customers: n,
+                        horizon: 300.0,
+                        warmup: 30.0,
+                        seed,
+                        ..SimConfig::default()
+                    },
+                )
+                .unwrap()
+                .run()
+                .unwrap()
+            };
+            let (a, b) = (mk(), mk());
+            assert_eq!(a.system, b.system);
+            assert_eq!(a.stations, b.stations);
+        },
+    );
 }

@@ -177,9 +177,7 @@ impl AppModel {
 /// Builds the canonical 12-station, 3-tier station list of paper Fig. 2.
 /// `specs` supplies, per tier (load, web/app, database), the CPU core count
 /// and the four demand curves in CPU/Disk/Net-Tx/Net-Rx order.
-pub(crate) fn three_tier_stations(
-    specs: [(&str, usize, [DemandCurve; 4]); 3],
-) -> Vec<AppStation> {
+pub(crate) fn three_tier_stations(specs: [(&str, usize, [DemandCurve; 4]); 3]) -> Vec<AppStation> {
     let mut out = Vec::with_capacity(12);
     for (tier, cores, [cpu, disk, tx, rx]) in specs {
         out.push(AppStation::new(&format!("{tier}-cpu"), cores, cpu));

@@ -4,14 +4,18 @@
 //! Grinder at a set of concurrency levels (Step 2 of the Fig. 17 workflow),
 //! monitor utilizations, and extract per-level service demands with the
 //! Service Demand Law. Levels are independent, so the campaign fans out
-//! across threads (crossbeam scoped threads + a parking_lot-protected
-//! result sink).
+//! across `std::thread::scope` workers feeding a mutex-protected result
+//! sink. A panic inside one level's load test is caught and surfaced as
+//! [`TestbedError::WorkerPanic`] instead of aborting the whole campaign.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::apps::AppModel;
 use crate::grinder::{load_test, GrinderConfig, LoadTestResult};
 use crate::monitor::{demands_from_row, UtilizationRow, UtilizationTable};
 use crate::TestbedError;
-use parking_lot::Mutex;
 
 /// Everything measured at one concurrency level.
 #[derive(Debug, Clone, PartialEq)]
@@ -184,30 +188,70 @@ pub fn run_campaign(
         });
     }
     app.validate()?;
+    run_campaign_with(app, levels, cfg, |n| {
+        let mut gcfg = GrinderConfig::for_users(n, cfg.test_duration);
+        gcfg.seed ^= cfg.base_seed;
+        load_test(app, &gcfg)
+    })
+}
 
+/// Renders a worker panic payload as text for [`TestbedError::WorkerPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The campaign engine, generic over the per-level measurement job so the
+/// panic-containment path is testable without a panicking simulator.
+fn run_campaign_with<F>(
+    app: &AppModel,
+    levels: &[u64],
+    cfg: &CampaignConfig,
+    run_level: F,
+) -> Result<Campaign, TestbedError>
+where
+    F: Fn(usize) -> Result<LoadTestResult, TestbedError> + Sync,
+{
     let server_counts = app.server_counts();
     let results: Mutex<Vec<(usize, Result<LoadTestResult, TestbedError>)>> =
         Mutex::new(Vec::with_capacity(levels.len()));
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..cfg.parallelism.min(levels.len()) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= levels.len() {
                     break;
                 }
                 let n = levels[i] as usize;
-                let mut gcfg = GrinderConfig::for_users(n, cfg.test_duration);
-                gcfg.seed ^= cfg.base_seed;
-                let res = load_test(app, &gcfg);
-                results.lock().push((n, res));
+                // Contain panics to the level that raised them: the other
+                // levels keep running and the caller gets a typed error.
+                let res =
+                    catch_unwind(AssertUnwindSafe(|| run_level(n))).unwrap_or_else(|payload| {
+                        Err(TestbedError::WorkerPanic {
+                            level: n,
+                            message: panic_message(payload),
+                        })
+                    });
+                // No panic can happen while the lock is held, but stay
+                // robust to poisoning anyway: the data is append-only.
+                match results.lock() {
+                    Ok(mut sink) => sink.push((n, res)),
+                    Err(poisoned) => poisoned.into_inner().push((n, res)),
+                }
             });
         }
-    })
-    .expect("campaign worker panicked");
+    });
 
-    let mut collected = results.into_inner();
+    let mut collected = results
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     collected.sort_by_key(|(n, _)| *n);
 
     let mut points = Vec::with_capacity(collected.len());
@@ -219,11 +263,10 @@ pub fn run_campaign(
             response: res.response_time(),
             utilization: res.utilizations(),
         };
-        let demands = demands_from_row(&row, &server_counts).ok_or(
-            TestbedError::InvalidParameter {
+        let demands =
+            demands_from_row(&row, &server_counts).ok_or(TestbedError::InvalidParameter {
                 what: "load test produced no completions; demands undefined",
-            },
-        )?;
+            })?;
         points.push(MeasuredPoint {
             users: n,
             throughput: row.throughput,
@@ -324,6 +367,55 @@ mod tests {
         // Throughput-ordered levels must ascend.
         assert!(t.levels.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(t.demands[0].len(), 3);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_error() {
+        let app = vins::model();
+        let cfg = quick_cfg();
+        let err = run_campaign_with(&app, &[1, 5, 25], &cfg, |n| {
+            if n == 5 {
+                panic!("injected failure at level {n}");
+            }
+            let mut gcfg = GrinderConfig::for_users(n, cfg.test_duration);
+            gcfg.seed ^= cfg.base_seed;
+            load_test(&app, &gcfg)
+        })
+        .unwrap_err();
+        match err {
+            TestbedError::WorkerPanic { level, message } => {
+                assert_eq!(level, 5);
+                assert!(message.contains("injected failure"), "{message}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panic_does_not_abort_other_levels() {
+        // With parallelism 1 the panicking level runs first; the remaining
+        // levels must still be measured (the campaign fails *after* the
+        // sweep, with the typed error, not by unwinding mid-sweep).
+        let app = vins::model();
+        let cfg = CampaignConfig {
+            parallelism: 1,
+            ..quick_cfg()
+        };
+        let measured = std::sync::Mutex::new(Vec::new());
+        let err = run_campaign_with(&app, &[1, 5, 25], &cfg, |n| {
+            if n == 1 {
+                panic!("boom");
+            }
+            measured.lock().unwrap().push(n);
+            let mut gcfg = GrinderConfig::for_users(n, cfg.test_duration);
+            gcfg.seed ^= cfg.base_seed;
+            load_test(&app, &gcfg)
+        })
+        .unwrap_err();
+        assert!(matches!(err, TestbedError::WorkerPanic { level: 1, .. }));
+        let mut seen = measured.into_inner().unwrap();
+        seen.sort();
+        assert_eq!(seen, vec![5, 25]);
     }
 
     #[test]

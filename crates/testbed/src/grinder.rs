@@ -149,7 +149,11 @@ pub fn load_test(app: &AppModel, cfg: &GrinderConfig) -> Result<LoadTestResult, 
     cfg.validate()?;
     let users = cfg.virtual_users();
     let ramp_total = cfg.process_increment_interval * cfg.processes.saturating_sub(1) as f64;
-    let stagger = if users > 1 { ramp_total / (users - 1) as f64 } else { 0.0 };
+    let stagger = if users > 1 {
+        ramp_total / (users - 1) as f64
+    } else {
+        0.0
+    };
     let warmup = (cfg.duration * cfg.warmup_fraction).max(ramp_total.min(cfg.duration * 0.8));
 
     let mut net = app.sim_network(users)?;
@@ -159,14 +163,17 @@ pub fn load_test(app: &AppModel, cfg: &GrinderConfig) -> Result<LoadTestResult, 
             std_dev: cfg.sleep_time_variation * app.think_time,
         })?;
     }
-    let report = Simulation::new(net, SimConfig {
-        customers: users,
-        horizon: cfg.duration,
-        warmup,
-        seed: cfg.seed,
-        stagger,
-        bucket_width: (cfg.duration / 120.0).max(1.0),
-    })?
+    let report = Simulation::new(
+        net,
+        SimConfig {
+            customers: users,
+            horizon: cfg.duration,
+            warmup,
+            seed: cfg.seed,
+            stagger,
+            bucket_width: (cfg.duration / 120.0).max(1.0),
+        },
+    )?
     .run()?;
 
     Ok(LoadTestResult { users, report })
@@ -243,13 +250,21 @@ mod tests {
         // distribution is a second-order effect on mean throughput).
         let app = vins::model();
         let base = load_test(&app, &GrinderConfig::for_users(30, 400.0)).unwrap();
-        let varied = load_test(&app, &GrinderConfig {
-            sleep_time_variation: 0.3,
-            ..GrinderConfig::for_users(30, 400.0)
-        })
+        let varied = load_test(
+            &app,
+            &GrinderConfig {
+                sleep_time_variation: 0.3,
+                ..GrinderConfig::for_users(30, 400.0)
+            },
+        )
         .unwrap();
         let rel = (base.throughput() - varied.throughput()).abs() / base.throughput();
-        assert!(rel < 0.05, "base {} varied {}", base.throughput(), varied.throughput());
+        assert!(
+            rel < 0.05,
+            "base {} varied {}",
+            base.throughput(),
+            varied.throughput()
+        );
         // Negative variation rejected.
         let bad = GrinderConfig {
             sleep_time_variation: -0.1,

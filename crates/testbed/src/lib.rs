@@ -23,6 +23,9 @@
 //!   test per concurrency level, optionally parallel across levels) and
 //!   Service-Demand-Law extraction of the measured demand arrays that feed
 //!   MVASD.
+//! * [`solver`] — [`mvasd_queueing::mva::ClosedSolver`] adapter that sweeps
+//!   the discrete-event simulator over populations, so simulation ground
+//!   truth plugs into the same comparisons as the analytic solvers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +35,7 @@ pub mod campaign;
 pub mod demand;
 pub mod grinder;
 pub mod monitor;
+pub mod solver;
 
 /// Errors from testbed configuration and execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +49,14 @@ pub enum TestbedError {
     Sim(mvasd_simnet::SimError),
     /// Error propagated from the queueing layer.
     Queueing(mvasd_queueing::QueueingError),
+    /// A campaign worker thread panicked while measuring one level; the
+    /// panic was contained to that level instead of aborting the campaign.
+    WorkerPanic {
+        /// The concurrency level being measured when the worker panicked.
+        level: usize,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
 }
 
 impl core::fmt::Display for TestbedError {
@@ -53,6 +65,9 @@ impl core::fmt::Display for TestbedError {
             TestbedError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
             TestbedError::Sim(e) => write!(f, "simulation error: {e}"),
             TestbedError::Queueing(e) => write!(f, "queueing error: {e}"),
+            TestbedError::WorkerPanic { level, message } => {
+                write!(f, "load-test worker panicked at level {level}: {message}")
+            }
         }
     }
 }
@@ -81,6 +96,8 @@ mod tests {
         assert!(!e.to_string().is_empty());
         let e: TestbedError = mvasd_queueing::QueueingError::EmptyNetwork.into();
         assert!(!e.to_string().is_empty());
-        assert!(!TestbedError::InvalidParameter { what: "x" }.to_string().is_empty());
+        assert!(!TestbedError::InvalidParameter { what: "x" }
+            .to_string()
+            .is_empty());
     }
 }

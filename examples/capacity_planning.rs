@@ -58,9 +58,7 @@ fn main() {
     // disk, and solve the modified static model.
     let mut demands = profile.demands_at(600.0);
     demands[disk] *= 0.5;
-    let upgraded_net = app
-        .closed_network_with(&demands)
-        .expect("modified model");
+    let upgraded_net = app.closed_network_with(&demands).expect("modified model");
     let upgraded = multiserver_mva(&upgraded_net, 600).expect("solver");
     println!(
         "  ceiling {:.1} -> {:.1} pages/s; new bottleneck: {}",

@@ -52,7 +52,10 @@ fn main() {
     let sweep = predict_open(&profile, &lambdas).expect("sweep");
 
     let disk = profile.station_index("db-disk").expect("station");
-    println!("\n{:>8} {:>12} {:>12} {:>14}", "λ (tx/s)", "R (s)", "in system", "db-disk util");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>14}",
+        "λ (tx/s)", "R (s)", "in system", "db-disk util"
+    );
     for pt in sweep.points.iter().step_by(3) {
         println!(
             "{:>8.0} {:>12.4} {:>12.2} {:>13.1}%",

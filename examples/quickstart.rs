@@ -17,9 +17,9 @@ fn main() {
     // monitored utilizations with the Service Demand Law (D = U·C/X):
     let samples = DemandSamples {
         station_names: vec![
-            "app-cpu".into(),  // 8 cores
-            "db-cpu".into(),   // 8 cores
-            "db-disk".into(),  // single spindle
+            "app-cpu".into(), // 8 cores
+            "db-cpu".into(),  // 8 cores
+            "db-disk".into(), // single spindle
         ],
         server_counts: vec![8, 8, 1],
         think_time: 1.0, // seconds between page requests
@@ -41,7 +41,10 @@ fn main() {
     .expect("valid samples");
     let prediction = mvasd(&profile, 600).expect("solver");
 
-    println!("{:>6} {:>14} {:>14} {:>12}", "users", "X (pages/s)", "R (s)", "db-disk util");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "users", "X (pages/s)", "R (s)", "db-disk util"
+    );
     for n in [1u64, 50, 100, 200, 300, 400, 500, 600] {
         let p = prediction.at(n as usize).expect("in range");
         println!(

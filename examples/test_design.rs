@@ -8,8 +8,8 @@
 //! ```
 
 use mvasd_suite::core::accuracy::compare_solution;
-use mvasd_suite::core::pipeline::PredictionWorkflow;
 use mvasd_suite::core::designer::SamplingStrategy;
+use mvasd_suite::core::pipeline::PredictionWorkflow;
 use mvasd_suite::testbed::apps::jpetstore;
 use mvasd_suite::testbed::campaign::{run_campaign, CampaignConfig};
 

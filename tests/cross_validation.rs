@@ -2,10 +2,15 @@
 //! discrete-event simulator must agree on shared models — three
 //! independently built components triangulating the same ground truth.
 
+use mvasd_suite::core::profile::{
+    DemandAxis, DemandSamples, InterpolationKind, ServiceDemandProfile,
+};
+use mvasd_suite::core::solver::{MvasdSchweitzerSolver, MvasdSingleServerSolver, MvasdSolver};
 use mvasd_suite::numerics::erlang::{machine_repair, mmc};
 use mvasd_suite::queueing::mva::{
-    exact_mva, load_dependent_mva, multiserver_mva, schweitzer_mva, LdStation, RateFunction,
-    SchweitzerOptions,
+    exact_mva, load_dependent_mva, multiserver_mva, schweitzer_mva, ClosedSolver,
+    ConvolutionSolver, ExactMvaSolver, LdStation, LoadDependentSolver, MultiserverMvaSolver,
+    RateFunction, SchweitzerOptions, SchweitzerSolver,
 };
 use mvasd_suite::queueing::network::{ClosedNetwork, Station};
 use mvasd_suite::queueing::open::solve_open;
@@ -43,13 +48,16 @@ fn simulator_vs_mva_on_three_tier_network() {
         Distribution::Exponential { mean: z },
     )
     .unwrap();
-    let sim = Simulation::new(sim_net, SimConfig {
-        customers: n,
-        horizon: 2500.0,
-        warmup: 500.0,
-        seed: 99,
-        ..SimConfig::default()
-    })
+    let sim = Simulation::new(
+        sim_net,
+        SimConfig {
+            customers: n,
+            horizon: 2500.0,
+            warmup: 500.0,
+            seed: 99,
+            ..SimConfig::default()
+        },
+    )
     .unwrap()
     .run()
     .unwrap();
@@ -103,10 +111,19 @@ fn four_solvers_one_network() {
     let s = schweitzer_mva(&net, n, SchweitzerOptions::default()).unwrap();
     for i in 1..=n {
         let xe = e.at(i).unwrap().throughput;
-        assert!(rel(m.at(i).unwrap().throughput, xe) < 1e-8, "multiserver at {i}");
-        assert!(rel(ld.at(i).unwrap().throughput, xe) < 1e-8, "load-dependent at {i}");
+        assert!(
+            rel(m.at(i).unwrap().throughput, xe) < 1e-8,
+            "multiserver at {i}"
+        );
+        assert!(
+            rel(ld.at(i).unwrap().throughput, xe) < 1e-8,
+            "load-dependent at {i}"
+        );
         // Schweitzer's error peaks around the knee (~6 % textbook band).
-        assert!(rel(s.at(i).unwrap().throughput, xe) < 0.06, "schweitzer at {i}");
+        assert!(
+            rel(s.at(i).unwrap().throughput, xe) < 0.06,
+            "schweitzer at {i}"
+        );
     }
 }
 
@@ -153,6 +170,128 @@ fn analytic_solvers_vs_erlang_closed_forms() {
 }
 
 #[test]
+fn every_closed_solver_agrees_with_exact_mva_through_the_trait() {
+    // The unifying contract of the refactor: on a single-server product-form
+    // network every solver in the workspace is reachable through
+    // `ClosedSolver`, and the exact family reproduces exact MVA to 1e-9.
+    // Approximate solvers get their documented bands; the DES estimator is
+    // exercised separately (statistical) below.
+    let net = ClosedNetwork::new(
+        vec![
+            Station::queueing("a", 1, 1.0, 0.01),
+            Station::queueing("b", 1, 1.0, 0.016),
+        ],
+        0.5,
+    )
+    .unwrap();
+    let n = 80usize;
+    let reference = ExactMvaSolver::new(net.clone()).solve(n).unwrap();
+
+    // A constant demand profile makes MVASD collapse onto classic MVA, so
+    // the core-layer solvers join the exact family on this model.
+    let levels = vec![1.0, 40.0, 80.0];
+    let samples = DemandSamples {
+        station_names: vec!["a".into(), "b".into()],
+        server_counts: vec![1, 1],
+        think_time: 0.5,
+        levels: levels.clone(),
+        demands: vec![vec![0.01; levels.len()], vec![0.016; levels.len()]],
+    };
+    let profile = ServiceDemandProfile::from_samples(
+        &samples,
+        InterpolationKind::CubicNotAKnot,
+        DemandAxis::Concurrency,
+    )
+    .unwrap();
+
+    let exact_family: Vec<Box<dyn ClosedSolver>> = vec![
+        Box::new(ExactMvaSolver::new(net.clone())),
+        Box::new(MultiserverMvaSolver::new(net.clone())),
+        Box::new(LoadDependentSolver::from_network(&net)),
+        Box::new(ConvolutionSolver::new(net.clone())),
+        Box::new(MvasdSolver::new(profile.clone())),
+        Box::new(MvasdSingleServerSolver::new(profile.clone())),
+    ];
+    for solver in &exact_family {
+        let sol = solver.solve(n).unwrap();
+        for i in 1..=n {
+            let r = reference.at(i).unwrap();
+            let p = sol.at(i).unwrap();
+            assert!(
+                rel(p.throughput, r.throughput) < 1e-9,
+                "[{}] X at {i}: {} vs {}",
+                solver.name(),
+                p.throughput,
+                r.throughput
+            );
+            assert!(
+                rel(p.cycle_time, r.cycle_time) < 1e-9,
+                "[{}] C at {i}",
+                solver.name()
+            );
+        }
+    }
+
+    // Approximate family: fixed-point AMVA, documented ~6 % band near the knee.
+    let approximate: Vec<Box<dyn ClosedSolver>> = vec![
+        Box::new(SchweitzerSolver::new(net.clone())),
+        Box::new(MvasdSchweitzerSolver::new(profile)),
+    ];
+    for solver in &approximate {
+        let sol = solver.solve(n).unwrap();
+        for i in 1..=n {
+            assert!(
+                rel(
+                    sol.at(i).unwrap().throughput,
+                    reference.at(i).unwrap().throughput
+                ) < 0.06,
+                "[{}] X at {i}",
+                solver.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sim_solver_joins_the_trait_family_statistically() {
+    // The ninth `ClosedSolver`: the DES estimator, held to a sampling band
+    // rather than the analytic 1e-9.
+    use mvasd_suite::testbed::solver::SimSolver;
+
+    let net = ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, 0.02)], 0.5).unwrap();
+    let n = 12usize;
+    let reference = ExactMvaSolver::new(net).solve(n).unwrap();
+
+    let sim_net = SimNetwork::new(
+        vec![SimStation::queueing("s", 1, 0.02)],
+        Distribution::Exponential { mean: 0.5 },
+    )
+    .unwrap();
+    let solver: Box<dyn ClosedSolver> = Box::new(SimSolver::new(
+        sim_net,
+        SimConfig {
+            horizon: 6000.0,
+            warmup: 600.0,
+            seed: 7,
+            ..SimConfig::default()
+        },
+    ));
+    assert_eq!(solver.name(), "simnet-des");
+    let sol = solver.solve(n).unwrap();
+    for i in 1..=n {
+        assert!(
+            rel(
+                sol.at(i).unwrap().throughput,
+                reference.at(i).unwrap().throughput
+            ) < 0.06,
+            "DES X at {i}: {} vs {}",
+            sol.at(i).unwrap().throughput,
+            reference.at(i).unwrap().throughput
+        );
+    }
+}
+
+#[test]
 fn simulator_service_distribution_insensitivity_check() {
     // Product-form (exponential) vs low-variance (Erlang-4) service: FCFS
     // multi-server queueing is *not* insensitive, so response should
@@ -162,13 +301,16 @@ fn simulator_service_distribution_insensitivity_check() {
     let mk = |dist: Distribution| {
         let st = SimStation::queueing("s", 1, 0.02).with_service(dist);
         let net = SimNetwork::new(vec![st], Distribution::Exponential { mean: 0.2 }).unwrap();
-        Simulation::new(net, SimConfig {
-            customers: 12,
-            horizon: 3000.0,
-            warmup: 300.0,
-            seed: 5,
-            ..SimConfig::default()
-        })
+        Simulation::new(
+            net,
+            SimConfig {
+                customers: 12,
+                horizon: 3000.0,
+                warmup: 300.0,
+                seed: 5,
+                ..SimConfig::default()
+            },
+        )
         .unwrap()
         .run()
         .unwrap()

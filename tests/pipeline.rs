@@ -4,10 +4,10 @@
 //! bands.
 
 use mvasd_suite::core::accuracy::compare_solution;
+use mvasd_suite::core::algorithm::mvasd;
 use mvasd_suite::core::designer::SamplingStrategy;
 use mvasd_suite::core::pipeline::PredictionWorkflow;
 use mvasd_suite::core::profile::{DemandAxis, InterpolationKind, ServiceDemandProfile};
-use mvasd_suite::core::algorithm::mvasd;
 use mvasd_suite::testbed::apps::{jpetstore, vins};
 use mvasd_suite::testbed::campaign::{run_campaign, CampaignConfig};
 

@@ -1,8 +1,8 @@
-//! Property-based tests (proptest) over randomly generated networks,
-//! demand curves, and sample sets: the invariants every solver output must
-//! satisfy regardless of parameters.
-
-use proptest::prelude::*;
+//! Property-based tests over randomly generated networks, demand curves,
+//! and sample sets: the invariants every solver output must satisfy
+//! regardless of parameters.
+//!
+//! Runs on the in-house deterministic harness (`mvasd_numerics::propcheck`).
 
 use mvasd_suite::core::algorithm::mvasd;
 use mvasd_suite::core::profile::{
@@ -12,64 +12,71 @@ use mvasd_suite::numerics::chebyshev::chebyshev_levels;
 use mvasd_suite::numerics::interp::{
     BoundaryCondition, CubicSpline, Extrapolation, Interpolant, PchipInterp,
 };
+use mvasd_suite::numerics::propcheck::{check, Config, Gen};
 use mvasd_suite::queueing::bounds::{response_bounds, throughput_bounds};
 use mvasd_suite::queueing::mva::multiserver_mva;
 use mvasd_suite::queueing::network::{ClosedNetwork, Station};
 
-/// A random small closed network: 1–5 stations, 1/2/4/8/16 servers each,
-/// demands in [1 ms, 100 ms], think time in [0, 2 s].
-fn arb_network() -> impl Strategy<Value = ClosedNetwork> {
-    let station = (prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16)], 0.001f64..0.1);
-    (proptest::collection::vec(station, 1..=5), 0.0f64..2.0).prop_map(|(specs, z)| {
-        let stations = specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (c, d))| Station::queueing(&format!("s{i}"), c, 1.0, d))
-            .collect();
-        ClosedNetwork::new(stations, z).expect("generated parameters are valid")
-    })
+fn cfg() -> Config {
+    Config::default().cases(48)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A random small closed network: 1–5 stations, 1/2/4/8/16 servers each,
+/// demands in [1 ms, 100 ms], think time in [0, 2 s].
+fn gen_network(g: &mut Gen) -> ClosedNetwork {
+    let count = g.usize_in(1, 5);
+    let stations = (0..count)
+        .map(|i| {
+            let c = *g.choose(&[1usize, 2, 4, 8, 16]);
+            let d = g.f64_in(0.001, 0.1);
+            Station::queueing(&format!("s{i}"), c, 1.0, d)
+        })
+        .collect();
+    let z = g.f64_in(0.0, 2.0);
+    ClosedNetwork::new(stations, z).expect("generated parameters are valid")
+}
 
-    #[test]
-    fn mva_respects_all_operational_laws(net in arb_network(), n_max in 1usize..120) {
+#[test]
+fn mva_respects_all_operational_laws() {
+    check("mva_respects_all_operational_laws", &cfg(), |g| {
+        let net = gen_network(g);
+        let n_max = g.usize_in(1, 119);
         let sol = multiserver_mva(&net, n_max).unwrap();
         let cap = net.max_throughput();
         let mut prev_x = 0.0;
         for p in &sol.points {
             // Little's law at the system level.
-            prop_assert!((p.n as f64 - p.throughput * p.cycle_time).abs() < 1e-6 * p.n as f64);
+            assert!((p.n as f64 - p.throughput * p.cycle_time).abs() < 1e-6 * p.n as f64);
             // Bottleneck law.
-            prop_assert!(p.throughput <= cap * (1.0 + 1e-9) + 1e-9);
+            assert!(p.throughput <= cap * (1.0 + 1e-9) + 1e-9);
             // Asymptotic bounds.
             let tb = throughput_bounds(&net, p.n);
             let rb = response_bounds(&net, p.n);
-            prop_assert!(p.throughput <= tb.upper + 1e-6 + 1e-6 * tb.upper);
-            prop_assert!(p.response >= rb.lower - 1e-6 - 1e-6 * rb.lower);
+            assert!(p.throughput <= tb.upper + 1e-6 + 1e-6 * tb.upper);
+            assert!(p.response >= rb.lower - 1e-6 - 1e-6 * rb.lower);
             // Monotone non-decreasing throughput for constant demands.
-            prop_assert!(p.throughput >= prev_x - 1e-6 - 1e-6 * prev_x);
+            assert!(p.throughput >= prev_x - 1e-6 - 1e-6 * prev_x);
             prev_x = p.throughput;
             // Utilizations are proper fractions; population is conserved.
             let mut at_stations = 0.0;
             for sp in &p.stations {
-                prop_assert!(sp.utilization <= 1.0 + 1e-9);
-                prop_assert!(sp.queue >= -1e-9);
+                assert!(sp.utilization <= 1.0 + 1e-9);
+                assert!(sp.queue >= -1e-9);
                 at_stations += sp.queue;
             }
             let thinking = p.throughput * net.think_time();
-            prop_assert!((at_stations + thinking - p.n as f64).abs() < 1e-5 * p.n as f64);
+            assert!((at_stations + thinking - p.n as f64).abs() < 1e-5 * p.n as f64);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mvasd_invariants_with_falling_demands(
-        base in 0.004f64..0.05,
-        alpha in 0.0f64..0.4,
-        servers in prop_oneof![Just(1usize), Just(4), Just(16)],
-        n_max in 10usize..150,
-    ) {
+#[test]
+fn mvasd_invariants_with_falling_demands() {
+    check("mvasd_invariants_with_falling_demands", &cfg(), |g| {
+        let base = g.f64_in(0.004, 0.05);
+        let alpha = g.f64_in(0.0, 0.4);
+        let servers = *g.choose(&[1usize, 4, 16]);
+        let n_max = g.usize_in(10, 149);
         // Demand falls from base·(1+alpha) to base across the sampled range.
         let levels = vec![1.0, 50.0, 150.0];
         let d = |n: f64| base * (1.0 + alpha * (-(n - 1.0) / 60.0).exp());
@@ -81,45 +88,59 @@ proptest! {
             demands: vec![levels.iter().map(|&l| d(l)).collect()],
         };
         let profile = ServiceDemandProfile::from_samples(
-            &samples, InterpolationKind::CubicNotAKnot, DemandAxis::Concurrency,
-        ).unwrap();
+            &samples,
+            InterpolationKind::CubicNotAKnot,
+            DemandAxis::Concurrency,
+        )
+        .unwrap();
         let sol = mvasd(&profile, n_max).unwrap();
         for p in &sol.points {
             // Little's law holds at every step even with varying demands.
-            prop_assert!((p.n as f64 - p.throughput * p.cycle_time).abs() < 1e-6 * p.n as f64);
+            assert!((p.n as f64 - p.throughput * p.cycle_time).abs() < 1e-6 * p.n as f64);
             // Ceiling from the *minimum* demand over the curve (demand is
             // monotone falling, so min is the clamp value).
             let cap = servers as f64 / d(150.0);
-            prop_assert!(p.throughput <= cap + 1e-6 + 1e-6 * cap, "X {} cap {}", p.throughput, cap);
-            prop_assert!(p.stations[0].utilization <= 1.0 + 1e-9);
+            assert!(
+                p.throughput <= cap + 1e-6 + 1e-6 * cap,
+                "X {} cap {}",
+                p.throughput,
+                cap
+            );
+            assert!(p.stations[0].utilization <= 1.0 + 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn cubic_spline_interpolates_and_clamps(
-        knots in proptest::collection::vec((0.0f64..1000.0, 0.001f64..1.0), 3..10)
-    ) {
-        let mut pts = knots;
+#[test]
+fn cubic_spline_interpolates_and_clamps() {
+    check("cubic_spline_interpolates_and_clamps", &cfg(), |g| {
+        let count = g.usize_in(3, 9);
+        let mut pts: Vec<(f64, f64)> = (0..count)
+            .map(|_| (g.f64_in(0.0, 1000.0), g.f64_in(0.001, 1.0)))
+            .collect();
         pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1.0);
-        prop_assume!(pts.len() >= 3);
+        if pts.len() < 3 {
+            return; // discard: dedup collapsed too many knots
+        }
         let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
         let s = CubicSpline::new(&xs, &ys, BoundaryCondition::NotAKnot)
             .unwrap()
             .with_extrapolation(Extrapolation::Clamp);
         for (x, y) in xs.iter().zip(ys.iter()) {
-            prop_assert!((s.eval(*x) - y).abs() < 1e-6 * y.abs().max(1.0));
+            assert!((s.eval(*x) - y).abs() < 1e-6 * y.abs().max(1.0));
         }
         // eq. 14 clamping.
-        prop_assert_eq!(s.eval(xs[0] - 100.0), ys[0]);
-        prop_assert_eq!(s.eval(xs[xs.len()-1] + 100.0), ys[ys.len()-1]);
-    }
+        assert_eq!(s.eval(xs[0] - 100.0), ys[0]);
+        assert_eq!(s.eval(xs[xs.len() - 1] + 100.0), ys[ys.len() - 1]);
+    });
+}
 
-    #[test]
-    fn pchip_preserves_monotonicity(
-        mut ys in proptest::collection::vec(0.001f64..1.0, 4..12)
-    ) {
+#[test]
+fn pchip_preserves_monotonicity() {
+    check("pchip_preserves_monotonicity", &cfg(), |g| {
+        let mut ys = g.vec_f64(4, 11, 0.001, 1.0);
         ys.sort_by(|a, b| b.partial_cmp(a).unwrap()); // decreasing
         let xs: Vec<f64> = (0..ys.len()).map(|i| 1.0 + 10.0 * i as f64).collect();
         let p = PchipInterp::new(&xs, &ys).unwrap();
@@ -127,20 +148,24 @@ proptest! {
         for i in 0..=300 {
             let x = 1.0 + (xs.len() as f64 - 1.0) * 10.0 * i as f64 / 300.0;
             let v = p.eval(x);
-            prop_assert!(v <= prev + 1e-9);
+            assert!(v <= prev + 1e-9);
             prev = v;
         }
-    }
+    });
+}
 
-    #[test]
-    fn chebyshev_levels_sorted_in_range(k in 1usize..12, a in 1.0f64..50.0, width in 10.0f64..500.0) {
-        let b = a + width;
+#[test]
+fn chebyshev_levels_sorted_in_range() {
+    check("chebyshev_levels_sorted_in_range", &cfg(), |g| {
+        let k = g.usize_in(1, 11);
+        let a = g.f64_in(1.0, 50.0);
+        let b = a + g.f64_in(10.0, 500.0);
         let levels = chebyshev_levels(k, a, b);
-        prop_assert!(!levels.is_empty());
-        prop_assert!(levels.windows(2).all(|w| w[0] < w[1]));
+        assert!(!levels.is_empty());
+        assert!(levels.windows(2).all(|w| w[0] < w[1]));
         for &l in &levels {
-            prop_assert!(l as f64 >= a.floor());
-            prop_assert!(l as f64 <= b.ceil());
+            assert!(l as f64 >= a.floor());
+            assert!(l as f64 <= b.ceil());
         }
-    }
+    });
 }
