@@ -3,7 +3,9 @@
 //! and the full-series convolution solver across population scales.
 
 use mvasd_bench::timing::{Bench, Plan};
-use mvasd_queueing::mva::{multiserver_mva, PopulationRecursion};
+use mvasd_queueing::mva::{
+    multiserver_mva, ClosedSolver, MultiserverMvaSolver, PopulationRecursion,
+};
 use mvasd_queueing::network::{ClosedNetwork, Station};
 
 fn net(cpu_demand: f64) -> ClosedNetwork {
@@ -46,5 +48,20 @@ fn main() {
             multiserver_mva(&network, n).unwrap()
         });
     }
+    println!("{}", g.report());
+
+    // Warm restart vs cold solve: extending a memoized sweep by 100
+    // populations should cost a fraction of re-solving from population 1.
+    let mut g = Bench::new("warm_restart_extension");
+    let solver = MultiserverMvaSolver::new(net(0.16));
+    let mut warm = solver.start().unwrap();
+    warm.drain(1400).unwrap();
+    let warm = warm.snapshot();
+    g.measure("cold_solve_1500", Plan::light(10), || {
+        solver.solve(1500).unwrap().points.len()
+    });
+    g.measure("resume_1400_to_1500", Plan::light(10), || {
+        warm.resume().drain(1500).unwrap().points.len()
+    });
     println!("{}", g.report());
 }

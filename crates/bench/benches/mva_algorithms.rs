@@ -4,7 +4,9 @@
 use mvasd_bench::timing::{Bench, Plan};
 use mvasd_core::profile::{DemandAxis, DemandSamples, InterpolationKind, ServiceDemandProfile};
 use mvasd_core::solver::{MvasdSingleServerSolver, MvasdSolver};
-use mvasd_queueing::mva::{ClosedSolver, ExactMvaSolver, MultiserverMvaSolver, SchweitzerSolver};
+use mvasd_queueing::mva::{
+    run_until, ClosedSolver, ExactMvaSolver, MultiserverMvaSolver, SchweitzerSolver, StopCondition,
+};
 use mvasd_queueing::network::ClosedNetwork;
 use mvasd_testbed::apps::{jpetstore, vins, AppModel};
 
@@ -74,4 +76,26 @@ fn main() {
         jp.solve(210).unwrap()
     });
     println!("{}", g.report());
+
+    // Streaming early exit: an SLA query against the same model answers as
+    // soon as the response-time ceiling is crossed, instead of sweeping the
+    // full population range. The step counts make the saving concrete.
+    let mut g = Bench::new("streaming_early_exit_vins_1500");
+    let solver = MultiserverMvaSolver::new(vins_network(1500.0));
+    let sla = [StopCondition::SlaResponseTime { max_response: 2.0 }];
+    g.measure("full_sweep_1500", Plan::light(20), || {
+        solver.solve(1500).unwrap().points.len()
+    });
+    g.measure("sla_early_exit", Plan::light(20), || {
+        let mut iter = solver.start().unwrap();
+        run_until(iter.as_mut(), &sla, 1500).unwrap().steps
+    });
+    let full = solver.solve(1500).unwrap().points.len();
+    let mut iter = solver.start().unwrap();
+    let early = run_until(iter.as_mut(), &sla, 1500).unwrap().steps;
+    println!("{}", g.report());
+    println!(
+        "steps: full sweep {full}, SLA early exit {early} (saved {})\n",
+        full - early
+    );
 }

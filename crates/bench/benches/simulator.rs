@@ -2,8 +2,10 @@
 //! wall clock at the paper's scales.
 
 use mvasd_bench::timing::{Bench, Plan};
+use mvasd_queueing::mva::{run_until, ClosedSolver, StopCondition};
 use mvasd_simnet::{SimConfig, Simulation};
 use mvasd_testbed::apps::{jpetstore, vins};
+use mvasd_testbed::solver::SimSolver;
 
 fn main() {
     let mut g = Bench::new("simulated_load_test_60s");
@@ -30,4 +32,28 @@ fn main() {
         });
     }
     println!("{}", g.report());
+
+    // Streaming sweep with a plateau cut-off: the DES solver stops the
+    // population sweep once throughput flattens, instead of simulating
+    // every population up to the cap.
+    let mut g = Bench::new("des_population_sweep_early_exit");
+    let app = vins::model();
+    let sim = SimSolver::new(
+        app.sim_network(200).unwrap(),
+        SimConfig {
+            horizon: 60.0,
+            warmup: 10.0,
+            seed: 42,
+            ..SimConfig::default()
+        },
+    );
+    let plateau = [StopCondition::ThroughputPlateau { epsilon: 1e-3 }];
+    g.measure("plateau_early_exit_cap_200", Plan::light(3), || {
+        let mut iter = sim.start().unwrap();
+        run_until(iter.as_mut(), &plateau, 200).unwrap().steps
+    });
+    let mut iter = sim.start().unwrap();
+    let steps = run_until(iter.as_mut(), &plateau, 200).unwrap().steps;
+    println!("{}", g.report());
+    println!("plateau reached after {steps} of 200 populations\n");
 }

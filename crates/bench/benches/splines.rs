@@ -1,6 +1,9 @@
-//! Interpolation benchmarks: construction and evaluation cost per family.
+//! Interpolation benchmarks: construction and evaluation cost per family,
+//! plus the end-to-end profile-rebuild cost of scenario sweeps.
 
 use mvasd_bench::timing::{Bench, Plan};
+use mvasd_core::profile::DemandSamples;
+use mvasd_core::sweep::{Scenario, ScenarioSweep};
 use mvasd_numerics::interp::{
     BoundaryCondition, CubicSpline, Interpolant, LinearInterp, NewtonPolynomial, PchipInterp,
     SmoothingSpline,
@@ -56,6 +59,31 @@ fn main() {
     });
     g.measure("linear", plan, || {
         (1..=1500).map(|n| linear.eval(n as f64)).sum::<f64>()
+    });
+    println!("{}", g.report());
+
+    // Each *distinct* scenario rebuilds its interpolants once and then the
+    // engine memoizes the sweep; repeat scenarios are pure cache hits.
+    let mut g = Bench::new("scenario_sweep_6_demand_scalings");
+    let (xs, ys) = knots(7);
+    let base = DemandSamples {
+        station_names: vec!["db".into()],
+        server_counts: vec![1],
+        think_time: 1.0,
+        levels: xs,
+        demands: vec![ys],
+    };
+    let scenarios: Vec<Scenario> = (0..6)
+        .map(|i| Scenario::new(&format!("x{i}")).scale_demands(0.8 + 0.08 * i as f64))
+        .collect();
+    g.measure("cold_cache_cap_300", Plan::light(10), || {
+        let mut sweep = ScenarioSweep::new(base.clone()).default_cap(300);
+        sweep.run(&scenarios).unwrap().steps_computed
+    });
+    let mut warm = ScenarioSweep::new(base.clone()).default_cap(300);
+    warm.run(&scenarios).unwrap();
+    g.measure("warm_cache_cap_300", Plan::light(10), || {
+        warm.run(&scenarios).unwrap().steps_computed
     });
     println!("{}", g.report());
 }

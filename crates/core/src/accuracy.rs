@@ -94,19 +94,27 @@ pub fn compare_solver<S: ClosedSolver + ?Sized>(
     measured_cycle: &[f64],
 ) -> Result<DeviationReport, CoreError> {
     let n_max = levels.iter().copied().max().unwrap_or(0) as usize;
-    if n_max == 0 {
+    if n_max == 0 || levels.contains(&0) {
         return Err(CoreError::InvalidParameter {
-            what: "need at least one nonzero measurement level",
+            what: "level outside the solved population range",
         });
     }
-    let solution = solver.solve(n_max).map_err(CoreError::from)?;
-    compare_solution(
-        model,
-        &solution,
-        levels,
-        measured_throughput,
-        measured_cycle,
-    )
+    // Stream the population sweep and keep only the measured levels: the
+    // comparison never materializes the full series, so huge `n_max`
+    // campaigns with a handful of levels stay O(levels) in memory.
+    let mut iter = solver.start().map_err(CoreError::from)?;
+    let mut xs = vec![0.0; levels.len()];
+    let mut cs = vec![0.0; levels.len()];
+    while iter.population() < n_max {
+        let point = iter.step().map_err(CoreError::from)?;
+        for (i, &level) in levels.iter().enumerate() {
+            if level as usize == point.n {
+                xs[i] = point.throughput;
+                cs[i] = point.cycle_time;
+            }
+        }
+    }
+    compare(model, &xs, &cs, measured_throughput, measured_cycle)
 }
 
 /// Renders reports in the layout of paper Tables 4–5 (two metric blocks,

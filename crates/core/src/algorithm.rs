@@ -28,71 +28,125 @@
 //! server (`D/C`), run through the Algorithm-1 recursion — shown in the
 //! paper (Fig. 8, Table 5) to underperform the true multi-server treatment.
 
-use mvasd_queueing::mva::{MvaSolution, PopulationPoint, PopulationRecursion, StationPoint};
+use mvasd_queueing::mva::{MvaPoint, MvaSolution, PopulationRecursion, SolverIter, StationPoint};
+use mvasd_queueing::QueueingError;
 
 use crate::profile::{DemandAxis, ServiceDemandProfile};
 use crate::CoreError;
 
-/// Runs MVASD (paper Algorithm 3) up to population `n_max`.
-pub fn mvasd(profile: &ServiceDemandProfile, n_max: usize) -> Result<MvaSolution, CoreError> {
-    if n_max == 0 {
-        return Err(CoreError::InvalidParameter {
-            what: "population must be >= 1",
-        });
+/// Maps an iterator-layer error back to the core vocabulary: the MVASD
+/// recursions only ever fail with parameter-domain errors, which predate
+/// the streaming refactor as [`CoreError::InvalidParameter`].
+fn core_err(e: QueueingError) -> CoreError {
+    match e {
+        QueueingError::InvalidParameter { what } => CoreError::InvalidParameter { what },
+        other => CoreError::Queueing(other),
     }
-    let stations = profile.stations();
-    let k_count = stations.len();
-    let z = profile.think_time();
+}
 
-    // The exact multi-server recursion state (double-double internals) is
-    // shared with Algorithm 2 — MVASD *is* that recursion with a fresh
-    // demand array per population step.
-    let mut rec = PopulationRecursion::new(stations.iter().map(|s| s.servers).collect(), z);
-
-    let mut points = Vec::with_capacity(n_max);
-    let mut x_prev = 0.0f64;
-
-    for n in 1..=n_max {
-        // The underlined step of Algorithm 3: fetch the demand array for
-        // this population from the interpolated profile.
-        let abscissa = match profile.axis() {
-            DemandAxis::Concurrency => n as f64,
-            // Throughput-indexed profiles bootstrap from the lowest sampled
-            // abscissa on the first iteration.
-            DemandAxis::Throughput => {
-                if n == 1 {
-                    profile.sampled_levels().first().copied().unwrap_or(0.0)
-                } else {
-                    x_prev
-                }
+/// Resolves the profile-lookup abscissa for population `n` (the underlined
+/// step of Algorithm 3). Throughput-indexed profiles bootstrap from the
+/// lowest sampled abscissa on the first iteration and feed back `X_{n−1}`
+/// afterwards.
+fn lookup_abscissa(profile: &ServiceDemandProfile, n: usize, x_prev: f64) -> f64 {
+    match profile.axis() {
+        DemandAxis::Concurrency => n as f64,
+        DemandAxis::Throughput => {
+            if n == 1 {
+                profile.sampled_levels().first().copied().unwrap_or(0.0)
+            } else {
+                x_prev
             }
-        };
+        }
+    }
+}
+
+/// The MVASD recursion (paper Algorithm 3) as a resumable iterator.
+///
+/// The carried state is the shared multi-server recursion engine
+/// ([`PopulationRecursion`]: queues + marginal probabilities, double-double
+/// precision while carried) plus the previous throughput that feeds
+/// throughput-indexed profiles. Snapshotting clones that state — the
+/// interpolants themselves are shared behind `Arc`, so clones are cheap.
+#[derive(Debug, Clone)]
+pub struct MvasdIter {
+    profile: ServiceDemandProfile,
+    names: Vec<String>,
+    rec: PopulationRecursion,
+    x_prev: f64,
+    n: usize,
+}
+
+impl MvasdIter {
+    /// Starts a fresh recursion at population 0.
+    pub fn new(profile: &ServiceDemandProfile) -> Self {
+        let stations = profile.stations();
+        let names = stations.iter().map(|s| s.name.clone()).collect();
+        // The exact multi-server recursion state (double-double internals)
+        // is shared with Algorithm 2 — MVASD *is* that recursion with a
+        // fresh demand array per population step.
+        let rec = PopulationRecursion::new(
+            stations.iter().map(|s| s.servers).collect(),
+            profile.think_time(),
+        );
+        Self {
+            profile: profile.clone(),
+            names,
+            rec,
+            x_prev: 0.0,
+            n: 0,
+        }
+    }
+}
+
+impl SolverIter for MvasdIter {
+    fn station_names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn population(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let n = self.n + 1;
+        let stations = self.profile.stations();
+        let k_count = stations.len();
+        let z = self.profile.think_time();
+
+        let abscissa = lookup_abscissa(&self.profile, n, self.x_prev);
         let ss: Vec<f64> = stations.iter().map(|s| s.demand_at(abscissa)).collect();
 
-        let (x, r_total, residence) = rec.step(n, &ss);
-        x_prev = x;
+        let (x, r_total, residence) = self.rec.step(n, &ss);
+        self.x_prev = x;
 
         let station_points = (0..k_count)
             .map(|k| StationPoint {
-                queue: rec.queue(k),
+                queue: self.rec.queue(k),
                 residence: residence[k],
                 utilization: x * ss[k] / stations[k].servers as f64,
             })
             .collect();
 
-        points.push(PopulationPoint {
+        self.n = n;
+        Ok(MvaPoint {
             n,
             throughput: x,
             response: r_total,
             cycle_time: r_total + z,
             stations: station_points,
-        });
+        })
     }
 
-    Ok(MvaSolution {
-        station_names: stations.iter().map(|s| s.name.clone()).collect(),
-        points,
-    })
+    fn boxed_clone(&self) -> Box<dyn SolverIter> {
+        Box::new(self.clone())
+    }
+}
+
+/// Runs MVASD (paper Algorithm 3) up to population `n_max` (a drain of
+/// [`MvasdIter`]). `n_max = 0` yields an empty solution.
+pub fn mvasd(profile: &ServiceDemandProfile, n_max: usize) -> Result<MvaSolution, CoreError> {
+    MvasdIter::new(profile).drain(n_max).map_err(core_err)
 }
 
 /// The "MVASD: Single-Server" baseline of paper Fig. 8 / Table 5: demand
@@ -103,64 +157,88 @@ pub fn mvasd_single_server(
     profile: &ServiceDemandProfile,
     n_max: usize,
 ) -> Result<MvaSolution, CoreError> {
-    if n_max == 0 {
-        return Err(CoreError::InvalidParameter {
-            what: "population must be >= 1",
-        });
+    MvasdSingleServerIter::new(profile)
+        .drain(n_max)
+        .map_err(core_err)
+}
+
+/// The single-server MVASD baseline as a resumable iterator; the carried
+/// state is the Algorithm-1 queue vector plus the previous throughput.
+#[derive(Debug, Clone)]
+pub struct MvasdSingleServerIter {
+    profile: ServiceDemandProfile,
+    names: Vec<String>,
+    q: Vec<f64>,
+    x_prev: f64,
+    n: usize,
+}
+
+impl MvasdSingleServerIter {
+    /// Starts a fresh recursion at population 0.
+    pub fn new(profile: &ServiceDemandProfile) -> Self {
+        let names = profile.stations().iter().map(|s| s.name.clone()).collect();
+        let q = vec![0.0f64; profile.stations().len()];
+        Self {
+            profile: profile.clone(),
+            names,
+            q,
+            x_prev: 0.0,
+            n: 0,
+        }
     }
-    let stations = profile.stations();
-    let k_count = stations.len();
-    let z = profile.think_time();
+}
 
-    let mut q = vec![0.0f64; k_count];
-    let mut points = Vec::with_capacity(n_max);
-    let mut x_prev = 0.0f64;
+impl SolverIter for MvasdSingleServerIter {
+    fn station_names(&self) -> &[String] {
+        &self.names
+    }
 
-    for n in 1..=n_max {
-        let abscissa = match profile.axis() {
-            DemandAxis::Concurrency => n as f64,
-            DemandAxis::Throughput => {
-                if n == 1 {
-                    profile.sampled_levels().first().copied().unwrap_or(0.0)
-                } else {
-                    x_prev
-                }
-            }
-        };
+    fn population(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let n = self.n + 1;
+        let stations = self.profile.stations();
+        let k_count = stations.len();
+        let z = self.profile.think_time();
+
+        let abscissa = lookup_abscissa(&self.profile, n, self.x_prev);
         let mut residence = vec![0.0f64; k_count];
         for (k, s) in stations.iter().enumerate() {
             let d_norm = s.demand_at(abscissa) / s.servers as f64;
-            residence[k] = d_norm * (1.0 + q[k]);
+            residence[k] = d_norm * (1.0 + self.q[k]);
         }
         let r_total: f64 = residence.iter().sum();
         let x = n as f64 / (r_total + z);
-        x_prev = x;
-        for k in 0..k_count {
-            q[k] = x * residence[k];
+        self.x_prev = x;
+        for (qk, rk) in self.q.iter_mut().zip(&residence) {
+            *qk = x * rk;
         }
 
         let station_points = stations
             .iter()
             .enumerate()
             .map(|(k, s)| StationPoint {
-                queue: q[k],
+                queue: self.q[k],
                 residence: residence[k],
                 utilization: x * s.demand_at(abscissa) / s.servers as f64,
             })
             .collect();
-        points.push(PopulationPoint {
+
+        self.n = n;
+        Ok(MvaPoint {
             n,
             throughput: x,
             response: r_total,
             cycle_time: r_total + z,
             stations: station_points,
-        });
+        })
     }
 
-    Ok(MvaSolution {
-        station_names: stations.iter().map(|s| s.name.clone()).collect(),
-        points,
-    })
+    fn boxed_clone(&self) -> Box<dyn SolverIter> {
+        Box::new(self.clone())
+    }
 }
 
 /// Approximate MVASD: Schweitzer's fixed point with the Seidmann
@@ -177,31 +255,55 @@ pub fn mvasd_schweitzer(
     profile: &ServiceDemandProfile,
     n_max: usize,
 ) -> Result<MvaSolution, CoreError> {
-    if n_max == 0 {
-        return Err(CoreError::InvalidParameter {
-            what: "population must be >= 1",
-        });
+    MvasdSchweitzerIter::new(profile)
+        .drain(n_max)
+        .map_err(core_err)
+}
+
+/// The approximate MVASD variant as a resumable iterator; the carried
+/// state is the Schweitzer queue vector (which warm-starts each
+/// population's fixed point) plus the previous throughput.
+#[derive(Debug, Clone)]
+pub struct MvasdSchweitzerIter {
+    profile: ServiceDemandProfile,
+    names: Vec<String>,
+    q: Vec<f64>,
+    x_prev: f64,
+    n: usize,
+}
+
+impl MvasdSchweitzerIter {
+    /// Starts a fresh recursion at population 0.
+    pub fn new(profile: &ServiceDemandProfile) -> Self {
+        let k_count = profile.stations().len();
+        let names = profile.stations().iter().map(|s| s.name.clone()).collect();
+        Self {
+            profile: profile.clone(),
+            names,
+            q: vec![1.0 / k_count as f64; k_count],
+            x_prev: 0.0,
+            n: 0,
+        }
     }
-    let stations = profile.stations();
-    let k_count = stations.len();
-    let z = profile.think_time();
+}
 
-    let mut q = vec![1.0 / k_count as f64; k_count];
-    let mut points = Vec::with_capacity(n_max);
-    let mut x_prev = 0.0f64;
+impl SolverIter for MvasdSchweitzerIter {
+    fn station_names(&self) -> &[String] {
+        &self.names
+    }
 
-    for n in 1..=n_max {
+    fn population(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let n = self.n + 1;
         let nf = n as f64;
-        let abscissa = match profile.axis() {
-            DemandAxis::Concurrency => nf,
-            DemandAxis::Throughput => {
-                if n == 1 {
-                    profile.sampled_levels().first().copied().unwrap_or(0.0)
-                } else {
-                    x_prev
-                }
-            }
-        };
+        let stations = self.profile.stations();
+        let k_count = stations.len();
+        let z = self.profile.think_time();
+
+        let abscissa = lookup_abscissa(&self.profile, n, self.x_prev);
         // Seidmann split of the interpolated demands: queueing part D/C,
         // delay part D·(C−1)/C.
         let split: Vec<(f64, f64)> = stations
@@ -219,15 +321,15 @@ pub fn mvasd_schweitzer(
         for _ in 0..10_000 {
             let mut r_total = 0.0;
             for (k, &(dq, dd)) in split.iter().enumerate() {
-                residence[k] = dq * (1.0 + (nf - 1.0) / nf * q[k]) + dd;
+                residence[k] = dq * (1.0 + (nf - 1.0) / nf * self.q[k]) + dd;
                 r_total += residence[k];
             }
             x = nf / (r_total + z);
             let mut delta: f64 = 0.0;
-            for k in 0..k_count {
-                let new_q = x * residence[k];
-                delta = delta.max((new_q - q[k]).abs());
-                q[k] = new_q;
+            for (qk, rk) in self.q.iter_mut().zip(&residence) {
+                let new_q = x * rk;
+                delta = delta.max((new_q - *qk).abs());
+                *qk = new_q;
             }
             if delta < 1e-10 {
                 converged = true;
@@ -235,35 +337,36 @@ pub fn mvasd_schweitzer(
             }
         }
         if !converged {
-            return Err(CoreError::InvalidParameter {
+            return Err(QueueingError::InvalidParameter {
                 what: "Schweitzer iteration did not converge",
             });
         }
-        x_prev = x;
+        self.x_prev = x;
 
         let r_total: f64 = residence.iter().sum();
         let station_points = stations
             .iter()
             .enumerate()
             .map(|(k, s)| StationPoint {
-                queue: q[k],
+                queue: self.q[k],
                 residence: residence[k],
                 utilization: x * s.demand_at(abscissa) / s.servers as f64,
             })
             .collect();
-        points.push(PopulationPoint {
+
+        self.n = n;
+        Ok(MvaPoint {
             n,
             throughput: x,
             response: r_total,
             cycle_time: r_total + z,
             stations: station_points,
-        });
+        })
     }
 
-    Ok(MvaSolution {
-        station_names: stations.iter().map(|s| s.name.clone()).collect(),
-        points,
-    })
+    fn boxed_clone(&self) -> Box<dyn SolverIter> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -454,7 +557,7 @@ mod tests {
     }
 
     #[test]
-    fn rejects_zero_population() {
+    fn zero_population_yields_empty_solution() {
         let samples = constant_samples(&[(1, 0.01)], 1.0);
         let profile = ServiceDemandProfile::from_samples(
             &samples,
@@ -462,8 +565,10 @@ mod tests {
             DemandAxis::Concurrency,
         )
         .unwrap();
-        assert!(mvasd(&profile, 0).is_err());
-        assert!(mvasd_single_server(&profile, 0).is_err());
+        let sol = mvasd(&profile, 0).unwrap();
+        assert!(sol.points.is_empty());
+        assert_eq!(sol.station_names, vec!["s0".to_string()]);
+        assert!(mvasd_single_server(&profile, 0).unwrap().points.is_empty());
     }
 
     #[test]
@@ -514,7 +619,7 @@ mod tests {
     }
 
     #[test]
-    fn schweitzer_variant_rejects_zero_population() {
+    fn schweitzer_variant_zero_population_is_empty() {
         let samples = constant_samples(&[(1, 0.01)], 1.0);
         let profile = ServiceDemandProfile::from_samples(
             &samples,
@@ -522,7 +627,7 @@ mod tests {
             DemandAxis::Concurrency,
         )
         .unwrap();
-        assert!(mvasd_schweitzer(&profile, 0).is_err());
+        assert!(mvasd_schweitzer(&profile, 0).unwrap().points.is_empty());
     }
 
     #[test]

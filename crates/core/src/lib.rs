@@ -37,6 +37,9 @@
 //! * [`solver`] — [`mvasd_queueing::mva::ClosedSolver`] adapters for the
 //!   MVASD family, so the algorithms here slot into the same comparison
 //!   pipelines as the static solvers and the simulation estimator.
+//! * [`sweep`] — warm-restart scenario sweeps: families of what-if models
+//!   served from shared, memoized population iterators with early-exit
+//!   stop conditions.
 //!
 //! ## Quickstart
 //!
@@ -79,6 +82,7 @@ pub mod open_system;
 pub mod pipeline;
 pub mod profile;
 pub mod solver;
+pub mod sweep;
 
 /// Errors from MVASD model construction and solution.
 #[derive(Debug, Clone, PartialEq)]

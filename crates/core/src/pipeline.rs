@@ -14,11 +14,12 @@
 //! [`PredictionWorkflow::predict`] is Step 3. This keeps `mvasd-core` pure
 //! math while still encoding the full recipe.
 
-use mvasd_queueing::mva::{ClosedSolver, MvaSolution};
+use mvasd_queueing::mva::{run_until, ClosedSolver, MvaSolution, RunOutcome, StopCondition};
 
 use crate::designer::{design_levels, SamplingStrategy};
 use crate::profile::{DemandAxis, DemandSamples, InterpolationKind, ServiceDemandProfile};
 use crate::solver::{MvasdSchweitzerSolver, MvasdSingleServerSolver, MvasdSolver};
+use crate::sweep::ScenarioSweep;
 use crate::CoreError;
 
 /// Which member of the MVASD family backs Step 3 of the workflow.
@@ -145,6 +146,31 @@ impl PredictionWorkflow {
     ) -> Result<MvaSolution, CoreError> {
         solver.solve(n_max).map_err(CoreError::from)
     }
+
+    /// Step 3 with early exit: streams the population sweep and stops at
+    /// the first condition met (SLA ceiling, bottleneck saturation,
+    /// throughput plateau, …) instead of always solving to `n_cap`. The
+    /// outcome reports both the truncated series and *why* it stopped.
+    pub fn predict_until(
+        &self,
+        samples: &DemandSamples,
+        conditions: &[StopCondition],
+        n_cap: usize,
+    ) -> Result<RunOutcome, CoreError> {
+        let solver = self.solver(samples)?;
+        let mut iter = solver.start().map_err(CoreError::from)?;
+        run_until(iter.as_mut(), conditions, n_cap).map_err(CoreError::from)
+    }
+
+    /// A [`ScenarioSweep`] seeded with this workflow's interpolation,
+    /// axis, and backend: the entry point for what-if families over one
+    /// set of measured samples.
+    pub fn scenario_sweep(&self, samples: DemandSamples) -> ScenarioSweep {
+        ScenarioSweep::new(samples)
+            .interpolation(self.interpolation)
+            .axis(self.axis)
+            .backend(self.backend)
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +246,41 @@ mod tests {
         assert_eq!(wf.strategy, SamplingStrategy::Chebyshev);
         assert_eq!(wf.interpolation, InterpolationKind::CubicNotAKnot);
         assert_eq!(wf.axis, DemandAxis::Concurrency);
+    }
+
+    #[test]
+    fn predict_until_stops_at_the_sla_ceiling() {
+        use mvasd_queueing::mva::StopReason;
+        let wf = PredictionWorkflow::default();
+        let samples = fake_lab_measure(&[1, 100, 300]);
+        let full = wf.predict(&samples, 300).unwrap();
+        let outcome = wf
+            .predict_until(
+                &samples,
+                &[StopCondition::SlaResponseTime { max_response: 1.0 }],
+                300,
+            )
+            .unwrap();
+        assert!(matches!(outcome.reason, StopReason::Met(_)));
+        assert!(outcome.solution.points.len() < 300);
+        // The streamed prefix is bit-identical to the batch solve.
+        assert_eq!(
+            outcome.solution.points,
+            full.points[..outcome.solution.points.len()]
+        );
+        assert!(outcome.solution.last().response > 1.0);
+    }
+
+    #[test]
+    fn scenario_sweep_inherits_workflow_settings() {
+        let wf = PredictionWorkflow::default();
+        let samples = fake_lab_measure(&[1, 100, 300]);
+        let full = wf.predict(&samples, 60).unwrap();
+        let mut sweep = wf.scenario_sweep(samples);
+        let report = sweep
+            .run(&[crate::sweep::Scenario::new("baseline").cap(60)])
+            .unwrap();
+        assert_eq!(report.results[0].solution, full);
     }
 
     #[test]

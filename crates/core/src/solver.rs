@@ -9,10 +9,13 @@
 //! than a static network: the defining feature of MVASD is that demands
 //! are re-interpolated at every population step.
 
-use mvasd_queueing::mva::{ClosedSolver, MvaSolution};
+use mvasd_queueing::mva::{ClosedSolver, MvaSolution, SolverIter};
 use mvasd_queueing::QueueingError;
 
-use crate::algorithm::{mvasd, mvasd_schweitzer, mvasd_single_server};
+use crate::algorithm::{
+    mvasd, mvasd_schweitzer, mvasd_single_server, MvasdIter, MvasdSchweitzerIter,
+    MvasdSingleServerIter,
+};
 use crate::profile::ServiceDemandProfile;
 use crate::CoreError;
 
@@ -50,6 +53,10 @@ impl ClosedSolver for MvasdSolver {
         "mvasd"
     }
 
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError> {
+        Ok(Box::new(MvasdIter::new(&self.profile)))
+    }
+
     fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
         mvasd(&self.profile, n_max).map_err(QueueingError::from)
     }
@@ -72,6 +79,10 @@ impl MvasdSingleServerSolver {
 impl ClosedSolver for MvasdSingleServerSolver {
     fn name(&self) -> &str {
         "mvasd-single-server"
+    }
+
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError> {
+        Ok(Box::new(MvasdSingleServerIter::new(&self.profile)))
     }
 
     fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
@@ -97,6 +108,10 @@ impl MvasdSchweitzerSolver {
 impl ClosedSolver for MvasdSchweitzerSolver {
     fn name(&self) -> &str {
         "mvasd-schweitzer"
+    }
+
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError> {
+        Ok(Box::new(MvasdSchweitzerIter::new(&self.profile)))
     }
 
     fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
@@ -170,10 +185,42 @@ mod tests {
     }
 
     #[test]
-    fn solve_errors_cross_the_layer_boundary() {
-        let p = flat_profile(0.01, 1);
-        let err = MvasdSolver::new(p).solve(0).unwrap_err();
-        assert!(matches!(err, QueueingError::InvalidParameter { .. }));
+    fn zero_population_is_empty_across_the_family() {
+        let p = flat_profile(0.01, 2);
+        let family: Vec<Box<dyn ClosedSolver>> = vec![
+            Box::new(MvasdSolver::new(p.clone())),
+            Box::new(MvasdSingleServerSolver::new(p.clone())),
+            Box::new(MvasdSchweitzerSolver::new(p)),
+        ];
+        for s in &family {
+            let sol = s.solve(0).unwrap();
+            assert!(sol.points.is_empty(), "{}", s.name());
+            assert_eq!(sol.station_names, vec!["s0".to_string()], "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_for_the_mvasd_family() {
+        let p = flat_profile(0.012, 4);
+        let family: Vec<Box<dyn ClosedSolver>> = vec![
+            Box::new(MvasdSolver::new(p.clone())),
+            Box::new(MvasdSingleServerSolver::new(p.clone())),
+            Box::new(MvasdSchweitzerSolver::new(p)),
+        ];
+        for s in &family {
+            let batch = s.solve(40).unwrap();
+            let streamed = s.start().unwrap().drain(40).unwrap();
+            assert_eq!(batch, streamed, "{}", s.name());
+
+            // Snapshot mid-sweep and resume: the tail must be bit-identical.
+            let mut iter = s.start().unwrap();
+            for _ in 0..15 {
+                iter.step().unwrap();
+            }
+            let snap = iter.snapshot();
+            let tail = snap.resume().drain(40).unwrap();
+            assert_eq!(tail.points, batch.points[15..], "{}", s.name());
+        }
     }
 
     #[test]

@@ -1,0 +1,702 @@
+//! Warm-restart scenario sweeps over families of related MVASD models.
+//!
+//! Capacity-planning sessions rarely solve one model: they solve a *family*
+//! — "what if demands drop 10 %?", "what if we double the cores?", "where
+//! does the SLA break?" — and many of those questions share a model or need
+//! only a prefix of the population sweep. Because every solver in the
+//! workspace now exposes a resumable population iterator
+//! ([`SolverIter`](mvasd_queueing::mva::SolverIter)), a sweep engine can
+//! answer each question from the *longest already-computed prefix* instead
+//! of recomputing from population 1.
+//!
+//! [`ScenarioSweep`] groups scenarios by a fingerprint of the resolved
+//! model; scenarios that share a model share one iterator and its memoized
+//! point prefix, both within a `run` call and across calls (warm restarts).
+//! Stop conditions ([`StopCondition`]) cut sweeps short the moment the
+//! question is answered, and [`SweepReport`] records how many population
+//! steps the engine actually computed versus how many a naive
+//! one-batch-solve-per-scenario run would have, so the saving is visible
+//! rather than folklore.
+//!
+//! Independent model groups run concurrently on [`scoped_indexed`], the
+//! same scoped-thread work-queue pattern the testbed uses for load-test
+//! campaigns.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mvasd_queueing::mva::{
+    ClosedSolver, MvaPoint, MvaSolution, SolverIter, StopCondition, StopReason,
+};
+use mvasd_queueing::QueueingError;
+
+use crate::pipeline::SolverBackend;
+use crate::profile::{DemandAxis, DemandSamples, InterpolationKind, ServiceDemandProfile};
+use crate::solver::{MvasdSchweitzerSolver, MvasdSingleServerSolver, MvasdSolver};
+use crate::CoreError;
+
+/// Runs `job(0..count)` on a scoped thread pool and returns the results in
+/// index order. `parallelism <= 1` (or a single item) degenerates to a
+/// serial loop with no thread overhead. Panics inside `job` propagate when
+/// the scope joins, exactly like a serial panic would.
+pub fn scoped_indexed<T, F>(count: usize, parallelism: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = parallelism.max(1).min(count);
+    if workers <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let out = job(i);
+                match slots[i].lock() {
+                    Ok(mut slot) => *slot = Some(out),
+                    Err(poisoned) => *poisoned.into_inner() = Some(out),
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .expect("every index was claimed by a worker")
+        })
+        .collect()
+}
+
+/// One what-if question over a base demand model: a model transform plus
+/// the conditions under which its sweep may stop early.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable scenario label (reported back in results).
+    pub label: String,
+    /// Uniform multiplier applied to every station's demand samples.
+    pub demand_scale: f64,
+    /// Optional per-station multipliers (composed with `demand_scale`);
+    /// must match the base model's station count.
+    pub station_scales: Option<Vec<f64>>,
+    /// Overrides the base think time when set.
+    pub think_time: Option<f64>,
+    /// Overrides the base per-station server counts when set.
+    pub server_counts: Option<Vec<usize>>,
+    /// Early-exit conditions; the sweep stops at the first population
+    /// where any holds. Empty = run to the population cap.
+    pub stop: Vec<StopCondition>,
+    /// Population cap for this scenario; `None` uses the sweep default.
+    pub n_cap: Option<usize>,
+}
+
+impl Scenario {
+    /// A baseline scenario: the unmodified model, swept to the cap.
+    pub fn new(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+            demand_scale: 1.0,
+            station_scales: None,
+            think_time: None,
+            server_counts: None,
+            stop: Vec::new(),
+            n_cap: None,
+        }
+    }
+
+    /// Scales every station's demands uniformly (e.g. `0.9` = 10 % faster).
+    pub fn scale_demands(mut self, factor: f64) -> Self {
+        self.demand_scale = factor;
+        self
+    }
+
+    /// Sets per-station demand multipliers, network order.
+    pub fn scale_stations(mut self, factors: Vec<f64>) -> Self {
+        self.station_scales = Some(factors);
+        self
+    }
+
+    /// Overrides the workload think time.
+    pub fn with_think_time(mut self, z: f64) -> Self {
+        self.think_time = Some(z);
+        self
+    }
+
+    /// Overrides the per-station server counts.
+    pub fn with_server_counts(mut self, counts: Vec<usize>) -> Self {
+        self.server_counts = Some(counts);
+        self
+    }
+
+    /// Adds an early-exit condition.
+    pub fn until(mut self, condition: StopCondition) -> Self {
+        self.stop.push(condition);
+        self
+    }
+
+    /// Caps this scenario's population sweep.
+    pub fn cap(mut self, n_cap: usize) -> Self {
+        self.n_cap = Some(n_cap);
+        self
+    }
+
+    /// Applies the transform to the base samples.
+    fn resolve(&self, base: &DemandSamples) -> Result<DemandSamples, CoreError> {
+        if !(self.demand_scale.is_finite() && self.demand_scale > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                what: "demand scale must be finite and > 0",
+            });
+        }
+        let k_count = base.station_names.len();
+        if let Some(scales) = &self.station_scales {
+            if scales.len() != k_count {
+                return Err(CoreError::InvalidParameter {
+                    what: "station scale count must match the station count",
+                });
+            }
+            if scales.iter().any(|s| !(s.is_finite() && *s > 0.0)) {
+                return Err(CoreError::InvalidParameter {
+                    what: "station scales must be finite and > 0",
+                });
+            }
+        }
+        if let Some(counts) = &self.server_counts {
+            if counts.len() != k_count {
+                return Err(CoreError::InvalidParameter {
+                    what: "server count override must match the station count",
+                });
+            }
+        }
+        let mut out = base.clone();
+        for (k, series) in out.demands.iter_mut().enumerate() {
+            let factor =
+                self.demand_scale * self.station_scales.as_ref().map_or(1.0, |scales| scales[k]);
+            for d in series.iter_mut() {
+                *d *= factor;
+            }
+        }
+        if let Some(z) = self.think_time {
+            out.think_time = z;
+        }
+        if let Some(counts) = &self.server_counts {
+            out.server_counts = counts.clone();
+        }
+        Ok(out)
+    }
+}
+
+/// One scenario's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The scenario's label.
+    pub label: String,
+    /// The population series up to the stopping point.
+    pub solution: MvaSolution,
+    /// Why the sweep stopped.
+    pub reason: StopReason,
+}
+
+impl ScenarioResult {
+    /// Populations this scenario's answer covers.
+    pub fn steps(&self) -> usize {
+        self.solution.points.len()
+    }
+}
+
+/// What a [`ScenarioSweep::run`] call produced, with the work accounting
+/// that makes warm restarts auditable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-scenario answers, in input order.
+    pub results: Vec<ScenarioResult>,
+    /// Fresh population steps the engine actually computed this call.
+    pub steps_computed: usize,
+    /// Steps a naive batch-solve-per-scenario run would have computed
+    /// (the sum of every scenario's answer length).
+    pub steps_demanded: usize,
+}
+
+impl SweepReport {
+    /// Steps avoided through prefix sharing and warm restarts.
+    pub fn steps_saved(&self) -> usize {
+        self.steps_demanded.saturating_sub(self.steps_computed)
+    }
+
+    /// The answer for a scenario label, if present.
+    pub fn result(&self, label: &str) -> Option<&ScenarioResult> {
+        self.results.iter().find(|r| r.label == label)
+    }
+}
+
+/// A solver iterator plus its memoized population prefix — the unit the
+/// cache retains per distinct model.
+struct GroupState {
+    iter: Box<dyn SolverIter>,
+    points: Vec<MvaPoint>,
+}
+
+impl GroupState {
+    /// Answers one scenario from the memoized prefix, stepping the
+    /// iterator only past its end. Returns the answer and how many fresh
+    /// steps it cost. Mirrors
+    /// [`run_until`](mvasd_queueing::mva::run_until): the point that
+    /// satisfies a condition is included in the answer.
+    fn serve(
+        &mut self,
+        conditions: &[StopCondition],
+        n_cap: usize,
+    ) -> Result<(Vec<MvaPoint>, StopReason, usize), QueueingError> {
+        let mut out: Vec<MvaPoint> = Vec::new();
+        let mut fresh = 0usize;
+        let reason = loop {
+            if out.len() >= n_cap {
+                break StopReason::PopulationCap;
+            }
+            let idx = out.len();
+            if idx >= self.points.len() {
+                self.points.push(self.iter.step()?);
+                fresh += 1;
+            }
+            let point = &self.points[idx];
+            let prev = idx.checked_sub(1).map(|i| &self.points[i]);
+            let met = conditions.iter().find(|c| c.is_met(point, prev)).cloned();
+            out.push(point.clone());
+            if let Some(c) = met {
+                break StopReason::Met(c);
+            }
+        };
+        Ok((out, reason, fresh))
+    }
+}
+
+/// The scenario-sweep engine: resolves what-if scenarios against a base
+/// demand model, deduplicates identical resolved models, and serves every
+/// scenario from shared, memoized solver iterators. The cache survives
+/// across [`run`](ScenarioSweep::run) calls, so a follow-up question about
+/// a previously swept model is a warm restart.
+pub struct ScenarioSweep {
+    base: DemandSamples,
+    interpolation: InterpolationKind,
+    axis: DemandAxis,
+    backend: SolverBackend,
+    default_cap: usize,
+    parallelism: usize,
+    cache: HashMap<Vec<u64>, GroupState>,
+}
+
+impl std::fmt::Debug for ScenarioSweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioSweep")
+            .field("base", &self.base)
+            .field("interpolation", &self.interpolation)
+            .field("axis", &self.axis)
+            .field("backend", &self.backend)
+            .field("default_cap", &self.default_cap)
+            .field("parallelism", &self.parallelism)
+            .field("cached_models", &self.cache.len())
+            .finish()
+    }
+}
+
+impl ScenarioSweep {
+    /// A sweep over `base` with the paper's defaults (not-a-knot cubic
+    /// interpolation over concurrency, exact MVASD, population cap 300).
+    pub fn new(base: DemandSamples) -> Self {
+        Self {
+            base,
+            interpolation: InterpolationKind::CubicNotAKnot,
+            axis: DemandAxis::Concurrency,
+            backend: SolverBackend::Mvasd,
+            default_cap: 300,
+            parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Sets the interpolation family.
+    pub fn interpolation(mut self, kind: InterpolationKind) -> Self {
+        self.interpolation = kind;
+        self
+    }
+
+    /// Sets the demand abscissa.
+    pub fn axis(mut self, axis: DemandAxis) -> Self {
+        self.axis = axis;
+        self
+    }
+
+    /// Sets the solver backend.
+    pub fn backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the default population cap for scenarios without their own.
+    pub fn default_cap(mut self, n_cap: usize) -> Self {
+        self.default_cap = n_cap;
+        self
+    }
+
+    /// Sets the number of worker threads for independent model groups.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Population steps currently memoized across all cached models.
+    pub fn cached_steps(&self) -> usize {
+        self.cache.values().map(|g| g.points.len()).sum()
+    }
+
+    /// Answers every scenario. Scenarios resolving to the same model share
+    /// one iterator (and its memoized prefix); distinct models run
+    /// concurrently. Results come back in input order.
+    pub fn run(&mut self, scenarios: &[Scenario]) -> Result<SweepReport, CoreError> {
+        if scenarios.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                what: "sweep needs at least one scenario",
+            });
+        }
+        // Resolve every scenario and group by model fingerprint, keeping
+        // first-seen group order (results are reassembled by index anyway).
+        let mut groups: Vec<(Vec<u64>, Vec<usize>)> = Vec::new();
+        let mut resolved: Vec<DemandSamples> = Vec::with_capacity(scenarios.len());
+        for (i, scenario) in scenarios.iter().enumerate() {
+            let samples = scenario.resolve(&self.base)?;
+            let key = self.fingerprint(&samples);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            }
+            resolved.push(samples);
+        }
+
+        // Check out (or build) one GroupState per distinct model.
+        let mut jobs: Vec<Mutex<Option<GroupState>>> = Vec::with_capacity(groups.len());
+        for (key, members) in &groups {
+            let state = match self.cache.remove(key) {
+                Some(state) => state,
+                None => {
+                    let profile = ServiceDemandProfile::from_samples(
+                        &resolved[members[0]],
+                        self.interpolation,
+                        self.axis,
+                    )?;
+                    let solver: Box<dyn ClosedSolver> = match self.backend {
+                        SolverBackend::Mvasd => Box::new(MvasdSolver::new(profile)),
+                        SolverBackend::MvasdSingleServer => {
+                            Box::new(MvasdSingleServerSolver::new(profile))
+                        }
+                        SolverBackend::MvasdSchweitzer => {
+                            Box::new(MvasdSchweitzerSolver::new(profile))
+                        }
+                    };
+                    GroupState {
+                        iter: solver.start().map_err(CoreError::Queueing)?,
+                        points: Vec::new(),
+                    }
+                }
+            };
+            jobs.push(Mutex::new(Some(state)));
+        }
+
+        // Serve each group's scenarios; groups are independent models, so
+        // they fan out across the scoped pool.
+        type GroupOutcome = (
+            GroupState,
+            Result<Vec<(usize, Vec<MvaPoint>, StopReason, usize)>, QueueingError>,
+        );
+        let outcomes: Vec<GroupOutcome> = scoped_indexed(groups.len(), self.parallelism, |gi| {
+            let mut state = jobs[gi]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .take()
+                .expect("each group is taken exactly once");
+            let mut served = Vec::with_capacity(groups[gi].1.len());
+            let mut failure = None;
+            for &si in &groups[gi].1 {
+                let scenario = &scenarios[si];
+                let cap = scenario.n_cap.unwrap_or(self.default_cap);
+                match state.serve(&scenario.stop, cap) {
+                    Ok((points, reason, fresh)) => served.push((si, points, reason, fresh)),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failure {
+                Some(e) => (state, Err(e)),
+                None => (state, Ok(served)),
+            }
+        });
+
+        let mut slots: Vec<Option<ScenarioResult>> = (0..scenarios.len()).map(|_| None).collect();
+        let mut steps_computed = 0usize;
+        let mut steps_demanded = 0usize;
+        let mut first_error: Option<QueueingError> = None;
+        for ((key, _), (state, outcome)) in groups.iter().zip(outcomes) {
+            match outcome {
+                Ok(served) => {
+                    // Return the (possibly extended) state to the cache for
+                    // warm restarts on later calls.
+                    let names = state.iter.station_names().to_vec();
+                    for (si, points, reason, fresh) in served {
+                        steps_computed += fresh;
+                        steps_demanded += points.len();
+                        slots[si] = Some(ScenarioResult {
+                            label: scenarios[si].label.clone(),
+                            solution: MvaSolution {
+                                station_names: names.clone(),
+                                points,
+                            },
+                            reason,
+                        });
+                    }
+                    self.cache.insert(key.clone(), state);
+                }
+                // A failed group's iterator may hold poisoned state, so it
+                // is dropped rather than cached.
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(CoreError::Queueing(e));
+        }
+
+        Ok(SweepReport {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every scenario was served by its group"))
+                .collect(),
+            steps_computed,
+            steps_demanded,
+        })
+    }
+
+    /// A structural fingerprint of the resolved model plus the solver
+    /// configuration: two scenarios share an iterator iff their
+    /// fingerprints match bit-for-bit.
+    fn fingerprint(&self, samples: &DemandSamples) -> Vec<u64> {
+        let mut key = Vec::with_capacity(
+            8 + samples.station_names.len() * 2
+                + samples.levels.len()
+                + samples.demands.iter().map(Vec::len).sum::<usize>(),
+        );
+        key.push(match self.backend {
+            SolverBackend::Mvasd => 0,
+            SolverBackend::MvasdSingleServer => 1,
+            SolverBackend::MvasdSchweitzer => 2,
+        });
+        match self.interpolation {
+            InterpolationKind::Linear => key.push(10),
+            InterpolationKind::CubicNatural => key.push(11),
+            InterpolationKind::CubicNotAKnot => key.push(12),
+            InterpolationKind::Pchip => key.push(13),
+            InterpolationKind::Smoothing { lambda } => {
+                key.push(14);
+                key.push(lambda.to_bits());
+            }
+        }
+        key.push(match self.axis {
+            DemandAxis::Concurrency => 20,
+            DemandAxis::Throughput => 21,
+        });
+        key.push(samples.think_time.to_bits());
+        key.push(samples.station_names.len() as u64);
+        for name in &samples.station_names {
+            key.push(fnv1a64(name.as_bytes()));
+        }
+        key.extend(samples.server_counts.iter().map(|&c| c as u64));
+        key.push(samples.levels.len() as u64);
+        key.extend(samples.levels.iter().map(|l| l.to_bits()));
+        for series in &samples.demands {
+            key.extend(series.iter().map(|d| d.to_bits()));
+        }
+        key
+    }
+}
+
+/// FNV-1a over bytes: a stable, dependency-free string fingerprint.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_samples() -> DemandSamples {
+        DemandSamples {
+            station_names: vec!["cpu".into(), "disk".into()],
+            server_counts: vec![4, 1],
+            think_time: 1.0,
+            levels: vec![1.0, 100.0, 300.0],
+            demands: vec![vec![0.024, 0.021, 0.020], vec![0.012, 0.011, 0.0105]],
+        }
+    }
+
+    #[test]
+    fn scoped_indexed_preserves_order() {
+        let out = scoped_indexed(16, 4, |i| i * i);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        // Serial fast path.
+        assert_eq!(scoped_indexed(3, 1, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(scoped_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn identical_scenarios_share_all_steps() {
+        let mut sweep = ScenarioSweep::new(base_samples()).default_cap(50);
+        let report = sweep
+            .run(&[Scenario::new("a"), Scenario::new("b")])
+            .unwrap();
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(
+            report.results[0].solution.points,
+            report.results[1].solution.points
+        );
+        // Scenario "b" reuses every step "a" computed.
+        assert_eq!(report.steps_computed, 50);
+        assert_eq!(report.steps_demanded, 100);
+        assert_eq!(report.steps_saved(), 50);
+    }
+
+    #[test]
+    fn warm_restart_extends_across_run_calls() {
+        let mut sweep = ScenarioSweep::new(base_samples());
+        let first = sweep.run(&[Scenario::new("short").cap(40)]).unwrap();
+        assert_eq!(first.steps_computed, 40);
+        // Same model, deeper question: only the unseen tail is computed.
+        let second = sweep.run(&[Scenario::new("deep").cap(120)]).unwrap();
+        assert_eq!(second.steps_computed, 80);
+        assert_eq!(second.steps_demanded, 120);
+        assert_eq!(second.results[0].solution.points.len(), 120);
+        assert_eq!(sweep.cached_steps(), 120);
+    }
+
+    #[test]
+    fn early_exit_computes_fewer_steps_than_a_full_sweep() {
+        let mut sweep = ScenarioSweep::new(base_samples()).default_cap(300);
+        let sla = Scenario::new("sla").until(StopCondition::SlaResponseTime { max_response: 0.5 });
+        let report = sweep.run(&[sla]).unwrap();
+        let r = &report.results[0];
+        assert!(matches!(
+            r.reason,
+            StopReason::Met(StopCondition::SlaResponseTime { .. })
+        ));
+        assert!(
+            r.steps() < 300,
+            "SLA query should stop early, took {} steps",
+            r.steps()
+        );
+        // The answering point is included and is the first violation.
+        assert!(r.solution.last().response > 0.5);
+        let prior = &r.solution.points[r.steps() - 2];
+        assert!(prior.response <= 0.5);
+    }
+
+    #[test]
+    fn distinct_models_get_distinct_iterators() {
+        let mut sweep = ScenarioSweep::new(base_samples()).default_cap(30);
+        let report = sweep
+            .run(&[
+                Scenario::new("base"),
+                Scenario::new("fast-disk").scale_stations(vec![1.0, 0.5]),
+            ])
+            .unwrap();
+        // No sharing possible: every step is fresh.
+        assert_eq!(report.steps_computed, 60);
+        assert_eq!(report.steps_saved(), 0);
+        let base_x = report.result("base").unwrap().solution.last().throughput;
+        let fast_x = report
+            .result("fast-disk")
+            .unwrap()
+            .solution
+            .last()
+            .throughput;
+        assert!(fast_x > base_x);
+    }
+
+    #[test]
+    fn overrides_change_the_model() {
+        let mut sweep = ScenarioSweep::new(base_samples()).default_cap(200);
+        let report = sweep
+            .run(&[
+                Scenario::new("base"),
+                Scenario::new("no-think").with_think_time(0.1),
+                Scenario::new("more-cores").with_server_counts(vec![8, 1]),
+            ])
+            .unwrap();
+        let base = report.result("base").unwrap();
+        let nt = report.result("no-think").unwrap();
+        // Lower think time -> higher response at the same population
+        // (more pressure on the queues).
+        assert!(nt.solution.at(50).unwrap().response > base.solution.at(50).unwrap().response);
+        assert_eq!(report.steps_computed, 600);
+    }
+
+    #[test]
+    fn zero_cap_yields_empty_answers() {
+        let mut sweep = ScenarioSweep::new(base_samples());
+        let report = sweep.run(&[Scenario::new("none").cap(0)]).unwrap();
+        assert!(report.results[0].solution.points.is_empty());
+        assert_eq!(report.results[0].reason, StopReason::PopulationCap);
+        assert_eq!(report.steps_computed, 0);
+    }
+
+    #[test]
+    fn rejects_bad_scenarios() {
+        let mut sweep = ScenarioSweep::new(base_samples());
+        assert!(sweep.run(&[]).is_err());
+        assert!(sweep
+            .run(&[Scenario::new("bad").scale_demands(0.0)])
+            .is_err());
+        assert!(sweep
+            .run(&[Scenario::new("bad").scale_stations(vec![1.0])])
+            .is_err());
+        assert!(sweep
+            .run(&[Scenario::new("bad").scale_stations(vec![1.0, f64::NAN])])
+            .is_err());
+        assert!(sweep
+            .run(&[Scenario::new("bad").with_server_counts(vec![1])])
+            .is_err());
+    }
+
+    #[test]
+    fn results_keep_input_order_under_parallelism() {
+        let mut sweep = ScenarioSweep::new(base_samples())
+            .default_cap(25)
+            .parallelism(4);
+        let scenarios: Vec<Scenario> = (0..8)
+            .map(|i| Scenario::new(&format!("s{i}")).scale_demands(1.0 + 0.05 * i as f64))
+            .collect();
+        let report = sweep.run(&scenarios).unwrap();
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.label, format!("s{i}"));
+            assert_eq!(r.solution.points.len(), 25);
+        }
+        // Heavier demands -> lower throughput, monotone across scenarios.
+        let xs: Vec<f64> = report
+            .results
+            .iter()
+            .map(|r| r.solution.last().throughput)
+            .collect();
+        assert!(xs.windows(2).all(|w| w[0] > w[1]), "{xs:?}");
+    }
+}

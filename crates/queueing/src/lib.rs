@@ -44,7 +44,7 @@
 //! )
 //! .unwrap();
 //! let out = multiserver_mva(&net, 100).unwrap();
-//! let last = out.points.last().unwrap();
+//! let last = out.last();
 //! assert!(last.throughput <= 1.0 / 0.012 + 1e-9); // bottleneck law
 //! ```
 

@@ -31,6 +31,7 @@
 //! `O(K · N²)` log-sum-exp operations.
 
 use super::loaddep::RateFunction;
+use super::stepping::{MvaPoint, SolverIter};
 use super::{MvaSolution, PopulationPoint, StationPoint};
 use crate::QueueingError;
 
@@ -121,7 +122,204 @@ pub(crate) struct ConvSolution {
     pub marginals: Vec<Vec<Vec<f64>>>,
 }
 
-/// Solves the network exactly for all populations `1..=n_max`.
+/// The incremental convolution state: the population recursion of Buzen's
+/// algorithm made explicit.
+///
+/// All partial convolutions are kept as growing log-domain arrays — at
+/// population `n` every array holds entries `0..=n`. One [`advance`]
+/// extends each array by exactly one cell (`O(K·n)` log-sum-exp work) and
+/// yields the new population's throughput, queues, and marginals. Because
+/// [`log_conv_cell`] reads the identical index window whether the arrays
+/// are sized `n + 1` (incremental) or `n_max + 1` (the old batch layout),
+/// the incremental path reproduces the batch solve **bit-for-bit** — the
+/// batch [`solve`] below is literally a drain of this state.
+///
+/// Cloning the state snapshots the whole recursion (`O(K·n)` memory), which
+/// is what makes solver snapshots cheap: no re-solve, just a memcpy of the
+/// partial convolutions.
+#[derive(Debug, Clone)]
+pub(crate) struct ConvState {
+    pub(crate) stations: Vec<ConvStation>,
+    pub(crate) think_time: f64,
+    limits: Vec<usize>,
+    /// Last population evaluated (0 = fresh).
+    pub(crate) n: usize,
+    /// `factors[i][j] = ln f_i(j)`, stations then the think stage.
+    factors: Vec<Vec<f64>>,
+    /// `prefix[i] = f_0 ⊛ … ⊛ f_{i−1}` (`prefix[0]` = identity).
+    prefix: Vec<Vec<f64>>,
+    /// `suffix[i] = f_i ⊛ … ⊛ f_{total−1}` (`suffix[total]` = identity).
+    suffix: Vec<Vec<f64>>,
+    /// `g_minus[k] = G₍₋ₖ₎`; left at its initial single cell for delay
+    /// stations that never need the heavy path.
+    g_minus: Vec<Vec<f64>>,
+}
+
+impl ConvState {
+    pub(crate) fn new(
+        stations: Vec<ConvStation>,
+        think_time: f64,
+        limits: Vec<usize>,
+    ) -> Result<Self, QueueingError> {
+        if stations.is_empty() {
+            return Err(QueueingError::EmptyNetwork);
+        }
+        let k_count = stations.len();
+        let total = k_count + 1; // + think stage
+                                 // At n = 0 every log-domain array is the single cell ln G(0) = 0.
+        Ok(Self {
+            stations,
+            think_time,
+            limits,
+            n: 0,
+            factors: vec![vec![0.0]; total],
+            prefix: vec![vec![0.0]; total + 1],
+            suffix: vec![vec![0.0]; total + 1],
+            g_minus: vec![vec![0.0]; k_count],
+        })
+    }
+
+    /// Advances one population and returns `(X, queues, marginals)` for it.
+    ///
+    /// On error the state is poisoned (partially extended) and must be
+    /// discarded; all errors here are deterministic model errors, so a
+    /// retry could not succeed anyway.
+    pub(crate) fn advance(&mut self) -> Result<PointSolution, QueueingError> {
+        let n = self.n + 1;
+        let k_count = self.stations.len();
+        let total = k_count + 1;
+
+        // Extend factors: f_k(n) = f_k(n−1) + (ln D_k − ln α_k(n)); the
+        // think stage uses ln Z − ln n. Matches the batch running
+        // accumulator operation-for-operation.
+        for (k, s) in self.stations.iter().enumerate() {
+            let f = &mut self.factors[k];
+            let v = if s.demand <= 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                f[n - 1] + (s.demand.ln() - s.rate.rate(n).ln())
+            };
+            f.push(v);
+        }
+        {
+            let f = &mut self.factors[total - 1];
+            let v = if self.think_time <= 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                f[n - 1] + (self.think_time.ln() - (n as f64).ln())
+            };
+            f.push(v);
+        }
+
+        // Extend the prefix chain ascending (each cell needs the previous
+        // chain already extended to n), then the suffix chain descending.
+        self.prefix[0].push(f64::NEG_INFINITY); // identity
+        for i in 0..total {
+            let cell = log_conv_cell(&self.prefix[i], &self.factors[i], n);
+            self.prefix[i + 1].push(cell);
+        }
+        self.suffix[total].push(f64::NEG_INFINITY); // identity
+        for i in (0..total).rev() {
+            let cell = log_conv_cell(&self.factors[i], &self.suffix[i + 1], n);
+            self.suffix[i].push(cell);
+        }
+
+        let g_n = self.prefix[total][n];
+        let g_prev = self.prefix[total][n - 1];
+        if g_n == f64::NEG_INFINITY && g_prev != f64::NEG_INFINITY {
+            return Err(QueueingError::InvalidParameter {
+                what: "normalization constant vanished (all-zero demands?)",
+            });
+        }
+        let x = (g_prev - g_n).exp();
+
+        // Per-station queue lengths and (optionally) low-order marginals
+        // via G₍₋ₖ₎ = prefix[k] ⊛ suffix[k+1].
+        let mut queues = vec![0.0f64; k_count];
+        let mut marginals: Vec<Vec<f64>> = Vec::with_capacity(k_count);
+        for (k, queue) in queues.iter_mut().enumerate() {
+            let want_marginals = self.limits.get(k).copied().unwrap_or(0);
+            if matches!(self.stations[k].rate, RateFunction::Delay) && want_marginals == 0 {
+                // Infinite-server: Q = X·D exactly (Little), skip the heavy path.
+                *queue = x * self.stations[k].demand;
+                marginals.push(Vec::new());
+                continue;
+            }
+            let cell = log_conv_cell(&self.prefix[k], &self.suffix[k + 1], n);
+            self.g_minus[k].push(cell);
+            let g_minus = &self.g_minus[k];
+            let fk = &self.factors[k];
+            // p_k(j|n) = exp(fk(j) + G₋ₖ(n−j) − G(n)).
+            let mut q = 0.0;
+            let mut snap = vec![0.0f64; want_marginals];
+            for j in 0..=n {
+                let lp = fk[j] + g_minus[n - j] - g_n;
+                if lp > -700.0 {
+                    let p = lp.exp();
+                    q += j as f64 * p;
+                    if j < want_marginals {
+                        snap[j] = p;
+                    }
+                }
+            }
+            *queue = q;
+            marginals.push(snap);
+        }
+
+        self.n = n;
+        Ok((x, queues, marginals))
+    }
+}
+
+/// [`SolverIter`] over the convolution recursion — the streaming backend
+/// behind the multiserver, load-dependent, and convolution solvers.
+#[derive(Debug, Clone)]
+pub(crate) struct ConvIter {
+    state: ConvState,
+    names: Vec<String>,
+}
+
+impl ConvIter {
+    pub(crate) fn new(
+        stations: Vec<ConvStation>,
+        think_time: f64,
+        marginal_limits: Vec<usize>,
+    ) -> Result<Self, QueueingError> {
+        let names = stations.iter().map(|s| s.name.clone()).collect();
+        Ok(Self {
+            state: ConvState::new(stations, think_time, marginal_limits)?,
+            names,
+        })
+    }
+}
+
+impl SolverIter for ConvIter {
+    fn station_names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn population(&self) -> usize {
+        self.state.n
+    }
+
+    fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let (x, queues, _marginals) = self.state.advance()?;
+        Ok(point_at(
+            &self.state.stations,
+            self.state.think_time,
+            self.state.n,
+            x,
+            &queues,
+        ))
+    }
+
+    fn boxed_clone(&self) -> Box<dyn SolverIter> {
+        Box::new(self.clone())
+    }
+}
+
+/// Solves the network exactly for all populations `1..=n_max` by draining
+/// an incremental [`ConvState`]. `n_max = 0` yields an empty solution.
 ///
 /// `marginal_limits[k]` requests the first `limit` marginal probabilities
 /// `p_k(0..limit−1 | n)` per population (0 = skip).
@@ -131,102 +329,62 @@ pub(crate) fn solve(
     n_max: usize,
     marginal_limits: &[usize],
 ) -> Result<ConvSolution, QueueingError> {
-    if stations.is_empty() {
-        return Err(QueueingError::EmptyNetwork);
-    }
-    if n_max == 0 {
-        return Err(QueueingError::InvalidParameter {
-            what: "population must be >= 1",
-        });
-    }
     let k_count = stations.len();
-
-    // Factors: stations then the think stage.
-    let mut factors: Vec<Vec<f64>> = stations
-        .iter()
-        .map(|s| log_factors(s.demand, &s.rate, n_max))
-        .collect();
-    factors.push(log_think_factors(think_time, n_max));
-    let total = factors.len();
-
-    // Prefix/suffix partial convolutions:
-    //   prefix[i] = f_0 ⊛ … ⊛ f_{i−1}   (prefix[0] = identity)
-    //   suffix[i] = f_i ⊛ … ⊛ f_{total−1} (suffix[total] = identity)
-    let identity = {
-        let mut v = vec![f64::NEG_INFINITY; n_max + 1];
-        v[0] = 0.0;
-        v
-    };
-    let mut prefix: Vec<Vec<f64>> = Vec::with_capacity(total + 1);
-    prefix.push(identity.clone());
-    for f in factors.iter() {
-        let last = prefix.last().expect("non-empty");
-        prefix.push(log_convolve(last, f, n_max));
-    }
-    let mut suffix: Vec<Vec<f64>> = vec![identity.clone(); total + 1];
-    for i in (0..total).rev() {
-        suffix[i] = log_convolve(&factors[i], &suffix[i + 1], n_max);
-    }
-    let g = &prefix[total]; // full network G, log-domain
-
-    for (n, &gv) in g.iter().enumerate() {
-        if gv == f64::NEG_INFINITY && n > 0 && g[n - 1] != f64::NEG_INFINITY {
-            return Err(QueueingError::InvalidParameter {
-                what: "normalization constant vanished (all-zero demands?)",
-            });
-        }
-    }
-
-    let x: Vec<f64> = (1..=n_max).map(|n| (g[n - 1] - g[n]).exp()).collect();
-
-    // Per-station queue lengths and (optionally) low-order marginals via
-    // G₍₋ₖ₎ = prefix[k] ⊛ suffix[k+1].
-    let mut queues = vec![vec![0.0f64; n_max]; k_count];
+    let mut state = ConvState::new(stations.to_vec(), think_time, marginal_limits.to_vec())?;
+    let mut x = Vec::with_capacity(n_max);
+    let mut queues = vec![Vec::with_capacity(n_max); k_count];
     let mut marginals: Vec<Vec<Vec<f64>>> = (0..k_count).map(|_| Vec::new()).collect();
-    for k in 0..k_count {
-        let want_marginals = marginal_limits.get(k).copied().unwrap_or(0);
-        if matches!(stations[k].rate, RateFunction::Delay) && want_marginals == 0 {
-            // Infinite-server: Q = X·D exactly (Little), skip the heavy path.
-            for n in 1..=n_max {
-                queues[k][n - 1] = x[n - 1] * stations[k].demand;
-            }
-            continue;
-        }
-        let g_minus = log_convolve(&prefix[k], &suffix[k + 1], n_max);
-        let fk = &factors[k];
-        if want_marginals > 0 {
-            marginals[k] = Vec::with_capacity(n_max);
-        }
-        for n in 1..=n_max {
-            // p_k(j|n) = exp(fk(j) + G₋ₖ(n−j) − G(n)).
-            let mut q = 0.0;
-            let mut snap = if want_marginals > 0 {
-                vec![0.0f64; want_marginals]
-            } else {
-                Vec::new()
-            };
-            for j in 0..=n {
-                let lp = fk[j] + g_minus[n - j] - g[n];
-                if lp > -700.0 {
-                    let p = lp.exp();
-                    q += j as f64 * p;
-                    if j < want_marginals {
-                        snap[j] = p;
-                    }
-                }
-            }
-            queues[k][n - 1] = q;
-            if want_marginals > 0 {
-                marginals[k].push(snap);
+    for _ in 0..n_max {
+        let (xn, qs, ms) = state.advance()?;
+        x.push(xn);
+        for (k, m) in ms.into_iter().enumerate() {
+            queues[k].push(qs[k]);
+            if marginal_limits.get(k).copied().unwrap_or(0) > 0 {
+                marginals[k].push(m);
             }
         }
     }
-
     Ok(ConvSolution {
         x,
         queues,
         marginals,
     })
+}
+
+/// Shapes one population's convolution output into a [`PopulationPoint`].
+/// Shared by the batch assembly and the streaming [`ConvIter`] so both
+/// paths produce identical floats.
+pub(crate) fn point_at(
+    stations: &[ConvStation],
+    think_time: f64,
+    n: usize,
+    x: f64,
+    queues: &[f64],
+) -> PopulationPoint {
+    let station_points = stations
+        .iter()
+        .enumerate()
+        .map(|(k, s)| {
+            let queue = queues[k];
+            let utilization = match s.rate.max_rate() {
+                Some(mr) => x * s.demand / mr,
+                None => x * s.demand,
+            };
+            StationPoint {
+                queue,
+                residence: if x > 0.0 { queue / x } else { 0.0 },
+                utilization,
+            }
+        })
+        .collect();
+    let response: f64 = queues.iter().sum::<f64>() / if x > 0.0 { x } else { 1.0 };
+    PopulationPoint {
+        n,
+        throughput: x,
+        response,
+        cycle_time: response + think_time,
+        stations: station_points,
+    }
 }
 
 /// Assembles an [`MvaSolution`] from a convolution solve.
@@ -237,33 +395,12 @@ pub(crate) fn to_mva_solution(
 ) -> MvaSolution {
     let n_max = sol.x.len();
     let mut points = Vec::with_capacity(n_max);
+    let mut queues = vec![0.0f64; stations.len()];
     for n in 1..=n_max {
-        let x = sol.x[n - 1];
-        let station_points = stations
-            .iter()
-            .enumerate()
-            .map(|(k, s)| {
-                let queue = sol.queues[k][n - 1];
-                let utilization = match s.rate.max_rate() {
-                    Some(mr) => x * s.demand / mr,
-                    None => x * s.demand,
-                };
-                StationPoint {
-                    queue,
-                    residence: if x > 0.0 { queue / x } else { 0.0 },
-                    utilization,
-                }
-            })
-            .collect();
-        let response: f64 =
-            sol.queues.iter().map(|q| q[n - 1]).sum::<f64>() / if x > 0.0 { x } else { 1.0 };
-        points.push(PopulationPoint {
-            n,
-            throughput: x,
-            response,
-            cycle_time: response + think_time,
-            stations: station_points,
-        });
+        for (k, q) in sol.queues.iter().enumerate() {
+            queues[k] = q[n - 1];
+        }
+        points.push(point_at(stations, think_time, n, sol.x[n - 1], &queues));
     }
     MvaSolution {
         station_names: stations.iter().map(|s| s.name.clone()).collect(),
@@ -485,10 +622,55 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         assert!(solve(&[], 1.0, 10, &[]).is_err());
-        let s = vec![st("s", 0.1, RateFunction::SingleServer)];
-        assert!(solve(&s, 1.0, 0, &[0]).is_err());
-        assert!(solve_at(&s, 1.0, 0, &[0]).is_err());
         assert!(solve_at(&[], 1.0, 5, &[]).is_err());
+        let s = vec![st("s", 0.1, RateFunction::SingleServer)];
+        // Zero population is a valid (empty) sweep for the series solve…
+        let empty = solve(&s, 1.0, 0, &[0]).unwrap();
+        assert!(empty.x.is_empty());
+        assert_eq!(empty.queues.len(), 1);
+        // …but meaningless for a single-point solve.
+        assert!(solve_at(&s, 1.0, 0, &[0]).is_err());
+    }
+
+    #[test]
+    fn streaming_iterator_matches_batch_bit_for_bit() {
+        let stations = vec![
+            st("cpu", 0.03, RateFunction::MultiServer(4)),
+            st("disk", 0.01, RateFunction::SingleServer),
+            st("lan", 0.005, RateFunction::Delay),
+        ];
+        let batch = to_mva_solution(
+            &stations,
+            0.7,
+            &solve(&stations, 0.7, 120, &[0, 0, 0]).unwrap(),
+        );
+        let mut it = ConvIter::new(stations, 0.7, vec![0, 0, 0]).unwrap();
+        let streamed = it.drain(120).unwrap();
+        assert_eq!(batch, streamed);
+
+        // Snapshot mid-sweep, resume, and land on the same floats.
+        let mut it2 = streamed_iter_to(60, &batch);
+        let snap = it2.snapshot();
+        let tail_direct = it2.drain(120).unwrap();
+        let tail_resumed = snap.resume().drain(120).unwrap();
+        assert_eq!(tail_direct, tail_resumed);
+        assert_eq!(&batch.points[60..], tail_direct.points.as_slice());
+    }
+
+    /// A ConvIter stepped to population `n` over the same model as
+    /// `streaming_iterator_matches_batch_bit_for_bit`.
+    fn streamed_iter_to(n: usize, reference: &MvaSolution) -> ConvIter {
+        let stations = vec![
+            st("cpu", 0.03, RateFunction::MultiServer(4)),
+            st("disk", 0.01, RateFunction::SingleServer),
+            st("lan", 0.005, RateFunction::Delay),
+        ];
+        let mut it = ConvIter::new(stations, 0.7, vec![0, 0, 0]).unwrap();
+        for i in 0..n {
+            let p = it.step().unwrap();
+            assert_eq!(p, reference.points[i]);
+        }
+        it
     }
 
     #[test]

@@ -19,48 +19,70 @@
 use crate::network::{ClosedNetwork, StationKind};
 use crate::QueueingError;
 
-use super::{MvaSolution, PopulationPoint, StationPoint};
+use super::stepping::{MvaPoint, SolverIter};
+use super::{MvaSolution, StationPoint};
 
-/// Runs exact single-server MVA up to population `n_max`.
-///
-/// Delay stations contribute their demand without queueing. Queueing
-/// stations are treated as single-server regardless of their declared core
-/// count (see module docs); use [`super::multiserver_mva`] when server
-/// counts matter.
-pub fn exact_mva(net: &ClosedNetwork, n_max: usize) -> Result<MvaSolution, QueueingError> {
-    if n_max == 0 {
-        return Err(QueueingError::InvalidParameter {
-            what: "population must be >= 1",
-        });
+/// The exact single-server MVA recursion as a resumable iterator: the
+/// carried state is exactly the queue-length vector `Q_k(n)` of the
+/// Arrival Theorem.
+#[derive(Debug, Clone)]
+pub struct ExactMvaIter {
+    net: ClosedNetwork,
+    names: Vec<String>,
+    /// `Q_k` at the last yielded population.
+    q: Vec<f64>,
+    n: usize,
+}
+
+impl ExactMvaIter {
+    /// Starts a fresh recursion at population 0.
+    pub fn new(net: ClosedNetwork) -> Self {
+        let names = net.stations().iter().map(|s| s.name.clone()).collect();
+        let q = vec![0.0f64; net.stations().len()];
+        Self {
+            net,
+            names,
+            q,
+            n: 0,
+        }
     }
-    let stations = net.stations();
-    let k_count = stations.len();
-    let z = net.think_time();
+}
 
-    let mut q = vec![0.0f64; k_count];
-    let mut points = Vec::with_capacity(n_max);
+impl SolverIter for ExactMvaIter {
+    fn station_names(&self) -> &[String] {
+        &self.names
+    }
 
-    for n in 1..=n_max {
+    fn population(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let n = self.n + 1;
+        let stations = self.net.stations();
+        let k_count = stations.len();
+        let z = self.net.think_time();
+
         // Residence time per interaction at each station.
         let mut residence = vec![0.0f64; k_count];
         for (k, s) in stations.iter().enumerate() {
             let d = s.demand();
             residence[k] = match s.kind {
                 StationKind::Delay => d,
-                StationKind::Queueing { .. } => d * (1.0 + q[k]),
+                StationKind::Queueing { .. } => d * (1.0 + self.q[k]),
             };
         }
         let r_total: f64 = residence.iter().sum();
         let x = n as f64 / (r_total + z);
-        for k in 0..k_count {
-            q[k] = x * residence[k];
+        for (qk, rk) in self.q.iter_mut().zip(&residence) {
+            *qk = x * rk;
         }
 
         let station_points = stations
             .iter()
             .enumerate()
             .map(|(k, s)| StationPoint {
-                queue: q[k],
+                queue: self.q[k],
                 residence: residence[k],
                 utilization: match s.kind {
                     StationKind::Queueing { .. } => x * s.demand(),
@@ -69,19 +91,30 @@ pub fn exact_mva(net: &ClosedNetwork, n_max: usize) -> Result<MvaSolution, Queue
             })
             .collect();
 
-        points.push(PopulationPoint {
+        self.n = n;
+        Ok(MvaPoint {
             n,
             throughput: x,
             response: r_total,
             cycle_time: r_total + z,
             stations: station_points,
-        });
+        })
     }
 
-    Ok(MvaSolution {
-        station_names: stations.iter().map(|s| s.name.clone()).collect(),
-        points,
-    })
+    fn boxed_clone(&self) -> Box<dyn SolverIter> {
+        Box::new(self.clone())
+    }
+}
+
+/// Runs exact single-server MVA up to population `n_max` (a drain of
+/// [`ExactMvaIter`]). `n_max = 0` yields an empty solution.
+///
+/// Delay stations contribute their demand without queueing. Queueing
+/// stations are treated as single-server regardless of their declared core
+/// count (see module docs); use [`super::multiserver_mva`] when server
+/// counts matter.
+pub fn exact_mva(net: &ClosedNetwork, n_max: usize) -> Result<MvaSolution, QueueingError> {
+    ExactMvaIter::new(net.clone()).drain(n_max)
 }
 
 #[cfg(test)]
@@ -201,9 +234,14 @@ mod tests {
     }
 
     #[test]
-    fn rejects_zero_population() {
+    fn zero_population_yields_empty_solution() {
         let net = simple_net(1.0);
-        assert!(exact_mva(&net, 0).is_err());
+        let sol = exact_mva(&net, 0).unwrap();
+        assert!(sol.points.is_empty());
+        assert_eq!(
+            sol.station_names,
+            vec!["cpu".to_string(), "disk".to_string()]
+        );
     }
 
     #[test]

@@ -103,21 +103,15 @@ impl LdStation {
     }
 }
 
-/// Runs exact load-dependent analysis up to population `n_max`.
-///
-/// Complexity `O(N² · K)` log-sum-exp operations and `O(N · K)` memory.
-pub fn load_dependent_mva(
+/// Validates a load-dependent model and lowers it to the convolution
+/// layer's station form. Shared by the batch solve and the streaming
+/// solver entry point.
+pub(crate) fn validated_conv_stations(
     stations: &[LdStation],
     think_time: f64,
-    n_max: usize,
-) -> Result<MvaSolution, QueueingError> {
+) -> Result<Vec<ConvStation>, QueueingError> {
     if stations.is_empty() {
         return Err(QueueingError::EmptyNetwork);
-    }
-    if n_max == 0 {
-        return Err(QueueingError::InvalidParameter {
-            what: "population must be >= 1",
-        });
     }
     if !(think_time.is_finite() && think_time >= 0.0) {
         return Err(QueueingError::InvalidParameter {
@@ -137,15 +131,26 @@ pub fn load_dependent_mva(
             what: "network needs positive demand or think time",
         });
     }
-
-    let conv: Vec<ConvStation> = stations
+    Ok(stations
         .iter()
         .map(|s| ConvStation {
             name: s.name.clone(),
             demand: s.demand,
             rate: s.rate.clone(),
         })
-        .collect();
+        .collect())
+}
+
+/// Runs exact load-dependent analysis up to population `n_max`.
+/// `n_max = 0` yields an empty solution (the model is still validated).
+///
+/// Complexity `O(N² · K)` log-sum-exp operations and `O(N · K)` memory.
+pub fn load_dependent_mva(
+    stations: &[LdStation],
+    think_time: f64,
+    n_max: usize,
+) -> Result<MvaSolution, QueueingError> {
+    let conv = validated_conv_stations(stations, think_time)?;
     let limits = vec![0usize; conv.len()];
     let sol = solve(&conv, think_time, n_max, &limits)?;
     Ok(to_mva_solution(&conv, think_time, &sol))
@@ -250,7 +255,9 @@ mod tests {
     fn rejects_bad_inputs() {
         assert!(load_dependent_mva(&[], 1.0, 10).is_err());
         let ld = vec![LdStation::new("s", 0.1, RateFunction::SingleServer)];
-        assert!(load_dependent_mva(&ld, 1.0, 0).is_err());
+        // Zero population: valid empty sweep, but invalid models still fail.
+        assert!(load_dependent_mva(&ld, 1.0, 0).unwrap().points.is_empty());
+        assert!(load_dependent_mva(&ld, -1.0, 0).is_err());
         assert!(load_dependent_mva(&ld, -1.0, 10).is_err());
         let bad = vec![LdStation::new("s", 0.1, RateFunction::MultiServer(0))];
         assert!(load_dependent_mva(&bad, 1.0, 10).is_err());

@@ -13,17 +13,21 @@ mod multiclass;
 mod multiserver;
 mod schweitzer;
 mod solver;
+mod stepping;
 
-pub use exact::exact_mva;
+pub use exact::{exact_mva, ExactMvaIter};
 pub use loaddep::{load_dependent_mva, LdStation, RateFunction};
 pub use multiclass::{multiclass_mva, ClassSpec, MulticlassSolution};
 pub use multiserver::{
     multiserver_mva, multiserver_mva_with_marginals, MarginalTrace, PopulationRecursion,
 };
-pub use schweitzer::{schweitzer_mva, SchweitzerOptions};
+pub use schweitzer::{schweitzer_mva, SchweitzerIter, SchweitzerOptions};
 pub use solver::{
     ClosedSolver, ConvolutionSolver, ExactMvaSolver, LoadDependentSolver, MultiserverMvaSolver,
     SchweitzerSolver,
+};
+pub use stepping::{
+    run_until, MvaPoint, RunOutcome, SolverIter, SolverState, StopCondition, StopReason,
 };
 
 /// Per-station metrics at one population level.
@@ -74,10 +78,14 @@ impl MvaSolution {
     }
 
     /// The highest-population point.
+    ///
+    /// # Panics
+    /// On an empty solution (a `solve(0)` / fully-drained sweep yields no
+    /// points); use `points.last()` when emptiness is expected.
     pub fn last(&self) -> &PopulationPoint {
         self.points
             .last()
-            .expect("solver always produces N >= 1 points")
+            .expect("solution has no points (population 0 sweep?)")
     }
 
     /// Throughput series `X_1..X_N`.

@@ -65,7 +65,7 @@ impl MarginalTrace {
     }
 }
 
-fn conv_stations(net: &ClosedNetwork) -> Vec<ConvStation> {
+pub(crate) fn conv_stations(net: &ClosedNetwork) -> Vec<ConvStation> {
     net.stations()
         .iter()
         .map(|s| ConvStation {
@@ -80,13 +80,10 @@ fn conv_stations(net: &ClosedNetwork) -> Vec<ConvStation> {
         .collect()
 }
 
-/// Runs exact multi-server MVA (paper Algorithm 2) up to `n_max`.
+/// Runs exact multi-server MVA (paper Algorithm 2) up to `n_max`. The
+/// series is produced by draining the incremental convolution state (see
+/// [`super::convolution`]); `n_max = 0` yields an empty solution.
 pub fn multiserver_mva(net: &ClosedNetwork, n_max: usize) -> Result<MvaSolution, QueueingError> {
-    if n_max == 0 {
-        return Err(QueueingError::InvalidParameter {
-            what: "population must be >= 1",
-        });
-    }
     let conv = conv_stations(net);
     let limits = vec![0usize; conv.len()];
     let sol = solve(&conv, net.think_time(), n_max, &limits)?;
@@ -105,11 +102,6 @@ pub fn multiserver_mva_with_marginals(
     if trace_station >= net.stations().len() {
         return Err(QueueingError::InvalidParameter {
             what: "trace station index out of range",
-        });
-    }
-    if n_max == 0 {
-        return Err(QueueingError::InvalidParameter {
-            what: "population must be >= 1",
         });
     }
     let conv = conv_stations(net);
@@ -599,9 +591,12 @@ mod tests {
     }
 
     #[test]
-    fn rejects_zero_population() {
+    fn zero_population_yields_empty_solution() {
         let net = ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, 0.1)], 1.0).unwrap();
-        assert!(multiserver_mva(&net, 0).is_err());
-        assert!(multiserver_mva_with_marginals(&net, 0, 0).is_err());
+        let sol = multiserver_mva(&net, 0).unwrap();
+        assert!(sol.points.is_empty());
+        let (sol, trace) = multiserver_mva_with_marginals(&net, 0, 0).unwrap();
+        assert!(sol.points.is_empty());
+        assert!(trace.history.is_empty());
     }
 }

@@ -13,7 +13,8 @@
 use crate::network::{ClosedNetwork, StationKind};
 use crate::QueueingError;
 
-use super::{MvaSolution, PopulationPoint, StationPoint};
+use super::stepping::{MvaPoint, SolverIter};
+use super::{MvaSolution, StationPoint};
 
 /// Convergence controls for the fixed-point iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,61 +34,88 @@ impl Default for SchweitzerOptions {
     }
 }
 
-/// Runs Schweitzer approximate MVA for every population `1..=n_max`.
-pub fn schweitzer_mva(
-    net: &ClosedNetwork,
-    n_max: usize,
+/// The Schweitzer fixed point as a resumable iterator: the carried state
+/// is the queue-length vector that warm-starts each population's fixed
+/// point from the previous population's solution.
+#[derive(Debug, Clone)]
+pub struct SchweitzerIter {
+    net: ClosedNetwork,
     opts: SchweitzerOptions,
-) -> Result<MvaSolution, QueueingError> {
-    if n_max == 0 {
-        return Err(QueueingError::InvalidParameter {
-            what: "population must be >= 1",
-        });
-    }
-    if !opts.tolerance.is_finite() || opts.tolerance <= 0.0 || opts.max_iterations == 0 {
-        return Err(QueueingError::InvalidParameter {
-            what: "tolerance must be > 0 and max_iterations >= 1",
-        });
-    }
-    let stations = net.stations();
-    let k_count = stations.len();
-    let z = net.think_time();
+    names: Vec<String>,
+    /// Seidmann decomposition: per station, (queueing demand, delay
+    /// demand, is-queueing).
+    split: Vec<(f64, f64, bool)>,
+    /// Warm-start queues from the last yielded population.
+    q: Vec<f64>,
+    n: usize,
+}
 
-    // Seidmann decomposition: per station, (queueing demand, delay demand).
-    let split: Vec<(f64, f64, bool)> = stations
-        .iter()
-        .map(|s| {
-            let d = s.demand();
-            match s.kind {
-                StationKind::Delay => (0.0, d, false),
-                StationKind::Queueing { servers } => {
-                    let c = servers as f64;
-                    (d / c, d * (c - 1.0) / c, true)
+impl SchweitzerIter {
+    /// Starts a fresh recursion at population 0. Rejects non-positive /
+    /// non-finite tolerances and a zero iteration cap.
+    pub fn new(net: ClosedNetwork, opts: SchweitzerOptions) -> Result<Self, QueueingError> {
+        if !opts.tolerance.is_finite() || opts.tolerance <= 0.0 || opts.max_iterations == 0 {
+            return Err(QueueingError::InvalidParameter {
+                what: "tolerance must be > 0 and max_iterations >= 1",
+            });
+        }
+        let names = net.stations().iter().map(|s| s.name.clone()).collect();
+        let split = net
+            .stations()
+            .iter()
+            .map(|s| {
+                let d = s.demand();
+                match s.kind {
+                    StationKind::Delay => (0.0, d, false),
+                    StationKind::Queueing { servers } => {
+                        let c = servers as f64;
+                        (d / c, d * (c - 1.0) / c, true)
+                    }
                 }
-            }
+            })
+            .collect();
+        let q = vec![0.0f64; net.stations().len()];
+        Ok(Self {
+            net,
+            opts,
+            names,
+            split,
+            q,
+            n: 0,
         })
-        .collect();
+    }
+}
 
-    let mut points = Vec::with_capacity(n_max);
-    // Warm-start each population from the previous solution.
-    let mut q = vec![0.0f64; k_count];
+impl SolverIter for SchweitzerIter {
+    fn station_names(&self) -> &[String] {
+        &self.names
+    }
 
-    for n in 1..=n_max {
+    fn population(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let n = self.n + 1;
         let nf = n as f64;
+        let stations = self.net.stations();
+        let k_count = stations.len();
+        let z = self.net.think_time();
+
         // Initial guess: previous population's queues, floored to spread.
         if n == 1 {
-            for qk in q.iter_mut() {
+            for qk in self.q.iter_mut() {
                 *qk = 1.0 / k_count as f64;
             }
         }
         let mut x = 0.0;
         let mut residence = vec![0.0f64; k_count];
         let mut converged = false;
-        for _ in 0..opts.max_iterations {
+        for _ in 0..self.opts.max_iterations {
             let mut r_total = 0.0;
-            for (k, &(dq, dd, is_queueing)) in split.iter().enumerate() {
+            for (k, &(dq, dd, is_queueing)) in self.split.iter().enumerate() {
                 let rq = if is_queueing {
-                    dq * (1.0 + (nf - 1.0) / nf * q[k])
+                    dq * (1.0 + (nf - 1.0) / nf * self.q[k])
                 } else {
                     0.0
                 };
@@ -96,12 +124,12 @@ pub fn schweitzer_mva(
             }
             x = nf / (r_total + z);
             let mut delta: f64 = 0.0;
-            for k in 0..k_count {
-                let new_q = x * residence[k];
-                delta = delta.max((new_q - q[k]).abs());
-                q[k] = new_q;
+            for (qk, rk) in self.q.iter_mut().zip(&residence) {
+                let new_q = x * rk;
+                delta = delta.max((new_q - *qk).abs());
+                *qk = new_q;
             }
-            if delta < opts.tolerance {
+            if delta < self.opts.tolerance {
                 converged = true;
                 break;
             }
@@ -117,7 +145,7 @@ pub fn schweitzer_mva(
             .iter()
             .enumerate()
             .map(|(k, s)| StationPoint {
-                queue: q[k],
+                queue: self.q[k],
                 residence: residence[k],
                 utilization: match s.kind {
                     StationKind::Queueing { servers } => x * s.demand() / servers as f64,
@@ -125,19 +153,30 @@ pub fn schweitzer_mva(
                 },
             })
             .collect();
-        points.push(PopulationPoint {
+
+        self.n = n;
+        Ok(MvaPoint {
             n,
             throughput: x,
             response: r_total,
             cycle_time: r_total + z,
             stations: station_points,
-        });
+        })
     }
 
-    Ok(MvaSolution {
-        station_names: stations.iter().map(|s| s.name.clone()).collect(),
-        points,
-    })
+    fn boxed_clone(&self) -> Box<dyn SolverIter> {
+        Box::new(self.clone())
+    }
+}
+
+/// Runs Schweitzer approximate MVA for every population `1..=n_max` (a
+/// drain of [`SchweitzerIter`]). `n_max = 0` yields an empty solution.
+pub fn schweitzer_mva(
+    net: &ClosedNetwork,
+    n_max: usize,
+    opts: SchweitzerOptions,
+) -> Result<MvaSolution, QueueingError> {
+    SchweitzerIter::new(net.clone(), opts)?.drain(n_max)
 }
 
 #[cfg(test)]
@@ -240,6 +279,17 @@ mod tests {
             }
         )
         .is_err());
-        assert!(schweitzer_mva(&net, 0, SchweitzerOptions::default()).is_err());
+        // Zero population is a valid, empty sweep (options still checked).
+        let empty = schweitzer_mva(&net, 0, SchweitzerOptions::default()).unwrap();
+        assert!(empty.points.is_empty());
+        assert!(schweitzer_mva(
+            &net,
+            0,
+            SchweitzerOptions {
+                tolerance: -1.0,
+                max_iterations: 100
+            }
+        )
+        .is_err());
     }
 }

@@ -9,37 +9,58 @@
 //! are one-line swaps in `core::pipeline`, `core::accuracy`, and the bench
 //! experiments.
 //!
+//! Since the streaming refactor the primitive operation is
+//! [`ClosedSolver::start`]: mint a [`SolverIter`] that yields one
+//! population per step. The batch [`ClosedSolver::solve`] is a provided
+//! method that drains a fresh iterator, so both faces always agree —
+//! bit-for-bit, as the root `streaming` suite asserts.
+//!
 //! The model is bound at construction (different solvers consume different
 //! model descriptions: a static [`ClosedNetwork`], a demand profile, a
 //! simulation network); only the target population is a solve-time input.
 
-use super::convolution;
-use super::{
-    exact_mva, load_dependent_mva, multiserver_mva, schweitzer_mva, LdStation, MvaSolution,
-    RateFunction, SchweitzerOptions,
-};
+use super::convolution::{ConvIter, ConvStation};
+use super::exact::ExactMvaIter;
+use super::loaddep::validated_conv_stations;
+use super::multiserver::conv_stations;
+use super::schweitzer::SchweitzerIter;
+use super::stepping::SolverIter;
+use super::{LdStation, MvaSolution, RateFunction, SchweitzerOptions};
 use crate::network::{ClosedNetwork, StationKind};
 use crate::QueueingError;
 
 /// A solver for closed queueing networks.
 ///
-/// Implementations walk the population from 1 to `n_max` and return the
-/// full per-population series as an [`MvaSolution`]. Approximate solvers
-/// (Schweitzer) and statistical estimators (discrete-event simulation)
-/// implement the same contract; callers that need exactness guarantees
-/// must choose an exact backend.
+/// Implementations expose the population recursion as a resumable
+/// [`SolverIter`] via [`start`](Self::start); the batch
+/// [`solve`](Self::solve) is a provided drain of a fresh iterator.
+/// Approximate solvers (Schweitzer) and statistical estimators
+/// (discrete-event simulation) implement the same contract; callers that
+/// need exactness guarantees must choose an exact backend.
 pub trait ClosedSolver {
     /// Short stable identifier, e.g. `"exact-mva"` — used in reports and
     /// comparison tables.
     fn name(&self) -> &str;
 
-    /// Solves for populations `1..=n_max`.
-    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError>;
+    /// Starts a fresh population-stepping iterator at population 0.
+    /// Model validation happens here, so a started iterator only fails on
+    /// numerical pathologies discovered mid-recursion.
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError>;
+
+    /// Solves for populations `1..=n_max` by draining a fresh iterator.
+    /// `n_max = 0` yields an empty solution on a valid model.
+    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
+        self.start()?.drain(n_max)
+    }
 }
 
 impl<S: ClosedSolver + ?Sized> ClosedSolver for &S {
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError> {
+        (**self).start()
     }
 
     fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
@@ -50,6 +71,10 @@ impl<S: ClosedSolver + ?Sized> ClosedSolver for &S {
 impl<S: ClosedSolver + ?Sized> ClosedSolver for Box<S> {
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError> {
+        (**self).start()
     }
 
     fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
@@ -68,8 +93,9 @@ fn rate_of(kind: StationKind) -> RateFunction {
 
 /// Exact single-server MVA (paper Algorithm 1) over a static network.
 ///
-/// Multi-server stations are rejected at solve time by the underlying
-/// algorithm; use [`MultiserverMvaSolver`] for those.
+/// Queueing stations are treated as single-server regardless of their
+/// declared core count; use [`MultiserverMvaSolver`] when server counts
+/// matter.
 #[derive(Debug, Clone)]
 pub struct ExactMvaSolver {
     net: ClosedNetwork,
@@ -87,8 +113,8 @@ impl ClosedSolver for ExactMvaSolver {
         "exact-mva"
     }
 
-    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
-        exact_mva(&self.net, n_max)
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError> {
+        Ok(Box::new(ExactMvaIter::new(self.net.clone())))
     }
 }
 
@@ -110,8 +136,14 @@ impl ClosedSolver for MultiserverMvaSolver {
         "multiserver-mva"
     }
 
-    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
-        multiserver_mva(&self.net, n_max)
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError> {
+        let conv = conv_stations(&self.net);
+        let limits = vec![0usize; conv.len()];
+        Ok(Box::new(ConvIter::new(
+            conv,
+            self.net.think_time(),
+            limits,
+        )?))
     }
 }
 
@@ -151,8 +183,10 @@ impl ClosedSolver for LoadDependentSolver {
         "load-dependent-mva"
     }
 
-    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
-        load_dependent_mva(&self.stations, self.think_time, n_max)
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError> {
+        let conv = validated_conv_stations(&self.stations, self.think_time)?;
+        let limits = vec![0usize; conv.len()];
+        Ok(Box::new(ConvIter::new(conv, self.think_time, limits)?))
     }
 }
 
@@ -175,24 +209,23 @@ impl ClosedSolver for ConvolutionSolver {
         "convolution"
     }
 
-    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
-        let stations: Vec<convolution::ConvStation> = self
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError> {
+        let stations: Vec<ConvStation> = self
             .net
             .stations()
             .iter()
-            .map(|s| convolution::ConvStation {
+            .map(|s| ConvStation {
                 name: s.name.clone(),
                 demand: s.demand(),
                 rate: rate_of(s.kind),
             })
             .collect();
         let limits = vec![0usize; stations.len()];
-        let sol = convolution::solve(&stations, self.net.think_time(), n_max, &limits)?;
-        Ok(convolution::to_mva_solution(
-            &stations,
+        Ok(Box::new(ConvIter::new(
+            stations,
             self.net.think_time(),
-            &sol,
-        ))
+            limits,
+        )?))
     }
 }
 
@@ -226,14 +259,15 @@ impl ClosedSolver for SchweitzerSolver {
         "schweitzer-mva"
     }
 
-    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
-        schweitzer_mva(&self.net, n_max, self.opts)
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError> {
+        Ok(Box::new(SchweitzerIter::new(self.net.clone(), self.opts)?))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mva::exact_mva;
     use crate::network::Station;
 
     fn single_server_net() -> ClosedNetwork {
@@ -274,6 +308,41 @@ mod tests {
                 );
                 assert!((a.cycle_time - b.cycle_time).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn streaming_face_matches_batch_for_every_backend() {
+        let net = single_server_net();
+        let mut all: Vec<Box<dyn ClosedSolver>> = solvers(&net);
+        all.push(Box::new(SchweitzerSolver::new(net.clone())));
+        for s in all {
+            let batch = s.solve(30).unwrap();
+            let streamed = s.start().unwrap().drain(30).unwrap();
+            assert_eq!(batch, streamed, "{}", s.name());
+            // Step-by-step walk hits the same floats too.
+            let mut it = s.start().unwrap();
+            for p in &batch.points {
+                assert_eq!(&it.step().unwrap(), p, "{}", s.name());
+            }
+            assert_eq!(it.population(), 30);
+        }
+    }
+
+    #[test]
+    fn zero_population_is_an_empty_solution_for_every_backend() {
+        let net = single_server_net();
+        let mut all: Vec<Box<dyn ClosedSolver>> = solvers(&net);
+        all.push(Box::new(SchweitzerSolver::new(net.clone())));
+        for s in all {
+            let sol = s.solve(0).unwrap();
+            assert!(sol.points.is_empty(), "{}", s.name());
+            assert_eq!(
+                sol.station_names,
+                vec!["cpu".to_string(), "disk".to_string()],
+                "{}",
+                s.name()
+            );
         }
     }
 
@@ -327,6 +396,21 @@ mod tests {
     }
 
     #[test]
+    fn invalid_models_fail_at_start() {
+        let bad = LoadDependentSolver::new(
+            vec![LdStation::new("s", 0.1, RateFunction::MultiServer(0))],
+            1.0,
+        );
+        assert!(bad.start().is_err());
+        assert!(bad.solve(10).is_err());
+        let bad_opts = SchweitzerSolver::new(single_server_net()).with_options(SchweitzerOptions {
+            tolerance: 0.0,
+            max_iterations: 10,
+        });
+        assert!(bad_opts.start().is_err());
+    }
+
+    #[test]
     fn trait_objects_and_references_compose() {
         let net = single_server_net();
         let exact = ExactMvaSolver::new(net);
@@ -336,5 +420,11 @@ mod tests {
         let a = by_ref.solve(5).unwrap();
         let b = boxed.solve(5).unwrap();
         assert_eq!(a, b);
+        // Snapshots resume mid-population through the trait object too.
+        let mut it = by_ref.start().unwrap();
+        it.step().unwrap();
+        it.step().unwrap();
+        let snap = it.snapshot();
+        assert_eq!(snap.resume().drain(5).unwrap().points, a.points[2..]);
     }
 }

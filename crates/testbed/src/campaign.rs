@@ -4,13 +4,14 @@
 //! Grinder at a set of concurrency levels (Step 2 of the Fig. 17 workflow),
 //! monitor utilizations, and extract per-level service demands with the
 //! Service Demand Law. Levels are independent, so the campaign fans out
-//! across `std::thread::scope` workers feeding a mutex-protected result
-//! sink. A panic inside one level's load test is caught and surfaced as
-//! [`TestbedError::WorkerPanic`] instead of aborting the whole campaign.
+//! across the workspace-wide scoped work queue
+//! ([`mvasd_core::sweep::scoped_indexed`]). A panic inside one level's
+//! load test is caught and surfaced as [`TestbedError::WorkerPanic`]
+//! instead of aborting the whole campaign.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use mvasd_core::sweep::scoped_indexed;
 
 use crate::apps::AppModel;
 use crate::grinder::{load_test, GrinderConfig, LoadTestResult};
@@ -218,40 +219,19 @@ where
     F: Fn(usize) -> Result<LoadTestResult, TestbedError> + Sync,
 {
     let server_counts = app.server_counts();
-    let results: Mutex<Vec<(usize, Result<LoadTestResult, TestbedError>)>> =
-        Mutex::new(Vec::with_capacity(levels.len()));
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..cfg.parallelism.min(levels.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= levels.len() {
-                    break;
-                }
-                let n = levels[i] as usize;
-                // Contain panics to the level that raised them: the other
-                // levels keep running and the caller gets a typed error.
-                let res =
-                    catch_unwind(AssertUnwindSafe(|| run_level(n))).unwrap_or_else(|payload| {
-                        Err(TestbedError::WorkerPanic {
-                            level: n,
-                            message: panic_message(payload),
-                        })
-                    });
-                // No panic can happen while the lock is held, but stay
-                // robust to poisoning anyway: the data is append-only.
-                match results.lock() {
-                    Ok(mut sink) => sink.push((n, res)),
-                    Err(poisoned) => poisoned.into_inner().push((n, res)),
-                }
+    let mut collected: Vec<(usize, Result<LoadTestResult, TestbedError>)> =
+        scoped_indexed(levels.len(), cfg.parallelism, |i| {
+            let n = levels[i] as usize;
+            // Contain panics to the level that raised them: the other
+            // levels keep running and the caller gets a typed error.
+            let res = catch_unwind(AssertUnwindSafe(|| run_level(n))).unwrap_or_else(|payload| {
+                Err(TestbedError::WorkerPanic {
+                    level: n,
+                    message: panic_message(payload),
+                })
             });
-        }
-    });
-
-    let mut collected = results
-        .into_inner()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+            (n, res)
+        });
     collected.sort_by_key(|(n, _)| *n);
 
     let mut points = Vec::with_capacity(collected.len());

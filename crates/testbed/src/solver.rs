@@ -5,12 +5,16 @@
 //! into the same [`MvaSolution`] the analytic solvers return, so simulation
 //! ground truth drops into every comparison pipeline unchanged.
 //!
+//! The streaming face ([`SimIter`]) runs one simulation per `step()`;
+//! because each population's seed is a pure function of the base seed,
+//! streaming, batch, and resumed-from-snapshot sweeps are bit-identical.
+//!
 //! Being a stochastic estimator, it matches the analytic solvers only
 //! statistically: expect a few percent of Monte-Carlo error at moderate
 //! horizons, not the 1e-9 agreement of the exact MVA family.
 
 use mvasd_numerics::rng::splitmix64;
-use mvasd_queueing::mva::{ClosedSolver, MvaSolution, PopulationPoint, StationPoint};
+use mvasd_queueing::mva::{ClosedSolver, MvaPoint, SolverIter, StationPoint};
 use mvasd_queueing::QueueingError;
 use mvasd_simnet::{SimConfig, SimNetwork, Simulation};
 
@@ -29,6 +33,43 @@ impl SimSolver {
     pub fn new(network: SimNetwork, config: SimConfig) -> Self {
         Self { network, config }
     }
+}
+
+impl ClosedSolver for SimSolver {
+    fn name(&self) -> &str {
+        "simnet-des"
+    }
+
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError> {
+        Ok(Box::new(SimIter::new(
+            self.network.clone(),
+            self.config.clone(),
+        )))
+    }
+}
+
+/// The simulator's population iterator: each `step()` is one independent
+/// seeded run at the next population. The carried state is just the
+/// population counter, so snapshots are trivially cheap.
+#[derive(Debug, Clone)]
+pub struct SimIter {
+    network: SimNetwork,
+    config: SimConfig,
+    names: Vec<String>,
+    n: usize,
+}
+
+impl SimIter {
+    /// Starts a fresh sweep at population 0.
+    pub fn new(network: SimNetwork, config: SimConfig) -> Self {
+        let names = network.stations().iter().map(|s| s.name.clone()).collect();
+        Self {
+            network,
+            config,
+            names,
+            n: 0,
+        }
+    }
 
     /// The per-population seed: decorrelated from neighbouring populations
     /// but a pure function of the base seed.
@@ -38,60 +79,53 @@ impl SimSolver {
     }
 }
 
-impl ClosedSolver for SimSolver {
-    fn name(&self) -> &str {
-        "simnet-des"
+impl SolverIter for SimIter {
+    fn station_names(&self) -> &[String] {
+        &self.names
     }
 
-    fn solve(&self, n_max: usize) -> Result<MvaSolution, QueueingError> {
-        if n_max == 0 {
-            return Err(QueueingError::InvalidParameter {
-                what: "population must be >= 1",
-            });
-        }
-        let mut points = Vec::with_capacity(n_max);
-        for n in 1..=n_max {
-            let cfg = SimConfig {
-                customers: n,
-                seed: self.seed_for(n),
-                ..self.config.clone()
-            };
-            let report = Simulation::new(self.network.clone(), cfg)
-                .map_err(|e| QueueingError::InvalidParameter {
-                    what: sim_error_what(&e),
-                })?
-                .run()
-                .map_err(|e| QueueingError::InvalidParameter {
-                    what: sim_error_what(&e),
-                })?;
-            let x = report.system.throughput;
-            let stations = report
-                .stations
-                .iter()
-                .map(|s| StationPoint {
-                    queue: s.mean_queue,
-                    residence: if x > 0.0 { s.mean_queue / x } else { 0.0 },
-                    utilization: s.utilization,
-                })
-                .collect();
-            points.push(PopulationPoint {
-                n,
-                throughput: x,
-                response: report.system.mean_response,
-                // Little's law over the closed loop: C = N / X.
-                cycle_time: if x > 0.0 { n as f64 / x } else { f64::INFINITY },
-                stations,
-            });
-        }
-        Ok(MvaSolution {
-            station_names: self
-                .network
-                .stations()
-                .iter()
-                .map(|s| s.name.clone())
-                .collect(),
-            points,
+    fn population(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let n = self.n + 1;
+        let cfg = SimConfig {
+            customers: n,
+            seed: self.seed_for(n),
+            ..self.config.clone()
+        };
+        let report = Simulation::new(self.network.clone(), cfg)
+            .map_err(|e| QueueingError::InvalidParameter {
+                what: sim_error_what(&e),
+            })?
+            .run()
+            .map_err(|e| QueueingError::InvalidParameter {
+                what: sim_error_what(&e),
+            })?;
+        let x = report.system.throughput;
+        let stations = report
+            .stations
+            .iter()
+            .map(|s| StationPoint {
+                queue: s.mean_queue,
+                residence: if x > 0.0 { s.mean_queue / x } else { 0.0 },
+                utilization: s.utilization,
+            })
+            .collect();
+        self.n = n;
+        Ok(MvaPoint {
+            n,
+            throughput: x,
+            response: report.system.mean_response,
+            // Little's law over the closed loop: C = N / X.
+            cycle_time: if x > 0.0 { n as f64 / x } else { f64::INFINITY },
+            stations,
         })
+    }
+
+    fn boxed_clone(&self) -> Box<dyn SolverIter> {
+        Box::new(self.clone())
     }
 }
 
@@ -150,7 +184,19 @@ mod tests {
         let a = sim.solve(5).unwrap();
         let b = sim.solve(5).unwrap();
         assert_eq!(a.points, b.points);
-        assert!(sim.solve(0).is_err());
+        assert!(sim.solve(0).unwrap().points.is_empty());
+    }
+
+    #[test]
+    fn streaming_resumes_bit_identically() {
+        let sim = SimSolver::new(sim_net(0.05, 0.5), cfg());
+        let batch = sim.solve(6).unwrap();
+        let mut iter = sim.start().unwrap();
+        for _ in 0..3 {
+            iter.step().unwrap();
+        }
+        let tail = iter.snapshot().resume().drain(6).unwrap();
+        assert_eq!(tail.points, batch.points[3..]);
     }
 
     #[test]

@@ -4,17 +4,18 @@
 //! concurrency").
 //!
 //! We (1) measure the simulated deployment at a few concurrency levels,
-//! (2) fit MVASD, (3) ask what an SSD upgrade of the database disk
-//! (demand halved) and a think-time change would do — without re-running
-//! any load test.
+//! (2) fit MVASD, (3) run a *scenario sweep* — SSD upgrade, think-time
+//! change — without re-running any load test, and (4) come back with a
+//! follow-up SLA question that is answered entirely from the sweep
+//! engine's memoized populations (a warm restart: zero fresh solver
+//! steps).
 //!
 //! ```sh
 //! cargo run --release --example capacity_planning
 //! ```
 
-use mvasd_suite::core::algorithm::mvasd;
-use mvasd_suite::core::profile::{DemandAxis, InterpolationKind, ServiceDemandProfile};
-use mvasd_suite::queueing::mva::multiserver_mva;
+use mvasd_suite::core::sweep::{Scenario, ScenarioSweep};
+use mvasd_suite::queueing::mva::{StopCondition, StopReason};
 use mvasd_suite::testbed::apps::vins;
 use mvasd_suite::testbed::campaign::{run_campaign, CampaignConfig};
 
@@ -37,46 +38,69 @@ fn main() {
         );
     }
 
-    println!("\n== Step 2: MVASD fit & baseline prediction ==");
+    println!("\n== Step 2: MVASD fit & scenario sweep (no new load tests) ==");
     let samples = campaign.to_demand_samples();
-    let profile = ServiceDemandProfile::from_samples(
-        &samples,
-        InterpolationKind::CubicNotAKnot,
-        DemandAxis::Concurrency,
-    )
-    .expect("profile");
-    let baseline = mvasd(&profile, 600).expect("solver");
     let disk = campaign.station_index("db-disk").expect("station");
+    let k_count = campaign.stations.len();
+    // SSD upgrade: halve the db-disk demand curve, leave the rest alone.
+    let mut ssd_scales = vec![1.0; k_count];
+    ssd_scales[disk] = 0.5;
+
+    let mut sweep = ScenarioSweep::new(samples).default_cap(600);
+    let report = sweep
+        .run(&[
+            Scenario::new("baseline"),
+            Scenario::new("ssd-upgrade").scale_stations(ssd_scales.clone()),
+            Scenario::new("ssd+hot-think")
+                .scale_stations(ssd_scales)
+                .with_think_time(0.5),
+        ])
+        .expect("sweep");
+    let baseline = &report.result("baseline").unwrap().solution;
+    let upgraded = &report.result("ssd-upgrade").unwrap().solution;
+    let hot = &report.result("ssd+hot-think").unwrap().solution;
     println!(
-        "  predicted ceiling {:.1} pages/s; db-disk util at N=600: {:.1}%",
+        "  baseline ceiling {:.1} pages/s; db-disk util at N=600: {:.1}%",
         baseline.last().throughput,
         baseline.last().stations[disk].utilization * 100.0
     );
-
-    println!("\n== Step 3: what-if — SSD upgrade halves db-disk demand ==");
-    // Take the high-concurrency demands MVASD interpolated, halve the DB
-    // disk, and solve the modified static model.
-    let mut demands = profile.demands_at(600.0);
-    demands[disk] *= 0.5;
-    let upgraded_net = app.closed_network_with(&demands).expect("modified model");
-    let upgraded = multiserver_mva(&upgraded_net, 600).expect("solver");
     println!(
-        "  ceiling {:.1} -> {:.1} pages/s; new bottleneck: {}",
+        "  SSD upgrade ceiling {:.1} -> {:.1} pages/s",
         baseline.last().throughput,
-        upgraded.last().throughput,
-        upgraded_net.stations()[upgraded_net.bottleneck().0].name
+        upgraded.last().throughput
     );
-
-    println!("\n== Step 4: what-if — think time drops from 1.0 s to 0.5 s ==");
-    let hot_net = upgraded_net.with_think_time(0.5).expect("model");
-    let hot = multiserver_mva(&hot_net, 600).expect("solver");
     for n in [100usize, 300, 600] {
         println!(
-            "  N={:<4} X={:>7.2} (upgraded, Z=1.0: {:>7.2})",
+            "  N={:<4} X={:>7.2} (SSD, Z=0.5)   {:>7.2} (SSD, Z=1.0)",
             n,
             hot.at(n).unwrap().throughput,
             upgraded.at(n).unwrap().throughput
         );
     }
-    println!("\nNo additional load tests were run for steps 3-4.");
+    println!(
+        "  sweep work: {} population steps computed for {} demanded",
+        report.steps_computed, report.steps_demanded
+    );
+
+    println!("\n== Step 3: follow-up question, answered from the warm cache ==");
+    // "How many users can the SSD deployment carry before R exceeds 0.5 s?"
+    // The model is already swept to 600, so the engine replays memoized
+    // points and computes nothing new.
+    let mut ssd_scales = vec![1.0; k_count];
+    ssd_scales[disk] = 0.5;
+    let followup = sweep
+        .run(&[Scenario::new("ssd-sla")
+            .scale_stations(ssd_scales)
+            .until(StopCondition::SlaResponseTime { max_response: 0.5 })])
+        .expect("warm sweep");
+    let r = &followup.results[0];
+    match &r.reason {
+        StopReason::Met(_) => println!(
+            "  R crosses 0.5 s at N = {} ({} fresh solver steps — warm restart)",
+            r.solution.last().n,
+            followup.steps_computed
+        ),
+        StopReason::PopulationCap => println!("  R stays under 0.5 s through N = 600."),
+    }
+    println!("\nNo additional load tests were run after step 1.");
 }

@@ -11,6 +11,8 @@
 
 use mvasd_suite::core::algorithm::mvasd;
 use mvasd_suite::core::profile::{DemandAxis, InterpolationKind, ServiceDemandProfile};
+use mvasd_suite::core::solver::MvasdSolver;
+use mvasd_suite::queueing::mva::{run_until, ClosedSolver, StopCondition, StopReason};
 use mvasd_suite::testbed::apps::vins;
 use mvasd_suite::testbed::campaign::{run_campaign, CampaignConfig};
 
@@ -94,4 +96,27 @@ fn main() {
             "Some clauses FAIL — renegotiate or upgrade before deployment."
         }
     );
+
+    // The inverse question — "how many users until the 1 s clause breaks?"
+    // — streams the population sweep and stops at the first violation,
+    // rather than solving all 500 populations and scanning afterwards.
+    let solver = MvasdSolver::new(profile);
+    let mut iter = solver.start().expect("iterator");
+    let outcome = run_until(
+        iter.as_mut(),
+        &[StopCondition::SlaResponseTime { max_response: 1.0 }],
+        500,
+    )
+    .expect("streamed sweep");
+    match &outcome.reason {
+        StopReason::Met(_) => println!(
+            "\nCapacity limit: R first exceeds 1 s at N = {} \
+             (answered in {} population steps instead of 500).",
+            outcome.solution.last().n,
+            outcome.steps
+        ),
+        StopReason::PopulationCap => {
+            println!("\nR stays under 1 s through N = 500.")
+        }
+    }
 }

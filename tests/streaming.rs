@@ -1,0 +1,261 @@
+//! Cross-backend streaming guarantees: every solver in the workspace —
+//! the five static MVA solvers, the three MVASD variants, and the
+//! discrete-event estimator — exposes a resumable population iterator
+//! whose stream is bit-for-bit the batch solution, survives
+//! snapshot/restore mid-sweep, and treats `n_max = 0` as an empty (but
+//! validated) sweep. Also proves the early-exit and warm-restart savings
+//! the streaming core exists for.
+
+use mvasd_suite::core::profile::{
+    DemandAxis, DemandSamples, InterpolationKind, ServiceDemandProfile,
+};
+use mvasd_suite::core::solver::{MvasdSchweitzerSolver, MvasdSingleServerSolver, MvasdSolver};
+use mvasd_suite::core::sweep::{Scenario, ScenarioSweep};
+use mvasd_suite::numerics::propcheck::{check, Config, Gen};
+use mvasd_suite::queueing::mva::{
+    run_until, ClosedSolver, ConvolutionSolver, ExactMvaSolver, LoadDependentSolver,
+    MultiserverMvaSolver, SchweitzerSolver, StopCondition, StopReason,
+};
+use mvasd_suite::queueing::network::{ClosedNetwork, Station};
+use mvasd_suite::simnet::{Distribution, SimConfig, SimNetwork, SimStation};
+use mvasd_suite::testbed::solver::SimSolver;
+
+fn network() -> ClosedNetwork {
+    ClosedNetwork::new(
+        vec![
+            Station::queueing("cpu", 4, 1.0, 0.020),
+            Station::queueing("disk", 1, 1.0, 0.012),
+            Station::delay("lan", 1.0, 0.004),
+        ],
+        1.0,
+    )
+    .unwrap()
+}
+
+fn profile() -> ServiceDemandProfile {
+    let samples = DemandSamples {
+        station_names: vec!["cpu".into(), "disk".into()],
+        server_counts: vec![4, 1],
+        think_time: 1.0,
+        levels: vec![1.0, 60.0, 200.0],
+        demands: vec![vec![0.024, 0.021, 0.020], vec![0.012, 0.011, 0.0105]],
+    };
+    ServiceDemandProfile::from_samples(
+        &samples,
+        InterpolationKind::CubicNotAKnot,
+        DemandAxis::Concurrency,
+    )
+    .unwrap()
+}
+
+fn sim_solver() -> SimSolver {
+    let net = SimNetwork::new(
+        vec![SimStation::queueing("s0", 1, 0.05)],
+        Distribution::Exponential { mean: 0.5 },
+    )
+    .unwrap();
+    SimSolver::new(
+        net,
+        SimConfig {
+            horizon: 400.0,
+            warmup: 40.0,
+            seed: 7,
+            ..SimConfig::default()
+        },
+    )
+}
+
+/// All nine backends, each paired with a population depth that keeps the
+/// suite fast (the DES backend runs one simulation per step).
+fn all_backends() -> Vec<(Box<dyn ClosedSolver>, usize)> {
+    let net = network();
+    vec![
+        (
+            Box::new(ExactMvaSolver::new(net.clone())) as Box<dyn ClosedSolver>,
+            60,
+        ),
+        (Box::new(MultiserverMvaSolver::new(net.clone())), 60),
+        (Box::new(ConvolutionSolver::new(net.clone())), 60),
+        (Box::new(LoadDependentSolver::from_network(&net)), 60),
+        (Box::new(SchweitzerSolver::new(net)), 60),
+        (Box::new(MvasdSolver::new(profile())), 60),
+        (Box::new(MvasdSingleServerSolver::new(profile())), 60),
+        (Box::new(MvasdSchweitzerSolver::new(profile())), 60),
+        (Box::new(sim_solver()), 6),
+    ]
+}
+
+#[test]
+fn streaming_equals_batch_for_all_nine_backends() {
+    for (solver, depth) in all_backends() {
+        let batch = solver.solve(depth).unwrap();
+        assert_eq!(batch.points.len(), depth, "{}", solver.name());
+
+        // Draining the iterator reproduces the batch output bit-for-bit.
+        let streamed = solver.start().unwrap().drain(depth).unwrap();
+        assert_eq!(batch, streamed, "{}", solver.name());
+
+        // Step-by-step: populations ascend one at a time.
+        let mut iter = solver.start().unwrap();
+        assert_eq!(iter.population(), 0, "{}", solver.name());
+        for n in 1..=depth.min(5) {
+            let p = iter.step().unwrap();
+            assert_eq!(p.n, n, "{}", solver.name());
+            assert_eq!(iter.population(), n, "{}", solver.name());
+            assert_eq!(p, batch.points[n - 1], "{}", solver.name());
+        }
+    }
+}
+
+#[test]
+fn snapshot_restore_mid_sweep_is_bit_identical() {
+    for (solver, depth) in all_backends() {
+        let batch = solver.solve(depth).unwrap();
+        let cut = depth / 2;
+
+        let mut iter = solver.start().unwrap();
+        for _ in 0..cut {
+            iter.step().unwrap();
+        }
+        let snapshot = iter.snapshot();
+        assert_eq!(snapshot.population(), cut, "{}", solver.name());
+
+        // The original iterator and the restored one both produce the
+        // exact batch tail — and restoring twice works (snapshots are
+        // reusable, not consumed).
+        let direct = iter.drain(depth).unwrap();
+        assert_eq!(direct.points, batch.points[cut..], "{}", solver.name());
+        for _ in 0..2 {
+            let resumed = snapshot.resume().drain(depth).unwrap();
+            assert_eq!(resumed.points, batch.points[cut..], "{}", solver.name());
+        }
+    }
+}
+
+#[test]
+fn zero_population_yields_empty_solutions_everywhere() {
+    for (solver, _) in all_backends() {
+        let sol = solver.solve(0).unwrap();
+        assert!(sol.points.is_empty(), "{}", solver.name());
+        assert!(!sol.station_names.is_empty(), "{}", solver.name());
+        assert_eq!(sol.at(1), None, "{}", solver.name());
+        // The streaming face agrees.
+        let streamed = solver.start().unwrap().drain(0).unwrap();
+        assert_eq!(sol, streamed, "{}", solver.name());
+    }
+}
+
+#[test]
+fn sla_early_exit_does_fewer_steps_than_the_full_sweep() {
+    let solver = MultiserverMvaSolver::new(network());
+    let cap = 400usize;
+    let full = solver.solve(cap).unwrap();
+
+    let mut iter = solver.start().unwrap();
+    let outcome = run_until(
+        iter.as_mut(),
+        &[StopCondition::SlaResponseTime { max_response: 1.0 }],
+        cap,
+    )
+    .unwrap();
+
+    // The query stopped strictly early, on the first violating population.
+    assert!(matches!(outcome.reason, StopReason::Met(_)));
+    assert!(
+        outcome.steps < cap,
+        "expected early exit, took {} of {cap} steps",
+        outcome.steps
+    );
+    let stop_n = outcome.solution.last().n;
+    assert!(outcome.solution.last().response > 1.0);
+    assert!(full.at(stop_n - 1).unwrap().response <= 1.0);
+    // And the truncated stream is a bit-exact prefix of the full solve.
+    assert_eq!(outcome.solution.points, full.points[..outcome.steps]);
+}
+
+#[test]
+fn scenario_sweep_avoids_redundant_work() {
+    let samples = DemandSamples {
+        station_names: vec!["cpu".into(), "disk".into()],
+        server_counts: vec![4, 1],
+        think_time: 1.0,
+        levels: vec![1.0, 60.0, 200.0],
+        demands: vec![vec![0.024, 0.021, 0.020], vec![0.012, 0.011, 0.0105]],
+    };
+    let mut sweep = ScenarioSweep::new(samples).default_cap(200);
+
+    // Three questions about the SAME model: a full sweep, an SLA query,
+    // and a saturation query. One iterator serves all three.
+    let report = sweep
+        .run(&[
+            Scenario::new("full"),
+            Scenario::new("sla").until(StopCondition::SlaResponseTime { max_response: 1.0 }),
+            Scenario::new("sat").until(StopCondition::BottleneckSaturation { utilization: 0.9 }),
+        ])
+        .unwrap();
+    assert!(
+        report.steps_computed < report.steps_demanded,
+        "sharing saved nothing: computed {} of {} demanded",
+        report.steps_computed,
+        report.steps_demanded
+    );
+    // The shared-model sweep computes exactly one full pass.
+    assert_eq!(report.steps_computed, 200);
+
+    // A follow-up on the same model is a pure warm restart.
+    let warm = sweep.run(&[Scenario::new("again")]).unwrap();
+    assert_eq!(warm.steps_computed, 0);
+    assert_eq!(warm.steps_demanded, 200);
+    assert_eq!(
+        warm.results[0].solution.points,
+        report.result("full").unwrap().solution.points
+    );
+}
+
+#[test]
+fn property_streaming_equals_batch_on_random_networks() {
+    check(
+        "property_streaming_equals_batch_on_random_networks",
+        &Config::default().cases(32),
+        |g: &mut Gen| {
+            let count = g.usize_in(1, 4);
+            let stations = (0..count)
+                .map(|i| {
+                    let c = *g.choose(&[1usize, 2, 8]);
+                    let d = g.f64_in(0.001, 0.08);
+                    Station::queueing(&format!("s{i}"), c, 1.0, d)
+                })
+                .collect();
+            let net = ClosedNetwork::new(stations, g.f64_in(0.1, 2.0)).unwrap();
+            let n_max = g.usize_in(2, 80);
+            let cut = g.usize_in(1, n_max - 1);
+
+            let solvers: Vec<Box<dyn ClosedSolver>> = vec![
+                Box::new(ExactMvaSolver::new(net.clone())),
+                Box::new(MultiserverMvaSolver::new(net.clone())),
+                Box::new(ConvolutionSolver::new(net.clone())),
+                Box::new(LoadDependentSolver::from_network(&net)),
+                Box::new(SchweitzerSolver::new(net)),
+            ];
+            for solver in &solvers {
+                let batch = solver.solve(n_max).unwrap();
+                let streamed = solver.start().unwrap().drain(n_max).unwrap();
+                assert_eq!(batch, streamed, "{} n_max={n_max}", solver.name());
+
+                // Snapshot at a random midpoint; the resumed tail must be
+                // bit-identical even though the cut is arbitrary.
+                let mut iter = solver.start().unwrap();
+                for _ in 0..cut {
+                    iter.step().unwrap();
+                }
+                let resumed = iter.snapshot().resume().drain(n_max).unwrap();
+                assert_eq!(
+                    resumed.points,
+                    batch.points[cut..],
+                    "{} cut={cut}",
+                    solver.name()
+                );
+            }
+        },
+    );
+}
