@@ -1,0 +1,88 @@
+//! Streaming-solver benchmarks: incremental stepping, SLA early exit, and
+//! warm-restart scenario sweeps. Beyond the usual text table, this bench
+//! emits the machine-readable `results/BENCH_streaming.json` (schema
+//! `mvasd-bench/1`, documented in `EXPERIMENTS.md`) so CI and regression
+//! tooling can diff timing quantiles without scraping stdout.
+
+use mvasd_bench::output::{results_dir, write_text};
+use mvasd_bench::timing::{bench_json, quick_mode, Bench, Plan};
+use mvasd_core::profile::DemandSamples;
+use mvasd_core::sweep::{Scenario, ScenarioSweep};
+use mvasd_queueing::mva::{run_until, ClosedSolver, MultiserverMvaSolver, StopCondition};
+use mvasd_testbed::apps::{vins, AppModel};
+
+/// Spline-ready demand samples read straight off the app model's curves.
+fn samples_of(app: &AppModel, levels: &[u64]) -> DemandSamples {
+    let levels: Vec<f64> = levels.iter().map(|&l| l as f64).collect();
+    DemandSamples {
+        station_names: app.station_names(),
+        server_counts: app.server_counts(),
+        think_time: app.think_time,
+        levels: levels.clone(),
+        demands: (0..app.stations.len())
+            .map(|k| {
+                levels
+                    .iter()
+                    .map(|&l| app.stations[k].curve.at(l))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let app = vins::model();
+    let n_cap = if quick_mode() { 200 } else { 1500 };
+
+    // Early exit: an SLA query answers as soon as its stop condition fires
+    // instead of sweeping the full population range.
+    let mut early = Bench::new("streaming_early_exit_vins");
+    let solver = MultiserverMvaSolver::new(app.closed_network_at(n_cap as f64).unwrap());
+    early.measure(&format!("full_sweep/{n_cap}"), Plan::default(), || {
+        solver.solve(n_cap).unwrap().points.len()
+    });
+    let sla = [StopCondition::SlaResponseTime { max_response: 2.0 }];
+    early.measure("sla_early_exit", Plan::default(), || {
+        let mut iter = solver.start().unwrap();
+        run_until(iter.as_mut(), &sla, n_cap).unwrap().steps
+    });
+    let saturation = [StopCondition::BottleneckSaturation { utilization: 0.9 }];
+    early.measure("saturation_early_exit", Plan::default(), || {
+        let mut iter = solver.start().unwrap();
+        run_until(iter.as_mut(), &saturation, n_cap).unwrap().steps
+    });
+    println!("{}", early.report());
+
+    // Warm restarts: re-running scenarios against a live sweep is pure cache
+    // replay; a cold sweep pays the full solve each time.
+    let mut sweeps = Bench::new("scenario_sweep_vins");
+    let scenarios = [
+        Scenario::new("baseline").cap(n_cap / 2),
+        Scenario::new("fast-db").scale_demands(0.9).cap(n_cap / 2),
+    ];
+    let samples = samples_of(&app, &vins::STANDARD_LEVELS);
+    sweeps.measure("cold_sweep", Plan::heavy(), || {
+        let mut sweep = ScenarioSweep::new(samples.clone());
+        sweep.run(&scenarios).unwrap().steps_computed
+    });
+    let mut warm = ScenarioSweep::new(samples.clone());
+    warm.run(&scenarios).unwrap();
+    sweeps.measure("warm_replay", Plan::default(), || {
+        warm.run(&scenarios).unwrap().steps_computed
+    });
+    let stats = warm.stats();
+    println!("{}", sweeps.report());
+    println!(
+        "sweep stats: computed {} of {} demanded steps (saved {}), {} hits / {} misses\n",
+        stats.steps_computed,
+        stats.steps_demanded,
+        stats.steps_saved(),
+        stats.cache_hits,
+        stats.cache_misses
+    );
+
+    let json = bench_json(&[&early, &sweeps]);
+    let path = write_text(&results_dir(), "BENCH_streaming.json", &json)
+        .expect("results directory is writable");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,87 @@
+//! Collector-snapshot reporter: runs a representative VINS workload with a
+//! live [`mvasd_obsv::Collector`] installed and prints the aggregated
+//! counters, gauges, histograms, and span timings as a plain-text table.
+//!
+//! ```text
+//! cargo run --bin obsv_report [-- --chrome trace.json] [-- --jsonl out.jsonl]
+//! ```
+//!
+//! `--chrome PATH` additionally writes a Chrome `trace_event` file loadable
+//! in `chrome://tracing` / Perfetto; `--jsonl PATH` writes one JSON object
+//! per metric/span.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use mvasd_core::sweep::{Scenario, ScenarioSweep};
+use mvasd_obsv as obsv;
+use mvasd_queueing::mva::{run_until, ClosedSolver, MultiserverMvaSolver, StopCondition};
+use mvasd_testbed::apps::vins;
+use mvasd_testbed::campaign::{run_campaign, CampaignConfig};
+
+fn main() -> ExitCode {
+    let mut chrome_path = None;
+    let mut jsonl_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--chrome" => chrome_path = args.next(),
+            "--jsonl" => jsonl_path = args.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: obsv_report [--chrome PATH] [--jsonl PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let collector = Arc::new(obsv::Collector::new());
+    obsv::install(collector.clone());
+
+    let app = vins::model();
+
+    // A small measurement campaign (spans tagged per worker with queue-wait
+    // and execute time).
+    let campaign = run_campaign(
+        &app,
+        &[50, 200, 400],
+        &CampaignConfig {
+            test_duration: 120.0,
+            ..CampaignConfig::default()
+        },
+    )
+    .expect("campaign on the calibrated VINS model");
+
+    // An analytic SLA query (per-step spans, early-exit accounting).
+    let solver = MultiserverMvaSolver::new(app.closed_network_at(1500.0).unwrap());
+    let mut iter = solver.start().unwrap();
+    run_until(
+        iter.as_mut(),
+        &[StopCondition::SlaResponseTime { max_response: 2.0 }],
+        1500,
+    )
+    .unwrap();
+
+    // A scenario sweep with a warm replay (cache hit/miss metrics).
+    let mut sweep = ScenarioSweep::new(campaign.to_demand_samples()).default_cap(300);
+    let scenarios = [
+        Scenario::new("baseline"),
+        Scenario::new("fast-db").scale_demands(0.9),
+    ];
+    sweep.run(&scenarios).unwrap();
+    sweep.run(&scenarios).unwrap();
+
+    obsv::uninstall();
+    let snapshot = collector.snapshot();
+    print!("{}", snapshot.summary_table());
+
+    if let Some(path) = chrome_path {
+        std::fs::write(&path, snapshot.to_chrome_trace()).expect("trace path is writable");
+        println!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = jsonl_path {
+        std::fs::write(&path, snapshot.to_jsonl()).expect("jsonl path is writable");
+        println!("wrote JSONL metrics to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -13,6 +13,8 @@ use std::hint::black_box;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
+use mvasd_obsv as obsv;
+
 /// True when `MVASD_BENCH_QUICK=1`: benches drop to a fast smoke pass.
 pub fn quick_mode() -> bool {
     static QUICK: OnceLock<bool> = OnceLock::new();
@@ -103,6 +105,21 @@ impl Measurement {
     pub fn mean(&self) -> Duration {
         self.sorted.iter().sum::<Duration>() / self.sorted.len() as u32
     }
+
+    /// Slowest observed per-iteration time.
+    pub fn max(&self) -> Duration {
+        *self.sorted.last().expect("measurements are non-empty")
+    }
+
+    /// Nearest-rank quantile of the per-iteration samples. `q` is clamped
+    /// to `[0, 1]`; `quantile(0.0)` is `min()` and `quantile(1.0)` is
+    /// `max()`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[rank - 1]
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -137,18 +154,32 @@ impl Bench {
     /// Measures `f` under `plan` and records the result. The closure's
     /// return value is passed through [`black_box`] so the optimizer can't
     /// delete the work.
+    ///
+    /// When an [`mvasd_obsv`] recorder is installed, each per-iteration
+    /// sample is also fed into the `bench.{group}.{name}` histogram (in
+    /// nanoseconds), so experiments and production code share one
+    /// measurement vocabulary.
     pub fn measure<R>(&mut self, name: &str, plan: Plan, mut f: impl FnMut() -> R) -> &Measurement {
         let plan = plan.effective();
         for _ in 0..plan.warmup {
             black_box(f());
         }
+        let metric = if obsv::enabled() {
+            Some(format!("bench.{}.{}", self.group, name))
+        } else {
+            None
+        };
         let mut sorted = Vec::with_capacity(plan.samples as usize);
         for _ in 0..plan.samples {
             let start = Instant::now();
             for _ in 0..plan.iters {
                 black_box(f());
             }
-            sorted.push(start.elapsed() / plan.iters);
+            let per_iter = start.elapsed() / plan.iters;
+            if let Some(metric) = &metric {
+                obsv::observe_duration(metric, per_iter);
+            }
+            sorted.push(per_iter);
         }
         sorted.sort();
         self.results.push(Measurement {
@@ -187,6 +218,56 @@ impl Bench {
     pub fn results(&self) -> &[Measurement] {
         &self.results
     }
+
+    /// The group name.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+}
+
+/// Serializes benchmark groups as machine-readable JSON (schema
+/// `mvasd-bench/1`, documented in `EXPERIMENTS.md`): one object per group,
+/// one entry per measured target with sample count and nanosecond timing
+/// quantiles. The output parses with `mvasd_obsv::json::parse` and is what
+/// `results/BENCH_streaming.json` contains.
+pub fn bench_json(groups: &[&Bench]) -> String {
+    use obsv::json::escape;
+    let mut out = String::from("{\"schema\":\"mvasd-bench/1\",\"quick\":");
+    out.push_str(if quick_mode() { "true" } else { "false" });
+    out.push_str(",\"groups\":[");
+    for (gi, g) in groups.iter().enumerate() {
+        if gi > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"group\":\"{}\",\"experiments\":[",
+            escape(&g.group)
+        ));
+        for (mi, m) in g.results.iter().enumerate() {
+            if mi > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"samples\":{},\"nanos\":{{",
+                    "\"min\":{},\"p25\":{},\"median\":{},\"p75\":{},",
+                    "\"p90\":{},\"max\":{},\"mean\":{}}}}}"
+                ),
+                escape(&m.name),
+                m.sorted.len(),
+                m.min().as_nanos(),
+                m.quantile(0.25).as_nanos(),
+                m.median().as_nanos(),
+                m.quantile(0.75).as_nanos(),
+                m.quantile(0.90).as_nanos(),
+                m.max().as_nanos(),
+                m.mean().as_nanos(),
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
 }
 
 #[cfg(test)]
@@ -219,6 +300,78 @@ mod tests {
             sorted: (1..=3).map(Duration::from_nanos).collect(),
         };
         assert_eq!(m.median(), Duration::from_nanos(2));
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let m = Measurement {
+            name: "x".into(),
+            sorted: (1..=10).map(Duration::from_nanos).collect(),
+        };
+        assert_eq!(m.quantile(0.0), Duration::from_nanos(1));
+        assert_eq!(m.quantile(0.25), Duration::from_nanos(3));
+        assert_eq!(m.quantile(0.9), Duration::from_nanos(9));
+        assert_eq!(m.quantile(1.0), Duration::from_nanos(10));
+        assert_eq!(m.quantile(2.0), m.max());
+        assert_eq!(m.quantile(-1.0), m.min());
+        assert_eq!(m.max(), Duration::from_nanos(10));
+    }
+
+    #[test]
+    fn bench_json_parses_and_carries_quantiles() {
+        let mut b = Bench::new("grp \"q\"");
+        b.measure("fast", Plan::light(4), || black_box(1u64) + 1);
+        let json = bench_json(&[&b]);
+        let doc = obsv::json::parse(&json).expect("bench_json emits valid JSON");
+        let obj = match &doc {
+            obsv::json::Json::Object(m) => m,
+            other => panic!("expected object, got {other:?}"),
+        };
+        assert_eq!(
+            obj.get("schema"),
+            Some(&obsv::json::Json::String("mvasd-bench/1".into()))
+        );
+        let groups = match obj.get("groups") {
+            Some(obsv::json::Json::Array(a)) => a,
+            other => panic!("expected groups array, got {other:?}"),
+        };
+        assert_eq!(groups.len(), 1);
+        let group = match &groups[0] {
+            obsv::json::Json::Object(m) => m,
+            other => panic!("expected group object, got {other:?}"),
+        };
+        assert_eq!(
+            group.get("group"),
+            Some(&obsv::json::Json::String("grp \"q\"".into()))
+        );
+        let experiments = match group.get("experiments") {
+            Some(obsv::json::Json::Array(a)) => a,
+            other => panic!("expected experiments array, got {other:?}"),
+        };
+        let exp = match &experiments[0] {
+            obsv::json::Json::Object(m) => m,
+            other => panic!("expected experiment object, got {other:?}"),
+        };
+        let nanos = match exp.get("nanos") {
+            Some(obsv::json::Json::Object(m)) => m,
+            other => panic!("expected nanos object, got {other:?}"),
+        };
+        for key in ["min", "p25", "median", "p75", "p90", "max", "mean"] {
+            assert!(nanos.contains_key(key), "missing quantile {key}");
+        }
+    }
+
+    #[test]
+    fn measure_feeds_installed_histograms() {
+        let collector = std::sync::Arc::new(obsv::Collector::new());
+        let _guard = obsv::scoped(collector.clone());
+        let mut b = Bench::new("obsv");
+        b.measure("spin", Plan::light(2), || black_box(3u64) * 7);
+        let snap = collector.snapshot();
+        let hist = snap
+            .histogram("bench.obsv.spin")
+            .expect("samples land in the bench histogram");
+        assert_eq!(hist.count, b.results()[0].sorted.len() as u64);
     }
 
     #[test]

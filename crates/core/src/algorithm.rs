@@ -28,6 +28,7 @@
 //! server (`D/C`), run through the Algorithm-1 recursion — shown in the
 //! paper (Fig. 8, Table 5) to underperform the true multi-server treatment.
 
+use mvasd_obsv as obsv;
 use mvasd_queueing::mva::{MvaPoint, MvaSolution, PopulationRecursion, SolverIter, StationPoint};
 use mvasd_queueing::QueueingError;
 
@@ -109,6 +110,8 @@ impl SolverIter for MvasdIter {
     }
 
     fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let _span = obsv::span("mvasd.step");
+        obsv::counter("solver.steps", 1);
         let n = self.n + 1;
         let stations = self.profile.stations();
         let k_count = stations.len();
@@ -198,6 +201,8 @@ impl SolverIter for MvasdSingleServerIter {
     }
 
     fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let _span = obsv::span("mvasd-single-server.step");
+        obsv::counter("solver.steps", 1);
         let n = self.n + 1;
         let stations = self.profile.stations();
         let k_count = stations.len();
@@ -297,6 +302,8 @@ impl SolverIter for MvasdSchweitzerIter {
     }
 
     fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let _span = obsv::span("mvasd-schweitzer.step");
+        obsv::counter("solver.steps", 1);
         let n = self.n + 1;
         let nf = n as f64;
         let stations = self.profile.stations();
@@ -318,7 +325,9 @@ impl SolverIter for MvasdSchweitzerIter {
         let mut x = 0.0;
         let mut residence = vec![0.0f64; k_count];
         let mut converged = false;
+        let mut iterations = 0u64;
         for _ in 0..10_000 {
+            iterations += 1;
             let mut r_total = 0.0;
             for (k, &(dq, dd)) in split.iter().enumerate() {
                 residence[k] = dq * (1.0 + (nf - 1.0) / nf * self.q[k]) + dd;
@@ -335,6 +344,10 @@ impl SolverIter for MvasdSchweitzerIter {
                 converged = true;
                 break;
             }
+        }
+        if obsv::enabled() {
+            obsv::counter("schweitzer.fixed_point_iterations", iterations);
+            obsv::observe("schweitzer.iterations_per_step", iterations);
         }
         if !converged {
             return Err(QueueingError::InvalidParameter {

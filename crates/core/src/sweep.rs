@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use mvasd_obsv as obsv;
 use mvasd_queueing::mva::{
     ClosedSolver, MvaPoint, MvaSolution, SolverIter, StopCondition, StopReason,
 };
@@ -236,6 +237,29 @@ impl SweepReport {
     }
 }
 
+/// Lifetime work accounting for a [`ScenarioSweep`], accumulated over every
+/// successful [`run`](ScenarioSweep::run) call. The read-only face of the
+/// warm-restart machinery: callers can assert cache behaviour and step
+/// savings without the bench harness (and without observability installed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Fresh population steps computed across all runs.
+    pub steps_computed: usize,
+    /// Steps a naive batch-solve-per-scenario strategy would have computed.
+    pub steps_demanded: usize,
+    /// Model groups served from a previously cached iterator.
+    pub cache_hits: usize,
+    /// Model groups that had to build a fresh iterator.
+    pub cache_misses: usize,
+}
+
+impl SweepStats {
+    /// Steps avoided through prefix sharing and warm restarts.
+    pub fn steps_saved(&self) -> usize {
+        self.steps_demanded.saturating_sub(self.steps_computed)
+    }
+}
+
 /// A solver iterator plus its memoized population prefix — the unit the
 /// cache retains per distinct model.
 struct GroupState {
@@ -290,6 +314,7 @@ pub struct ScenarioSweep {
     default_cap: usize,
     parallelism: usize,
     cache: HashMap<Vec<u64>, GroupState>,
+    stats: SweepStats,
 }
 
 impl std::fmt::Debug for ScenarioSweep {
@@ -320,6 +345,7 @@ impl ScenarioSweep {
                 .map(|n| n.get())
                 .unwrap_or(4),
             cache: HashMap::new(),
+            stats: SweepStats::default(),
         }
     }
 
@@ -358,10 +384,17 @@ impl ScenarioSweep {
         self.cache.values().map(|g| g.points.len()).sum()
     }
 
+    /// Lifetime work accounting, accumulated over every successful
+    /// [`run`](ScenarioSweep::run) call.
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
+
     /// Answers every scenario. Scenarios resolving to the same model share
     /// one iterator (and its memoized prefix); distinct models run
     /// concurrently. Results come back in input order.
     pub fn run(&mut self, scenarios: &[Scenario]) -> Result<SweepReport, CoreError> {
+        let _span = obsv::span_with("sweep.run", || format!("scenarios={}", scenarios.len()));
         if scenarios.is_empty() {
             return Err(CoreError::InvalidParameter {
                 what: "sweep needs at least one scenario",
@@ -382,11 +415,17 @@ impl ScenarioSweep {
         }
 
         // Check out (or build) one GroupState per distinct model.
+        let mut cache_hits = 0usize;
+        let mut cache_misses = 0usize;
         let mut jobs: Vec<Mutex<Option<GroupState>>> = Vec::with_capacity(groups.len());
         for (key, members) in &groups {
             let state = match self.cache.remove(key) {
-                Some(state) => state,
+                Some(state) => {
+                    cache_hits += 1;
+                    state
+                }
                 None => {
+                    cache_misses += 1;
                     let profile = ServiceDemandProfile::from_samples(
                         &resolved[members[0]],
                         self.interpolation,
@@ -472,6 +511,24 @@ impl ScenarioSweep {
         }
         if let Some(e) = first_error {
             return Err(CoreError::Queueing(e));
+        }
+
+        // Commit the lifetime accounting only for successful runs, so
+        // `stats()` always describes answers that were actually delivered.
+        self.stats.steps_computed += steps_computed;
+        self.stats.steps_demanded += steps_demanded;
+        self.stats.cache_hits += cache_hits;
+        self.stats.cache_misses += cache_misses;
+        if obsv::enabled() {
+            obsv::counter("sweep.cache_hits", cache_hits as u64);
+            obsv::counter("sweep.cache_misses", cache_misses as u64);
+            obsv::counter("sweep.steps_computed", steps_computed as u64);
+            obsv::counter("sweep.steps_demanded", steps_demanded as u64);
+            obsv::counter(
+                "sweep.steps_saved",
+                steps_demanded.saturating_sub(steps_computed) as u64,
+            );
+            obsv::gauge("sweep.cached_steps", self.cached_steps() as f64);
         }
 
         Ok(SweepReport {
@@ -649,6 +706,29 @@ mod tests {
         // (more pressure on the queues).
         assert!(nt.solution.at(50).unwrap().response > base.solution.at(50).unwrap().response);
         assert_eq!(report.steps_computed, 600);
+    }
+
+    #[test]
+    fn stats_accumulate_across_runs() {
+        let mut sweep = ScenarioSweep::new(base_samples());
+        assert_eq!(sweep.stats(), SweepStats::default());
+        sweep.run(&[Scenario::new("a").cap(40)]).unwrap();
+        let s1 = sweep.stats();
+        assert_eq!(s1.steps_computed, 40);
+        assert_eq!(s1.steps_demanded, 40);
+        assert_eq!(s1.cache_hits, 0);
+        assert_eq!(s1.cache_misses, 1);
+        // Warm restart: the same model is a cache hit; only the tail is new.
+        sweep.run(&[Scenario::new("b").cap(100)]).unwrap();
+        let s2 = sweep.stats();
+        assert_eq!(s2.steps_computed, 100);
+        assert_eq!(s2.steps_demanded, 140);
+        assert_eq!(s2.steps_saved(), 40);
+        assert_eq!(s2.cache_hits, 1);
+        assert_eq!(s2.cache_misses, 1);
+        // A failed run leaves the accounting untouched.
+        assert!(sweep.run(&[]).is_err());
+        assert_eq!(sweep.stats(), s2);
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! The aggregating recorder: sharded per-thread buffers merged into a
+//! deterministic [`Snapshot`].
+//!
+//! Shards are keyed by the caller's stable thread index, so threads spawned
+//! by `std::thread::scope` work queues (the sweep engine, the campaign
+//! runner) mostly hit distinct shards and the mutexes stay uncontended.
+//! [`Collector::snapshot`] merges every shard into sorted maps, so two
+//! snapshots of the same events are identical regardless of which threads
+//! recorded them.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::{Recorder, SpanRecord};
+
+const SHARDS: usize = 8;
+
+#[derive(Default)]
+struct Shard {
+    counters: HashMap<String, u64>,
+    /// Gauge values with a global write sequence so the snapshot can keep
+    /// the latest write across shards.
+    gauges: HashMap<String, (u64, f64)>,
+    histograms: HashMap<String, Histogram>,
+    spans: Vec<SpanRecord>,
+}
+
+/// Aggregates every recorded event in memory; snapshot at any time.
+pub struct Collector {
+    shards: Vec<Mutex<Shard>>,
+    gauge_seq: AtomicU64,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            gauge_seq: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self) -> std::sync::MutexGuard<'_, Shard> {
+        let idx = crate::current_thread() as usize % SHARDS;
+        self.shards[idx].lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Merges all shards into a deterministic snapshot. The collector
+    /// keeps accumulating afterwards.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        for shard in &self.shards {
+            let s = shard.lock().unwrap_or_else(|p| p.into_inner());
+            for (k, v) in &s.counters {
+                *counters.entry(k.clone()).or_default() += v;
+            }
+            for (k, &(seq, v)) in &s.gauges {
+                match gauges.get(k) {
+                    Some(&(old_seq, _)) if old_seq >= seq => {}
+                    _ => {
+                        gauges.insert(k.clone(), (seq, v));
+                    }
+                }
+            }
+            for (k, h) in &s.histograms {
+                histograms.entry(k.clone()).or_default().merge(h);
+            }
+            spans.extend(s.spans.iter().cloned());
+        }
+        spans.sort_by_key(|s| (s.start_ns, s.thread, s.depth));
+        Snapshot {
+            counters,
+            gauges: gauges.into_iter().map(|(k, (_, v))| (k, v)).collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(k, h)| (k, h.snapshot()))
+                .collect(),
+            spans,
+        }
+    }
+
+    /// Drops everything recorded so far.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap_or_else(|p| p.into_inner());
+            *s = Shard::default();
+        }
+    }
+}
+
+impl Recorder for Collector {
+    fn counter(&self, name: &str, delta: u64) {
+        let mut s = self.shard();
+        match s.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                s.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        let seq = self.gauge_seq.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.shard();
+        s.gauges.insert(name.to_string(), (seq, value));
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        let mut s = self.shard();
+        match s.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                s.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    fn record_span(&self, span: SpanRecord) {
+        self.shard().spans.push(span);
+    }
+}
+
+/// A frozen, deterministic view of everything a [`Collector`] aggregated.
+/// Sinks: [`to_chrome_trace`](Snapshot::to_chrome_trace),
+/// [`to_jsonl`](Snapshot::to_jsonl),
+/// [`summary_table`](Snapshot::summary_table) (in `sink.rs`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Latest gauge value by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Every recorded span, ordered by start time.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// A counter's total (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's latest value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram's snapshot, if any value was observed under the name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Number of spans recorded under `name`.
+    pub fn spans_named(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+    use std::sync::Arc;
+
+    #[test]
+    fn aggregates_across_scoped_threads() {
+        let _g = test_support::lock();
+        let c = Arc::new(Collector::new());
+        let _guard = crate::scoped(c.clone());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        crate::counter("work.items", 1);
+                        crate::observe("work.size", 7);
+                    }
+                    let _s = crate::span("work.chunk");
+                });
+            }
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.counter("work.items"), 400);
+        let h = snap.histogram("work.size").unwrap();
+        assert_eq!(h.count, 400);
+        assert_eq!(h.min, 7);
+        assert_eq!(h.max, 7);
+        assert_eq!(snap.spans_named("work.chunk"), 4);
+        // Spans from distinct scoped threads carry distinct thread ids.
+        let mut threads: Vec<u64> = snap.spans.iter().map(|s| s.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        assert_eq!(threads.len(), 4);
+    }
+
+    #[test]
+    fn gauge_keeps_latest_write() {
+        let _g = test_support::lock();
+        let c = Arc::new(Collector::new());
+        let _guard = crate::scoped(c.clone());
+        crate::gauge("depth", 1.0);
+        crate::gauge("depth", 2.0);
+        crate::gauge("depth", 3.0);
+        assert_eq!(c.snapshot().gauge("depth"), Some(3.0));
+        assert_eq!(c.snapshot().gauge("missing"), None);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let _g = test_support::lock();
+        let c = Arc::new(Collector::new());
+        let _guard = crate::scoped(c.clone());
+        crate::counter("x", 1);
+        drop(crate::span("s"));
+        c.clear();
+        let snap = c.snapshot();
+        assert_eq!(snap.counter("x"), 0);
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let _g = test_support::lock();
+        let c = Arc::new(Collector::new());
+        let _guard = crate::scoped(c.clone());
+        crate::counter("b", 2);
+        crate::counter("a", 1);
+        crate::observe("h", 10);
+        let snap = c.snapshot();
+        assert_eq!(snap, c.snapshot());
+        // BTreeMap ordering: "a" before "b".
+        let names: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

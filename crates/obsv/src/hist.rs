@@ -1,0 +1,295 @@
+//! Fixed-bucket log-linear histograms over `u64` values (typically
+//! nanoseconds or event counts).
+//!
+//! Layout (HdrHistogram-style, compile-time fixed):
+//!
+//! * values `0..32` get exact width-1 buckets (indices `0..32`);
+//! * every power-of-two octave `[2^m, 2^{m+1})` for `m >= 5` is split into
+//!   16 linear sub-buckets of width `2^{m-4}`, giving a worst-case
+//!   relative resolution of 1/16 (6.25 %).
+//!
+//! The buckets partition `0..=u64::MAX` exactly: every value lands in
+//! exactly one bucket and adjacent bucket bounds touch (the propcheck
+//! suite below asserts both). `32 + 59·16 = 976` buckets total, so a
+//! histogram is a flat ~8 KiB array — cheap enough to keep one per metric
+//! name inside a collector shard.
+
+/// Sub-buckets per octave above the linear range.
+const SUB_BUCKETS: u64 = 16;
+/// Values below this get exact width-1 buckets.
+const LINEAR_MAX: u64 = 32;
+/// First octave exponent handled log-linearly (`2^5 = LINEAR_MAX`).
+const FIRST_OCTAVE: u32 = 5;
+
+/// Total bucket count: 32 linear + 16 per octave for octaves 5..=63.
+pub const NUM_BUCKETS: usize = LINEAR_MAX as usize + (64 - FIRST_OCTAVE as usize) * 16;
+
+/// The bucket index covering `v`. Total over `u64`: always in
+/// `0..NUM_BUCKETS`.
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= FIRST_OCTAVE
+    let sub = (v - (1u64 << msb)) >> (msb - 4); // 0..16
+    LINEAR_MAX as usize + (msb - FIRST_OCTAVE) as usize * SUB_BUCKETS as usize + sub as usize
+}
+
+/// Bucket `i`'s half-open value range `[low, high)`. `high` is `u128`
+/// because the last bucket's exclusive bound is `2^64`.
+pub fn bucket_bounds(i: usize) -> (u64, u128) {
+    assert!(i < NUM_BUCKETS, "bucket index out of range");
+    if (i as u64) < LINEAR_MAX {
+        return (i as u64, i as u128 + 1);
+    }
+    let rel = i - LINEAR_MAX as usize;
+    let msb = FIRST_OCTAVE + (rel / SUB_BUCKETS as usize) as u32;
+    let sub = (rel % SUB_BUCKETS as usize) as u64;
+    let width = 1u64 << (msb - 4);
+    let low = (1u64 << msb) + sub * width;
+    (low, low as u128 + width as u128)
+}
+
+/// A log-linear histogram: counts per bucket plus exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Merges `other` into `self` (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// A frozen, compact snapshot (non-empty buckets only).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (bucket_bounds(i).0, c))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen histogram: `(bucket low bound, count)` pairs ascending, plus
+/// the exact aggregates.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values.
+    pub sum: u128,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(low bound, count)`, ascending by bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Exact mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (nearest-rank over buckets,
+    /// reported as the bucket's low bound clamped into `[min, max]`).
+    /// Exact for values below 32; within 6.25 % above.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(low, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return low.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvasd_numerics::propcheck::{check, Config};
+
+    #[test]
+    fn linear_range_is_exact() {
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_index(v), v as usize);
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert_eq!(lo, v);
+            assert_eq!(hi, v as u128 + 1);
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        // Adjacent bounds touch over the whole index range.
+        for i in 0..NUM_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(hi, lo_next as u128, "gap/overlap between {i} and {}", i + 1);
+        }
+        assert_eq!(bucket_bounds(0).0, 0);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, 1u128 << 64);
+    }
+
+    #[test]
+    fn propcheck_no_value_lost_and_bounds_contain() {
+        let cfg = Config::default().cases(4000);
+        check("hist-bounds-contain", &cfg, |g| {
+            // Mix raw u64s with small values so the linear range is hit.
+            let v = if g.bool() { g.raw() } else { g.raw() % 64 };
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v, "v={v} below bucket low {lo}");
+            assert!((v as u128) < hi, "v={v} at/above bucket high {hi}");
+        });
+    }
+
+    #[test]
+    fn propcheck_monotone_boundaries() {
+        let cfg = Config::default().cases(2000);
+        check("hist-monotone", &cfg, |g| {
+            let a = g.raw();
+            let b = g.raw();
+            let (small, big) = if a <= b { (a, b) } else { (b, a) };
+            assert!(bucket_index(small) <= bucket_index(big));
+        });
+    }
+
+    #[test]
+    fn propcheck_record_preserves_aggregates() {
+        let cfg = Config::default().cases(300);
+        check("hist-aggregates", &cfg, |g| {
+            let n = g.usize_in(1, 40);
+            let values: Vec<u64> = (0..n)
+                .map(|_| {
+                    if g.bool() {
+                        g.raw() % 1_000_000
+                    } else {
+                        g.raw()
+                    }
+                })
+                .collect();
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            assert_eq!(s.count, n as u64);
+            assert_eq!(s.sum, values.iter().map(|&v| v as u128).sum::<u128>());
+            assert_eq!(s.min, *values.iter().min().unwrap());
+            assert_eq!(s.max, *values.iter().max().unwrap());
+            // No value lost: bucket counts total the record count.
+            assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), n as u64);
+            // Quantiles live inside the recorded range.
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                let qv = s.quantile(q);
+                assert!(qv >= s.min && qv <= s.max, "q={q}: {qv}");
+            }
+        });
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [0u64, 1, 31, 32, 33, 1000, u64::MAX] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [5u64, 47, 48, 1 << 40] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), both.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn quantiles_exact_in_linear_range() {
+        let mut h = Histogram::new();
+        for v in 1..=20u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 10);
+        assert_eq!(s.quantile(1.0), 20);
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.mean(), 10.5);
+    }
+}

@@ -1,0 +1,274 @@
+//! Snapshot export formats: Chrome `trace_event` JSON, JSONL event
+//! streams, and a plain-text summary table.
+//!
+//! All three are pure functions of a [`Snapshot`], so they can be called
+//! repeatedly and mixed freely. The Chrome format targets the
+//! [Trace Event Format] consumed by `chrome://tracing` and
+//! <https://ui.perfetto.dev>; the JSONL stream is for ad-hoc `grep`/`jq`
+//! pipelines; the table is for terminals and CI logs.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::fmt::Write as _;
+
+use crate::collector::Snapshot;
+use crate::json::{escape, number};
+
+impl Snapshot {
+    /// Renders the snapshot as Chrome `trace_event` JSON (object form with
+    /// a `traceEvents` array). Spans become `"ph":"X"` complete events
+    /// (timestamps/durations in microseconds, as the format requires);
+    /// counters and gauges become `"ph":"C"` counter events stamped at the
+    /// end of the trace. Load the file in `chrome://tracing` or Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<String> = Vec::with_capacity(self.spans.len() + 8);
+        let mut end_us = 0u64;
+        for s in &self.spans {
+            let ts = s.start_ns / 1_000;
+            let dur = (s.dur_ns / 1_000).max(1);
+            end_us = end_us.max(ts + dur);
+            let name = match &s.label {
+                Some(l) => format!("{} [{}]", s.name, l),
+                None => s.name.to_string(),
+            };
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"mvasd\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                escape(&name),
+                ts,
+                dur,
+                s.thread
+            ));
+        }
+        for (name, &v) in &self.counters {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"mvasd\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"args\":{{\"value\":{}}}}}",
+                escape(name),
+                end_us,
+                v
+            ));
+        }
+        for (name, &v) in &self.gauges {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"mvasd\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"args\":{{\"value\":{}}}}}",
+                escape(name),
+                end_us,
+                number(v)
+            ));
+        }
+        format!(
+            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}\n",
+            events.join(",")
+        )
+    }
+
+    /// Renders the snapshot as JSONL: one self-describing JSON object per
+    /// line (`"kind"` is `span`, `counter`, `gauge`, or `histogram`), for
+    /// `grep`/`jq`-style pipelines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let label = match &s.label {
+                Some(l) => format!(",\"label\":\"{}\"", escape(l)),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"span\",\"name\":\"{}\"{},\"thread\":{},\"depth\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+                escape(s.name),
+                label,
+                s.thread,
+                s.depth,
+                s.start_ns,
+                s.dur_ns
+            );
+        }
+        for (name, &v) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+                escape(name),
+                v
+            );
+        }
+        for (name, &v) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                escape(name),
+                number(v)
+            );
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                escape(name),
+                h.count,
+                h.min,
+                h.max,
+                number(h.mean()),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99)
+            );
+        }
+        out
+    }
+
+    /// Renders a plain-text summary: counters, gauges, histogram quantile
+    /// rows, and per-span-name aggregate timings. For terminals / CI logs.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<44} {:>14}", "counter", "total");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<44} {v:>14}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "{:<44} {:>14}", "gauge", "value");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "{name:<44} {v:>14.3}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(
+                out,
+                "{:<44} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                "histogram", "count", "p50", "p90", "p99", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<44} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                    name,
+                    h.count,
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                    h.max
+                );
+            }
+        }
+        // Aggregate spans by name: count + total/mean wall time.
+        let mut by_name: Vec<(&str, u64, u128)> = Vec::new();
+        for s in &self.spans {
+            match by_name.iter_mut().find(|(n, _, _)| *n == s.name) {
+                Some((_, c, total)) => {
+                    *c += 1;
+                    *total += s.dur_ns as u128;
+                }
+                None => by_name.push((s.name, 1, s.dur_ns as u128)),
+            }
+        }
+        if !by_name.is_empty() {
+            by_name.sort_by_key(|&(n, _, _)| n);
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(
+                out,
+                "{:<44} {:>10} {:>14} {:>14}",
+                "span", "count", "total_us", "mean_us"
+            );
+            for (name, count, total_ns) in by_name {
+                let total_us = total_ns / 1_000;
+                let mean_us = total_us as f64 / count as f64;
+                let _ = writeln!(out, "{name:<44} {count:>10} {total_us:>14} {mean_us:>14.1}");
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no events recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json;
+    use crate::test_support;
+    use crate::Collector;
+    use std::sync::Arc;
+
+    fn sample_snapshot() -> crate::Snapshot {
+        let _g = test_support::lock();
+        let c = Arc::new(Collector::new());
+        let guard = crate::scoped(c.clone());
+        {
+            let _outer = crate::span("solve");
+            let _inner = crate::span_with("step", || "n=3".to_string());
+        }
+        crate::counter("iters \"quoted\"", 42);
+        crate::gauge("load", 0.75);
+        for v in [5u64, 10, 100, 100_000] {
+            crate::observe("latency", v);
+        }
+        drop(guard);
+        c.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_carries_all_events() {
+        let trace = sample_snapshot().to_chrome_trace();
+        let v = json::parse(&trace).expect("emitted trace must be valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        // 2 spans + 1 counter + 1 gauge.
+        assert_eq!(events.len(), 4);
+        let complete: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        for e in &complete {
+            assert!(e.get("dur").and_then(|d| d.as_f64()).unwrap() >= 1.0);
+            assert!(e.get("ts").is_some());
+            assert!(e.get("tid").is_some());
+        }
+        // The labeled span keeps its label in the event name.
+        assert!(events
+            .iter()
+            .any(|e| { e.get("name").and_then(|n| n.as_str()) == Some("step [n=3]") }));
+        // The quoted counter name survives escaping.
+        assert!(events
+            .iter()
+            .any(|e| { e.get("name").and_then(|n| n.as_str()) == Some("iters \"quoted\"") }));
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let jsonl = sample_snapshot().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        // 2 spans + 1 counter + 1 gauge + 1 histogram.
+        assert_eq!(lines.len(), 5);
+        let mut kinds = std::collections::BTreeMap::new();
+        for line in lines {
+            let v = json::parse(line).expect("each JSONL line must parse");
+            let kind = v.get("kind").and_then(|k| k.as_str()).unwrap().to_string();
+            *kinds.entry(kind).or_insert(0u32) += 1;
+        }
+        assert_eq!(kinds.get("span"), Some(&2));
+        assert_eq!(kinds.get("counter"), Some(&1));
+        assert_eq!(kinds.get("gauge"), Some(&1));
+        assert_eq!(kinds.get("histogram"), Some(&1));
+    }
+
+    #[test]
+    fn summary_table_mentions_every_metric() {
+        let table = sample_snapshot().summary_table();
+        for needle in ["iters \"quoted\"", "load", "latency", "solve", "step"] {
+            assert!(table.contains(needle), "missing {needle:?} in:\n{table}");
+        }
+        let empty = crate::Snapshot::default().summary_table();
+        assert!(empty.contains("no events recorded"));
+    }
+}

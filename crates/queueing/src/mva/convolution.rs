@@ -34,6 +34,7 @@ use super::loaddep::RateFunction;
 use super::stepping::{MvaPoint, SolverIter};
 use super::{MvaSolution, PopulationPoint, StationPoint};
 use crate::QueueingError;
+use mvasd_obsv as obsv;
 
 /// One station of the convolution solver (internal normalized form).
 #[derive(Debug, Clone)]
@@ -267,6 +268,22 @@ impl ConvState {
         }
 
         self.n = n;
+        if obsv::enabled() {
+            // Each advance extends the prefix and suffix chains (one
+            // log-sum-exp cell per stage each) plus one G₍₋ₖ₎ cell per
+            // station that took the heavy (non-delay-shortcut) path.
+            let heavy = self
+                .stations
+                .iter()
+                .enumerate()
+                .filter(|(k, s)| {
+                    !(matches!(s.rate, RateFunction::Delay)
+                        && self.limits.get(*k).copied().unwrap_or(0) == 0)
+                })
+                .count();
+            obsv::counter("convolution.cells", (2 * total + heavy) as u64);
+            obsv::gauge("convolution.ln_g", g_n);
+        }
         Ok((x, queues, marginals))
     }
 }
@@ -303,6 +320,8 @@ impl SolverIter for ConvIter {
     }
 
     fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let _span = obsv::span("convolution.step");
+        obsv::counter("solver.steps", 1);
         let (x, queues, _marginals) = self.state.advance()?;
         Ok(point_at(
             &self.state.stations,

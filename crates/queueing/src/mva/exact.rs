@@ -18,6 +18,7 @@
 
 use crate::network::{ClosedNetwork, StationKind};
 use crate::QueueingError;
+use mvasd_obsv as obsv;
 
 use super::stepping::{MvaPoint, SolverIter};
 use super::{MvaSolution, StationPoint};
@@ -58,6 +59,8 @@ impl SolverIter for ExactMvaIter {
     }
 
     fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let _span = obsv::span("exact-mva.step");
+        obsv::counter("solver.steps", 1);
         let n = self.n + 1;
         let stations = self.net.stations();
         let k_count = stations.len();

@@ -12,6 +12,7 @@
 
 use crate::network::{ClosedNetwork, StationKind};
 use crate::QueueingError;
+use mvasd_obsv as obsv;
 
 use super::stepping::{MvaPoint, SolverIter};
 use super::{MvaSolution, StationPoint};
@@ -96,6 +97,8 @@ impl SolverIter for SchweitzerIter {
     }
 
     fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let _span = obsv::span("schweitzer.step");
+        obsv::counter("solver.steps", 1);
         let n = self.n + 1;
         let nf = n as f64;
         let stations = self.net.stations();
@@ -111,7 +114,9 @@ impl SolverIter for SchweitzerIter {
         let mut x = 0.0;
         let mut residence = vec![0.0f64; k_count];
         let mut converged = false;
+        let mut iterations = 0u64;
         for _ in 0..self.opts.max_iterations {
+            iterations += 1;
             let mut r_total = 0.0;
             for (k, &(dq, dd, is_queueing)) in self.split.iter().enumerate() {
                 let rq = if is_queueing {
@@ -133,6 +138,10 @@ impl SolverIter for SchweitzerIter {
                 converged = true;
                 break;
             }
+        }
+        if obsv::enabled() {
+            obsv::counter("schweitzer.fixed_point_iterations", iterations);
+            obsv::observe("schweitzer.iterations_per_step", iterations);
         }
         if !converged {
             return Err(QueueingError::InvalidParameter {

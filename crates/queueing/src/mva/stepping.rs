@@ -19,6 +19,7 @@
 
 use super::{MvaSolution, PopulationPoint};
 use crate::QueueingError;
+use mvasd_obsv as obsv;
 use std::fmt;
 
 /// One population step's worth of output — alias for the batch API's
@@ -196,6 +197,23 @@ pub enum StopReason {
     PopulationCap,
 }
 
+impl StopReason {
+    /// The observability counter name bumped when this reason fires, so
+    /// collectors can break down runs by what stopped them (e.g.
+    /// `stop.sla_response_time`).
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            StopReason::Met(StopCondition::TargetPopulation(_)) => "stop.target_population",
+            StopReason::Met(StopCondition::BottleneckSaturation { .. }) => {
+                "stop.bottleneck_saturation"
+            }
+            StopReason::Met(StopCondition::SlaResponseTime { .. }) => "stop.sla_response_time",
+            StopReason::Met(StopCondition::ThroughputPlateau { .. }) => "stop.throughput_plateau",
+            StopReason::PopulationCap => "stop.population_cap",
+        }
+    }
+}
+
 /// The output of a [`run_until`] sweep.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -223,6 +241,7 @@ pub fn run_until(
     conditions: &[StopCondition],
     n_cap: usize,
 ) -> Result<RunOutcome, QueueingError> {
+    let _span = obsv::span_with("run_until", || format!("n_cap={n_cap}"));
     let mut points: Vec<MvaPoint> = Vec::new();
     let reason = loop {
         if iter.population() >= n_cap {
@@ -239,6 +258,17 @@ pub fn run_until(
         }
     };
     let steps = points.len();
+    if obsv::enabled() {
+        obsv::counter("run_until.calls", 1);
+        obsv::counter("run_until.steps", steps as u64);
+        // The early-exit currency: populations the cap allowed but the
+        // stop condition made unnecessary.
+        obsv::counter(
+            "run_until.steps_saved",
+            n_cap.saturating_sub(iter.population()) as u64,
+        );
+        obsv::counter(reason.metric_name(), 1);
+    }
     Ok(RunOutcome {
         solution: MvaSolution {
             station_names: iter.station_names().to_vec(),

@@ -5,6 +5,7 @@
 //! fully deterministic for a given configuration.
 
 use mvasd_numerics::rng::Xoshiro256pp;
+use mvasd_obsv as obsv;
 use std::collections::VecDeque;
 
 use crate::event::{EventKind, EventQueue};
@@ -100,6 +101,10 @@ impl Simulation {
 
     /// Runs the simulation to its horizon and reports.
     pub fn run(self) -> Result<SimReport, SimError> {
+        let _span = obsv::span_with("simnet.run", || {
+            format!("customers={} seed={}", self.cfg.customers, self.cfg.seed)
+        });
+        let mut event_count = 0u64;
         let k_count = self.net.stations().len();
         let mut rng = Xoshiro256pp::seed_from_u64(self.cfg.seed);
         let mut events = EventQueue::new();
@@ -131,6 +136,7 @@ impl Simulation {
             if t > self.cfg.horizon {
                 break;
             }
+            event_count += 1;
             acc.advance(t);
             match kind {
                 EventKind::CustomerArrives { customer } => {
@@ -219,6 +225,11 @@ impl Simulation {
             }
         }
         acc.advance(self.cfg.horizon);
+        if obsv::enabled() {
+            obsv::counter("simnet.runs", 1);
+            obsv::counter("simnet.events", event_count);
+            obsv::observe("simnet.events_per_run", event_count);
+        }
 
         Ok(self.build_report(acc))
     }

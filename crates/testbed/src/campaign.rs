@@ -10,8 +10,10 @@
 //! instead of aborting the whole campaign.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use mvasd_core::sweep::scoped_indexed;
+use mvasd_obsv as obsv;
 
 use crate::apps::AppModel;
 use crate::grinder::{load_test, GrinderConfig, LoadTestResult};
@@ -219,9 +221,28 @@ where
     F: Fn(usize) -> Result<LoadTestResult, TestbedError> + Sync,
 {
     let server_counts = app.server_counts();
+    let _campaign_span = obsv::span_with("campaign.run", || {
+        format!("app={} levels={}", app.name, levels.len())
+    });
+    obsv::counter("campaign.levels", levels.len() as u64);
+    // Fan-out start, for the queue-wait vs execute split below. Clock reads
+    // happen only with a recorder installed.
+    let fanout_start = if obsv::enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    };
     let mut collected: Vec<(usize, Result<LoadTestResult, TestbedError>)> =
         scoped_indexed(levels.len(), cfg.parallelism, |i| {
             let n = levels[i] as usize;
+            // The span's thread id tags which worker served the level.
+            let _level_span = obsv::span_with("campaign.level", || format!("n={n}"));
+            // Queue wait: fan-out start to worker pickup. Execute: the
+            // level's own measurement time.
+            let exec_start = fanout_start.map(|t0| {
+                obsv::observe_duration("campaign.queue_wait", t0.elapsed());
+                Instant::now()
+            });
             // Contain panics to the level that raised them: the other
             // levels keep running and the caller gets a typed error.
             let res = catch_unwind(AssertUnwindSafe(|| run_level(n))).unwrap_or_else(|payload| {
@@ -230,6 +251,9 @@ where
                     message: panic_message(payload),
                 })
             });
+            if let Some(start) = exec_start {
+                obsv::observe_duration("campaign.execute", start.elapsed());
+            }
             (n, res)
         });
     collected.sort_by_key(|(n, _)| *n);

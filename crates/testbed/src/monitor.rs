@@ -171,6 +171,66 @@ mod tests {
         assert!(network_utilization_pct(1, 1.0, 1.0, f64::NAN).is_err());
     }
 
+    /// The `what` string of an eq. 7 parameter rejection.
+    fn eq7_err_what(packets: u64, size: f64, window: f64, bandwidth: f64) -> &'static str {
+        match network_utilization_pct(packets, size, window, bandwidth) {
+            Err(TestbedError::InvalidParameter { what }) => what,
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eq7_rejects_each_parameter_with_its_own_message() {
+        // Each of the three error paths, tripped by zero, negative,
+        // infinite, and NaN values alike.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                eq7_err_what(1, bad, 1.0, 1e9),
+                "packet size must be finite and > 0"
+            );
+            assert_eq!(
+                eq7_err_what(1, 1.0, bad, 1e9),
+                "window must be finite and > 0"
+            );
+            assert_eq!(
+                eq7_err_what(1, 1.0, 1.0, bad),
+                "bandwidth must be finite and > 0"
+            );
+        }
+        // Checks run in parameter order: a bad packet size wins even when
+        // later parameters are also invalid.
+        assert_eq!(
+            eq7_err_what(1, 0.0, 0.0, 0.0),
+            "packet size must be finite and > 0"
+        );
+        // Zero packets with valid parameters is a valid idle window.
+        assert_eq!(network_utilization_pct(0, 1.0, 1.0, 1e9).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn propcheck_eq7_round_trips_synthetic_packet_counts() {
+        use mvasd_numerics::propcheck::{check, Config};
+        let cfg = Config::default().cases(500);
+        check("eq7-round-trip", &cfg, |g| {
+            let packets = g.raw() % 1_000_000_000;
+            let size = g.f64_in(1.0, 65_536.0);
+            let window = g.f64_in(0.001, 3_600.0);
+            let bandwidth = g.f64_in(1e3, 1e12);
+            let u = network_utilization_pct(packets, size, window, bandwidth).unwrap();
+            assert!(u.is_finite() && u >= 0.0);
+            // Round-trip: recover the packet count from the utilization.
+            let recovered = u / 100.0 * window * bandwidth / size;
+            let tol = 1e-9 * (packets as f64).max(1.0);
+            assert!(
+                (recovered - packets as f64).abs() <= tol,
+                "packets={packets} recovered={recovered}"
+            );
+            // Linearity in the packet count (eq. 7 is a pure ratio).
+            let doubled = network_utilization_pct(packets * 2, size, window, bandwidth).unwrap();
+            assert!((doubled - 2.0 * u).abs() <= 1e-9 * u.max(1.0));
+        });
+    }
+
     #[test]
     fn demand_extraction_inverts_utilization_law() {
         // Synthetic row where U = X·D/C exactly.

@@ -14,6 +14,7 @@
 //! horizons, not the 1e-9 agreement of the exact MVA family.
 
 use mvasd_numerics::rng::splitmix64;
+use mvasd_obsv as obsv;
 use mvasd_queueing::mva::{ClosedSolver, MvaPoint, SolverIter, StationPoint};
 use mvasd_queueing::QueueingError;
 use mvasd_simnet::{SimConfig, SimNetwork, Simulation};
@@ -89,6 +90,9 @@ impl SolverIter for SimIter {
     }
 
     fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        let _span = obsv::span_with("simnet-des.step", || format!("n={}", self.n + 1));
+        obsv::counter("solver.steps", 1);
+        obsv::counter("des.runs", 1);
         let n = self.n + 1;
         let cfg = SimConfig {
             customers: n,

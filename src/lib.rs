@@ -8,6 +8,8 @@
 //! Re-exports the workspace crates under friendly names so examples and
 //! downstream users need a single dependency:
 //!
+//! * [`obsv`] — zero-dependency tracing + metrics (spans, counters,
+//!   histograms, Chrome-trace/JSONL sinks) wired through every solver path.
 //! * [`numerics`] — splines, Chebyshev nodes, statistics, Erlang formulas.
 //! * [`queueing`] — operational laws, bounds, exact/approximate MVA.
 //! * [`simnet`] — discrete-event closed queueing-network simulator.
@@ -39,6 +41,7 @@
 
 pub use mvasd_core as core;
 pub use mvasd_numerics as numerics;
+pub use mvasd_obsv as obsv;
 pub use mvasd_queueing as queueing;
 pub use mvasd_simnet as simnet;
 pub use mvasd_testbed as testbed;
