@@ -75,6 +75,34 @@ fn main() {
     g.measure("jpetstore_quasi_static_210", Plan::heavy(), || {
         jp.solve(210).unwrap()
     });
+    // A deep saturating sweep with per-step demand changes: every
+    // post-switch population rebuilds the carried convolution workspace in
+    // O(K·n) (the pre-workspace path re-solved from scratch at O(K·n²)).
+    let sat_samples = DemandSamples {
+        station_names: vec!["db-cpu16".into(), "disk".into()],
+        server_counts: vec![16, 1],
+        think_time: 1.0,
+        levels: vec![1.0, 750.0, 1500.0],
+        demands: vec![vec![0.165, 0.160, 0.158], vec![0.004, 0.004, 0.004]],
+    };
+    let sat_profile = ServiceDemandProfile::from_samples(
+        &sat_samples,
+        InterpolationKind::CubicNotAKnot,
+        DemandAxis::Concurrency,
+    )
+    .unwrap();
+    let sat = MvasdSolver::new(sat_profile);
+    // Seconds per call even with the carried workspace (the interpolated
+    // demands force an O(K·n) rebuild every step), so sample it sparsely.
+    g.measure(
+        "saturating_quasi_static_1500",
+        Plan {
+            warmup: 0,
+            samples: 3,
+            iters: 1,
+        },
+        || sat.solve(1500).unwrap(),
+    );
     println!("{}", g.report());
 
     // Streaming early exit: an SLA query against the same model answers as

@@ -150,7 +150,7 @@ mod tests {
 
     fn solution() -> MvaSolution {
         MvaSolution {
-            station_names: vec!["s".into()],
+            station_names: vec!["s".into()].into(),
             points: (1..=10)
                 .map(|n| PopulationPoint {
                     n,

@@ -72,7 +72,7 @@ fn lookup_abscissa(profile: &ServiceDemandProfile, n: usize, x_prev: f64) -> f64
 #[derive(Debug, Clone)]
 pub struct MvasdIter {
     profile: ServiceDemandProfile,
-    names: Vec<String>,
+    names: std::sync::Arc<[String]>,
     rec: PopulationRecursion,
     x_prev: f64,
     n: usize,
@@ -82,7 +82,11 @@ impl MvasdIter {
     /// Starts a fresh recursion at population 0.
     pub fn new(profile: &ServiceDemandProfile) -> Self {
         let stations = profile.stations();
-        let names = stations.iter().map(|s| s.name.clone()).collect();
+        let names = stations
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .into();
         // The exact multi-server recursion state (double-double internals)
         // is shared with Algorithm 2 — MVASD *is* that recursion with a
         // fresh demand array per population step.
@@ -103,6 +107,10 @@ impl MvasdIter {
 impl SolverIter for MvasdIter {
     fn station_names(&self) -> &[String] {
         &self.names
+    }
+
+    fn shared_names(&self) -> std::sync::Arc<[String]> {
+        self.names.clone()
     }
 
     fn population(&self) -> usize {
@@ -170,7 +178,7 @@ pub fn mvasd_single_server(
 #[derive(Debug, Clone)]
 pub struct MvasdSingleServerIter {
     profile: ServiceDemandProfile,
-    names: Vec<String>,
+    names: std::sync::Arc<[String]>,
     q: Vec<f64>,
     x_prev: f64,
     n: usize,
@@ -179,7 +187,12 @@ pub struct MvasdSingleServerIter {
 impl MvasdSingleServerIter {
     /// Starts a fresh recursion at population 0.
     pub fn new(profile: &ServiceDemandProfile) -> Self {
-        let names = profile.stations().iter().map(|s| s.name.clone()).collect();
+        let names = profile
+            .stations()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .into();
         let q = vec![0.0f64; profile.stations().len()];
         Self {
             profile: profile.clone(),
@@ -194,6 +207,10 @@ impl MvasdSingleServerIter {
 impl SolverIter for MvasdSingleServerIter {
     fn station_names(&self) -> &[String] {
         &self.names
+    }
+
+    fn shared_names(&self) -> std::sync::Arc<[String]> {
+        self.names.clone()
     }
 
     fn population(&self) -> usize {
@@ -271,7 +288,7 @@ pub fn mvasd_schweitzer(
 #[derive(Debug, Clone)]
 pub struct MvasdSchweitzerIter {
     profile: ServiceDemandProfile,
-    names: Vec<String>,
+    names: std::sync::Arc<[String]>,
     q: Vec<f64>,
     x_prev: f64,
     n: usize,
@@ -281,7 +298,12 @@ impl MvasdSchweitzerIter {
     /// Starts a fresh recursion at population 0.
     pub fn new(profile: &ServiceDemandProfile) -> Self {
         let k_count = profile.stations().len();
-        let names = profile.stations().iter().map(|s| s.name.clone()).collect();
+        let names = profile
+            .stations()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .into();
         Self {
             profile: profile.clone(),
             names,
@@ -295,6 +317,10 @@ impl MvasdSchweitzerIter {
 impl SolverIter for MvasdSchweitzerIter {
     fn station_names(&self) -> &[String] {
         &self.names
+    }
+
+    fn shared_names(&self) -> std::sync::Arc<[String]> {
+        self.names.clone()
     }
 
     fn population(&self) -> usize {
@@ -580,7 +606,7 @@ mod tests {
         .unwrap();
         let sol = mvasd(&profile, 0).unwrap();
         assert!(sol.points.is_empty());
-        assert_eq!(sol.station_names, vec!["s0".to_string()]);
+        assert_eq!(&sol.station_names[..], &["s0".to_string()][..]);
         assert!(mvasd_single_server(&profile, 0).unwrap().points.is_empty());
     }
 

@@ -195,7 +195,12 @@ mod tests {
         for s in &family {
             let sol = s.solve(0).unwrap();
             assert!(sol.points.is_empty(), "{}", s.name());
-            assert_eq!(sol.station_names, vec!["s0".to_string()], "{}", s.name());
+            assert_eq!(
+                &sol.station_names[..],
+                &["s0".to_string()][..],
+                "{}",
+                s.name()
+            );
         }
     }
 

@@ -489,7 +489,7 @@ impl ScenarioSweep {
                 Ok(served) => {
                     // Return the (possibly extended) state to the cache for
                     // warm restarts on later calls.
-                    let names = state.iter.station_names().to_vec();
+                    let names = state.iter.shared_names();
                     for (si, points, reason, fresh) in served {
                         steps_computed += fresh;
                         steps_demanded += points.len();

@@ -27,14 +27,28 @@
 //! ```
 //!
 //! `G₍₋ₖ₎` (the network without station `k`) is produced for every station
-//! from prefix/suffix partial convolutions, keeping the whole solve at
-//! `O(K · N²)` log-sum-exp operations.
+//! from prefix/suffix partial convolutions.
+//!
+//! Every production path — batch [`solve`], the streaming [`ConvIter`],
+//! and the per-population `solve_at` of the quasi-static MVASD phase —
+//! runs on the incremental [`ConvWorkspace`] in [`workspace`]: carried
+//! log-domain columns extended one cell per population, flat pre-allocated
+//! buffers, and O(1) telescoped updates for single-server stages. The
+//! pre-workspace from-scratch evaluation survives in [`scratch`] as the
+//! independent reference (propcheck oracle and benchmark baseline).
+
+pub(crate) mod scratch;
+pub(crate) mod workspace;
+
+pub use scratch::reference_solve_at;
+pub use workspace::ConvWorkspace;
 
 use super::loaddep::RateFunction;
 use super::stepping::{MvaPoint, SolverIter};
 use super::{MvaSolution, PopulationPoint, StationPoint};
 use crate::QueueingError;
 use mvasd_obsv as obsv;
+use std::sync::Arc;
 
 /// One station of the convolution solver (internal normalized form).
 #[derive(Debug, Clone)]
@@ -42,70 +56,6 @@ pub(crate) struct ConvStation {
     pub name: String,
     pub demand: f64,
     pub rate: RateFunction,
-}
-
-/// `ln Σ exp(aᵢ)` over the pairwise products of a convolution cell:
-/// `c(n) = ln Σ_j exp(a(j) + b(n−j))`, skipping `−∞` terms.
-fn log_conv_cell(a: &[f64], b: &[f64], n: usize) -> f64 {
-    let lo = n.saturating_sub(b.len() - 1);
-    let hi = n.min(a.len() - 1);
-    let mut m = f64::NEG_INFINITY;
-    for j in lo..=hi {
-        let t = a[j] + b[n - j];
-        if t > m {
-            m = t;
-        }
-    }
-    if m == f64::NEG_INFINITY {
-        return f64::NEG_INFINITY;
-    }
-    let mut acc = 0.0;
-    for j in lo..=hi {
-        let t = a[j] + b[n - j];
-        if t > f64::NEG_INFINITY {
-            acc += (t - m).exp();
-        }
-    }
-    m + acc.ln()
-}
-
-/// Full log-domain convolution `c = a ⊛ b` truncated at `n_max`.
-fn log_convolve(a: &[f64], b: &[f64], n_max: usize) -> Vec<f64> {
-    (0..=n_max).map(|n| log_conv_cell(a, b, n)).collect()
-}
-
-/// `ln f_k(j)` for `j = 0..=n_max`.
-fn log_factors(demand: f64, rate: &RateFunction, n_max: usize) -> Vec<f64> {
-    let mut out = Vec::with_capacity(n_max + 1);
-    out.push(0.0); // ln f(0) = ln 1
-    if demand <= 0.0 {
-        out.resize(n_max + 1, f64::NEG_INFINITY);
-        return out;
-    }
-    let ld = demand.ln();
-    let mut acc = 0.0;
-    for j in 1..=n_max {
-        acc += ld - rate.rate(j).ln();
-        out.push(acc);
-    }
-    out
-}
-
-/// `ln f_Z(j) = j·ln Z − ln j!`.
-fn log_think_factors(z: f64, n_max: usize) -> Vec<f64> {
-    let mut out = Vec::with_capacity(n_max + 1);
-    out.push(0.0);
-    if z <= 0.0 {
-        out.resize(n_max + 1, f64::NEG_INFINITY);
-        return out;
-    }
-    let lz = z.ln();
-    let mut acc = 0.0;
-    for j in 1..=n_max {
-        acc += lz - (j as f64).ln();
-        out.push(acc);
-    }
-    out
 }
 
 /// Complete convolution solution of a closed network (full population
@@ -123,177 +73,17 @@ pub(crate) struct ConvSolution {
     pub marginals: Vec<Vec<Vec<f64>>>,
 }
 
-/// The incremental convolution state: the population recursion of Buzen's
-/// algorithm made explicit.
-///
-/// All partial convolutions are kept as growing log-domain arrays — at
-/// population `n` every array holds entries `0..=n`. One [`advance`]
-/// extends each array by exactly one cell (`O(K·n)` log-sum-exp work) and
-/// yields the new population's throughput, queues, and marginals. Because
-/// [`log_conv_cell`] reads the identical index window whether the arrays
-/// are sized `n + 1` (incremental) or `n_max + 1` (the old batch layout),
-/// the incremental path reproduces the batch solve **bit-for-bit** — the
-/// batch [`solve`] below is literally a drain of this state.
-///
-/// Cloning the state snapshots the whole recursion (`O(K·n)` memory), which
-/// is what makes solver snapshots cheap: no re-solve, just a memcpy of the
-/// partial convolutions.
-#[derive(Debug, Clone)]
-pub(crate) struct ConvState {
-    pub(crate) stations: Vec<ConvStation>,
-    pub(crate) think_time: f64,
-    limits: Vec<usize>,
-    /// Last population evaluated (0 = fresh).
-    pub(crate) n: usize,
-    /// `factors[i][j] = ln f_i(j)`, stations then the think stage.
-    factors: Vec<Vec<f64>>,
-    /// `prefix[i] = f_0 ⊛ … ⊛ f_{i−1}` (`prefix[0]` = identity).
-    prefix: Vec<Vec<f64>>,
-    /// `suffix[i] = f_i ⊛ … ⊛ f_{total−1}` (`suffix[total]` = identity).
-    suffix: Vec<Vec<f64>>,
-    /// `g_minus[k] = G₍₋ₖ₎`; left at its initial single cell for delay
-    /// stations that never need the heavy path.
-    g_minus: Vec<Vec<f64>>,
-}
+/// Single-population solve result: `(X, per-station queues, per-station
+/// marginals p(0..limit−1 | n))`.
+pub type PointSolution = (f64, Vec<f64>, Vec<Vec<f64>>);
 
-impl ConvState {
-    pub(crate) fn new(
-        stations: Vec<ConvStation>,
-        think_time: f64,
-        limits: Vec<usize>,
-    ) -> Result<Self, QueueingError> {
-        if stations.is_empty() {
-            return Err(QueueingError::EmptyNetwork);
-        }
-        let k_count = stations.len();
-        let total = k_count + 1; // + think stage
-                                 // At n = 0 every log-domain array is the single cell ln G(0) = 0.
-        Ok(Self {
-            stations,
-            think_time,
-            limits,
-            n: 0,
-            factors: vec![vec![0.0]; total],
-            prefix: vec![vec![0.0]; total + 1],
-            suffix: vec![vec![0.0]; total + 1],
-            g_minus: vec![vec![0.0]; k_count],
-        })
-    }
-
-    /// Advances one population and returns `(X, queues, marginals)` for it.
-    ///
-    /// On error the state is poisoned (partially extended) and must be
-    /// discarded; all errors here are deterministic model errors, so a
-    /// retry could not succeed anyway.
-    pub(crate) fn advance(&mut self) -> Result<PointSolution, QueueingError> {
-        let n = self.n + 1;
-        let k_count = self.stations.len();
-        let total = k_count + 1;
-
-        // Extend factors: f_k(n) = f_k(n−1) + (ln D_k − ln α_k(n)); the
-        // think stage uses ln Z − ln n. Matches the batch running
-        // accumulator operation-for-operation.
-        for (k, s) in self.stations.iter().enumerate() {
-            let f = &mut self.factors[k];
-            let v = if s.demand <= 0.0 {
-                f64::NEG_INFINITY
-            } else {
-                f[n - 1] + (s.demand.ln() - s.rate.rate(n).ln())
-            };
-            f.push(v);
-        }
-        {
-            let f = &mut self.factors[total - 1];
-            let v = if self.think_time <= 0.0 {
-                f64::NEG_INFINITY
-            } else {
-                f[n - 1] + (self.think_time.ln() - (n as f64).ln())
-            };
-            f.push(v);
-        }
-
-        // Extend the prefix chain ascending (each cell needs the previous
-        // chain already extended to n), then the suffix chain descending.
-        self.prefix[0].push(f64::NEG_INFINITY); // identity
-        for i in 0..total {
-            let cell = log_conv_cell(&self.prefix[i], &self.factors[i], n);
-            self.prefix[i + 1].push(cell);
-        }
-        self.suffix[total].push(f64::NEG_INFINITY); // identity
-        for i in (0..total).rev() {
-            let cell = log_conv_cell(&self.factors[i], &self.suffix[i + 1], n);
-            self.suffix[i].push(cell);
-        }
-
-        let g_n = self.prefix[total][n];
-        let g_prev = self.prefix[total][n - 1];
-        if g_n == f64::NEG_INFINITY && g_prev != f64::NEG_INFINITY {
-            return Err(QueueingError::InvalidParameter {
-                what: "normalization constant vanished (all-zero demands?)",
-            });
-        }
-        let x = (g_prev - g_n).exp();
-
-        // Per-station queue lengths and (optionally) low-order marginals
-        // via G₍₋ₖ₎ = prefix[k] ⊛ suffix[k+1].
-        let mut queues = vec![0.0f64; k_count];
-        let mut marginals: Vec<Vec<f64>> = Vec::with_capacity(k_count);
-        for (k, queue) in queues.iter_mut().enumerate() {
-            let want_marginals = self.limits.get(k).copied().unwrap_or(0);
-            if matches!(self.stations[k].rate, RateFunction::Delay) && want_marginals == 0 {
-                // Infinite-server: Q = X·D exactly (Little), skip the heavy path.
-                *queue = x * self.stations[k].demand;
-                marginals.push(Vec::new());
-                continue;
-            }
-            let cell = log_conv_cell(&self.prefix[k], &self.suffix[k + 1], n);
-            self.g_minus[k].push(cell);
-            let g_minus = &self.g_minus[k];
-            let fk = &self.factors[k];
-            // p_k(j|n) = exp(fk(j) + G₋ₖ(n−j) − G(n)).
-            let mut q = 0.0;
-            let mut snap = vec![0.0f64; want_marginals];
-            for j in 0..=n {
-                let lp = fk[j] + g_minus[n - j] - g_n;
-                if lp > -700.0 {
-                    let p = lp.exp();
-                    q += j as f64 * p;
-                    if j < want_marginals {
-                        snap[j] = p;
-                    }
-                }
-            }
-            *queue = q;
-            marginals.push(snap);
-        }
-
-        self.n = n;
-        if obsv::enabled() {
-            // Each advance extends the prefix and suffix chains (one
-            // log-sum-exp cell per stage each) plus one G₍₋ₖ₎ cell per
-            // station that took the heavy (non-delay-shortcut) path.
-            let heavy = self
-                .stations
-                .iter()
-                .enumerate()
-                .filter(|(k, s)| {
-                    !(matches!(s.rate, RateFunction::Delay)
-                        && self.limits.get(*k).copied().unwrap_or(0) == 0)
-                })
-                .count();
-            obsv::counter("convolution.cells", (2 * total + heavy) as u64);
-            obsv::gauge("convolution.ln_g", g_n);
-        }
-        Ok((x, queues, marginals))
-    }
-}
-
-/// [`SolverIter`] over the convolution recursion — the streaming backend
-/// behind the multiserver, load-dependent, and convolution solvers.
+/// [`SolverIter`] over the incremental convolution workspace — the
+/// streaming backend behind the multiserver, load-dependent, and
+/// convolution solvers.
 #[derive(Debug, Clone)]
 pub(crate) struct ConvIter {
-    state: ConvState,
-    names: Vec<String>,
+    ws: ConvWorkspace,
+    names: Arc<[String]>,
 }
 
 impl ConvIter {
@@ -302,9 +92,13 @@ impl ConvIter {
         think_time: f64,
         marginal_limits: Vec<usize>,
     ) -> Result<Self, QueueingError> {
-        let names = stations.iter().map(|s| s.name.clone()).collect();
+        let names: Arc<[String]> = stations
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .into();
         Ok(Self {
-            state: ConvState::new(stations, think_time, marginal_limits)?,
+            ws: ConvWorkspace::from_conv(stations, think_time, marginal_limits)?,
             names,
         })
     }
@@ -315,20 +109,24 @@ impl SolverIter for ConvIter {
         &self.names
     }
 
+    fn shared_names(&self) -> Arc<[String]> {
+        self.names.clone()
+    }
+
     fn population(&self) -> usize {
-        self.state.n
+        self.ws.population()
     }
 
     fn step(&mut self) -> Result<MvaPoint, QueueingError> {
         let _span = obsv::span("convolution.step");
         obsv::counter("solver.steps", 1);
-        let (x, queues, _marginals) = self.state.advance()?;
+        self.ws.advance()?;
         Ok(point_at(
-            &self.state.stations,
-            self.state.think_time,
-            self.state.n,
-            x,
-            &queues,
+            self.ws.stations(),
+            self.ws.think_time(),
+            self.ws.population(),
+            self.ws.throughput(),
+            self.ws.queues(),
         ))
     }
 
@@ -338,7 +136,7 @@ impl SolverIter for ConvIter {
 }
 
 /// Solves the network exactly for all populations `1..=n_max` by draining
-/// an incremental [`ConvState`]. `n_max = 0` yields an empty solution.
+/// an incremental [`ConvWorkspace`]. `n_max = 0` yields an empty solution.
 ///
 /// `marginal_limits[k]` requests the first `limit` marginal probabilities
 /// `p_k(0..limit−1 | n)` per population (0 = skip).
@@ -349,17 +147,18 @@ pub(crate) fn solve(
     marginal_limits: &[usize],
 ) -> Result<ConvSolution, QueueingError> {
     let k_count = stations.len();
-    let mut state = ConvState::new(stations.to_vec(), think_time, marginal_limits.to_vec())?;
+    let mut ws = ConvWorkspace::from_conv(stations.to_vec(), think_time, marginal_limits.to_vec())?;
+    ws.reserve(n_max);
     let mut x = Vec::with_capacity(n_max);
     let mut queues = vec![Vec::with_capacity(n_max); k_count];
     let mut marginals: Vec<Vec<Vec<f64>>> = (0..k_count).map(|_| Vec::new()).collect();
     for _ in 0..n_max {
-        let (xn, qs, ms) = state.advance()?;
-        x.push(xn);
-        for (k, m) in ms.into_iter().enumerate() {
-            queues[k].push(qs[k]);
+        ws.advance()?;
+        x.push(ws.throughput());
+        for (k, q) in queues.iter_mut().enumerate() {
+            q.push(ws.queues()[k]);
             if marginal_limits.get(k).copied().unwrap_or(0) > 0 {
-                marginals[k].push(m);
+                marginals[k].push(ws.marginals_of(k).to_vec());
             }
         }
     }
@@ -422,84 +221,13 @@ pub(crate) fn to_mva_solution(
         points.push(point_at(stations, think_time, n, sol.x[n - 1], &queues));
     }
     MvaSolution {
-        station_names: stations.iter().map(|s| s.name.clone()).collect(),
+        station_names: stations
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .into(),
         points,
     }
-}
-
-/// Single-population solve result: `(X, per-station queues, per-station
-/// marginals p(0..limit−1 | n))`.
-pub(crate) type PointSolution = (f64, Vec<f64>, Vec<Vec<f64>>);
-
-/// Solves only the top population `n`. Used by the quasi-static phase of
-/// the MVASD recursion, where demands differ at every population.
-pub(crate) fn solve_at(
-    stations: &[ConvStation],
-    think_time: f64,
-    n: usize,
-    marginal_limits: &[usize],
-) -> Result<PointSolution, QueueingError> {
-    if stations.is_empty() {
-        return Err(QueueingError::EmptyNetwork);
-    }
-    if n == 0 {
-        return Err(QueueingError::InvalidParameter {
-            what: "population must be >= 1",
-        });
-    }
-    let k_count = stations.len();
-    let mut factors: Vec<Vec<f64>> = stations
-        .iter()
-        .map(|s| log_factors(s.demand, &s.rate, n))
-        .collect();
-    factors.push(log_think_factors(think_time, n));
-    let total = factors.len();
-
-    let identity = {
-        let mut v = vec![f64::NEG_INFINITY; n + 1];
-        v[0] = 0.0;
-        v
-    };
-    let mut prefix: Vec<Vec<f64>> = Vec::with_capacity(total + 1);
-    prefix.push(identity.clone());
-    for f in factors.iter() {
-        let last = prefix.last().expect("non-empty");
-        prefix.push(log_convolve(last, f, n));
-    }
-    let mut suffix: Vec<Vec<f64>> = vec![identity; total + 1];
-    for i in (0..total).rev() {
-        suffix[i] = log_convolve(&factors[i], &suffix[i + 1], n);
-    }
-    let g = &prefix[total];
-    let x = (g[n - 1] - g[n]).exp();
-
-    let mut queues = vec![0.0f64; k_count];
-    let mut marginals: Vec<Vec<f64>> = Vec::with_capacity(k_count);
-    for k in 0..k_count {
-        let limit = marginal_limits.get(k).copied().unwrap_or(0);
-        if matches!(stations[k].rate, RateFunction::Delay) && limit == 0 {
-            queues[k] = x * stations[k].demand;
-            marginals.push(Vec::new());
-            continue;
-        }
-        let g_minus = log_convolve(&prefix[k], &suffix[k + 1], n);
-        let fk = &factors[k];
-        let mut q = 0.0;
-        let mut snap = vec![0.0f64; limit];
-        for j in 0..=n {
-            let lp = fk[j] + g_minus[n - j] - g[n];
-            if lp > -700.0 {
-                let p = lp.exp();
-                q += j as f64 * p;
-                if j < limit {
-                    snap[j] = p;
-                }
-            }
-        }
-        queues[k] = q;
-        marginals.push(snap);
-    }
-    Ok((x, queues, marginals))
 }
 
 #[cfg(test)]
@@ -601,13 +329,16 @@ mod tests {
             st("cpu", 0.03, RateFunction::MultiServer(4)),
             st("disk", 0.01, RateFunction::SingleServer),
         ];
+        let demands = [0.03, 0.01];
         let full = solve(&stations, 1.0, 150, &[4, 1]).unwrap();
+        let mut ws = ConvWorkspace::from_conv(stations.clone(), 1.0, vec![4, 1]).unwrap();
         for n in [1usize, 17, 80, 150] {
-            let (x, q, m) = solve_at(&stations, 1.0, n, &[4, 1]).unwrap();
+            ws.solve_at(n, &demands).unwrap();
+            let x = ws.throughput();
             assert!(close(x, full.x[n - 1], 1e-12 * x));
-            assert!(close(q[0], full.queues[0][n - 1], 1e-9));
-            assert!(close(q[1], full.queues[1][n - 1], 1e-9));
-            for (j, mv) in m[0].iter().enumerate().take(4) {
+            assert!(close(ws.queues()[0], full.queues[0][n - 1], 1e-9));
+            assert!(close(ws.queues()[1], full.queues[1][n - 1], 1e-9));
+            for (j, mv) in ws.marginals_of(0).iter().enumerate().take(4) {
                 assert!(close(*mv, full.marginals[0][n - 1][j], 1e-10));
             }
         }
@@ -641,14 +372,14 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         assert!(solve(&[], 1.0, 10, &[]).is_err());
-        assert!(solve_at(&[], 1.0, 5, &[]).is_err());
         let s = vec![st("s", 0.1, RateFunction::SingleServer)];
         // Zero population is a valid (empty) sweep for the series solve…
         let empty = solve(&s, 1.0, 0, &[0]).unwrap();
         assert!(empty.x.is_empty());
         assert_eq!(empty.queues.len(), 1);
         // …but meaningless for a single-point solve.
-        assert!(solve_at(&s, 1.0, 0, &[0]).is_err());
+        let mut ws = ConvWorkspace::from_conv(s, 1.0, vec![0]).unwrap();
+        assert!(ws.solve_at(0, &[0.1]).is_err());
     }
 
     #[test]

@@ -29,7 +29,7 @@ use super::{MvaSolution, StationPoint};
 #[derive(Debug, Clone)]
 pub struct ExactMvaIter {
     net: ClosedNetwork,
-    names: Vec<String>,
+    names: std::sync::Arc<[String]>,
     /// `Q_k` at the last yielded population.
     q: Vec<f64>,
     n: usize,
@@ -38,7 +38,12 @@ pub struct ExactMvaIter {
 impl ExactMvaIter {
     /// Starts a fresh recursion at population 0.
     pub fn new(net: ClosedNetwork) -> Self {
-        let names = net.stations().iter().map(|s| s.name.clone()).collect();
+        let names = net
+            .stations()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .into();
         let q = vec![0.0f64; net.stations().len()];
         Self {
             net,
@@ -52,6 +57,10 @@ impl ExactMvaIter {
 impl SolverIter for ExactMvaIter {
     fn station_names(&self) -> &[String] {
         &self.names
+    }
+
+    fn shared_names(&self) -> std::sync::Arc<[String]> {
+        self.names.clone()
     }
 
     fn population(&self) -> usize {
@@ -242,8 +251,8 @@ mod tests {
         let sol = exact_mva(&net, 0).unwrap();
         assert!(sol.points.is_empty());
         assert_eq!(
-            sol.station_names,
-            vec!["cpu".to_string(), "disk".to_string()]
+            &sol.station_names[..],
+            &["cpu".to_string(), "disk".to_string()][..]
         );
     }
 

@@ -15,6 +15,7 @@ mod schweitzer;
 mod solver;
 mod stepping;
 
+pub use convolution::{reference_solve_at, ConvWorkspace, PointSolution};
 pub use exact::{exact_mva, ExactMvaIter};
 pub use loaddep::{load_dependent_mva, LdStation, RateFunction};
 pub use multiclass::{multiclass_mva, ClassSpec, MulticlassSolution};
@@ -62,8 +63,11 @@ pub struct PopulationPoint {
 /// The population series produced by a solver.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MvaSolution {
-    /// Station names, in network declaration order.
-    pub station_names: Vec<String>,
+    /// Station names, in network declaration order. Shared (`Arc`) because
+    /// every drained solution, early-exit outcome, and sweep result carries
+    /// the same names — cloning a solution or assembling one per scenario
+    /// bumps a reference count instead of re-cloning every `String`.
+    pub station_names: std::sync::Arc<[String]>,
     /// One point per population `1..=N`, ascending.
     pub points: Vec<PopulationPoint>,
 }
@@ -118,7 +122,7 @@ mod tests {
 
     fn dummy_solution() -> MvaSolution {
         MvaSolution {
-            station_names: vec!["a".into()],
+            station_names: vec!["a".to_string()].into(),
             points: (1..=3)
                 .map(|n| PopulationPoint {
                     n,

@@ -32,13 +32,22 @@
 //! precision only while every multi-server station is safely below the
 //! instability region, and switches permanently to per-step quasi-static
 //! convolution solves beyond it.
+//!
+//! The quasi-static solves are served by a carried incremental
+//! [`ConvWorkspace`] rather than a from-scratch evaluation: when the
+//! demand array changes between steps (the MVASD case) the workspace
+//! rebuilds its carried factor columns in `O(K·n)`, and when it does not
+//! (constant-demand Algorithm 2 driven through the recursion) each step
+//! extends the columns by a single entry in `O(K)` — against the old
+//! `O(K·n²)` per-step rebuild either way. The workspace's scratch buffers
+//! are allocated once and reused for the rest of the sweep.
 
 use mvasd_numerics::dd::Dd;
 
 use crate::network::{ClosedNetwork, StationKind};
 use crate::QueueingError;
 
-use super::convolution::{solve, solve_at, to_mva_solution, ConvStation};
+use super::convolution::{solve, to_mva_solution, ConvStation, ConvWorkspace};
 use super::loaddep::RateFunction;
 use super::MvaSolution;
 
@@ -157,6 +166,10 @@ pub struct PopulationRecursion {
     p: Vec<Vec<Dd>>,
     /// Once true, every step is evaluated quasi-statically.
     quasi_static: bool,
+    /// Carried convolution state for the quasi-static regime, built lazily
+    /// on the first quasi-static step and reused (extended or rebuilt in
+    /// place) for every step after.
+    ws: Option<ConvWorkspace>,
 }
 
 impl PopulationRecursion {
@@ -181,6 +194,7 @@ impl PopulationRecursion {
             think_time,
             p,
             quasi_static: false,
+            ws: None,
         }
     }
 
@@ -256,36 +270,48 @@ impl PopulationRecursion {
     }
 
     /// One quasi-static step: exact constant-demand solve at population `n`
-    /// with this step's demand array.
+    /// with this step's demand array, served by the carried incremental
+    /// workspace (same-demand steps extend in `O(K)`; demand changes
+    /// rebuild the carried columns in `O(K·n)`).
     fn quasi_static_step(&mut self, n: usize, demands: &[f64]) -> (f64, f64, Vec<f64>) {
-        let conv: Vec<ConvStation> = self
-            .servers
-            .iter()
-            .zip(demands.iter())
-            .enumerate()
-            .map(|(k, (&c, &d))| ConvStation {
-                name: format!("s{k}"),
-                demand: d,
-                rate: match c {
-                    usize::MAX => RateFunction::Delay,
-                    1 => RateFunction::SingleServer,
-                    c => RateFunction::MultiServer(c),
-                },
-            })
-            .collect();
-        let limits: Vec<usize> = self
-            .servers
-            .iter()
-            .map(|&c| if c != usize::MAX && c > 1 { c } else { 0 })
-            .collect();
-        let (x, queues, marginals) = solve_at(&conv, self.think_time, n, &limits)
+        if self.ws.is_none() {
+            let conv: Vec<ConvStation> = self
+                .servers
+                .iter()
+                .zip(demands.iter())
+                .enumerate()
+                .map(|(k, (&c, &d))| ConvStation {
+                    name: format!("s{k}"),
+                    demand: d,
+                    rate: match c {
+                        usize::MAX => RateFunction::Delay,
+                        1 => RateFunction::SingleServer,
+                        c => RateFunction::MultiServer(c),
+                    },
+                })
+                .collect();
+            let limits: Vec<usize> = self
+                .servers
+                .iter()
+                .map(|&c| if c != usize::MAX && c > 1 { c } else { 0 })
+                .collect();
+            self.ws = Some(
+                ConvWorkspace::from_conv(conv, self.think_time, limits)
+                    .expect("quasi-static workspace over a validated network"),
+            );
+        }
+        let ws = self.ws.as_mut().expect("just built");
+        ws.solve_at(n, demands)
             .expect("quasi-static solve of a validated network");
+        let x = ws.throughput();
+        let queues = ws.queues();
         // Refresh the carried state so marginals()/queue() stay meaningful.
-        for k in 0..self.servers.len() {
-            self.q[k] = Dd::from_f64(queues[k]);
+        for (k, &qk) in queues.iter().enumerate().take(self.servers.len()) {
+            self.q[k] = Dd::from_f64(qk);
             if !self.p[k].is_empty() {
+                let marg = ws.marginals_of(k);
                 for (j, slot) in self.p[k].iter_mut().enumerate() {
-                    *slot = Dd::from_f64(marginals[k].get(j).copied().unwrap_or(0.0));
+                    *slot = Dd::from_f64(marg.get(j).copied().unwrap_or(0.0));
                 }
             }
         }

@@ -42,7 +42,7 @@ impl Default for SchweitzerOptions {
 pub struct SchweitzerIter {
     net: ClosedNetwork,
     opts: SchweitzerOptions,
-    names: Vec<String>,
+    names: std::sync::Arc<[String]>,
     /// Seidmann decomposition: per station, (queueing demand, delay
     /// demand, is-queueing).
     split: Vec<(f64, f64, bool)>,
@@ -60,7 +60,12 @@ impl SchweitzerIter {
                 what: "tolerance must be > 0 and max_iterations >= 1",
             });
         }
-        let names = net.stations().iter().map(|s| s.name.clone()).collect();
+        let names = net
+            .stations()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .into();
         let split = net
             .stations()
             .iter()
@@ -90,6 +95,10 @@ impl SchweitzerIter {
 impl SolverIter for SchweitzerIter {
     fn station_names(&self) -> &[String] {
         &self.names
+    }
+
+    fn shared_names(&self) -> std::sync::Arc<[String]> {
+        self.names.clone()
     }
 
     fn population(&self) -> usize {

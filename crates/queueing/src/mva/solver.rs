@@ -338,8 +338,8 @@ mod tests {
             let sol = s.solve(0).unwrap();
             assert!(sol.points.is_empty(), "{}", s.name());
             assert_eq!(
-                sol.station_names,
-                vec!["cpu".to_string(), "disk".to_string()],
+                &sol.station_names[..],
+                &["cpu".to_string(), "disk".to_string()][..],
                 "{}",
                 s.name()
             );

@@ -21,6 +21,7 @@ use super::{MvaSolution, PopulationPoint};
 use crate::QueueingError;
 use mvasd_obsv as obsv;
 use std::fmt;
+use std::sync::Arc;
 
 /// One population step's worth of output — alias for the batch API's
 /// [`PopulationPoint`], so streamed and drained points are literally the
@@ -47,6 +48,14 @@ pub type MvaPoint = PopulationPoint;
 pub trait SolverIter: Send {
     /// Station names, in network declaration order.
     fn station_names(&self) -> &[String];
+
+    /// Station names as a shared handle, for assembling solutions without
+    /// re-cloning every string. Backends that already keep their names in
+    /// an `Arc<[String]>` override this with a reference-count bump; the
+    /// default clones once.
+    fn shared_names(&self) -> Arc<[String]> {
+        self.station_names().to_vec().into()
+    }
 
     /// The last population yielded (0 for a fresh iterator). The next
     /// [`step`](Self::step) yields `population() + 1`.
@@ -75,7 +84,7 @@ pub trait SolverIter: Send {
             points.push(self.step()?);
         }
         Ok(MvaSolution {
-            station_names: self.station_names().to_vec(),
+            station_names: self.shared_names(),
             points,
         })
     }
@@ -271,7 +280,7 @@ pub fn run_until(
     }
     Ok(RunOutcome {
         solution: MvaSolution {
-            station_names: iter.station_names().to_vec(),
+            station_names: iter.shared_names(),
             points,
         },
         reason,

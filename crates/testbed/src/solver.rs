@@ -56,14 +56,19 @@ impl ClosedSolver for SimSolver {
 pub struct SimIter {
     network: SimNetwork,
     config: SimConfig,
-    names: Vec<String>,
+    names: std::sync::Arc<[String]>,
     n: usize,
 }
 
 impl SimIter {
     /// Starts a fresh sweep at population 0.
     pub fn new(network: SimNetwork, config: SimConfig) -> Self {
-        let names = network.stations().iter().map(|s| s.name.clone()).collect();
+        let names = network
+            .stations()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .into();
         Self {
             network,
             config,
@@ -83,6 +88,10 @@ impl SimIter {
 impl SolverIter for SimIter {
     fn station_names(&self) -> &[String] {
         &self.names
+    }
+
+    fn shared_names(&self) -> std::sync::Arc<[String]> {
+        self.names.clone()
     }
 
     fn population(&self) -> usize {
@@ -207,6 +216,6 @@ mod tests {
     fn works_as_trait_object() {
         let boxed: Box<dyn ClosedSolver> = Box::new(SimSolver::new(sim_net(0.05, 0.5), cfg()));
         let sol = boxed.solve(3).unwrap();
-        assert_eq!(sol.station_names, vec!["s0".to_string()]);
+        assert_eq!(&sol.station_names[..], &["s0".to_string()][..]);
     }
 }

@@ -1,0 +1,82 @@
+//! Proves the zero-allocation steady state of the incremental convolution
+//! workspace: after `reserve` and a warm-up, advancing populations performs
+//! no heap allocation at all.
+//!
+//! The whole file holds exactly one test so the counting allocator sees no
+//! interference from parallel test threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mvasd_suite::queueing::mva::{ConvWorkspace, LdStation, RateFunction};
+
+/// Counts every allocator entry point; deallocation is uncounted (freeing
+/// is fine in steady state, allocating is not).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn workspace_steady_state_allocates_nothing() {
+    // VINS-shaped: a 16-core bottleneck with tracked marginals, a
+    // single-server disk, and a delay stage — all three factor kinds.
+    let stations = [
+        LdStation::new("cpu16", 0.055, RateFunction::MultiServer(16)),
+        LdStation::new("disk", 0.0098, RateFunction::SingleServer),
+        LdStation::new("lan", 0.0014, RateFunction::Delay),
+    ];
+    let demands: Vec<f64> = stations.iter().map(|s| s.demand).collect();
+
+    let mut ws = ConvWorkspace::new(&stations, 1.0, &[16, 0, 0]).unwrap();
+    ws.reserve(1600);
+
+    // Warm-up: fill the carried columns well past any lazy growth.
+    for _ in 0..600 {
+        ws.advance().unwrap();
+    }
+    let mut sink = 0.0f64;
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..900 {
+        ws.advance().unwrap();
+        sink += ws.throughput() + ws.queues()[0] + ws.marginals_of(0)[0];
+    }
+    // Same-demand point queries (the sweep warm-restart shape) must also be
+    // allocation-free: they extend or re-read the carried columns.
+    ws.solve_at(1550, &demands).unwrap();
+    ws.solve_at(800, &demands).unwrap();
+    sink += ws.throughput();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(sink.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state advance allocated {} times",
+        after - before
+    );
+}

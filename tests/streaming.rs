@@ -13,8 +13,9 @@ use mvasd_suite::core::solver::{MvasdSchweitzerSolver, MvasdSingleServerSolver, 
 use mvasd_suite::core::sweep::{Scenario, ScenarioSweep};
 use mvasd_suite::numerics::propcheck::{check, Config, Gen};
 use mvasd_suite::queueing::mva::{
-    run_until, ClosedSolver, ConvolutionSolver, ExactMvaSolver, LoadDependentSolver,
-    MultiserverMvaSolver, SchweitzerSolver, StopCondition, StopReason,
+    load_dependent_mva, run_until, ClosedSolver, ConvWorkspace, ConvolutionSolver, ExactMvaSolver,
+    LdStation, LoadDependentSolver, MultiserverMvaSolver, RateFunction, SchweitzerSolver,
+    StopCondition, StopReason,
 };
 use mvasd_suite::queueing::network::{ClosedNetwork, Station};
 use mvasd_suite::simnet::{Distribution, SimConfig, SimNetwork, SimStation};
@@ -210,6 +211,96 @@ fn scenario_sweep_avoids_redundant_work() {
         warm.results[0].solution.points,
         report.result("full").unwrap().solution.points
     );
+}
+
+#[test]
+fn conv_workspace_stream_is_bit_identical_to_batch() {
+    // The incremental convolution workspace IS the batch path now, but this
+    // proves it from the outside: driving a ConvWorkspace one population at
+    // a time reproduces the batch load-dependent solve bit-for-bit, a
+    // cloned (snapshotted) workspace resumes bit-identically, and reading
+    // previously computed populations back (decreasing `solve_at`) returns
+    // the same bits without disturbing the carried columns.
+    let stations = [
+        LdStation::new("cpu", 0.020, RateFunction::MultiServer(4)),
+        LdStation::new("disk", 0.012, RateFunction::SingleServer),
+        LdStation::new("lan", 0.004, RateFunction::Delay),
+    ];
+    let depth = 120usize;
+    let batch = load_dependent_mva(&stations, 1.0, depth).unwrap();
+
+    let mut ws = ConvWorkspace::new(&stations, 1.0, &[4, 0, 0]).unwrap();
+    ws.reserve(depth);
+    let mut snapshot: Option<ConvWorkspace> = None;
+    let mut streamed_x = Vec::with_capacity(depth);
+    for n in 1..=depth {
+        ws.advance().unwrap();
+        assert_eq!(ws.population(), n);
+        streamed_x.push(ws.throughput());
+        if n == depth / 2 {
+            snapshot = Some(ws.clone());
+        }
+    }
+    for (n, (x, p)) in streamed_x.iter().zip(batch.points.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            p.throughput.to_bits(),
+            "X(n={}) diverges from batch",
+            n + 1
+        );
+    }
+
+    // Snapshot/resume: the clone continues exactly where the original was.
+    let mut resumed = snapshot.expect("snapshot taken mid-sweep");
+    for n in (depth / 2 + 1)..=depth {
+        resumed.advance().unwrap();
+        assert_eq!(
+            resumed.throughput().to_bits(),
+            streamed_x[n - 1].to_bits(),
+            "resumed X(n={n}) diverges"
+        );
+    }
+
+    // Decreasing-population reads are served from the carried columns and
+    // must not perturb them.
+    let demands: Vec<f64> = stations.iter().map(|s| s.demand).collect();
+    for n in [depth, depth / 2, 3, 1, depth] {
+        ws.solve_at(n, &demands).unwrap();
+        assert_eq!(ws.throughput().to_bits(), streamed_x[n - 1].to_bits());
+    }
+}
+
+#[test]
+fn scenario_sweep_warm_restart_is_bit_identical_across_the_quasi_static_switch() {
+    // A 16-core bottleneck pushed well past the quasi-static switch: the
+    // MVASD iterator inside the sweep hands the tail populations to the
+    // carried ConvWorkspace. Warm restarts must replay the exact same bits
+    // without recomputing anything.
+    let samples = DemandSamples {
+        station_names: vec!["cpu16".into(), "disk".into()],
+        server_counts: vec![16, 1],
+        think_time: 1.0,
+        levels: vec![1.0, 100.0, 250.0],
+        demands: vec![vec![0.165, 0.160, 0.158], vec![0.004, 0.004, 0.004]],
+    };
+    let mut sweep = ScenarioSweep::new(samples).default_cap(250);
+    let first = sweep.run(&[Scenario::new("full")]).unwrap();
+    assert_eq!(first.steps_computed, 250);
+
+    let warm = sweep.run(&[Scenario::new("again")]).unwrap();
+    assert_eq!(warm.steps_computed, 0, "warm restart recomputed steps");
+    let a = &first.results[0].solution;
+    let b = &warm.results[0].solution;
+    assert_eq!(a, b);
+    for (pa, pb) in a.points.iter().zip(b.points.iter()) {
+        assert_eq!(pa.throughput.to_bits(), pb.throughput.to_bits());
+        assert_eq!(pa.response.to_bits(), pb.response.to_bits());
+    }
+    // Sanity: the sweep genuinely saturates the 16-core station, so the
+    // quasi-static (workspace) regime was exercised, not just the carried
+    // recursion.
+    let last = a.last();
+    assert!(last.stations[0].utilization > 0.9, "switch never reached");
 }
 
 #[test]
