@@ -53,14 +53,17 @@ fn main() -> ExitCode {
     .expect("campaign on the calibrated VINS model");
 
     // An analytic SLA query (per-step spans, early-exit accounting).
-    let solver = MultiserverMvaSolver::new(app.closed_network_at(1500.0).unwrap());
-    let mut iter = solver.start().unwrap();
+    let solver = MultiserverMvaSolver::new(
+        app.closed_network_at(1500.0)
+            .expect("calibrated VINS network"),
+    );
+    let mut iter = solver.start().expect("solver start on a validated network");
     run_until(
         iter.as_mut(),
         &[StopCondition::SlaResponseTime { max_response: 2.0 }],
         1500,
     )
-    .unwrap();
+    .expect("SLA run on a validated network");
 
     // A scenario sweep with a warm replay (cache hit/miss metrics).
     let mut sweep = ScenarioSweep::new(campaign.to_demand_samples()).default_cap(300);
@@ -68,8 +71,12 @@ fn main() -> ExitCode {
         Scenario::new("baseline"),
         Scenario::new("fast-db").scale_demands(0.9),
     ];
-    sweep.run(&scenarios).unwrap();
-    sweep.run(&scenarios).unwrap();
+    sweep
+        .run(&scenarios)
+        .expect("cold sweep on valid scenarios");
+    sweep
+        .run(&scenarios)
+        .expect("warm replay of the same scenarios");
 
     obsv::uninstall();
     let snapshot = collector.snapshot();

@@ -123,8 +123,11 @@ pub fn solvers(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
         let mut mean = 0.0;
         let mut worst: f64 = 0.0;
         for n in 1..=n_max {
-            let a = sol.at(n).unwrap().throughput;
-            let b = reference.at(n).unwrap().throughput;
+            let a = sol.at(n).expect("solution covers 1..=n_max").throughput;
+            let b = reference
+                .at(n)
+                .expect("solution covers 1..=n_max")
+                .throughput;
             let d = ((a - b) / b).abs();
             mean += d;
             worst = worst.max(d);

@@ -34,7 +34,9 @@ pub fn fig13(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     let p = t.write(dir, "fig13_chebyshev_error_bounds.csv")?;
     println!(
         "fig13: error rate at 7 nodes for mu=2: {:.4} % (paper: < 0.2 % beyond ~5 nodes)",
-        chebyshev_error_bound_exponential(7, 2.0).unwrap() / 2f64.exp() * 100.0
+        chebyshev_error_bound_exponential(7, 2.0).expect("7 nodes, mu=2 is a valid design point")
+            / 2f64.exp()
+            * 100.0
     );
     Ok(vec![p])
 }
@@ -162,9 +164,9 @@ pub fn fig16(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
     for n in 1..=300usize {
         t.push(vec![
             n as f64,
-            sols[0].at(n).unwrap().throughput,
-            sols[1].at(n).unwrap().throughput,
-            sols[2].at(n).unwrap().throughput,
+            sols[0].at(n).expect("solution covers 1..=300").throughput,
+            sols[1].at(n).expect("solution covers 1..=300").throughput,
+            sols[2].at(n).expect("solution covers 1..=300").throughput,
         ]);
     }
     let p1 = t.write(dir, "fig16_chebyshev_mvasd_predictions.csv")?;

@@ -44,8 +44,8 @@ pub fn table3(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
     println!(
         "table3: measured bottleneck = {} ({:.1}% at N={})",
         c.stations[b],
-        table.rows.last().unwrap().utilization[b] * 100.0,
-        table.rows.last().unwrap().users
+        table.rows.last().expect("table has rows").utilization[b] * 100.0,
+        table.rows.last().expect("table has rows").users
     );
     Ok(vec![p1, p2])
 }
@@ -93,13 +93,13 @@ pub fn fig7(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
         .iter()
         .map(|p| (p.n, p.throughput))
         .fold((0, 0.0), |acc, v| if v.1 > acc.1 { v } else { acc });
-    let x210 = sd.at(210).unwrap().throughput;
+    let x210 = sd.at(210).expect("solution covers 1..=300").throughput;
     println!(
         "fig7: MVASD picks up the saturation dip: peak X({peak_n}) = {peak_x:.1}, \
          X(210) = {x210:.1} (measured peak {:.1} at 168 -> {:.1} at 210); \
          static MVA curves are monotone by construction",
-        c.at(168).unwrap().throughput,
-        c.at(210).unwrap().throughput
+        c.at(168).expect("campaign measured N=168").throughput,
+        c.at(210).expect("campaign measured N=210").throughput
     );
     Ok(paths)
 }
@@ -124,8 +124,8 @@ pub fn fig8(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
         "cycle_mvasd_single_server",
     ]);
     for n in 1..=N_MAX {
-        let pm = multi.at(n).unwrap();
-        let ps = single.at(n).unwrap();
+        let pm = multi.at(n).expect("solution covers 1..=N_MAX");
+        let ps = single.at(n).expect("solution covers 1..=N_MAX");
         t.push(vec![
             n as f64,
             pm.throughput,
@@ -233,7 +233,10 @@ pub fn fig11(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
         .with_extrapolation(Extrapolation::Clamp)
     };
     let (s_cpu, s_disk) = (spline(cpu), spline(disk));
-    let (lo, hi) = (samples.levels[0], *samples.levels.last().unwrap());
+    let (lo, hi) = (
+        samples.levels[0],
+        *samples.levels.last().expect("samples are non-empty"),
+    );
     let steps = 200;
     for i in 0..=steps {
         let x = lo + (hi - lo) * i as f64 / steps as f64;

@@ -37,7 +37,9 @@ pub(crate) fn network_from_demands(c: &Campaign, demands: &[f64]) -> ClosedNetwo
 /// The MVA·i baseline (Algorithm 2 with demands sampled at level `i`) as a
 /// [`ClosedSolver`].
 pub(crate) fn mva_i_solver(c: &Campaign, i: usize) -> MultiserverMvaSolver {
-    let point = c.at(i).unwrap_or_else(|| panic!("level {i} not measured"));
+    let point = c
+        .at(i)
+        .expect("requested level was measured by the campaign");
     MultiserverMvaSolver::new(network_from_demands(c, &point.demands))
 }
 
@@ -137,8 +139,8 @@ pub fn table2(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
     println!(
         "table2: measured bottleneck = {} ({:.1}% at N={})",
         c.stations[bottleneck],
-        table.rows.last().unwrap().utilization[bottleneck] * 100.0,
-        table.rows.last().unwrap().users
+        table.rows.last().expect("table has rows").utilization[bottleneck] * 100.0,
+        table.rows.last().expect("table has rows").users
     );
     Ok(vec![p1, p2])
 }
@@ -175,10 +177,10 @@ pub fn fig5(dir: &Path, ctx: &Ctx) -> std::io::Result<Vec<PathBuf>> {
     let d = &c.points;
     println!(
         "fig5: db-disk demand falls {:.2} ms -> {:.2} ms over N = {}..{}",
-        d.first().unwrap().demands[idx[1]] * 1e3,
-        d.last().unwrap().demands[idx[1]] * 1e3,
-        d.first().unwrap().users,
-        d.last().unwrap().users
+        d.first().expect("campaign has points").demands[idx[1]] * 1e3,
+        d.last().expect("campaign has points").demands[idx[1]] * 1e3,
+        d.first().expect("campaign has points").users,
+        d.last().expect("campaign has points").users
     );
     Ok(vec![path])
 }

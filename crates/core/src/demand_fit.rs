@@ -75,7 +75,7 @@ impl WarmupLaw {
 
         let d_min = demands.iter().cloned().fold(f64::INFINITY, f64::min);
         let d_first = demands[0];
-        let span = levels.last().unwrap() - levels[0];
+        let span = levels.last().expect("len >= 3 validated above") - levels[0];
         // Parameterize positively via squares to keep NM unconstrained:
         // p = [d_inf, alpha, tau] directly with penalty guards.
         let data: Vec<(f64, f64)> = levels
@@ -127,6 +127,11 @@ impl WarmupLaw {
 pub fn fit_profile(
     samples: &DemandSamples,
 ) -> Result<(Vec<WarmupLaw>, ServiceDemandProfile), CoreError> {
+    if samples.demands.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            what: "need at least one station to fit demand laws",
+        });
+    }
     let laws: Vec<WarmupLaw> = samples
         .demands
         .iter()
@@ -140,7 +145,7 @@ pub fn fit_profile(
     // so the profile's clamp beyond the grid is then exact.
     let lo = samples.levels[0];
     let tau_max = laws.iter().map(|l| l.tau).fold(0.0f64, f64::max);
-    let hi = samples.levels.last().unwrap() + 10.0 * tau_max;
+    let hi = samples.levels.last().expect("fit validated >= 3 levels") + 10.0 * tau_max;
     let steps = 256usize;
     let grid: Vec<f64> = (0..=steps)
         .map(|i| lo + (hi - lo) * i as f64 / steps as f64)
@@ -234,6 +239,23 @@ mod tests {
         for p in &sol.points {
             assert!((p.n as f64 - p.throughput * p.cycle_time).abs() < 1e-6 * p.n as f64);
         }
+    }
+
+    #[test]
+    fn fit_profile_rejects_empty_samples() {
+        // Regression: a station-less sample set used to index into
+        // `levels` unchecked and panic instead of erroring.
+        let empty = DemandSamples {
+            station_names: vec![],
+            server_counts: vec![],
+            think_time: 1.0,
+            levels: vec![],
+            demands: vec![],
+        };
+        assert!(matches!(
+            fit_profile(&empty),
+            Err(CoreError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! The `lint-baseline.toml` ratchet.
+//!
+//! The baseline records, per `(file, rule:code)` pair, how many L3
+//! findings are grandfathered. The ratchet is one-directional: a scan that
+//! finds **more** than the recorded count fails; one that finds fewer
+//! passes (and `--fix-baseline` tightens the file to the new, lower
+//! counts). New files start at zero — any fresh `unwrap()` in library code
+//! fails CI immediately.
+//!
+//! The format is a deliberately tiny TOML subset (comments, a `version`
+//! key, and one `[counts]` table of `"file rule:code" = n` entries) so the
+//! workspace's zero-dependency policy holds: we write it and we parse it,
+//! and the round-trip is property-tested.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed baseline: `(file, rule:code) -> grandfathered count`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String), u64>,
+}
+
+/// A malformed baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line number of the offending entry.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl Baseline {
+    /// An empty baseline (everything must be clean).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The grandfathered count for one `(file, rule:code)` pair.
+    pub fn allowed(&self, file: &str, rule_code: &str) -> u64 {
+        self.counts
+            .get(&(file.to_string(), rule_code.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Inserts/overwrites one entry (used by `--fix-baseline`).
+    pub fn set(&mut self, file: &str, rule_code: &str, count: u64) {
+        self.counts
+            .insert((file.to_string(), rule_code.to_string()), count);
+    }
+
+    /// Total grandfathered findings for one `rule:code` across all files
+    /// (the acceptance criterion tracks `L3:unwrap`).
+    pub fn total_for(&self, rule_code: &str) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((_, rc), _)| rc == rule_code)
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// All entries, sorted.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.counts
+            .iter()
+            .map(|((f, rc), &n)| (f.as_str(), rc.as_str(), n))
+    }
+
+    /// Parses the baseline format written by [`Baseline::render`].
+    pub fn parse(text: &str) -> Result<Self, BaselineError> {
+        let mut counts = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty()
+                || line.starts_with('#')
+                || line == "[counts]"
+                || line.starts_with("version")
+            {
+                continue;
+            }
+            let err = |message: String| BaselineError {
+                line: idx + 1,
+                message,
+            };
+            let rest = line
+                .strip_prefix('"')
+                .ok_or_else(|| err("expected `\"file rule:code\" = count`".to_string()))?;
+            let (key, rest) = rest
+                .split_once('"')
+                .ok_or_else(|| err("unterminated key".to_string()))?;
+            let (file, rule_code) = key
+                .rsplit_once(' ')
+                .ok_or_else(|| err("key must be `file rule:code`".to_string()))?;
+            let value = rest
+                .trim()
+                .strip_prefix('=')
+                .ok_or_else(|| err("missing `=`".to_string()))?
+                .trim();
+            let n: u64 = value
+                .parse()
+                .map_err(|_| err(format!("invalid count `{value}`")))?;
+            counts.insert((file.to_string(), rule_code.to_string()), n);
+        }
+        Ok(Self { counts })
+    }
+
+    /// Renders the baseline file, entries sorted for stable diffs.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# mvasd-lint baseline: grandfathered L3 findings (panic-free library paths).\n\
+             # The ratchet only permits counts to DECREASE; regenerate after burning\n\
+             # sites down with `cargo run -p mvasd-lint -- --fix-baseline`.\n\
+             version = 1\n\n[counts]\n",
+        );
+        for ((file, rule_code), n) in &self.counts {
+            out.push_str(&format!("\"{file} {rule_code}\" = {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::empty();
+        b.set("crates/a/src/lib.rs", "L3:unwrap", 3);
+        b.set("crates/b/src/x.rs", "L3:index", 1);
+        let parsed = Baseline::parse(&b.render()).expect("own output parses");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.allowed("crates/a/src/lib.rs", "L3:unwrap"), 3);
+        assert_eq!(parsed.allowed("crates/a/src/lib.rs", "L3:panic"), 0);
+        assert_eq!(parsed.total_for("L3:unwrap"), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Baseline::parse("nonsense").is_err());
+        assert!(Baseline::parse("\"no-rule-code\" = 3").is_err());
+        assert!(Baseline::parse("\"a b\" = not-a-number").is_err());
+        assert!(Baseline::parse("\"a L3:unwrap\" 3").is_err());
+    }
+
+    #[test]
+    fn tolerates_comments_and_headers() {
+        let text = "# hi\nversion = 1\n\n[counts]\n\"f.rs L3:unwrap\" = 2\n";
+        let b = Baseline::parse(text).expect("valid");
+        assert_eq!(b.allowed("f.rs", "L3:unwrap"), 2);
+    }
+}

@@ -1,0 +1,477 @@
+//! A hand-rolled Rust source tokenizer.
+//!
+//! Just enough lexical structure for reliable source-level linting: the
+//! scanner must never mistake the contents of a string, comment, or char
+//! literal for code (the classic false-positive traps). It therefore
+//! handles the full set of Rust literal shapes:
+//!
+//! * nested block comments (`/* /* */ */`) and line/doc comments,
+//! * plain strings with escapes, raw strings `r#".."#` with any number of
+//!   hashes, byte strings `b".."` / `br#".."#`,
+//! * char literals (`'c'`, `'\n'`, `b'x'`) vs lifetimes (`'a`, `'static`),
+//! * numbers with base prefixes, `_` separators, `.`-vs-range
+//!   disambiguation (`1.5` is a float, `1..5` is not), exponents, and
+//!   type suffixes (`1f64` is a float).
+//!
+//! Everything else becomes [`TokKind::Ident`] or single-char
+//! [`TokKind::Punct`] tokens. Tokens carry byte spans and 1-based line
+//! numbers; the concatenation of all token texts plus the skipped
+//! whitespace reproduces the input exactly (the round-trip property the
+//! lexer test suite checks).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also raw identifiers `r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A char or byte literal: `'c'`, `'\u{1F600}'`, `b'x'`.
+    Char,
+    /// A string or byte-string literal with escapes: `"..."`, `b"..."`.
+    Str,
+    /// A raw (byte) string literal: `r"..."`, `r#"..."#`, `br#"..."#`.
+    RawStr,
+    /// A numeric literal; `float` distinguishes `1.5`/`1e3`/`1f64` from
+    /// integers.
+    Number {
+        /// Whether the literal is a floating-point literal.
+        float: bool,
+    },
+    /// `// ...` (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* ... */`, nesting handled.
+    BlockComment,
+    /// Any single punctuation character (`==` is two adjacent `=` tokens).
+    Punct(char),
+}
+
+/// One lexed token: kind, byte span, and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of the first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals simply extend to
+/// the end of input, which is the right behavior for a linter that must
+/// degrade gracefully on half-edited files.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    /// `(byte_offset, char)` for every char; a final sentinel simplifies
+    /// lookahead math.
+    chars: Vec<(usize, char)>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Self {
+            src,
+            chars: src.char_indices().collect(),
+            i: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    fn pos(&self) -> usize {
+        self.chars
+            .get(self.i)
+            .map(|&(p, _)| p)
+            .unwrap_or(self.src.len())
+    }
+
+    /// Consumes one char, keeping the line counter in sync.
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.i) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos(),
+            line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos();
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => self.bump(),
+                '/' if self.peek(1) == Some('/') => {
+                    while self.peek(0).is_some_and(|c| c != '\n') {
+                        self.bump();
+                    }
+                    self.emit(TokKind::LineComment, start, line);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.block_comment(start, line);
+                }
+                'r' if self.raw_string_ahead(0) => {
+                    self.bump(); // r
+                    self.raw_string(start, line);
+                }
+                'b' => self.byte_prefixed(start, line),
+                '"' => self.string(start, line),
+                '\'' => self.char_or_lifetime(start, line),
+                c if c.is_ascii_digit() => self.number(start, line),
+                c if is_ident_start(c) => {
+                    self.ident(start, line);
+                }
+                _ => {
+                    self.bump();
+                    self.emit(TokKind::Punct(c), start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump_n(2); // /*
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: extend to EOF
+            }
+        }
+        self.emit(TokKind::BlockComment, start, line);
+    }
+
+    /// Is `r`/`br` at `self.i + offset` the start of a raw string
+    /// (`r"`, `r#`... followed eventually by `"`), as opposed to a raw
+    /// identifier (`r#type`) or a plain ident starting with `r`?
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut k = offset + 1; // past the `r`
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        // `r#ident` (no quote after the hashes) is a raw identifier.
+        self.peek(k) == Some('"')
+    }
+
+    /// At a `r`-consumed position: `#*"` ... `"#*`.
+    fn raw_string(&mut self, start: usize, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening "
+        'scan: while let Some(c) = self.peek(0) {
+            self.bump();
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(hashes);
+                break;
+            }
+        }
+        self.emit(TokKind::RawStr, start, line);
+    }
+
+    /// Dispatches `b'..'`, `b".."`, `br#".."#`, or a plain ident.
+    fn byte_prefixed(&mut self, start: usize, line: u32) {
+        match self.peek(1) {
+            Some('\'') => {
+                self.bump(); // b
+                self.bump(); // '
+                self.char_body();
+                self.emit(TokKind::Char, start, line);
+            }
+            Some('"') => {
+                self.bump(); // b
+                self.string(start, line);
+            }
+            Some('r') if self.raw_string_ahead(1) => {
+                self.bump_n(2); // br
+                self.raw_string(start, line);
+            }
+            _ => self.ident(start, line),
+        }
+    }
+
+    fn string(&mut self, start: usize, line: u32) {
+        self.bump(); // opening "
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump_n(2); // escape + escaped char (enough for \" and \\)
+            } else if c == '"' {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+        self.emit(TokKind::Str, start, line);
+    }
+
+    /// Consumes a char literal body after the opening `'` (escape or one
+    /// char, then the closing `'`).
+    fn char_body(&mut self) {
+        if self.peek(0) == Some('\\') {
+            self.bump_n(2); // \ + escaped char (covers \' \\ \n \u ...)
+                            // \u{...}: consume up to the closing brace.
+            while self.peek(0).is_some_and(|c| c != '\'') {
+                self.bump();
+            }
+        } else {
+            self.bump(); // the char itself
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+    }
+
+    /// The classic trap: `'a` (lifetime) vs `'a'` (char literal).
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        // `'\...` is always a char literal.
+        if self.peek(1) == Some('\\') {
+            self.bump(); // '
+            self.char_body();
+            self.emit(TokKind::Char, start, line);
+            return;
+        }
+        // `'X'` (any single char followed by a quote) is a char literal;
+        // `'ident` with no closing quote right after one char is a
+        // lifetime (`'a`, `'static`, `'_`).
+        if self.peek(2) == Some('\'') && self.peek(1).is_some_and(|c| c != '\'') {
+            self.bump_n(3);
+            self.emit(TokKind::Char, start, line);
+            return;
+        }
+        self.bump(); // '
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        self.emit(TokKind::Lifetime, start, line);
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        let mut float = false;
+        let prefixed = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+        if prefixed {
+            self.bump_n(2);
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+            self.emit(TokKind::Number { float: false }, start, line);
+            return;
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+        // `.`: part of the number only when not a range (`1..5`) and not a
+        // method call (`1.max(2)`).
+        if self.peek(0) == Some('.')
+            && self.peek(1) != Some('.')
+            && !self.peek(1).is_some_and(is_ident_start)
+        {
+            float = true;
+            self.bump();
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+        }
+        // Exponent: `1e9`, `1.5e-3` (only when digits follow).
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let signed = matches!(self.peek(1), Some('+' | '-'));
+            let digit_at = if signed { 2 } else { 1 };
+            if self.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                self.bump_n(digit_at);
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix: `1f64` is a float, `1u32` stays an integer.
+        let suffix_start = self.pos();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let suffix = &self.src[suffix_start..self.pos()];
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        self.emit(TokKind::Number { float }, start, line);
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        // Raw identifier `r#type`: consume the `r#` prefix as part of it.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump_n(2);
+        }
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        self.emit(TokKind::Ident, start, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* x /* y */ z */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert_eq!(toks[1].1, "/* x /* y */ z */");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"contains "quotes" and \n"#;"###;
+        let toks = kinds(src);
+        let raw = toks
+            .iter()
+            .find(|(k, _)| *k == TokKind::RawStr)
+            .expect("raw string token");
+        assert_eq!(raw.1, r###"r#"contains "quotes" and \n"#"###);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'c'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'c'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn float_vs_range_vs_method() {
+        let toks = kinds("1.5 1..5 1.max(2) 2e3 7f64 3usize 0x1f");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::Number { float: true }))
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(floats, ["1.5", "2e3", "7f64"]);
+    }
+
+    #[test]
+    fn string_escapes_do_not_terminate_early() {
+        let toks = kinds(r#"let s = "a \" b"; x"#);
+        let s = toks
+            .iter()
+            .find(|(k, _)| *k == TokKind::Str)
+            .expect("string token");
+        assert_eq!(s.1, r#""a \" b""#);
+        assert_eq!(toks.last().expect("tokens").1, "x");
+    }
+
+    #[test]
+    fn spans_cover_input_with_only_whitespace_gaps() {
+        let src = "fn main() {\n    // hi\n    let x = r\"raw\";\n}\n";
+        let toks = lex(src);
+        let mut pos = 0usize;
+        for t in &toks {
+            assert!(src[pos..t.start].chars().all(char::is_whitespace));
+            pos = t.end;
+        }
+        assert!(src[pos..].chars().all(char::is_whitespace));
+    }
+
+    #[test]
+    fn line_numbers_follow_newlines_inside_tokens() {
+        let src = "a\n/* one\ntwo */\nb \"x\ny\" c";
+        let toks = lex(src);
+        let by_text: Vec<(String, u32)> = toks
+            .iter()
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(by_text[0], ("a".to_string(), 1));
+        assert_eq!(by_text[1].1, 2); // block comment starts on line 2
+        assert_eq!(by_text[2], ("b".to_string(), 4));
+        assert_eq!(
+            by_text.last().expect("tokens").clone(),
+            ("c".to_string(), 5)
+        );
+    }
+
+    #[test]
+    fn byte_literals_and_raw_identifiers() {
+        let toks = kinds("b'x' b\"bytes\" br#\"raw\"# r#type");
+        assert_eq!(toks[0], (TokKind::Char, "b'x'".to_string()));
+        assert_eq!(toks[1].0, TokKind::Str);
+        assert_eq!(toks[2].0, TokKind::RawStr);
+        assert_eq!(toks[3], (TokKind::Ident, "r#type".to_string()));
+    }
+}

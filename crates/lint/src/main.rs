@@ -1,0 +1,109 @@
+//! CLI entry point for `mvasd-lint`.
+//!
+//! ```text
+//! cargo run -p mvasd-lint [-- [--json] [--fix-baseline] [--root DIR] [--baseline FILE]]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mvasd_lint::{find_workspace_root, run, Options};
+
+const USAGE: &str = "\
+mvasd-lint: static analysis for the MVASD workspace contracts (L1-L5)
+
+USAGE:
+    mvasd-lint [OPTIONS]
+
+OPTIONS:
+    --json             emit a machine-readable report (schema mvasd-lint/1)
+    --fix-baseline     rewrite lint-baseline.toml with the current counts
+    --root DIR         workspace root (default: walk up from the cwd)
+    --baseline FILE    ratchet file (default: <root>/lint-baseline.toml)
+    -h, --help         show this help
+";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut fix_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fix-baseline" => fix_baseline = true,
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline requires a file"),
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("mvasd-lint: cannot determine cwd: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "mvasd-lint: no workspace root found above {} (pass --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let mut opts = Options::at_root(root);
+    opts.fix_baseline = fix_baseline;
+    if let Some(b) = baseline {
+        opts.baseline_path = b;
+    }
+
+    match run(&opts) {
+        Ok(outcome) => {
+            if json {
+                println!("{}", outcome.render_json());
+            } else {
+                print!("{}", outcome.render_text());
+            }
+            if outcome.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("mvasd-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("mvasd-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,773 @@
+//! The rule engine: repo-specific contracts checked over the token stream.
+//!
+//! | Rule | Contract |
+//! |------|----------|
+//! | `L1:float-eq`    | no `f64`/`f32` literal `==`/`!=` in library `src/` trees |
+//! | `L2:log-domain`  | no `.exp()`/`.ln()`/`.powf()` family inside `queueing::mva` |
+//! | `L3:unwrap` etc. | no `unwrap()`/non-literal `expect()`/`panic!`/literal indexing in library `src/` trees (baseline-ratcheted) |
+//! | `L4:no-alloc`    | functions marked `// lint: no-alloc` contain no allocating tokens |
+//! | `L5:allow-justify` | every `#[allow(...)]` carries a trailing justification comment |
+//! | `A0:annotation`  | `// lint:` annotations themselves must be well-formed |
+//!
+//! Escape hatches: `// lint: float-eq-ok <reason>` (L1) and
+//! `// lint: log-domain-ok <reason>` (L2), trailing on the offending line
+//! or standalone on the line above; the reason is mandatory. L3 has no
+//! annotation — existing sites live in `lint-baseline.toml` and may only
+//! disappear. `#[cfg(test)]` items inside `src/` files are exempt from
+//! L1–L3, as are `tests/`, `benches/`, and `examples/` trees.
+//!
+//! Everything here is a *token-level* heuristic: `x == 0.0` is flagged
+//! because a float literal sits next to the operator; `a == b` between two
+//! `f64` bindings is invisible without type inference and out of scope by
+//! design (see DESIGN.md §9).
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One diagnostic: `file:line:rule` plus a human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule family: `L1`..`L5` or `A0`.
+    pub rule: &'static str,
+    /// Specific code within the rule (e.g. `unwrap`, `float-eq`).
+    pub code: &'static str,
+    /// What went wrong and how to fix it.
+    pub message: String,
+}
+
+impl Finding {
+    /// The `RULE:code` pair used in diagnostics and the baseline file.
+    pub fn rule_code(&self) -> String {
+        format!("{}:{}", self.rule, self.code)
+    }
+
+    /// Whether this finding may be absorbed by `lint-baseline.toml`
+    /// (only the ratcheted L3 family is).
+    pub fn baselineable(&self) -> bool {
+        self.rule == "L3"
+    }
+}
+
+/// A parsed `// lint: <key> <reason>` annotation.
+struct Annotation {
+    line: u32,
+    key: AnnKey,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AnnKey {
+    FloatEqOk,
+    LogDomainOk,
+    NoAlloc,
+}
+
+/// `.exp()`-family methods banned on the MVA hot path (L2); the
+/// compensated log-sum-exp helpers in `convolution/workspace.rs` are the
+/// only sanctioned home for them.
+const LOG_DOMAIN_METHODS: &[&str] = &[
+    "exp", "ln", "powf", "ln_1p", "exp_m1", "exp2", "log", "log2", "log10",
+];
+
+/// Method calls that allocate (or can allocate) and are therefore banned
+/// inside `// lint: no-alloc` functions (L4).
+const ALLOC_METHODS: &[&str] = &[
+    "push",
+    "to_vec",
+    "collect",
+    "clone",
+    "to_string",
+    "to_owned",
+];
+
+/// Macros that allocate (L4).
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Lints one file. `relpath` is the workspace-relative path and drives the
+/// per-rule scoping; `src` is the file contents.
+pub fn lint_file(relpath: &str, src: &str) -> Vec<Finding> {
+    let path = relpath.replace('\\', "/");
+    let toks = lex(src);
+    let mut out = Vec::new();
+
+    // Significant (non-comment) tokens, for syntactic pattern matching.
+    let sig: Vec<Token> = toks
+        .iter()
+        .copied()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let in_test = test_regions(&sig, src);
+    let annotations = parse_annotations(&path, src, &toks, &mut out);
+
+    let scope = Scope::of(&path);
+    let ctx = Ctx {
+        path: &path,
+        src,
+        toks: &toks,
+        sig: &sig,
+        in_test: &in_test,
+    };
+
+    if scope.l1 {
+        check_float_eq(&ctx, &mut out);
+    }
+    if scope.l2 {
+        check_log_domain(&ctx, &mut out);
+    }
+    if scope.l3 {
+        check_panic_paths(&ctx, &mut out);
+    }
+    check_no_alloc(&ctx, &annotations, &mut out);
+    check_allow_justified(&ctx, &mut out);
+
+    // Apply annotation suppression: an escape-hatch annotation covers
+    // findings on its own line and on the line directly below it.
+    out.retain(|f| {
+        let key = match (f.rule, f.code) {
+            ("L1", _) => AnnKey::FloatEqOk,
+            ("L2", _) => AnnKey::LogDomainOk,
+            _ => return true,
+        };
+        !annotations
+            .iter()
+            .any(|a| a.key == key && (a.line == f.line || a.line + 1 == f.line))
+    });
+    out.sort_by(|a, b| (a.line, a.rule, a.code).cmp(&(b.line, b.rule, b.code)));
+    out
+}
+
+/// Which rule families apply to a given path.
+struct Scope {
+    l1: bool,
+    l2: bool,
+    l3: bool,
+}
+
+impl Scope {
+    fn of(path: &str) -> Self {
+        let in_src = (path.starts_with("src/") || path.contains("/src/"))
+            && !path.contains("/tests/")
+            && !path.contains("/benches/")
+            && !path.contains("/examples/");
+        Self {
+            // `numerics::dd` is the allowlisted double-double module: its
+            // exact float comparisons ARE the algorithm.
+            l1: in_src && !path.ends_with("numerics/src/dd.rs"),
+            // The log-sum-exp helpers in the convolution workspace are the
+            // one sanctioned home for exp/ln on the MVA path.
+            l2: path.contains("queueing/src/mva/") && !path.ends_with("convolution/workspace.rs"),
+            l3: in_src,
+        }
+    }
+}
+
+struct Ctx<'a> {
+    path: &'a str,
+    src: &'a str,
+    toks: &'a [Token],
+    sig: &'a [Token],
+    in_test: &'a [bool],
+}
+
+impl Ctx<'_> {
+    fn text(&self, t: &Token) -> &str {
+        t.text(self.src)
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.sig.get(i).is_some_and(|t| t.kind == TokKind::Punct(c))
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        let t = self.sig.get(i)?;
+        (t.kind == TokKind::Ident).then(|| t.text(self.src))
+    }
+
+    fn float_at(&self, i: usize) -> bool {
+        self.sig
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Number { float: true })
+    }
+
+    fn int_at(&self, i: usize) -> bool {
+        self.sig
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Number { float: false })
+    }
+
+    /// Two tokens with nothing (not even whitespace) between them, the way
+    /// `==` arrives as two adjacent `=` puncts.
+    fn adjacent(&self, i: usize, j: usize) -> bool {
+        match (self.sig.get(i), self.sig.get(j)) {
+            (Some(a), Some(b)) => a.end == b.start,
+            _ => false,
+        }
+    }
+
+    fn finding(
+        &self,
+        out: &mut Vec<Finding>,
+        i: usize,
+        rule: &'static str,
+        code: &'static str,
+        message: String,
+    ) {
+        let line = self.sig.get(i).map(|t| t.line).unwrap_or(0);
+        out.push(Finding {
+            file: self.path.to_string(),
+            line,
+            rule,
+            code,
+            message,
+        });
+    }
+}
+
+/// Marks every significant token inside a `#[cfg(test)]` item (usually the
+/// trailing `mod tests { ... }`) so library rules skip test code embedded
+/// in `src/` files.
+fn test_regions(sig: &[Token], src: &str) -> Vec<bool> {
+    let mut in_test = vec![false; sig.len()];
+    let mut i = 0;
+    while i < sig.len() {
+        if !(sig_punct(sig, i, '#') && sig_punct(sig, i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = match_bracket(sig, i + 1, '[', ']') else {
+            i += 1;
+            continue;
+        };
+        if !is_cfg_test_attr(sig, src, i + 2, close) {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes between `#[cfg(test)]` and the item.
+        let mut k = close + 1;
+        while sig_punct(sig, k, '#') && sig_punct(sig, k + 1, '[') {
+            match match_bracket(sig, k + 1, '[', ']') {
+                Some(c) => k = c + 1,
+                None => break,
+            }
+        }
+        // The item body is the first `{ ... }` before any `;`.
+        let mut m = k;
+        let end = loop {
+            if m >= sig.len() {
+                break sig.len().saturating_sub(1);
+            }
+            if sig_punct(sig, m, ';') {
+                break m;
+            }
+            if sig_punct(sig, m, '{') {
+                break match_bracket(sig, m, '{', '}').unwrap_or(sig.len() - 1);
+            }
+            m += 1;
+        };
+        for flag in in_test.iter_mut().take(end + 1).skip(i) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    in_test
+}
+
+fn sig_punct(sig: &[Token], i: usize, c: char) -> bool {
+    sig.get(i).is_some_and(|t| t.kind == TokKind::Punct(c))
+}
+
+/// Do the tokens in `(start..close)` spell exactly `cfg ( test )`?
+fn is_cfg_test_attr(sig: &[Token], src: &str, start: usize, close: usize) -> bool {
+    close == start + 4
+        && ident_is(sig, src, start, "cfg")
+        && sig_punct(sig, start + 1, '(')
+        && ident_is(sig, src, start + 2, "test")
+        && sig_punct(sig, start + 3, ')')
+}
+
+fn ident_is(sig: &[Token], src: &str, i: usize, word: &str) -> bool {
+    sig.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text(src) == word)
+}
+
+/// Finds the matching close bracket for the open bracket at `open_idx`.
+fn match_bracket(sig: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in sig.iter().enumerate().skip(open_idx) {
+        if t.kind == TokKind::Punct(open) {
+            depth += 1;
+        } else if t.kind == TokKind::Punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Collects `// lint: <key> <reason>` annotations; malformed ones become
+/// `A0:annotation` findings so a typo'd escape hatch can never silently
+/// suppress anything.
+fn parse_annotations(
+    path: &str,
+    src: &str,
+    toks: &[Token],
+    out: &mut Vec<Finding>,
+) -> Vec<Annotation> {
+    let mut anns = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = t
+            .text(src)
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let mut words = rest.split_whitespace();
+        let key_text = words.next().unwrap_or("");
+        let reason = words.next();
+        let (key, needs_reason) = match key_text {
+            "float-eq-ok" => (Some(AnnKey::FloatEqOk), true),
+            "log-domain-ok" => (Some(AnnKey::LogDomainOk), true),
+            "no-alloc" => (Some(AnnKey::NoAlloc), false),
+            other => {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: "A0",
+                    code: "annotation",
+                    message: format!(
+                        "unknown lint annotation key `{other}` (expected \
+                         float-eq-ok, log-domain-ok, or no-alloc)"
+                    ),
+                });
+                (None, false)
+            }
+        };
+        if let Some(key) = key {
+            if needs_reason && reason.is_none() {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: "A0",
+                    code: "annotation",
+                    message: format!(
+                        "`lint: {key_text}` requires a justification: \
+                         `// lint: {key_text} <reason>`"
+                    ),
+                });
+            } else {
+                anns.push(Annotation { line: t.line, key });
+            }
+        }
+    }
+    anns
+}
+
+/// L1: a float literal adjacent to `==`/`!=`.
+fn check_float_eq(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i + 1 < ctx.sig.len() {
+        let is_eq = ctx.is_punct(i, '=') && ctx.is_punct(i + 1, '=') && ctx.adjacent(i, i + 1);
+        let is_ne = ctx.is_punct(i, '!') && ctx.is_punct(i + 1, '=') && ctx.adjacent(i, i + 1);
+        if !(is_eq || is_ne) || ctx.in_test.get(i).copied().unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        // `a === b` / `!==` can't occur in Rust; `x != =` neither. The
+        // operand on the left is sig[i-1]; on the right sig[i+2], or
+        // sig[i+3] behind a unary minus.
+        let lhs_float = i > 0 && ctx.float_at(i - 1);
+        let rhs_float = ctx.float_at(i + 2) || (ctx.is_punct(i + 2, '-') && ctx.float_at(i + 3));
+        if lhs_float || rhs_float {
+            let op = if is_eq { "==" } else { "!=" };
+            ctx.finding(
+                out,
+                i,
+                "L1",
+                "float-eq",
+                format!(
+                    "floating-point literal compared with `{op}`; use a tolerance \
+                     helper, bitwise `to_bits()`, or annotate \
+                     `// lint: float-eq-ok <reason>` if exactness is intended"
+                ),
+            );
+        }
+        i += 2;
+    }
+}
+
+/// L2: `.exp()` / `.ln()` / `.powf()` family on the MVA path.
+fn check_log_domain(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.sig.len() {
+        if !ctx.is_punct(i, '.') || ctx.in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(name) = ctx.ident_at(i + 1) else {
+            continue;
+        };
+        if LOG_DOMAIN_METHODS.contains(&name) && ctx.is_punct(i + 2, '(') {
+            ctx.finding(
+                out,
+                i + 1,
+                "L2",
+                "log-domain",
+                format!(
+                    "`.{name}()` inside `queueing::mva`: raw exp/ln underflows the \
+                     Alg. 2/3 recursions near n=1500; route through the compensated \
+                     log-sum-exp helpers in `convolution/workspace.rs` or annotate \
+                     `// lint: log-domain-ok <reason>`"
+                ),
+            );
+        }
+    }
+}
+
+/// L3: panic-prone constructs in library code (ratcheted by baseline).
+fn check_panic_paths(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        // `.unwrap()` and `.expect(<non-literal>)`.
+        if ctx.is_punct(i, '.') {
+            if let Some(name) = ctx.ident_at(i + 1) {
+                if name == "unwrap" && ctx.is_punct(i + 2, '(') && ctx.is_punct(i + 3, ')') {
+                    ctx.finding(
+                        out,
+                        i + 1,
+                        "L3",
+                        "unwrap",
+                        "`.unwrap()` in library code: convert to `.expect(\"<invariant>\")` \
+                         or propagate a typed error"
+                            .to_string(),
+                    );
+                } else if name == "expect" && ctx.is_punct(i + 2, '(') {
+                    let arg_is_literal = ctx
+                        .sig
+                        .get(i + 3)
+                        .is_some_and(|t| matches!(t.kind, TokKind::Str | TokKind::RawStr));
+                    if !arg_is_literal {
+                        ctx.finding(
+                            out,
+                            i + 1,
+                            "L3",
+                            "expect",
+                            "`.expect(..)` without a string-literal invariant message; \
+                             state the invariant inline or propagate a typed error"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        // `panic!(...)`.
+        if ctx.ident_at(i) == Some("panic") && ctx.is_punct(i + 1, '!') {
+            ctx.finding(
+                out,
+                i,
+                "L3",
+                "panic",
+                "`panic!` in library code: return a typed error instead".to_string(),
+            );
+        }
+        // Indexing by an integer literal: `expr[0]`.
+        if ctx.is_punct(i, '[')
+            && ctx.int_at(i + 1)
+            && ctx.is_punct(i + 2, ']')
+            && i > 0
+            && ctx.sig.get(i - 1).is_some_and(|t| {
+                t.kind == TokKind::Ident
+                    || t.kind == TokKind::Punct(')')
+                    || t.kind == TokKind::Punct(']')
+            })
+        {
+            ctx.finding(
+                out,
+                i + 1,
+                "L3",
+                "index",
+                "indexing by integer literal can panic; prefer `.first()`/`.get(..)` \
+                 with explicit handling"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// L4: allocation tokens inside `// lint: no-alloc` functions.
+fn check_no_alloc(ctx: &Ctx, annotations: &[Annotation], out: &mut Vec<Finding>) {
+    for ann in annotations {
+        if ann.key != AnnKey::NoAlloc {
+            continue;
+        }
+        // The marker applies to the next `fn` item after the comment line.
+        let Some(fn_idx) = ctx
+            .sig
+            .iter()
+            .position(|t| t.line > ann.line && t.kind == TokKind::Ident && ctx.text(t) == "fn")
+        else {
+            continue;
+        };
+        let fn_name = ctx.ident_at(fn_idx + 1).unwrap_or("<unnamed>").to_string();
+        // Skip the parameter list, then take the first `{ ... }` as the body.
+        let Some(params_open) = (fn_idx..ctx.sig.len()).find(|&k| ctx.is_punct(k, '(')) else {
+            continue;
+        };
+        let Some(params_close) = match_bracket(ctx.sig, params_open, '(', ')') else {
+            continue;
+        };
+        let Some(body_open) = (params_close..ctx.sig.len()).find(|&k| ctx.is_punct(k, '{')) else {
+            continue;
+        };
+        let body_close = match_bracket(ctx.sig, body_open, '{', '}').unwrap_or(ctx.sig.len() - 1);
+
+        for k in body_open..body_close {
+            if ctx.is_punct(k, '.') {
+                if let Some(name) = ctx.ident_at(k + 1) {
+                    if ALLOC_METHODS.contains(&name) {
+                        let name = name.to_string();
+                        ctx.finding(
+                            out,
+                            k + 1,
+                            "L4",
+                            "no-alloc",
+                            format!(
+                                "`.{name}` inside `// lint: no-alloc` fn `{fn_name}`; \
+                                 the steady-state hot path must not allocate \
+                                 (see tests/alloc_steady_state.rs)"
+                            ),
+                        );
+                    }
+                }
+            }
+            if let Some(name) = ctx.ident_at(k) {
+                if ALLOC_MACROS.contains(&name) && ctx.is_punct(k + 1, '!') {
+                    let name = name.to_string();
+                    ctx.finding(
+                        out,
+                        k,
+                        "L4",
+                        "no-alloc",
+                        format!("`{name}!` inside `// lint: no-alloc` fn `{fn_name}`"),
+                    );
+                }
+                let path_new = (name == "Box" && path_seg_is(ctx, k, "new"))
+                    || (name == "String" && path_seg_is(ctx, k, "from"));
+                if path_new {
+                    let name = name.to_string();
+                    ctx.finding(
+                        out,
+                        k,
+                        "L4",
+                        "no-alloc",
+                        format!(
+                            "`{name}::..` constructor inside `// lint: no-alloc` fn `{fn_name}`"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Is `sig[k] :: <seg>` with the given trailing segment name?
+fn path_seg_is(ctx: &Ctx, k: usize, seg: &str) -> bool {
+    ctx.is_punct(k + 1, ':') && ctx.is_punct(k + 2, ':') && ctx.ident_at(k + 3) == Some(seg)
+}
+
+/// L5: `#[allow(...)]` / `#![allow(...)]` needs a trailing `// why`.
+fn check_allow_justified(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.sig.len() {
+        if !ctx.is_punct(i, '#') {
+            continue;
+        }
+        let bracket = if ctx.is_punct(i + 1, '[') {
+            i + 1
+        } else if ctx.is_punct(i + 1, '!') && ctx.is_punct(i + 2, '[') {
+            i + 2
+        } else {
+            continue;
+        };
+        if ctx.ident_at(bracket + 1) != Some("allow") {
+            continue;
+        }
+        let Some(close) = match_bracket(ctx.sig, bracket, '[', ']') else {
+            continue;
+        };
+        let close_tok = ctx.sig[close];
+        let justified = ctx.toks.iter().any(|t| {
+            t.kind == TokKind::LineComment
+                && t.line == close_tok.line
+                && t.start >= close_tok.end
+                && t.text(ctx.src).trim_start_matches('/').trim().len() > 1
+        });
+        if !justified {
+            ctx.finding(
+                out,
+                i,
+                "L5",
+                "allow-justify",
+                "`#[allow(...)]` without a trailing justification comment; \
+                 append `// <why this allow is sound>`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(path: &str, src: &str) -> Vec<String> {
+        lint_file(path, src)
+            .into_iter()
+            .map(|f| f.rule_code())
+            .collect()
+    }
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+    const MVA: &str = "crates/queueing/src/mva/solver.rs";
+
+    #[test]
+    fn l1_flags_float_literal_comparisons() {
+        assert_eq!(
+            codes(LIB, "fn f(x: f64) -> bool { x == 0.0 }"),
+            ["L1:float-eq"]
+        );
+        assert_eq!(
+            codes(LIB, "fn f(x: f64) -> bool { 1.5 != x }"),
+            ["L1:float-eq"]
+        );
+        assert_eq!(
+            codes(LIB, "fn f(x: f64) -> bool { x == -0.25 }"),
+            ["L1:float-eq"]
+        );
+        // Integers, orderings, and bit comparisons are fine.
+        assert!(codes(LIB, "fn f(x: u32) -> bool { x == 0 }").is_empty());
+        assert!(codes(LIB, "fn f(x: f64) -> bool { x <= 0.0 }").is_empty());
+        assert!(codes(
+            LIB,
+            "fn f(a: f64, b: f64) -> bool { a.to_bits() == b.to_bits() }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l1_respects_annotations_and_scope() {
+        let trailing = "fn f(x: f64) -> bool { x == 0.0 } // lint: float-eq-ok exact sentinel";
+        assert!(codes(LIB, trailing).is_empty());
+        let above = "// lint: float-eq-ok exact sentinel\nfn f(x: f64) -> bool { x == 0.0 }";
+        assert!(codes(LIB, above).is_empty());
+        // Annotation without a reason is itself a finding and suppresses nothing.
+        let bare = "// lint: float-eq-ok\nfn f(x: f64) -> bool { x == 0.0 }";
+        assert_eq!(codes(LIB, bare), ["A0:annotation", "L1:float-eq"]);
+        // dd.rs is allowlisted; tests/ trees are out of scope.
+        assert!(codes(
+            "crates/numerics/src/dd.rs",
+            "fn f(x: f64) -> bool { x == 0.0 }"
+        )
+        .is_empty());
+        assert!(codes(
+            "crates/demo/tests/t.rs",
+            "fn f(x: f64) -> bool { x == 0.0 }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l2_flags_exp_family_only_on_mva_path() {
+        assert_eq!(
+            codes(MVA, "fn f(x: f64) -> f64 { x.exp() }"),
+            ["L2:log-domain"]
+        );
+        assert_eq!(
+            codes(MVA, "fn f(x: f64) -> f64 { x.powf(2.0) }"),
+            ["L2:log-domain"]
+        );
+        assert!(codes(LIB, "fn f(x: f64) -> f64 { x.exp() }").is_empty());
+        let ws = "crates/queueing/src/mva/convolution/workspace.rs";
+        assert!(codes(ws, "fn f(x: f64) -> f64 { x.exp() }").is_empty());
+        let annotated =
+            "fn f(x: f64) -> f64 {\n    // lint: log-domain-ok reference oracle\n    x.exp()\n}";
+        assert!(codes(MVA, annotated).is_empty());
+    }
+
+    #[test]
+    fn l3_flags_panic_paths() {
+        assert_eq!(
+            codes(LIB, "fn f(x: Option<u32>) -> u32 { x.unwrap() }"),
+            ["L3:unwrap"]
+        );
+        assert_eq!(
+            codes(LIB, "fn f(x: Option<u32>, m: &str) -> u32 { x.expect(m) }"),
+            ["L3:expect"]
+        );
+        assert!(codes(
+            LIB,
+            "fn f(x: Option<u32>) -> u32 { x.expect(\"invariant\") }"
+        )
+        .is_empty());
+        assert_eq!(codes(LIB, "fn f() { panic!(\"boom\") }"), ["L3:panic"]);
+        assert_eq!(codes(LIB, "fn f(v: &[u32]) -> u32 { v[0] }"), ["L3:index"]);
+        // Array literals and macro brackets are not indexing.
+        assert!(codes(LIB, "fn f() -> [u32; 2] { [0, 1] }").is_empty());
+        assert!(codes(LIB, "fn f() -> Vec<u32> { vec![0] }").is_empty());
+    }
+
+    #[test]
+    fn l3_exempts_cfg_test_modules() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let v = vec![1]; assert_eq!(v[0], Some(1).unwrap()); }\n}\n";
+        assert!(codes(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn l4_flags_alloc_tokens_in_marked_fns() {
+        let src = "// lint: no-alloc\nfn hot(&mut self) { self.buf.push(1); }";
+        assert_eq!(codes(LIB, src), ["L4:no-alloc"]);
+        let src = "// lint: no-alloc\nfn hot(x: &str) -> String { format!(\"{x}\") }";
+        assert_eq!(codes(LIB, src), ["L4:no-alloc"]);
+        let src = "// lint: no-alloc\nfn hot(x: u32) -> Box<u32> { Box::new(x) }";
+        assert_eq!(codes(LIB, src), ["L4:no-alloc"]);
+        // Unmarked functions may allocate freely.
+        assert!(codes(LIB, "fn cold(&mut self) { self.buf.push(1); }").is_empty());
+        // The marked fn's body ends where its braces do.
+        let src = "// lint: no-alloc\nfn hot(x: u32) -> u32 { x + 1 }\nfn cold() { let v = vec![1].clone(); drop(v); }";
+        assert!(codes(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn l5_requires_trailing_justification() {
+        assert_eq!(
+            codes(LIB, "#[allow(dead_code)]\nfn f() {}"),
+            ["L5:allow-justify"]
+        );
+        assert!(codes(
+            LIB,
+            "#[allow(dead_code)] // kept for the ffi layer\nfn f() {}"
+        )
+        .is_empty());
+        // Other attributes are untouched.
+        assert!(codes(LIB, "#[inline]\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn string_and_comment_contents_never_trigger() {
+        let src = r##"
+fn f() -> &'static str {
+    // example: x == 0.0 and v.unwrap() and .exp()
+    /* also panic!("no") */
+    r#"x == 0.0 .unwrap() panic!"#
+}
+"##;
+        assert!(codes(MVA, src).is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Property tests for the mvasd-lint lexer.
+//!
+//! The rule engine is only as trustworthy as the lexer underneath it: a
+//! single mis-lexed string or comment silently turns rule hits into misses
+//! (or worse, the reverse). These properties fuzz randomly assembled token
+//! sequences — including the classic Rust traps: nested block comments, raw
+//! strings with hash fences, escaped quotes, and the `'a` lifetime vs `'c'`
+//! char ambiguity — and assert the lexer reproduces them exactly.
+
+use mvasd_lint::lexer::{lex, TokKind};
+use mvasd_numerics::propcheck::{check, Config, Gen};
+
+/// One source fragment and the token kinds it must lex to, in order.
+struct Piece {
+    text: &'static str,
+    kinds: &'static [TokKind],
+}
+
+const fn piece(text: &'static str, kinds: &'static [TokKind]) -> Piece {
+    Piece { text, kinds }
+}
+
+/// The fragment pool. Every entry is a self-delimiting snippet, so any
+/// whitespace-joined sequence of them is lexically valid.
+fn pool() -> Vec<Piece> {
+    use TokKind::*;
+    const INT: TokKind = Number { float: false };
+    const FLOAT: TokKind = Number { float: true };
+    vec![
+        piece("ident", &[Ident]),
+        piece("r#type", &[Ident]),
+        piece("x7_y", &[Ident]),
+        piece("'a", &[Lifetime]),
+        piece("'static", &[Lifetime]),
+        piece("'_", &[Lifetime]),
+        piece("'c'", &[Char]),
+        piece("'\\''", &[Char]),
+        piece("'\\\\'", &[Char]),
+        piece("'\\n'", &[Char]),
+        piece("'\"'", &[Char]),
+        piece("b'x'", &[Char]),
+        piece("\"hello\"", &[Str]),
+        piece("\"he said \\\"hi\\\"\"", &[Str]),
+        piece("\"/* not a comment */\"", &[Str]),
+        piece("\"// not a comment\"", &[Str]),
+        piece("\"multi\\nline\"", &[Str]),
+        piece("r\"raw\"", &[RawStr]),
+        piece("r#\"with \"quotes\"\"#", &[RawStr]),
+        piece("r##\"fence \"# inside\"##", &[RawStr]),
+        piece("br#\"raw bytes\"#", &[RawStr]),
+        piece("42", &[INT]),
+        piece("0xff", &[INT]),
+        piece("0b1010", &[INT]),
+        piece("1_000", &[INT]),
+        piece("1.5", &[FLOAT]),
+        piece("2e10", &[FLOAT]),
+        piece("3.25e-4", &[FLOAT]),
+        piece("1f64", &[FLOAT]),
+        piece("/* simple */", &[BlockComment]),
+        piece("/* /* nested */ still open */", &[BlockComment]),
+        piece("/* multi\nline */", &[BlockComment]),
+        piece("==", &[Punct('='), Punct('=')]),
+        piece("!=", &[Punct('!'), Punct('=')]),
+        piece("::", &[Punct(':'), Punct(':')]),
+        piece("->", &[Punct('-'), Punct('>')]),
+        piece("(", &[Punct('(')]),
+        piece(")", &[Punct(')')]),
+        piece("{", &[Punct('{')]),
+        piece("}", &[Punct('}')]),
+        piece(";", &[Punct(';')]),
+    ]
+}
+
+/// Assembles a random whitespace-joined program from the pool, returning
+/// the source and the expected kind sequence.
+fn assemble(g: &mut Gen, pieces: &[Piece]) -> (String, Vec<TokKind>) {
+    let n = g.usize_in(1, 40);
+    let mut src = String::new();
+    let mut expected = Vec::new();
+    for _ in 0..n {
+        let p = &pieces[g.usize_in(0, pieces.len() - 1)];
+        src.push_str(p.text);
+        expected.extend_from_slice(p.kinds);
+        match g.usize_in(0, 3) {
+            0 => src.push(' '),
+            1 => src.push('\n'),
+            2 => src.push('\t'),
+            _ => src.push_str("  "),
+        }
+    }
+    (src, expected)
+}
+
+#[test]
+fn lexed_kinds_match_assembled_sequence() {
+    let pieces = pool();
+    check(
+        "lexer kind fidelity",
+        &Config::default().cases(300).seed(0xA11CE),
+        |g: &mut Gen| {
+            let (src, expected) = assemble(g, &pieces);
+            let got: Vec<TokKind> = lex(&src).iter().map(|t| t.kind).collect();
+            assert_eq!(got, expected, "source: {src:?}");
+        },
+    );
+}
+
+#[test]
+fn spans_cover_every_nonwhitespace_byte_exactly_once() {
+    let pieces = pool();
+    check(
+        "lexer span coverage",
+        &Config::default().cases(300).seed(0xC0FFEE),
+        |g: &mut Gen| {
+            let (src, _) = assemble(g, &pieces);
+            let toks = lex(&src);
+            let mut covered = vec![false; src.len()];
+            let mut prev_end = 0usize;
+            for t in &toks {
+                assert!(t.start >= prev_end, "overlap or disorder in {src:?}");
+                assert!(t.end <= src.len());
+                assert_eq!(t.text(&src), &src[t.start..t.end]);
+                for c in covered.iter_mut().take(t.end).skip(t.start) {
+                    *c = true;
+                }
+                prev_end = t.end;
+            }
+            for (i, b) in src.bytes().enumerate() {
+                if !covered[i] {
+                    assert!(
+                        b.is_ascii_whitespace(),
+                        "byte {i} ({:?}) uncovered in {src:?}",
+                        b as char
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn line_numbers_count_newlines_before_token_start() {
+    let pieces = pool();
+    check(
+        "lexer line numbers",
+        &Config::default().cases(200).seed(0x11FE),
+        |g: &mut Gen| {
+            let (src, _) = assemble(g, &pieces);
+            for t in lex(&src) {
+                let expect = 1 + src[..t.start].matches('\n').count() as u32;
+                assert_eq!(t.line, expect, "token at {} in {src:?}", t.start);
+            }
+        },
+    );
+}
+
+#[test]
+fn arbitrary_ascii_never_panics_and_spans_stay_ordered() {
+    // Seeds the generator with hostile prefixes the lexer must survive
+    // mid-input: unterminated strings, lone quotes, half-open comments.
+    const HOSTILE: &[&str] = &[
+        "r#",
+        "r#\"",
+        "'",
+        "b'",
+        "\"",
+        "/*",
+        "/* /*",
+        "//",
+        "'\\",
+        "0x",
+        "1e",
+        "r##\"x\"#",
+    ];
+    check(
+        "lexer total on arbitrary input",
+        &Config::default().cases(400).seed(0xF00D),
+        |g: &mut Gen| {
+            let mut src = String::new();
+            if g.bool() {
+                src.push_str(HOSTILE[g.usize_in(0, HOSTILE.len() - 1)]);
+            }
+            let len = g.usize_in(0, 60);
+            for _ in 0..len {
+                src.push(char::from(g.usize_in(0x20, 0x7e) as u8));
+            }
+            let toks = lex(&src);
+            let mut prev_end = 0usize;
+            for t in &toks {
+                assert!(t.start >= prev_end && t.end <= src.len() && t.start < t.end);
+                prev_end = t.end;
+            }
+        },
+    );
+}
+
+// Deterministic regressions for the issue's named traps, at the public API.
+
+#[test]
+fn nested_block_comment_is_one_token() {
+    let toks = lex("/* a /* b /* c */ */ */ after");
+    assert_eq!(toks.len(), 2);
+    assert_eq!(toks[0].kind, TokKind::BlockComment);
+    assert_eq!(toks[1].text("/* a /* b /* c */ */ */ after"), "after");
+}
+
+#[test]
+fn raw_string_fence_hides_quotes_and_comments() {
+    let src = "r#\"// not /* code */ \"\"#.len()";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokKind::RawStr);
+    assert_eq!(toks[0].text(src), "r#\"// not /* code */ \"\"#");
+}
+
+#[test]
+fn escaped_quote_does_not_end_string() {
+    let src = r#""an \" escaped quote" x"#;
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokKind::Str);
+    assert_eq!(toks[1].kind, TokKind::Ident);
+}
+
+#[test]
+fn lifetime_vs_char_disambiguation() {
+    let src = "&'a str == 'c' != '\\u{41}'";
+    let kinds: Vec<TokKind> = lex(src).iter().map(|t| t.kind).collect();
+    assert!(kinds.contains(&TokKind::Lifetime));
+    assert_eq!(
+        kinds.iter().filter(|k| **k == TokKind::Char).count(),
+        2,
+        "{kinds:?}"
+    );
+}

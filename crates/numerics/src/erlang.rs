@@ -116,6 +116,7 @@ pub fn machine_repair(n: usize, c: usize, s: f64, z: f64) -> Result<(f64, f64), 
             what: "s must be > 0 and z >= 0, both finite",
         });
     }
+    // lint: float-eq-ok z = 0 is the validated exact degenerate no-think-time case
     if z == 0.0 && n > 0 {
         // Degenerate: all customers always at the station.
         let busy = n.min(c) as f64;

@@ -59,6 +59,7 @@ impl PchipInterp {
     /// Fritsch–Carlson monotonicity clamps.
     fn edge_slope(h0: f64, h1: f64, del0: f64, del1: f64) -> f64 {
         let mut d = ((2.0 * h0 + h1) * del0 - h0 * del1) / (h0 + h1);
+        // lint: float-eq-ok Fritsch-Carlson clamps key on the exact flat-segment case
         if d.signum() != del0.signum() || del0 == 0.0 {
             d = 0.0;
         } else if del0.signum() != del1.signum() && d.abs() > 3.0 * del0.abs() {

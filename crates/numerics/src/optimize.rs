@@ -73,6 +73,7 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     simplex.push(x0.to_vec());
     for i in 0..dim {
         let mut p = x0.to_vec();
+        // lint: float-eq-ok an exactly-zero start coordinate switches to the absolute step rule
         let step = if p[i] != 0.0 {
             p[i].abs() * opts.initial_step
         } else {

@@ -134,6 +134,7 @@ impl Xoshiro256pp {
     /// Exponential variate with the given mean (inverse CDF).
     #[inline]
     pub fn exponential(&mut self, mean: f64) -> f64 {
+        // lint: float-eq-ok zero mean is an exact degenerate-input sentinel, not a computed value
         if mean == 0.0 {
             0.0
         } else {

@@ -75,6 +75,7 @@ pub fn mean_pct_deviation(predicted: &[f64], measured: &[f64]) -> Result<f64, Nu
                 what: "deviation input",
             });
         }
+        // lint: float-eq-ok exactly-zero measurements must be skipped before dividing by them
         if *m == 0.0 {
             continue;
         }
@@ -100,6 +101,7 @@ pub fn max_pct_deviation(predicted: &[f64], measured: &[f64]) -> Result<f64, Num
     }
     let mut max = f64::NEG_INFINITY;
     for (p, m) in predicted.iter().zip(measured.iter()) {
+        // lint: float-eq-ok exactly-zero measurements must be skipped before dividing by them
         if *m == 0.0 {
             continue;
         }
@@ -148,6 +150,7 @@ pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Result<Regression, NumericsE
         .zip(ys.iter())
         .map(|(x, y)| (x - mx) * (y - my))
         .sum();
+    // lint: float-eq-ok only exactly-coincident xs make the system singular; tiny sxx stays finite
     if sxx == 0.0 {
         return Err(NumericsError::SingularSystem);
     }
@@ -162,6 +165,7 @@ pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Result<Regression, NumericsE
             (y - f) * (y - f)
         })
         .sum();
+    // lint: float-eq-ok a perfectly-constant y vector hits exactly zero; R^2 = 1 by convention
     let r_squared = if ss_tot == 0.0 {
         1.0
     } else {

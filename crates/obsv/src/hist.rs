@@ -79,6 +79,7 @@ impl Histogram {
     }
 
     /// Records one value.
+    // lint: no-alloc
     pub fn record(&mut self, v: u64) {
         self.counts[bucket_index(v)] += 1;
         self.count += 1;

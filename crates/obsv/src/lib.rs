@@ -39,6 +39,8 @@
 //! assert!(obsv::json::parse(&trace).is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collector;
 pub mod hist;
 pub mod json;
@@ -372,7 +374,7 @@ pub(crate) mod test_support {
     use std::sync::Mutex;
 
     /// Serializes tests that install the process-global recorder.
-    pub fn lock() -> std::sync::MutexGuard<'static, ()> {
+    pub(crate) fn lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
         LOCK.lock().unwrap_or_else(|p| p.into_inner())
     }

@@ -37,9 +37,11 @@ pub(crate) fn log_conv_cell(a: &[f64], b: &[f64], n: usize) -> f64 {
     for j in lo..=hi {
         let t = a[j] + b[n - j];
         if t > f64::NEG_INFINITY {
+            // lint: log-domain-ok reference-oracle log-sum-exp, cold path by design
             acc += (t - m).exp();
         }
     }
+    // lint: log-domain-ok reference-oracle log-sum-exp, cold path by design
     m + acc.ln()
 }
 
@@ -56,9 +58,11 @@ fn log_factors(demand: f64, rate: &RateFunction, n_max: usize) -> Vec<f64> {
         out.resize(n_max + 1, f64::NEG_INFINITY);
         return out;
     }
+    // lint: log-domain-ok rebuilding log factor columns is this oracle's whole job
     let ld = demand.ln();
     let mut acc = 0.0;
     for j in 1..=n_max {
+        // lint: log-domain-ok rebuilding log factor columns is this oracle's whole job
         acc += ld - rate.rate(j).ln();
         out.push(acc);
     }
@@ -73,9 +77,11 @@ fn log_think_factors(z: f64, n_max: usize) -> Vec<f64> {
         out.resize(n_max + 1, f64::NEG_INFINITY);
         return out;
     }
+    // lint: log-domain-ok rebuilding log think factors is this oracle's whole job
     let lz = z.ln();
     let mut acc = 0.0;
     for j in 1..=n_max {
+        // lint: log-domain-ok rebuilding log think factors is this oracle's whole job
         acc += lz - (j as f64).ln();
         out.push(acc);
     }
@@ -122,6 +128,7 @@ pub(crate) fn solve_at(
         suffix[i] = log_convolve(&factors[i], &suffix[i + 1], n);
     }
     let g = &prefix[total];
+    // lint: log-domain-ok throughput leaves log domain once, at the very end
     let x = (g[n - 1] - g[n]).exp();
 
     let mut queues = vec![0.0f64; k_count];
@@ -140,6 +147,7 @@ pub(crate) fn solve_at(
         for j in 0..=n {
             let lp = fk[j] + g_minus[n - j] - g[n];
             if lp > -700.0 {
+                // lint: log-domain-ok marginal probabilities leave log domain at output
                 let p = lp.exp();
                 q += j as f64 * p;
                 if j < limit {

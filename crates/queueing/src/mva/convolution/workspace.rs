@@ -447,6 +447,7 @@ impl ConvWorkspace {
     /// Extends every live column by the cell for population `self.n + 1`.
     /// Cells are append-only, so values never depend on how far the
     /// workspace is later extended — the root of the bit-for-bit guarantee.
+    // lint: no-alloc
     fn extend_one(&mut self) -> Result<(), QueueingError> {
         let m = self.n + 1;
         self.ensure_capacity(m + 1);
@@ -532,6 +533,7 @@ impl ConvWorkspace {
     /// Fills the output slots (`throughput`/`queues`/`marginals_of`) for
     /// population `n ≤ self.n`. Read-only over the columns; allocates
     /// nothing.
+    // lint: no-alloc
     fn compute_outputs(&mut self, n: usize) {
         debug_assert!(n >= 1 && n <= self.n);
         let total = self.stations.len() + 1;
@@ -574,6 +576,7 @@ impl ConvWorkspace {
     /// On error the columns are poisoned (partially extended) and the
     /// workspace must be discarded; all errors here are deterministic model
     /// errors, so a retry could not succeed anyway.
+    // lint: no-alloc
     pub fn advance(&mut self) -> Result<(), QueueingError> {
         self.extend_one()?;
         self.compute_outputs(self.n);

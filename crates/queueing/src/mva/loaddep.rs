@@ -126,6 +126,7 @@ pub(crate) fn validated_conv_stations(
         }
         s.rate.validate()?;
     }
+    // lint: float-eq-ok validation rejects the exact all-zero-demand, zero-think-time input
     if stations.iter().all(|s| s.demand == 0.0) && think_time == 0.0 {
         return Err(QueueingError::InvalidParameter {
             what: "network needs positive demand or think time",

@@ -126,6 +126,7 @@ impl ClosedNetwork {
                 what: "think time must be finite and >= 0",
             });
         }
+        // lint: float-eq-ok validation rejects the exact all-zero-demand input, not near-zero
         if stations.iter().all(|s| s.demand() == 0.0) {
             return Err(QueueingError::InvalidParameter {
                 what: "at least one station must have positive demand",

@@ -54,6 +54,7 @@ pub fn solve_open(net: &ClosedNetwork, lambda: f64) -> Result<OpenSolution, Queu
     let mut stations = Vec::with_capacity(net.stations().len());
     for s in net.stations() {
         let d = s.demand();
+        // lint: float-eq-ok zero demand is the exact input sentinel for "station not visited"
         if d == 0.0 {
             stations.push(OpenStationMetrics {
                 name: s.name.clone(),

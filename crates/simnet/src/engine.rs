@@ -234,7 +234,7 @@ impl Simulation {
         Ok(self.build_report(acc))
     }
 
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // static helper threads the engine's split borrows
     fn enter_station(
         net: &SimNetwork,
         stations: &mut [StationState],

@@ -9,7 +9,7 @@ use std::collections::BinaryHeap;
 
 /// What happens when an event fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EventKind {
+pub(crate) enum EventKind {
     /// A customer enters the system for the first time (ramp-up).
     CustomerArrives {
         /// Customer index.
@@ -61,19 +61,19 @@ impl PartialOrd for Scheduled {
 
 /// Deterministic future-event list.
 #[derive(Debug, Default)]
-pub struct EventQueue {
+pub(crate) struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     seq: u64,
 }
 
 impl EventQueue {
     /// Creates an empty queue.
-    pub fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self::default()
     }
 
     /// Schedules `kind` at absolute time `time` (must be finite).
-    pub fn schedule(&mut self, time: f64, kind: EventKind) {
+    pub(crate) fn schedule(&mut self, time: f64, kind: EventKind) {
         debug_assert!(time.is_finite(), "event time must be finite");
         self.heap.push(Scheduled {
             time,
@@ -84,19 +84,19 @@ impl EventQueue {
     }
 
     /// Pops the earliest event, if any.
-    pub fn pop(&mut self) -> Option<(f64, EventKind)> {
+    pub(crate) fn pop(&mut self) -> Option<(f64, EventKind)> {
         self.heap.pop().map(|s| (s.time, s.kind))
     }
 
     /// Number of pending events.
     #[cfg_attr(not(test), allow(dead_code))]
-    pub fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// Whether no events are pending.
     #[cfg_attr(not(test), allow(dead_code))]
-    pub fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
 }

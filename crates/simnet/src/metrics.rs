@@ -129,7 +129,7 @@ pub(crate) struct Accumulators {
 }
 
 impl Accumulators {
-    pub fn new(k: usize, warmup: f64, horizon: f64, bucket_width: f64) -> Self {
+    pub(crate) fn new(k: usize, warmup: f64, horizon: f64, bucket_width: f64) -> Self {
         let buckets = (horizon / bucket_width).ceil() as usize + 1;
         Self {
             warmup,
@@ -153,7 +153,7 @@ impl Accumulators {
 
     /// Advances the clock to `now`, accumulating time-weighted state over
     /// the post-warm-up, pre-horizon part of the interval.
-    pub fn advance(&mut self, now: f64) {
+    pub(crate) fn advance(&mut self, now: f64) {
         let lo = self.last_time.max(self.warmup);
         let hi = now.min(self.horizon);
         if hi > lo {
@@ -188,7 +188,7 @@ impl Accumulators {
     }
 
     /// Records a completed interaction at time `t` with response `r`.
-    pub fn record_completion(&mut self, t: f64, r: f64) {
+    pub(crate) fn record_completion(&mut self, t: f64, r: f64) {
         if t >= self.warmup && t <= self.horizon {
             self.completions += 1;
             self.response_sum += r;
@@ -202,7 +202,7 @@ impl Accumulators {
     }
 
     /// Records a completed station visit with sojourn `w` at time `t`.
-    pub fn record_visit(&mut self, k: usize, t: f64, w: f64) {
+    pub(crate) fn record_visit(&mut self, k: usize, t: f64, w: f64) {
         if t >= self.warmup && t <= self.horizon {
             self.visits[k] += 1;
             self.visit_time_sum[k] += w;

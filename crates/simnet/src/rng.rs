@@ -120,6 +120,7 @@ impl Distribution {
             Distribution::Exponential { mean } => rng.exponential(*mean),
             Distribution::Deterministic { value } => *value,
             Distribution::Erlang { k, mean } => {
+                // lint: float-eq-ok zero mean is an exact degenerate-input sentinel
                 if *mean == 0.0 {
                     return 0.0;
                 }

@@ -39,6 +39,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use mvasd_core as core;
 pub use mvasd_numerics as numerics;
 pub use mvasd_obsv as obsv;

@@ -5,6 +5,8 @@
 //! The whole file holds exactly one test so the counting allocator sees no
 //! interference from parallel test threads.
 
+#![allow(unsafe_code)] // a counting GlobalAlloc cannot be written without unsafe
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 

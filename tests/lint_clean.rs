@@ -1,0 +1,107 @@
+//! Runs mvasd-lint in-process over the workspace: `cargo test` enforces the
+//! numeric and hot-path contracts without a separate CI step, and seeded
+//! violations prove each rule actually fires.
+
+use mvasd_lint::rules::lint_file;
+use mvasd_lint::{run, Options};
+
+fn workspace_root() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR of the root package IS the workspace root.
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let outcome = run(&Options::at_root(workspace_root())).expect("lint run on the checkout");
+    assert!(
+        outcome.clean(),
+        "the tree must lint clean:\n{}",
+        outcome.render_text()
+    );
+    assert!(outcome.files_scanned > 50, "scan found the workspace");
+    assert!(
+        outcome.stale.is_empty(),
+        "baseline is looser than reality; run `cargo run -p mvasd-lint -- --fix-baseline`:\n{}",
+        outcome.render_text()
+    );
+}
+
+#[test]
+fn baseline_ratchet_is_below_the_issue_count() {
+    // 462 naked `unwrap()` sites existed when the ratchet was introduced;
+    // the recorded debt must only ever go down.
+    let outcome = run(&Options::at_root(workspace_root())).expect("lint run on the checkout");
+    assert!(
+        outcome.baseline_unwrap_total < 462,
+        "baseline records {} unwrap sites, ratchet requires < 462",
+        outcome.baseline_unwrap_total
+    );
+}
+
+#[test]
+fn json_report_parses_with_the_obsv_parser() {
+    let outcome = run(&Options::at_root(workspace_root())).expect("lint run on the checkout");
+    let parsed = mvasd_suite::obsv::json::parse(&outcome.render_json()).expect("valid JSON");
+    let schema = parsed
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .expect("schema field");
+    assert_eq!(schema, "mvasd-lint/1");
+}
+
+/// Each seeded violation must produce exactly the advertised rule code when
+/// dropped into a library source path.
+#[test]
+fn seeded_violations_fire_per_rule() {
+    let lib = "crates/demo/src/lib.rs";
+    let mva = "crates/queueing/src/mva/seeded.rs";
+    let cases: &[(&str, &str, &str)] = &[
+        ("L1", "float-eq", "fn f(x: f64) -> bool { x == 0.0 }"),
+        ("L2", "log-domain", "fn f(x: f64) -> f64 { x.exp() }"),
+        ("L3", "unwrap", "fn f(x: Option<u8>) -> u8 { x.unwrap() }"),
+        (
+            "L4",
+            "no-alloc",
+            "// lint: no-alloc\nfn f(v: &mut Vec<u8>) { v.push(1); }",
+        ),
+        ("L5", "allow-justify", "#[allow(dead_code)]\nfn f() {}"),
+    ];
+    for (rule, code, src) in cases {
+        let path = if *rule == "L2" { mva } else { lib };
+        let findings = lint_file(path, src);
+        let expect = format!("{rule}:{code}");
+        assert!(
+            findings.iter().any(|f| f.rule_code() == expect),
+            "{expect} did not fire on {src:?}: {findings:?}"
+        );
+    }
+}
+
+/// The escape hatches must suppress — with a reason — and A0 must catch a
+/// reasonless annotation.
+#[test]
+fn annotations_suppress_and_demand_reasons() {
+    let lib = "crates/demo/src/lib.rs";
+    let ok = "// lint: float-eq-ok zero is an exact sentinel\nfn f(x: f64) -> bool { x == 0.0 }";
+    assert!(
+        lint_file(lib, ok).is_empty(),
+        "justified annotation must suppress L1"
+    );
+    let bare = "// lint: float-eq-ok\nfn f(x: f64) -> bool { x == 0.0 }";
+    let findings = lint_file(lib, bare);
+    assert!(
+        findings.iter().any(|f| f.rule_code() == "A0:annotation"),
+        "reasonless annotation must fire A0: {findings:?}"
+    );
+}
+
+/// Test-only code is exempt: the same unwrap under `#[cfg(test)]` is fine.
+#[test]
+fn cfg_test_regions_are_exempt() {
+    let lib = "crates/demo/src/lib.rs";
+    let src = "#[cfg(test)]\nmod tests {\n fn f(x: Option<u8>) -> u8 { x.unwrap() }\n}";
+    assert!(
+        lint_file(lib, src).is_empty(),
+        "cfg(test) regions must be exempt from L3"
+    );
+}
