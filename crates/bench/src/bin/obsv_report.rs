@@ -15,7 +15,9 @@ use std::sync::Arc;
 
 use mvasd_core::sweep::{Scenario, ScenarioSweep};
 use mvasd_obsv as obsv;
+use mvasd_queueing::hierarchy::{HierarchicalNetwork, HierarchicalSolver, ProfileCache, Subsystem};
 use mvasd_queueing::mva::{run_until, ClosedSolver, MultiserverMvaSolver, StopCondition};
+use mvasd_queueing::network::Station;
 use mvasd_testbed::apps::vins;
 use mvasd_testbed::campaign::{run_campaign, CampaignConfig};
 
@@ -77,6 +79,34 @@ fn main() -> ExitCode {
     sweep
         .run(&scenarios)
         .expect("warm replay of the same scenarios");
+
+    // A hierarchical solve (aggregation solve/cache-hit counters, profile
+    // growth, per-subsystem isolation spans) — two identical app tiers so
+    // the profile cache registers a hit.
+    let tier = |name: &str, cpu: f64, disk: f64| {
+        Subsystem::new(
+            name,
+            vec![
+                Station::queueing(&format!("{name}-cpu"), 8, 1.0, cpu).into(),
+                Station::queueing(&format!("{name}-disk"), 1, 1.0, disk).into(),
+            ],
+        )
+        .into()
+    };
+    let estate = HierarchicalNetwork::new(
+        vec![
+            Station::queueing("lb", 1, 1.0, 0.002).into(),
+            tier("app-1", 0.012, 0.0022),
+            tier("app-2", 0.012, 0.0022),
+            tier("db", 0.055, 0.0098),
+        ],
+        1.0,
+    )
+    .expect("valid hierarchical estate");
+    HierarchicalSolver::new(estate)
+        .with_cache(Arc::new(ProfileCache::new()))
+        .solve(200)
+        .expect("hierarchical solve on a validated estate");
 
     obsv::uninstall();
     let snapshot = collector.snapshot();

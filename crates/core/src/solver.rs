@@ -8,9 +8,19 @@
 //! The model bound at construction is a [`ServiceDemandProfile`] rather
 //! than a static network: the defining feature of MVASD is that demands
 //! are re-interpolated at every population step.
+//!
+//! The hierarchical Norton-aggregation family ([`HierarchicalSolver`] and
+//! its model types) is re-exported here from `mvasd-queueing`, so
+//! microservice-scale topologies slot into the same comparison pipelines
+//! and [`crate::sweep::ScenarioSweep`] campaigns as every other backend.
 
 use mvasd_queueing::mva::{ClosedSolver, MvaSolution, SolverIter};
 use mvasd_queueing::QueueingError;
+
+pub use mvasd_queueing::hierarchy::{
+    AggregationOptions, AggregationStats, HierarchicalNetwork, HierarchicalSolver, NetworkNode,
+    ProfileCache, Subsystem,
+};
 
 use crate::algorithm::{
     mvasd, mvasd_schweitzer, mvasd_single_server, MvasdIter, MvasdSchweitzerIter,

@@ -26,7 +26,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use std::sync::Arc;
+
 use mvasd_obsv as obsv;
+use mvasd_queueing::hierarchy::{
+    AggregationOptions, HierarchicalNetwork, HierarchicalSolver, ProfileCache,
+};
 use mvasd_queueing::mva::{
     ClosedSolver, MvaPoint, MvaSolution, SolverIter, StopCondition, StopReason,
 };
@@ -149,6 +154,51 @@ impl Scenario {
         self
     }
 
+    /// Applies the transform to a hierarchical base model. Demand scales
+    /// apply per flat leaf (depth-first order, as in
+    /// [`HierarchicalNetwork::flatten`]); server-count overrides are not
+    /// supported — a hierarchical node's server counts are part of its
+    /// structure, so change the tree instead.
+    fn resolve_hierarchy(
+        &self,
+        base: &HierarchicalNetwork,
+    ) -> Result<HierarchicalNetwork, CoreError> {
+        if !(self.demand_scale.is_finite() && self.demand_scale > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                what: "demand scale must be finite and > 0",
+            });
+        }
+        if self.server_counts.is_some() {
+            return Err(CoreError::InvalidParameter {
+                what: "server count overrides are not supported for hierarchical sweeps",
+            });
+        }
+        let k_count = base.leaf_count();
+        let mut factors = vec![self.demand_scale; k_count];
+        if let Some(scales) = &self.station_scales {
+            if scales.len() != k_count {
+                return Err(CoreError::InvalidParameter {
+                    what: "station scale count must match the flat leaf count",
+                });
+            }
+            if scales.iter().any(|s| !(s.is_finite() && *s > 0.0)) {
+                return Err(CoreError::InvalidParameter {
+                    what: "station scales must be finite and > 0",
+                });
+            }
+            for (f, s) in factors.iter_mut().zip(scales) {
+                *f *= s;
+            }
+        }
+        let mut net = base
+            .with_leaf_scales(&factors)
+            .map_err(CoreError::Queueing)?;
+        if let Some(z) = self.think_time {
+            net = net.with_think_time(z).map_err(CoreError::Queueing)?;
+        }
+        Ok(net)
+    }
+
     /// Applies the transform to the base samples.
     fn resolve(&self, base: &DemandSamples) -> Result<DemandSamples, CoreError> {
         if !(self.demand_scale.is_finite() && self.demand_scale > 0.0) {
@@ -251,6 +301,13 @@ pub struct SweepStats {
     pub cache_hits: usize,
     /// Model groups that had to build a fresh iterator.
     pub cache_misses: usize,
+    /// Subsystem profiles solved from scratch (hierarchical sweeps only:
+    /// the sub-model misses of the shared aggregation cache).
+    pub sub_solves: usize,
+    /// Subsystem profiles reused from the shared aggregation cache —
+    /// across scenarios *and* across identically-shaped subsystems within
+    /// one model.
+    pub sub_cache_hits: usize,
 }
 
 impl SweepStats {
@@ -301,13 +358,40 @@ impl GroupState {
     }
 }
 
+/// What a sweep's scenarios are resolved against: a varying-service-demand
+/// sample set (the MVASD backends) or a hierarchical topology (the Norton
+/// aggregation backend, with its shared subsystem-profile cache).
+#[derive(Debug)]
+enum BaseModel {
+    Samples(DemandSamples),
+    Hierarchy {
+        net: HierarchicalNetwork,
+        opts: AggregationOptions,
+        profiles: Arc<ProfileCache>,
+    },
+}
+
+/// A scenario resolved against the base: either concrete demand samples or
+/// a ready-to-start hierarchical solver (model plus shared profile cache).
+enum ResolvedModel {
+    Samples(DemandSamples),
+    Hierarchy(HierarchicalSolver),
+}
+
 /// The scenario-sweep engine: resolves what-if scenarios against a base
 /// demand model, deduplicates identical resolved models, and serves every
 /// scenario from shared, memoized solver iterators. The cache survives
 /// across [`run`](ScenarioSweep::run) calls, so a follow-up question about
 /// a previously swept model is a warm restart.
+///
+/// Hierarchical sweeps ([`over_hierarchy`](Self::over_hierarchy)) memoize
+/// at a second level too: all scenarios share one
+/// [`ProfileCache`], so a scenario that rescales only the root stations
+/// reuses every already-aggregated subsystem profile instead of re-solving
+/// the subtrees. The saving is visible in [`SweepStats::sub_solves`] /
+/// [`SweepStats::sub_cache_hits`].
 pub struct ScenarioSweep {
-    base: DemandSamples,
+    base: BaseModel,
     interpolation: InterpolationKind,
     axis: DemandAxis,
     backend: SolverBackend,
@@ -335,6 +419,23 @@ impl ScenarioSweep {
     /// A sweep over `base` with the paper's defaults (not-a-knot cubic
     /// interpolation over concurrency, exact MVASD, population cap 300).
     pub fn new(base: DemandSamples) -> Self {
+        Self::with_base(BaseModel::Samples(base))
+    }
+
+    /// A sweep over a hierarchical topology, answered by the Norton
+    /// flow-equivalent-server solver. All scenarios share one subsystem
+    /// [`ProfileCache`], so sub-models untouched by a scenario's transform
+    /// are aggregated once and reused. The `backend`, `interpolation` and
+    /// `axis` settings are ignored for hierarchical sweeps.
+    pub fn over_hierarchy(net: HierarchicalNetwork, opts: AggregationOptions) -> Self {
+        Self::with_base(BaseModel::Hierarchy {
+            net,
+            opts,
+            profiles: Arc::new(ProfileCache::new()),
+        })
+    }
+
+    fn with_base(base: BaseModel) -> Self {
         Self {
             base,
             interpolation: InterpolationKind::CubicNotAKnot,
@@ -400,18 +501,39 @@ impl ScenarioSweep {
                 what: "sweep needs at least one scenario",
             });
         }
+        // Snapshot the shared aggregation cache so sub-model work done by
+        // this run can be committed as a delta on success.
+        let sub_before = match &self.base {
+            BaseModel::Hierarchy { profiles, .. } => Some(profiles.stats()),
+            BaseModel::Samples(_) => None,
+        };
         // Resolve every scenario and group by model fingerprint, keeping
         // first-seen group order (results are reassembled by index anyway).
         let mut groups: Vec<(Vec<u64>, Vec<usize>)> = Vec::new();
-        let mut resolved: Vec<DemandSamples> = Vec::with_capacity(scenarios.len());
+        let mut resolved: Vec<ResolvedModel> = Vec::with_capacity(scenarios.len());
         for (i, scenario) in scenarios.iter().enumerate() {
-            let samples = scenario.resolve(&self.base)?;
-            let key = self.fingerprint(&samples);
+            let (key, model) = match &self.base {
+                BaseModel::Samples(base) => {
+                    let samples = scenario.resolve(base)?;
+                    (self.fingerprint(&samples), ResolvedModel::Samples(samples))
+                }
+                BaseModel::Hierarchy {
+                    net,
+                    opts,
+                    profiles,
+                } => {
+                    let resolved_net = scenario.resolve_hierarchy(net)?;
+                    let key = hierarchy_key(&resolved_net, *opts);
+                    let solver = HierarchicalSolver::with_options(resolved_net, *opts)
+                        .with_cache(profiles.clone());
+                    (key, ResolvedModel::Hierarchy(solver))
+                }
+            };
             match groups.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, members)) => members.push(i),
                 None => groups.push((key, vec![i])),
             }
-            resolved.push(samples);
+            resolved.push(model);
         }
 
         // Check out (or build) one GroupState per distinct model.
@@ -426,19 +548,24 @@ impl ScenarioSweep {
                 }
                 None => {
                     cache_misses += 1;
-                    let profile = ServiceDemandProfile::from_samples(
-                        &resolved[members[0]],
-                        self.interpolation,
-                        self.axis,
-                    )?;
-                    let solver: Box<dyn ClosedSolver> = match self.backend {
-                        SolverBackend::Mvasd => Box::new(MvasdSolver::new(profile)),
-                        SolverBackend::MvasdSingleServer => {
-                            Box::new(MvasdSingleServerSolver::new(profile))
+                    let solver: Box<dyn ClosedSolver> = match &resolved[members[0]] {
+                        ResolvedModel::Samples(samples) => {
+                            let profile = ServiceDemandProfile::from_samples(
+                                samples,
+                                self.interpolation,
+                                self.axis,
+                            )?;
+                            match self.backend {
+                                SolverBackend::Mvasd => Box::new(MvasdSolver::new(profile)),
+                                SolverBackend::MvasdSingleServer => {
+                                    Box::new(MvasdSingleServerSolver::new(profile))
+                                }
+                                SolverBackend::MvasdSchweitzer => {
+                                    Box::new(MvasdSchweitzerSolver::new(profile))
+                                }
+                            }
                         }
-                        SolverBackend::MvasdSchweitzer => {
-                            Box::new(MvasdSchweitzerSolver::new(profile))
-                        }
+                        ResolvedModel::Hierarchy(solver) => Box::new(solver.clone()),
                     };
                     GroupState {
                         iter: solver.start().map_err(CoreError::Queueing)?,
@@ -519,6 +646,15 @@ impl ScenarioSweep {
         self.stats.steps_demanded += steps_demanded;
         self.stats.cache_hits += cache_hits;
         self.stats.cache_misses += cache_misses;
+        let mut sub_solves = 0usize;
+        let mut sub_cache_hits = 0usize;
+        if let (Some(before), BaseModel::Hierarchy { profiles, .. }) = (sub_before, &self.base) {
+            let after = profiles.stats();
+            sub_solves = (after.solves - before.solves) as usize;
+            sub_cache_hits = (after.hits - before.hits) as usize;
+            self.stats.sub_solves += sub_solves;
+            self.stats.sub_cache_hits += sub_cache_hits;
+        }
         if obsv::enabled() {
             obsv::counter("sweep.cache_hits", cache_hits as u64);
             obsv::counter("sweep.cache_misses", cache_misses as u64);
@@ -529,6 +665,10 @@ impl ScenarioSweep {
                 steps_demanded.saturating_sub(steps_computed) as u64,
             );
             obsv::gauge("sweep.cached_steps", self.cached_steps() as f64);
+            if sub_solves > 0 || sub_cache_hits > 0 {
+                obsv::counter("sweep.sub_solves", sub_solves as u64);
+                obsv::counter("sweep.sub_cache_hits", sub_cache_hits as u64);
+            }
         }
 
         Ok(SweepReport {
@@ -582,6 +722,20 @@ impl ScenarioSweep {
         }
         key
     }
+}
+
+/// Fingerprint of a resolved hierarchical model: a discriminator word (so
+/// hierarchical keys can never collide with sample-model keys), the
+/// truncation setting, and the tree's structural words.
+fn hierarchy_key(net: &HierarchicalNetwork, opts: AggregationOptions) -> Vec<u64> {
+    let mut key = Vec::with_capacity(2 + 4 * net.leaf_count());
+    key.push(30);
+    key.push(match opts.truncation {
+        Some(eps) => eps.to_bits(),
+        None => u64::MAX,
+    });
+    key.extend(net.fingerprint_words());
+    key
 }
 
 /// FNV-1a over bytes: a stable, dependency-free string fingerprint.
@@ -755,6 +909,79 @@ mod tests {
             .is_err());
         assert!(sweep
             .run(&[Scenario::new("bad").with_server_counts(vec![1])])
+            .is_err());
+    }
+
+    fn hier_net() -> HierarchicalNetwork {
+        use mvasd_queueing::hierarchy::{NetworkNode, Subsystem};
+        use mvasd_queueing::network::Station;
+        let tier = |name: &str, cpu: f64, disk: f64| -> NetworkNode {
+            Subsystem::new(
+                name,
+                vec![
+                    Station::queueing(&format!("{name}-cpu"), 2, 1.0, cpu).into(),
+                    Station::queueing(&format!("{name}-disk"), 1, 1.0, disk).into(),
+                ],
+            )
+            .into()
+        };
+        HierarchicalNetwork::new(
+            vec![
+                Station::queueing("lb", 1, 1.0, 0.002).into(),
+                tier("app-1", 0.010, 0.004),
+                tier("app-2", 0.010, 0.004),
+                tier("db", 0.016, 0.007),
+            ],
+            0.5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hierarchical_sweep_memoizes_submodels() {
+        let mut sweep =
+            ScenarioSweep::over_hierarchy(hier_net(), AggregationOptions::exact()).default_cap(40);
+        let report = sweep
+            .run(&[Scenario::new("base"), Scenario::new("again")])
+            .unwrap();
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.steps_computed, 40);
+        assert_eq!(report.steps_saved(), 40);
+        let s1 = sweep.stats();
+        // Three subsystems, two distinct shapes (app-1 and app-2 share a
+        // fingerprint): 2 profile solves, at least 1 sub-model cache hit.
+        assert_eq!(s1.sub_solves, 2, "stats: {s1:?}");
+        assert!(s1.sub_cache_hits >= 1, "stats: {s1:?}");
+
+        // A scenario that only rescales the root station leaves every
+        // subsystem untouched: zero fresh profile solves.
+        let factors = vec![0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        sweep
+            .run(&[Scenario::new("fast-lb").scale_stations(factors)])
+            .unwrap();
+        let s2 = sweep.stats();
+        assert_eq!(s2.sub_solves, s1.sub_solves, "stats: {s2:?}");
+        assert!(s2.sub_cache_hits > s1.sub_cache_hits, "stats: {s2:?}");
+    }
+
+    #[test]
+    fn hierarchical_sweep_matches_direct_solver() {
+        let net = hier_net();
+        let mut sweep =
+            ScenarioSweep::over_hierarchy(net.clone(), AggregationOptions::exact()).default_cap(30);
+        let report = sweep.run(&[Scenario::new("base")]).unwrap();
+        let direct = HierarchicalSolver::new(net).solve(30).unwrap();
+        assert_eq!(report.results[0].solution.points, direct.points);
+    }
+
+    #[test]
+    fn hierarchical_sweep_rejects_server_count_overrides() {
+        let mut sweep = ScenarioSweep::over_hierarchy(hier_net(), AggregationOptions::exact());
+        assert!(sweep
+            .run(&[Scenario::new("bad").with_server_counts(vec![1; 7])])
+            .is_err());
+        assert!(sweep
+            .run(&[Scenario::new("bad").scale_stations(vec![1.0])])
             .is_err());
     }
 

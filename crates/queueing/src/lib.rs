@@ -24,6 +24,11 @@
 //!   solver backends one-line swaps in comparison pipelines.
 //! * [`open`] — open Jackson-network analysis (M/M/c tiers) for
 //!   cross-validation and for the "open systems" discussion of Section 7.
+//! * [`hierarchy`] — Norton flow-equivalent-server aggregation: tiered
+//!   topologies expressed as trees of subsystems, each solved in isolation
+//!   and replaced by a load-dependent station in its parent, with exact
+//!   disaggregation back onto the flat stations. Scales the paper's
+//!   twelve-station VINS shape to microservice-size estates.
 //!
 //! The crate deliberately contains **no** varying-service-demand logic: that
 //! is the paper's contribution and lives in `mvasd-core`, which builds on the
@@ -52,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod hierarchy;
 pub mod laws;
 pub mod mva;
 pub mod network;

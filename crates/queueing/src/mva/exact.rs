@@ -79,9 +79,13 @@ impl SolverIter for ExactMvaIter {
         let mut residence = vec![0.0f64; k_count];
         for (k, s) in stations.iter().enumerate() {
             let d = s.demand();
-            residence[k] = match s.kind {
+            // Algorithm 1 ignores declared core counts and rate tables by
+            // design: every non-delay station is a single-server queue.
+            residence[k] = match &s.kind {
                 StationKind::Delay => d,
-                StationKind::Queueing { .. } => d * (1.0 + self.q[k]),
+                StationKind::Queueing { .. } | StationKind::LoadDependent { .. } => {
+                    d * (1.0 + self.q[k])
+                }
             };
         }
         let r_total: f64 = residence.iter().sum();
@@ -96,10 +100,9 @@ impl SolverIter for ExactMvaIter {
             .map(|(k, s)| StationPoint {
                 queue: self.q[k],
                 residence: residence[k],
-                utilization: match s.kind {
-                    StationKind::Queueing { .. } => x * s.demand(),
-                    StationKind::Delay => x * s.demand(),
-                },
+                // All kinds share the single-server traffic-intensity form
+                // here (see the residence computation above).
+                utilization: x * s.demand(),
             })
             .collect();
 

@@ -6,7 +6,7 @@
 //! throughput and cycle time against concurrency, so the whole curve is the
 //! natural output, not just the final point.
 
-mod convolution;
+pub(crate) mod convolution;
 mod exact;
 mod loaddep;
 mod multiclass;

@@ -92,10 +92,18 @@ pub fn multiclass_mva(
         }
     }
     for kind in station_kinds {
-        if let StationKind::Queueing { servers: 0 } = kind {
-            return Err(QueueingError::InvalidParameter {
-                what: "station must have at least one server",
-            });
+        match kind {
+            StationKind::Queueing { servers: 0 } => {
+                return Err(QueueingError::InvalidParameter {
+                    what: "station must have at least one server",
+                });
+            }
+            StationKind::LoadDependent { .. } => {
+                return Err(QueueingError::InvalidParameter {
+                    what: "exact multiclass MVA does not support load-dependent stations",
+                });
+            }
+            _ => {}
         }
     }
 
@@ -112,6 +120,8 @@ pub fn multiclass_mva(
                     dq[ci][k] = c.demands[k] / cc;
                     dd[ci][k] = c.demands[k] * (cc - 1.0) / cc;
                 }
+                // Rejected by the validation above.
+                StationKind::LoadDependent { .. } => unreachable!(),
             }
         }
     }
@@ -205,9 +215,9 @@ pub fn multiclass_mva(
                 .enumerate()
                 .map(|(ci, c)| final_classes[ci].throughput * c.demands[k])
                 .sum();
-            match station_kinds[k] {
-                StationKind::Queueing { servers } => total / servers as f64,
-                StationKind::Delay => total,
+            match station_kinds[k].server_count() {
+                Some(servers) => total / servers as f64,
+                None => total,
             }
         })
         .collect();

@@ -80,10 +80,11 @@ pub(crate) fn conv_stations(net: &ClosedNetwork) -> Vec<ConvStation> {
         .map(|s| ConvStation {
             name: s.name.clone(),
             demand: s.demand(),
-            rate: match s.kind {
+            rate: match &s.kind {
                 StationKind::Delay => RateFunction::Delay,
                 StationKind::Queueing { servers: 1 } => RateFunction::SingleServer,
-                StationKind::Queueing { servers } => RateFunction::MultiServer(servers),
+                StationKind::Queueing { servers } => RateFunction::MultiServer(*servers),
+                StationKind::LoadDependent { rates } => RateFunction::Custom(rates.clone()),
             },
         })
         .collect()
@@ -115,9 +116,11 @@ pub fn multiserver_mva_with_marginals(
     }
     let conv = conv_stations(net);
     let mut limits = vec![0usize; conv.len()];
-    limits[trace_station] = match net.stations()[trace_station].kind {
-        StationKind::Queueing { servers } => servers,
+    limits[trace_station] = match &net.stations()[trace_station].kind {
+        StationKind::Queueing { servers } => *servers,
         StationKind::Delay => 0,
+        // Track the whole occupancy table of an aggregated station.
+        StationKind::LoadDependent { rates } => rates.len(),
     };
     let sol = solve(&conv, net.think_time(), n_max, &limits)?;
     let history = sol.marginals[trace_station].clone();

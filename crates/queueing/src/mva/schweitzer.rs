@@ -66,20 +66,24 @@ impl SchweitzerIter {
             .map(|s| s.name.clone())
             .collect::<Vec<_>>()
             .into();
-        let split = net
-            .stations()
-            .iter()
-            .map(|s| {
-                let d = s.demand();
-                match s.kind {
-                    StationKind::Delay => (0.0, d, false),
-                    StationKind::Queueing { servers } => {
-                        let c = servers as f64;
-                        (d / c, d * (c - 1.0) / c, true)
-                    }
+        let mut split = Vec::with_capacity(net.stations().len());
+        for s in net.stations() {
+            let d = s.demand();
+            split.push(match &s.kind {
+                StationKind::Delay => (0.0, d, false),
+                StationKind::Queueing { servers } => {
+                    let c = *servers as f64;
+                    (d / c, d * (c - 1.0) / c, true)
                 }
-            })
-            .collect();
+                // The Seidmann transform has no analogue for an arbitrary
+                // rate table; aggregated stations need an exact backend.
+                StationKind::LoadDependent { .. } => {
+                    return Err(QueueingError::InvalidParameter {
+                        what: "Schweitzer AMVA does not support load-dependent stations",
+                    })
+                }
+            });
+        }
         let q = vec![0.0f64; net.stations().len()];
         Ok(Self {
             net,
@@ -165,9 +169,11 @@ impl SolverIter for SchweitzerIter {
             .map(|(k, s)| StationPoint {
                 queue: self.q[k],
                 residence: residence[k],
-                utilization: match s.kind {
-                    StationKind::Queueing { servers } => x * s.demand() / servers as f64,
-                    StationKind::Delay => x * s.demand(),
+                // LoadDependent was rejected at construction, so only the
+                // two classic kinds reach this point.
+                utilization: match s.kind.server_count() {
+                    Some(servers) => x * s.demand() / servers as f64,
+                    None => x * s.demand(),
                 },
             })
             .collect();

@@ -83,11 +83,12 @@ impl<S: ClosedSolver + ?Sized> ClosedSolver for Box<S> {
 }
 
 /// Maps a static station description onto the load-dependent rate model.
-fn rate_of(kind: StationKind) -> RateFunction {
+fn rate_of(kind: &StationKind) -> RateFunction {
     match kind {
         StationKind::Queueing { servers: 1 } => RateFunction::SingleServer,
-        StationKind::Queueing { servers } => RateFunction::MultiServer(servers),
+        StationKind::Queueing { servers } => RateFunction::MultiServer(*servers),
         StationKind::Delay => RateFunction::Delay,
+        StationKind::LoadDependent { rates } => RateFunction::Custom(rates.clone()),
     }
 }
 
@@ -169,7 +170,7 @@ impl LoadDependentSolver {
         let stations = net
             .stations()
             .iter()
-            .map(|s| LdStation::new(&s.name, s.demand(), rate_of(s.kind)))
+            .map(|s| LdStation::new(&s.name, s.demand(), rate_of(&s.kind)))
             .collect();
         Self {
             stations,
@@ -217,7 +218,7 @@ impl ClosedSolver for ConvolutionSolver {
             .map(|s| ConvStation {
                 name: s.name.clone(),
                 demand: s.demand(),
-                rate: rate_of(s.kind),
+                rate: rate_of(&s.kind),
             })
             .collect();
         let limits = vec![0usize; stations.len()];

@@ -11,7 +11,7 @@
 use crate::QueueingError;
 
 /// What kind of service a station provides.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StationKind {
     /// FCFS queueing station with `servers` identical servers (paper's
     /// multi-server queue; `servers = 1` is the classic single-server case).
@@ -21,15 +21,39 @@ pub enum StationKind {
     },
     /// Infinite-server (delay) station: no queueing, pure latency.
     Delay,
+    /// Load-dependent station: the service rate is a function of the number
+    /// of customers present. `rates[j-1]` is the speedup factor with `j`
+    /// customers, relative to the station's base service rate (so a plain
+    /// single server is `[1.0, 1.0, …]`); populations beyond the table
+    /// clamp to the last entry. This is the station shape a Norton
+    /// flow-equivalent server produces when a subnetwork is aggregated
+    /// (see the `hierarchy` module).
+    LoadDependent {
+        /// Relative service rates `μ(j)/μ(1)` for `j = 1, 2, …`.
+        rates: Vec<f64>,
+    },
 }
 
 impl StationKind {
-    /// Number of servers; `usize::MAX` conceptually for delay stations, but
-    /// callers should branch on the kind instead.
-    pub fn servers(&self) -> usize {
+    /// The declared server count: `Some(c)` for a queueing station, `None`
+    /// for delay and load-dependent stations, which have no meaningful
+    /// scalar server count. (Replaces the old `servers()` accessor that
+    /// returned a `usize::MAX` sentinel for delay stations.)
+    pub fn server_count(&self) -> Option<usize> {
         match self {
-            StationKind::Queueing { servers } => *servers,
-            StationKind::Delay => usize::MAX,
+            StationKind::Queueing { servers } => Some(*servers),
+            StationKind::Delay | StationKind::LoadDependent { .. } => None,
+        }
+    }
+
+    /// The largest relative service rate the station can reach: `C` for a
+    /// `C`-server queueing station, the table maximum for a load-dependent
+    /// station, and `∞` for a delay station (it never saturates).
+    pub fn max_rate(&self) -> f64 {
+        match self {
+            StationKind::Queueing { servers } => *servers as f64,
+            StationKind::Delay => f64::INFINITY,
+            StationKind::LoadDependent { rates } => rates.iter().copied().fold(0.0, f64::max),
         }
     }
 }
@@ -68,6 +92,18 @@ impl Station {
         }
     }
 
+    /// Convenience constructor for a load-dependent station: `service_time`
+    /// is the base (single-customer) service time and `rates[j-1]` the
+    /// relative speedup with `j` customers present.
+    pub fn load_dependent(name: &str, visits: f64, service_time: f64, rates: Vec<f64>) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: StationKind::LoadDependent { rates },
+            visits,
+            service_time,
+        }
+    }
+
     /// Service demand `D_k = V_k · S_k` (paper eq. 3).
     pub fn demand(&self) -> f64 {
         self.visits * self.service_time
@@ -75,20 +111,37 @@ impl Station {
 
     /// Effective demand for bottleneck analysis: `D_k / C_k` for a
     /// queueing station (a `C`-server station saturates at `C/D_k`),
-    /// `0` for a delay station (it never saturates).
+    /// `D_k / max_j μ(j)` for a load-dependent station, and `0` for a
+    /// delay station (it never saturates).
     pub fn effective_demand(&self) -> f64 {
-        match self.kind {
-            StationKind::Queueing { servers } => self.demand() / servers as f64,
+        match &self.kind {
+            StationKind::Queueing { servers } => self.demand() / *servers as f64,
             StationKind::Delay => 0.0,
+            StationKind::LoadDependent { .. } => self.demand() / self.kind.max_rate(),
         }
     }
 
     fn validate(&self) -> Result<(), QueueingError> {
-        if let StationKind::Queueing { servers } = self.kind {
-            if servers == 0 {
-                return Err(QueueingError::InvalidParameter {
-                    what: "station must have at least one server",
-                });
+        match &self.kind {
+            StationKind::Queueing { servers } => {
+                if *servers == 0 {
+                    return Err(QueueingError::InvalidParameter {
+                        what: "station must have at least one server",
+                    });
+                }
+            }
+            StationKind::Delay => {}
+            StationKind::LoadDependent { rates } => {
+                if rates.is_empty() {
+                    return Err(QueueingError::InvalidParameter {
+                        what: "load-dependent rate table must be non-empty",
+                    });
+                }
+                if !rates.iter().all(|r| r.is_finite() && *r > 0.0) {
+                    return Err(QueueingError::InvalidParameter {
+                        what: "load-dependent rates must be finite and > 0",
+                    });
+                }
             }
         }
         if !(self.visits.is_finite() && self.visits >= 0.0) {
@@ -328,5 +381,36 @@ mod tests {
         // Batch (no terminals) workloads have Z = 0.
         let n = ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, 0.1)], 0.0).unwrap();
         assert_eq!(n.think_time(), 0.0);
+    }
+
+    #[test]
+    fn server_count_is_typed_not_sentinel() {
+        assert_eq!(StationKind::Queueing { servers: 4 }.server_count(), Some(4));
+        assert_eq!(StationKind::Delay.server_count(), None);
+        assert_eq!(
+            StationKind::LoadDependent { rates: vec![1.0] }.server_count(),
+            None
+        );
+    }
+
+    #[test]
+    fn load_dependent_station_validates_and_reports_rates() {
+        let s = Station::load_dependent("fes", 1.0, 0.01, vec![1.0, 1.8, 2.4]);
+        assert!((s.kind.max_rate() - 2.4).abs() < 1e-15);
+        assert!((s.effective_demand() - 0.01 / 2.4).abs() < 1e-15);
+        let net = ClosedNetwork::new(vec![s], 1.0).unwrap();
+        assert_eq!(net.stations().len(), 1);
+
+        let empty = Station::load_dependent("e", 1.0, 0.01, vec![]);
+        assert!(ClosedNetwork::new(vec![empty], 1.0).is_err());
+        let bad = Station::load_dependent("b", 1.0, 0.01, vec![1.0, 0.0]);
+        assert!(ClosedNetwork::new(vec![bad], 1.0).is_err());
+        let nan = Station::load_dependent("n", 1.0, 0.01, vec![f64::NAN]);
+        assert!(ClosedNetwork::new(vec![nan], 1.0).is_err());
+    }
+
+    #[test]
+    fn delay_station_never_saturates() {
+        assert_eq!(StationKind::Delay.max_rate(), f64::INFINITY);
     }
 }

@@ -64,7 +64,7 @@ pub fn solve_open(net: &ClosedNetwork, lambda: f64) -> Result<OpenSolution, Queu
             });
             continue;
         }
-        let metrics = match s.kind {
+        let metrics = match &s.kind {
             StationKind::Delay => OpenStationMetrics {
                 name: s.name.clone(),
                 utilization: lambda * d,
@@ -74,19 +74,26 @@ pub fn solve_open(net: &ClosedNetwork, lambda: f64) -> Result<OpenSolution, Queu
             StationKind::Queueing { servers } => {
                 // Station-level arrival rate λ_k = λ·V_k; per-visit service
                 // time S_k. Stability: λ·D_k < C_k.
-                if lambda * d >= servers as f64 {
+                if lambda * d >= *servers as f64 {
                     return Err(QueueingError::Unstable {
                         station: s.name.clone(),
                     });
                 }
                 let lam_k = lambda * s.visits;
-                let m = mmc(servers, lam_k, 1.0 / s.service_time)?;
+                let m = mmc(*servers, lam_k, 1.0 / s.service_time)?;
                 OpenStationMetrics {
                     name: s.name.clone(),
                     utilization: m.utilization,
                     residence: s.visits * m.sojourn,
                     queue: m.num_in_system,
                 }
+            }
+            // Jackson decomposition here is M/M/C-based; an arbitrary rate
+            // table has no matching closed form.
+            StationKind::LoadDependent { .. } => {
+                return Err(QueueingError::InvalidParameter {
+                    what: "open model does not support load-dependent stations",
+                })
             }
         };
         response += metrics.residence;

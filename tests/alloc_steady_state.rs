@@ -10,7 +10,11 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mvasd_suite::queueing::hierarchy::{
+    AggregationOptions, HierarchicalNetwork, HierarchicalWorkspace, Subsystem,
+};
 use mvasd_suite::queueing::mva::{ConvWorkspace, LdStation, RateFunction};
+use mvasd_suite::queueing::network::Station;
 
 /// Counts every allocator entry point; deallocation is uncounted (freeing
 /// is fine in steady state, allocating is not).
@@ -79,6 +83,51 @@ fn workspace_steady_state_allocates_nothing() {
         after - before,
         0,
         "steady-state advance allocated {} times",
+        after - before
+    );
+
+    // The hierarchical aggregation engine inherits the same contract:
+    // after `reserve` pre-extends every subsystem profile (and rebuilds
+    // the parent once), per-step aggregation + disaggregation is
+    // allocation-free.
+    let tier = |name: &str, cpu: f64, disk: f64| {
+        Subsystem::new(
+            name,
+            vec![
+                Station::queueing(&format!("{name}-cpu"), 2, 1.0, cpu).into(),
+                Station::queueing(&format!("{name}-disk"), 1, 1.0, disk).into(),
+            ],
+        )
+        .into()
+    };
+    let net = HierarchicalNetwork::new(
+        vec![
+            Station::queueing("lb", 1, 1.0, 0.002).into(),
+            tier("app", 0.010, 0.004),
+            tier("db", 0.016, 0.007),
+        ],
+        0.5,
+    )
+    .unwrap();
+    let mut hws = HierarchicalWorkspace::new(&net, AggregationOptions::exact(), None).unwrap();
+    hws.reserve(400).unwrap();
+    for _ in 0..150 {
+        hws.advance().unwrap();
+    }
+    let mut hsink = 0.0f64;
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..200 {
+        hws.advance().unwrap();
+        hsink += hws.throughput() + hws.leaf_queues()[0];
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(hsink.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "hierarchical steady-state advance allocated {} times",
         after - before
     );
 }

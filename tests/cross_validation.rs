@@ -7,6 +7,9 @@ use mvasd_suite::core::profile::{
 };
 use mvasd_suite::core::solver::{MvasdSchweitzerSolver, MvasdSingleServerSolver, MvasdSolver};
 use mvasd_suite::numerics::erlang::{machine_repair, mmc};
+use mvasd_suite::queueing::hierarchy::{
+    HierarchicalNetwork, HierarchicalSolver, NetworkNode, Subsystem,
+};
 use mvasd_suite::queueing::mva::{
     exact_mva, load_dependent_mva, multiserver_mva, schweitzer_mva, ClosedSolver,
     ConvolutionSolver, ExactMvaSolver, LdStation, LoadDependentSolver, MultiserverMvaSolver,
@@ -204,11 +207,24 @@ fn every_closed_solver_agrees_with_exact_mva_through_the_trait() {
     )
     .unwrap();
 
+    // The same model expressed hierarchically: station "b" wrapped in a
+    // subsystem, aggregated through a Norton flow-equivalent server. Its
+    // flat projection is identical, so it joins the exact family.
+    let hier = HierarchicalNetwork::new(
+        vec![
+            Station::queueing("a", 1, 1.0, 0.01).into(),
+            Subsystem::new("sub", vec![Station::queueing("b", 1, 1.0, 0.016).into()]).into(),
+        ],
+        0.5,
+    )
+    .unwrap();
+
     let exact_family: Vec<Box<dyn ClosedSolver>> = vec![
         Box::new(ExactMvaSolver::new(net.clone())),
         Box::new(MultiserverMvaSolver::new(net.clone())),
         Box::new(LoadDependentSolver::from_network(&net)),
         Box::new(ConvolutionSolver::new(net.clone())),
+        Box::new(HierarchicalSolver::new(hier)),
         Box::new(MvasdSolver::new(profile.clone())),
         Box::new(MvasdSingleServerSolver::new(profile.clone())),
     ];
@@ -254,8 +270,8 @@ fn every_closed_solver_agrees_with_exact_mva_through_the_trait() {
 
 #[test]
 fn sim_solver_joins_the_trait_family_statistically() {
-    // The ninth `ClosedSolver`: the DES estimator, held to a sampling band
-    // rather than the analytic 1e-9.
+    // The DES estimator behind the same `ClosedSolver` trait, held to a
+    // sampling band rather than the analytic 1e-9.
     use mvasd_suite::testbed::solver::SimSolver;
 
     let net = ClosedNetwork::new(vec![Station::queueing("s", 1, 1.0, 0.02)], 0.5).unwrap();
@@ -287,6 +303,112 @@ fn sim_solver_joins_the_trait_family_statistically() {
             "DES X at {i}: {} vs {}",
             sol.at(i).unwrap().throughput,
             reference.at(i).unwrap().throughput
+        );
+    }
+}
+
+/// One VINS tier: its name plus four (station, servers, demand) members.
+type TierSpec = (&'static str, [(&'static str, usize, f64); 4]);
+
+#[test]
+fn hierarchical_vins_vs_simulator() {
+    // The paper's twelve-station VINS shape, expressed as three tier
+    // subsystems and solved through Norton aggregation, must agree with
+    // the discrete-event simulator run on the *flat* network — the two
+    // estimates triangulate through entirely different machinery (FES
+    // substitution + convolution vs event-by-event sampling).
+    let tiers: [TierSpec; 3] = [
+        (
+            "load",
+            [
+                ("cpu", 16, 0.004),
+                ("disk", 1, 0.0085),
+                ("tx", 1, 0.0012),
+                ("rx", 1, 0.0018),
+            ],
+        ),
+        (
+            "app",
+            [
+                ("cpu", 16, 0.012),
+                ("disk", 1, 0.0022),
+                ("tx", 1, 0.0015),
+                ("rx", 1, 0.0015),
+            ],
+        ),
+        (
+            "db",
+            [
+                ("cpu", 16, 0.055),
+                ("disk", 1, 0.0098),
+                ("tx", 1, 0.0014),
+                ("rx", 1, 0.0012),
+            ],
+        ),
+    ];
+    let z = 1.0;
+    let n = 60usize;
+
+    let nodes: Vec<NetworkNode> = tiers
+        .iter()
+        .map(|(tier, members)| {
+            Subsystem::new(
+                tier,
+                members
+                    .iter()
+                    .map(|&(part, c, d)| {
+                        Station::queueing(&format!("{tier}-{part}"), c, 1.0, d).into()
+                    })
+                    .collect(),
+            )
+            .into()
+        })
+        .collect();
+    let net = HierarchicalNetwork::new(nodes, z).unwrap();
+    let aggregated = HierarchicalSolver::new(net.clone()).solve(n).unwrap();
+
+    let sim_net = SimNetwork::new(
+        net.flatten()
+            .stations()
+            .iter()
+            .map(|s| SimStation::queueing(&s.name, s.kind.server_count().unwrap(), s.service_time))
+            .collect(),
+        Distribution::Exponential { mean: z },
+    )
+    .unwrap();
+    let sim = Simulation::new(
+        sim_net,
+        SimConfig {
+            customers: n,
+            horizon: 2500.0,
+            warmup: 500.0,
+            seed: 99,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+
+    let a = aggregated.last();
+    assert!(
+        rel(sim.system.throughput, a.throughput) < 0.03,
+        "X: sim {} vs hierarchical {}",
+        sim.system.throughput,
+        a.throughput
+    );
+    assert!(
+        rel(sim.system.mean_response, a.response) < 0.06,
+        "R: sim {} vs hierarchical {}",
+        sim.system.mean_response,
+        a.response
+    );
+    for (k, (ss, sa)) in sim.stations.iter().zip(a.stations.iter()).enumerate() {
+        assert!(
+            (ss.utilization - sa.utilization).abs() < 0.03,
+            "station {k} utilization: sim {} vs hierarchical {}",
+            ss.utilization,
+            sa.utilization
         );
     }
 }

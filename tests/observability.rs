@@ -13,7 +13,12 @@ use mvasd_suite::core::profile::{DemandAxis, DemandSamples, InterpolationKind};
 use mvasd_suite::core::solver::MvasdSolver;
 use mvasd_suite::core::sweep::{Scenario, ScenarioSweep, SweepStats};
 use mvasd_suite::obsv;
+use mvasd_suite::queueing::hierarchy::{
+    AggregationOptions, HierarchicalNetwork, HierarchicalSolver, NetworkNode, ProfileCache,
+    Subsystem,
+};
 use mvasd_suite::queueing::mva::{run_until, ClosedSolver, StopCondition};
+use mvasd_suite::queueing::network::Station;
 use mvasd_suite::testbed::apps::{vins, AppModel};
 
 /// Serializes tests that touch the global recorder slot.
@@ -135,6 +140,8 @@ fn sweep_cache_metrics_land_in_collector_snapshot() {
             steps_demanded: 480,
             cache_hits: 2,
             cache_misses: 2,
+            sub_solves: 0,
+            sub_cache_hits: 0,
         }
     );
     assert_eq!(stats.steps_saved(), 240);
@@ -161,6 +168,95 @@ fn sweep_cache_metrics_land_in_collector_snapshot() {
     assert_eq!(snap.spans_named("sweep.run"), 2);
     // The cold run swept two models of 120 steps each.
     assert_eq!(snap.counter("solver.steps"), 240);
+}
+
+/// The hierarchical aggregation layer is observable end to end: isolation
+/// solves, profile-cache hits, profile growth, and per-subsystem spans all
+/// land in the collector — and, as everywhere else, recorders observe
+/// without perturbing a single bit of the numerics.
+#[test]
+fn aggregation_metrics_land_in_collector_snapshot() {
+    let _guard = lock();
+    let tier = |name: &str, cpu: f64, disk: f64| {
+        NetworkNode::from(Subsystem::new(
+            name,
+            vec![
+                Station::queueing(&format!("{name}-cpu"), 4, 1.0, cpu).into(),
+                Station::queueing(&format!("{name}-disk"), 1, 1.0, disk).into(),
+            ],
+        ))
+    };
+    let net = HierarchicalNetwork::new(
+        vec![
+            Station::queueing("lb", 1, 1.0, 0.002).into(),
+            tier("app-1", 0.010, 0.004),
+            tier("app-2", 0.010, 0.004), // same shape as app-1 → one cache hit
+            tier("db", 0.016, 0.007),
+        ],
+        0.5,
+    )
+    .expect("hierarchical model");
+
+    // Bit-identity first: aggregation is pure floating point, recorders
+    // (and the shared profile cache) only ever observe.
+    let bare = HierarchicalSolver::new(net.clone())
+        .solve(60)
+        .expect("uninstrumented solve");
+    let noop = {
+        let _scope = obsv::scoped(Arc::new(obsv::NoopRecorder));
+        HierarchicalSolver::new(net.clone())
+            .solve(60)
+            .expect("instrumented solve")
+    };
+    assert_eq!(bare, noop);
+
+    let collector = Arc::new(obsv::Collector::new());
+    let _scope = obsv::scoped(collector.clone());
+    let cache = Arc::new(ProfileCache::new());
+    let collected = HierarchicalSolver::new(net.clone())
+        .with_cache(cache.clone())
+        .solve(60)
+        .expect("collected solve");
+    assert_eq!(bare, collected);
+
+    let snap = collector.snapshot();
+    let stats = cache.stats();
+    // Three subsystems, two distinct shapes: two isolation solves, one hit.
+    assert_eq!(stats.solves, 2);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(snap.counter("aggregation.solves"), stats.solves);
+    assert_eq!(snap.counter("aggregation.cache_hits"), stats.hits);
+    // Every subsystem's throughput profile covers populations 1..=60.
+    assert!(
+        snap.counter("aggregation.profile_len") >= 3 * 60,
+        "only {} profile entries recorded",
+        snap.counter("aggregation.profile_len")
+    );
+    assert!(
+        snap.spans_named("aggregation.subsystem") >= 3,
+        "each subsystem isolation solve opens at least one span"
+    );
+    assert_eq!(snap.spans_named("hierarchy.step"), 60);
+    assert_eq!(snap.counter("solver.steps"), 60);
+
+    // Second-level memoization in sweeps is observable too: two scenarios
+    // over the same topology (one rescaled) re-solve every distinct
+    // subsystem shape per scenario, and the counters mirror `SweepStats`.
+    let mut sweep = ScenarioSweep::over_hierarchy(net, AggregationOptions::exact()).default_cap(40);
+    let scenarios = [
+        Scenario::new("baseline"),
+        Scenario::new("tuned").scale_demands(0.9),
+    ];
+    sweep.run(&scenarios).expect("hierarchical sweep");
+    let sw = sweep.stats();
+    assert_eq!(sw.sub_solves, 4);
+    assert_eq!(sw.sub_cache_hits, 2);
+    let snap = collector.snapshot();
+    assert_eq!(snap.counter("sweep.sub_solves"), sw.sub_solves as u64);
+    assert_eq!(
+        snap.counter("sweep.sub_cache_hits"),
+        sw.sub_cache_hits as u64
+    );
 }
 
 /// Streamed queries report which stop condition fired and how many steps

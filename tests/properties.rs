@@ -14,7 +14,10 @@ use mvasd_suite::numerics::interp::{
 };
 use mvasd_suite::numerics::propcheck::{check, Config, Gen};
 use mvasd_suite::queueing::bounds::{response_bounds, throughput_bounds};
-use mvasd_suite::queueing::mva::multiserver_mva;
+use mvasd_suite::queueing::hierarchy::{
+    HierarchicalNetwork, HierarchicalSolver, NetworkNode, Subsystem,
+};
+use mvasd_suite::queueing::mva::{multiserver_mva, ClosedSolver, MultiserverMvaSolver};
 use mvasd_suite::queueing::network::{ClosedNetwork, Station};
 
 fn cfg() -> Config {
@@ -109,6 +112,74 @@ fn mvasd_invariants_with_falling_demands() {
             assert!(p.stations[0].utilization <= 1.0 + 1e-9);
         }
     });
+}
+
+/// A random hierarchical topology: 0–2 root stations plus 2–4 subsystems
+/// of 1–3 leaves each (multi-server queues, occasionally a delay leaf
+/// alongside a queueing one).
+fn gen_hierarchy(g: &mut Gen) -> HierarchicalNetwork {
+    let mut nodes: Vec<NetworkNode> = Vec::new();
+    for i in 0..g.usize_in(0, 2) {
+        let c = *g.choose(&[1usize, 2, 4]);
+        nodes.push(Station::queueing(&format!("root{i}"), c, 1.0, g.f64_in(0.001, 0.02)).into());
+    }
+    for s in 0..g.usize_in(2, 4) {
+        let leaves = g.usize_in(1, 3);
+        let mut children: Vec<NetworkNode> = (0..leaves)
+            .map(|l| {
+                let c = *g.choose(&[1usize, 2, 4, 8]);
+                let d = g.f64_in(0.001, 0.05);
+                NetworkNode::from(Station::queueing(&format!("t{s}-{l}"), c, 1.0, d))
+            })
+            .collect();
+        if g.usize_in(0, 3) == 0 {
+            children
+                .push(Station::delay(&format!("t{s}-lan"), 1.0, g.f64_in(0.0005, 0.005)).into());
+        }
+        nodes.push(Subsystem::new(&format!("tier{s}"), children).into());
+    }
+    HierarchicalNetwork::new(nodes, g.f64_in(0.0, 2.0)).expect("generated parameters are valid")
+}
+
+#[test]
+fn norton_aggregation_is_exact_for_random_topologies() {
+    check(
+        "norton_aggregation_is_exact_for_random_topologies",
+        &cfg(),
+        |g| {
+            let net = gen_hierarchy(g);
+            let n_max = g.usize_in(1, 60);
+            let flat = MultiserverMvaSolver::new(net.flatten())
+                .solve(n_max)
+                .unwrap();
+            let hier = HierarchicalSolver::new(net).solve(n_max).unwrap();
+            assert_eq!(&flat.station_names[..], &hier.station_names[..]);
+            // Norton flow-equivalent aggregation is exact for product-form
+            // networks: every shared population must agree to 1e-9.
+            for (pf, ph) in flat.points.iter().zip(hier.points.iter()) {
+                let rx = (pf.throughput - ph.throughput).abs() / pf.throughput.abs().max(1e-300);
+                assert!(rx <= 1e-9, "n={}: X rel err {rx}", pf.n);
+                let rc = (pf.cycle_time - ph.cycle_time).abs() / pf.cycle_time.abs().max(1e-300);
+                assert!(rc <= 1e-9, "n={}: cycle rel err {rc}", pf.n);
+                for (k, (sf, sh)) in pf.stations.iter().zip(ph.stations.iter()).enumerate() {
+                    assert!(
+                        (sf.queue - sh.queue).abs() <= 1e-6 * sf.queue.abs().max(1.0),
+                        "n={} station {k}: queue {} vs {}",
+                        pf.n,
+                        sf.queue,
+                        sh.queue
+                    );
+                    assert!(
+                        (sf.utilization - sh.utilization).abs() <= 1e-6,
+                        "n={} station {k}: util {} vs {}",
+                        pf.n,
+                        sf.utilization,
+                        sh.utilization
+                    );
+                }
+            }
+        },
+    );
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Cross-backend streaming guarantees: every solver in the workspace —
-//! the five static MVA solvers, the three MVASD variants, and the
-//! discrete-event estimator — exposes a resumable population iterator
+//! the five static MVA solvers, the three MVASD variants, the
+//! hierarchical Norton-aggregation solver, and the discrete-event
+//! estimator — exposes a resumable population iterator
 //! whose stream is bit-for-bit the batch solution, survives
 //! snapshot/restore mid-sweep, and treats `n_max = 0` as an empty (but
 //! validated) sweep. Also proves the early-exit and warm-restart savings
@@ -12,6 +13,7 @@ use mvasd_suite::core::profile::{
 use mvasd_suite::core::solver::{MvasdSchweitzerSolver, MvasdSingleServerSolver, MvasdSolver};
 use mvasd_suite::core::sweep::{Scenario, ScenarioSweep};
 use mvasd_suite::numerics::propcheck::{check, Config, Gen};
+use mvasd_suite::queueing::hierarchy::{HierarchicalNetwork, HierarchicalSolver, Subsystem};
 use mvasd_suite::queueing::mva::{
     load_dependent_mva, run_until, ClosedSolver, ConvWorkspace, ConvolutionSolver, ExactMvaSolver,
     LdStation, LoadDependentSolver, MultiserverMvaSolver, RateFunction, SchweitzerSolver,
@@ -66,7 +68,28 @@ fn sim_solver() -> SimSolver {
     )
 }
 
-/// All nine backends, each paired with a population depth that keeps the
+/// The streaming `network()` topology with its cpu+disk pair wrapped in a
+/// subsystem, so the hierarchical backend streams through a Norton
+/// flow-equivalent server while exposing the same leaves.
+fn hierarchical_network() -> HierarchicalNetwork {
+    HierarchicalNetwork::new(
+        vec![
+            Subsystem::new(
+                "svc",
+                vec![
+                    Station::queueing("cpu", 4, 1.0, 0.020).into(),
+                    Station::queueing("disk", 1, 1.0, 0.012).into(),
+                ],
+            )
+            .into(),
+            Station::delay("lan", 1.0, 0.004).into(),
+        ],
+        1.0,
+    )
+    .unwrap()
+}
+
+/// All ten backends, each paired with a population depth that keeps the
 /// suite fast (the DES backend runs one simulation per step).
 fn all_backends() -> Vec<(Box<dyn ClosedSolver>, usize)> {
     let net = network();
@@ -82,12 +105,16 @@ fn all_backends() -> Vec<(Box<dyn ClosedSolver>, usize)> {
         (Box::new(MvasdSolver::new(profile())), 60),
         (Box::new(MvasdSingleServerSolver::new(profile())), 60),
         (Box::new(MvasdSchweitzerSolver::new(profile())), 60),
+        (
+            Box::new(HierarchicalSolver::new(hierarchical_network())),
+            60,
+        ),
         (Box::new(sim_solver()), 6),
     ]
 }
 
 #[test]
-fn streaming_equals_batch_for_all_nine_backends() {
+fn streaming_equals_batch_for_all_ten_backends() {
     for (solver, depth) in all_backends() {
         let batch = solver.solve(depth).unwrap();
         assert_eq!(batch.points.len(), depth, "{}", solver.name());
