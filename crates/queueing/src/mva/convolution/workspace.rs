@@ -113,7 +113,7 @@ impl Grid {
 /// Log-sum-exp of two log-domain values, `−∞`-safe and subtraction-free in
 /// the linear domain: `hi + ln(1 + exp(lo − hi))`.
 #[inline]
-fn lse2(a: f64, b: f64) -> f64 {
+pub(crate) fn lse2(a: f64, b: f64) -> f64 {
     if a == f64::NEG_INFINITY {
         return b;
     }

@@ -1,0 +1,614 @@
+//! The Method-of-Moments multiclass backend.
+//!
+//! Casale's *Multi-Branched Method of Moments* (see PAPERS.md) solves
+//! closed multiclass product-form networks through recurrences on
+//! normalizing constants and their first queue moments instead of the
+//! Arrival-Theorem lattice recursion. This module implements that
+//! moment-identity family directly, in the log domain:
+//!
+//! * **Normalizing constants.** With the Seidmann split folding every
+//!   delay part into a per-class extended think `z_c = Z_c + Σ_k dd_{c,k}`,
+//!   the model is an IS station plus PS queueing stations, and the
+//!   station-by-station convolution
+//!   `G_r(n⃗) = G_{r−1}(n⃗) + Σ_c dq_{c,r} · G_r(n⃗ − e_c)` runs **in place**
+//!   over one lattice array in lexicographic order (the shifted cells are
+//!   already upgraded to `G_r` when a point is reached), seeded by the IS
+//!   factor `G_0(n⃗) = Π_c z_c^{n_c} / n_c!`.
+//! * **First moments.** Mean queue lengths come from the moment recurrence
+//!   `h_{c,k}(n⃗) = dq_{c,k} · (G(n⃗ − e_c) + H_k(n⃗ − e_c))` with
+//!   `H_k = Σ_c h_{c,k}`, derived from the PS factor identity
+//!   `m_c · P_k(m⃗) = |m⃗| · dq_{c,k} · P_k(m⃗ − e_c)`; then
+//!   `Q_{c,k}(n⃗) = h_{c,k}(n⃗) / G(n⃗)` plus the Seidmann delay part
+//!   `X_c · dd_{c,k}`.
+//! * **Outputs.** `X_c = G(N⃗ − e_c) / G(N⃗)` and `R_c = N_c/X_c − Z_c`
+//!   (exact per-class Little), so the backend shares *no arithmetic* with
+//!   the Arrival-Theorem faces — agreement to ≤1e-8 (root
+//!   cross-validation suite) is a genuine independent check, not a
+//!   tautology.
+//!
+//! Scope note: this is the moment-recurrence core underlying MoM, not
+//! Casale's full matrix-basis reduction (which batch-solves many
+//! population shifts through structured linear systems; our hermetic
+//! `numerics` seeds carry only banded solvers, so that reduction stays on
+//! the roadmap). Complexity is the same `O(C · K · Π (N_c + 1))` as the
+//! lattice oracle, but the precompute is a one-shot: after it, streaming a
+//! path point costs `O(C · K)` reads — and the carried state is plain
+//! normalizing constants, `K×` smaller than the oracle's queue lattice.
+//!
+//! Everything runs in the log domain through the compensated `lse2` from
+//! the convolution workspace; raw `exp`/`ln` appear only at the model
+//! boundary (demand/think intake, output extraction) on annotated lines.
+
+use std::sync::Arc;
+
+use crate::mva::convolution::workspace::lse2;
+use crate::QueueingError;
+use mvasd_obsv as obsv;
+
+use super::{
+    aggregate_mva_point, assemble_class_point, empty_solution, lattice_dims, lattice_size,
+    lattice_strides, solution_from_point, split_demands, ClosedSolver, MulticlassPoint,
+    MulticlassSolution, MulticlassStepper, StepOutputs, Workload,
+};
+use crate::mva::stepping::{MvaPoint, SolverIter};
+
+/// Streaming face of the Method-of-Moments backend: the normalizing
+/// constants and queue moments are precomputed over the population lattice
+/// once at [`MomIter::new`]; each step then walks the proportional path
+/// reading off `G`-ratios — `O(C · K)` per point.
+#[derive(Debug, Clone)]
+pub struct MomIter {
+    workload: Workload,
+    path: Arc<[usize]>,
+    step_idx: usize,
+    k_count: usize,
+    nclasses: usize,
+    strides: Vec<usize>,
+    think: Vec<f64>,
+    dd: Vec<f64>,
+    demands: Vec<f64>,
+    util_div: Vec<f64>,
+    /// `ln G(n⃗)` over the full lattice (all stations convolved).
+    ln_g: Vec<f64>,
+    /// `ln h_{c,k}(n⃗)`, flat `idx * C*K + c*K + k`.
+    ln_h: Vec<f64>,
+    /// Current per-class populations along the path.
+    pops: Vec<usize>,
+    // Pre-sized per-step output buffers (StepOutputs shape).
+    xs: Vec<f64>,
+    rs: Vec<f64>,
+    res: Vec<f64>,
+    out_q: Vec<f64>,
+    out_cq: Vec<f64>,
+    out_util: Vec<f64>,
+}
+
+impl MomIter {
+    /// Precomputes the normalizing-constant and moment lattices for the
+    /// workload, then stands at the empty population.
+    pub fn new(workload: &Workload) -> Result<Self, QueueingError> {
+        let _span = obsv::span("mom.precompute");
+        let classes = workload.classes();
+        let kinds = workload.station_kinds();
+        let k_count = kinds.len();
+        let nclasses = classes.len();
+        let ck = nclasses * k_count;
+        let (dq, dd) = split_demands(classes, kinds);
+
+        let dims = lattice_dims(classes);
+        // Floats carried per lattice point: G, the C·K moment cells, and
+        // the K running H_k sums.
+        let lattice = lattice_size(&dims, 1 + ck + k_count)?;
+        let strides = lattice_strides(&dims);
+
+        // Extended per-class think: Z_c plus every Seidmann delay part.
+        let zd: Vec<f64> = classes
+            .iter()
+            .enumerate()
+            .map(|(c, spec)| {
+                let delay: f64 = dd[c * k_count..(c + 1) * k_count].iter().sum();
+                spec.think_time + delay
+            })
+            .collect();
+
+        // ln(dq) and per-class IS factor tables
+        // `ln(z_c^j / j!) = j·ln z_c − ln j!`.
+        let ln_dq: Vec<f64> = dq
+            .iter()
+            // lint: log-domain-ok boundary: demand intake into the log domain
+            .map(|d| if *d > 0.0 { d.ln() } else { f64::NEG_INFINITY })
+            .collect();
+        let max_dim = dims.iter().copied().max().unwrap_or(1);
+        let mut ln_fact = vec![0.0f64; max_dim];
+        for j in 2..max_dim {
+            // lint: log-domain-ok boundary: factorial table for the IS factor
+            ln_fact[j] = ln_fact[j - 1] + (j as f64).ln();
+        }
+        let ln_zd_pow: Vec<Vec<f64>> = zd
+            .iter()
+            .zip(&dims)
+            .map(|(z, &dim)| {
+                (0..dim)
+                    .map(|j| {
+                        if j == 0 {
+                            0.0
+                        } else if *z > 0.0 {
+                            // lint: log-domain-ok boundary: think intake into the log domain
+                            j as f64 * z.ln() - ln_fact[j]
+                        } else {
+                            f64::NEG_INFINITY
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Seed with the IS factor, walking the lattice with an incremental
+        // mixed-radix population counter.
+        let mut ln_g = vec![0.0f64; lattice];
+        let mut pops = vec![0usize; nclasses];
+        for cell in ln_g.iter_mut() {
+            let mut acc = 0.0;
+            for c in 0..nclasses {
+                acc += ln_zd_pow[c][pops[c]];
+            }
+            *cell = acc;
+            bump_counter(&mut pops, &dims);
+        }
+
+        // Convolve each queueing station in: in-place ascending pass per
+        // station (shifted cells are already G_r when a point is reached).
+        let mut iterations = 0u64;
+        for k in 0..k_count {
+            if (0..nclasses).all(|c| dq[c * k_count + k] <= 0.0) {
+                continue;
+            }
+            pops.fill(0);
+            for idx in 0..lattice {
+                let mut acc = ln_g[idx];
+                for c in 0..nclasses {
+                    if pops[c] > 0 && dq[c * k_count + k] > 0.0 {
+                        acc = lse2(acc, ln_dq[c * k_count + k] + ln_g[idx - strides[c]]);
+                        iterations += 1;
+                    }
+                }
+                ln_g[idx] = acc;
+                bump_counter(&mut pops, &dims);
+            }
+        }
+
+        // Moment pass over the completed G: one ascending sweep fills
+        // h_{c,k} and the per-station totals H_k together.
+        let mut ln_h = vec![f64::NEG_INFINITY; lattice * ck];
+        let mut ln_bigh = vec![f64::NEG_INFINITY; lattice * k_count];
+        pops.fill(0);
+        for idx in 0..lattice {
+            for k in 0..k_count {
+                let mut total = f64::NEG_INFINITY;
+                for c in 0..nclasses {
+                    if pops[c] > 0 && dq[c * k_count + k] > 0.0 {
+                        let prev = idx - strides[c];
+                        let cell =
+                            ln_dq[c * k_count + k] + lse2(ln_g[prev], ln_bigh[prev * k_count + k]);
+                        ln_h[idx * ck + c * k_count + k] = cell;
+                        total = lse2(total, cell);
+                        iterations += 1;
+                    }
+                }
+                ln_bigh[idx * k_count + k] = total;
+            }
+            bump_counter(&mut pops, &dims);
+        }
+        obsv::counter("mom.iterations", iterations);
+
+        let demands = classes
+            .iter()
+            .flat_map(|c| c.demands.iter().copied())
+            .collect();
+        let util_div = kinds
+            .iter()
+            .map(|kind| kind.server_count().unwrap_or(1) as f64)
+            .collect();
+        let path: Arc<[usize]> = workload.proportional_path().into();
+        Ok(Self {
+            workload: workload.clone(),
+            path,
+            step_idx: 0,
+            k_count,
+            nclasses,
+            strides,
+            think: classes.iter().map(|c| c.think_time).collect(),
+            dd,
+            demands,
+            util_div,
+            ln_g,
+            ln_h,
+            pops: vec![0; nclasses],
+            xs: vec![0.0; nclasses],
+            rs: vec![0.0; nclasses],
+            res: vec![0.0; ck],
+            out_q: vec![0.0; k_count],
+            out_cq: vec![0.0; ck],
+            out_util: vec![0.0; k_count],
+        })
+    }
+
+    /// The population path being walked.
+    pub fn path(&self) -> &[usize] {
+        &self.path
+    }
+
+    /// Current per-class populations.
+    pub fn populations(&self) -> &[usize] {
+        &self.pops
+    }
+
+    fn advance_one(&mut self) -> Result<(), QueueingError> {
+        let _span = obsv::span("multiclass.step");
+        let class = *self
+            .path
+            .get(self.step_idx)
+            .ok_or(QueueingError::InvalidParameter {
+                what: "population path exhausted: all class targets reached",
+            })?;
+        self.pops[class] += 1;
+        self.step_idx += 1;
+        self.refresh_outputs();
+        obsv::counter("solver.steps", 1);
+        obsv::counter("multiclass.steps", 1);
+        Ok(())
+    }
+
+    /// Reads the current population vector's metrics off the precomputed
+    /// lattices into the step-output buffers.
+    fn refresh_outputs(&mut self) {
+        let k_count = self.k_count;
+        let ck = self.nclasses * k_count;
+        let mut idx = 0usize;
+        for c in 0..self.nclasses {
+            idx += self.pops[c] * self.strides[c];
+        }
+        let ln_g_here = self.ln_g[idx];
+        for c in 0..self.nclasses {
+            if self.pops[c] == 0 {
+                self.xs[c] = 0.0;
+                self.rs[c] = 0.0;
+                continue;
+            }
+            let prev = idx - self.strides[c];
+            // lint: log-domain-ok boundary: throughput extraction X_c = G(N−e_c)/G(N)
+            self.xs[c] = (self.ln_g[prev] - ln_g_here).exp();
+            self.rs[c] = self.pops[c] as f64 / self.xs[c] - self.think[c];
+        }
+        for k in 0..k_count {
+            let mut qk = 0.0;
+            let mut util = 0.0;
+            for c in 0..self.nclasses {
+                let cell = self.ln_h[idx * ck + c * k_count + k];
+                // lint: log-domain-ok boundary: queue extraction Q = h/G
+                let ps_queue = (cell - ln_g_here).exp();
+                let queue = ps_queue + self.xs[c] * self.dd[c * k_count + k];
+                self.out_cq[c * k_count + k] = queue;
+                self.res[c * k_count + k] = if self.pops[c] > 0 {
+                    queue / self.xs[c]
+                } else {
+                    0.0
+                };
+                qk += queue;
+                util += self.xs[c] * self.demands[c * k_count + k];
+            }
+            self.out_q[k] = qk;
+            self.out_util[k] = util / self.util_div[k];
+        }
+    }
+
+    fn outputs(&self) -> StepOutputs<'_> {
+        StepOutputs {
+            populations: &self.pops,
+            xs: &self.xs,
+            rs: &self.rs,
+            res: &self.res,
+            queues: &self.out_q,
+            class_queues: &self.out_cq,
+            utilizations: &self.out_util,
+            think: &self.think,
+        }
+    }
+}
+
+/// Mixed-radix increment of a population counter (class 0 fastest) —
+/// pairs each lattice index with its population vector during the sweeps.
+fn bump_counter(pops: &mut [usize], dims: &[usize]) {
+    for (p, d) in pops.iter_mut().zip(dims) {
+        *p += 1;
+        if *p < *d {
+            return;
+        }
+        *p = 0;
+    }
+}
+
+impl MulticlassStepper for MomIter {
+    fn step_classes(&mut self) -> Result<MulticlassPoint, QueueingError> {
+        self.advance_one()?;
+        Ok(assemble_class_point(&self.outputs(), self.step_idx))
+    }
+
+    fn steps_done(&self) -> usize {
+        self.step_idx
+    }
+
+    fn steps_total(&self) -> usize {
+        self.path.len()
+    }
+}
+
+impl SolverIter for MomIter {
+    fn station_names(&self) -> &[String] {
+        self.workload.station_names()
+    }
+
+    fn shared_names(&self) -> Arc<[String]> {
+        self.workload.shared_names()
+    }
+
+    fn population(&self) -> usize {
+        self.step_idx
+    }
+
+    fn step(&mut self) -> Result<MvaPoint, QueueingError> {
+        self.advance_one()?;
+        Ok(aggregate_mva_point(&self.outputs(), self.step_idx))
+    }
+
+    fn boxed_clone(&self) -> Box<dyn SolverIter> {
+        Box::new(self.clone())
+    }
+}
+
+/// The Method-of-Moments backend behind the unified [`ClosedSolver`]
+/// interface (`"multiclass-mom"`). Exact for the same model class as
+/// [`super::multiclass_mva`]; independent arithmetic (normalizing-constant
+/// recurrences, not the Arrival Theorem).
+#[derive(Debug, Clone)]
+pub struct MomSolver {
+    workload: Workload,
+}
+
+impl MomSolver {
+    /// Binds the solver to a workload.
+    pub fn new(workload: Workload) -> Self {
+        Self { workload }
+    }
+
+    /// Starts the class-aware streaming face.
+    pub fn start_classes(&self) -> Result<MomIter, QueueingError> {
+        MomIter::new(&self.workload)
+    }
+
+    /// Solves at the full population vector, returning the batch
+    /// [`MulticlassSolution`] shape (the [`super::multiclass_mva`]
+    /// contract).
+    pub fn solve_classes(&self) -> Result<MulticlassSolution, QueueingError> {
+        let mut iter = self.start_classes()?;
+        let mut last: Option<MulticlassPoint> = None;
+        while iter.steps_done() < iter.steps_total() {
+            last = Some(iter.step_classes()?);
+        }
+        Ok(match last {
+            Some(p) => solution_from_point(&self.workload, &p),
+            None => empty_solution(&self.workload),
+        })
+    }
+}
+
+impl ClosedSolver for MomSolver {
+    fn name(&self) -> &str {
+        "multiclass-mom"
+    }
+
+    fn start(&self) -> Result<Box<dyn SolverIter>, QueueingError> {
+        Ok(Box::new(MomIter::new(&self.workload)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{multiclass_mva, ClassSpec};
+    use super::*;
+    use crate::network::StationKind;
+
+    fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+        assert!((a - b).abs() <= tol, "{what}: {a} vs {b}");
+    }
+
+    fn check_against_oracle(w: &Workload, tol: f64) {
+        let mom = MomSolver::new(w.clone()).solve_classes().expect("mom");
+        let oracle = multiclass_mva(w.classes(), w.station_kinds()).expect("oracle");
+        for (m, o) in mom.classes.iter().zip(&oracle.classes) {
+            assert_close(m.throughput, o.throughput, tol, "throughput");
+            assert_close(m.response, o.response, tol, "response");
+        }
+        for (m, o) in mom.station_queues.iter().zip(&oracle.station_queues) {
+            assert_close(*m, *o, tol, "queue");
+        }
+        for (m, o) in mom
+            .station_utilizations
+            .iter()
+            .zip(&oracle.station_utilizations)
+        {
+            assert_close(*m, *o, tol, "utilization");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_a_three_class_mix() {
+        let w = Workload::new(
+            vec!["cpu".into(), "disk".into(), "lan".into()],
+            vec![
+                StationKind::Queueing { servers: 4 },
+                StationKind::Queueing { servers: 1 },
+                StationKind::Delay,
+            ],
+            vec![
+                ClassSpec {
+                    name: "a".into(),
+                    population: 6,
+                    think_time: 1.0,
+                    demands: vec![0.020, 0.012, 0.004],
+                },
+                ClassSpec {
+                    name: "b".into(),
+                    population: 4,
+                    think_time: 2.0,
+                    demands: vec![0.006, 0.002, 0.004],
+                },
+                ClassSpec {
+                    name: "c".into(),
+                    population: 5,
+                    think_time: 0.1,
+                    demands: vec![0.010, 0.001, 0.001],
+                },
+            ],
+        )
+        .expect("workload");
+        check_against_oracle(&w, 1e-10);
+    }
+
+    #[test]
+    fn matches_oracle_with_zero_think_time() {
+        let w = Workload::new(
+            vec!["q1".into(), "q2".into()],
+            vec![
+                StationKind::Queueing { servers: 1 },
+                StationKind::Queueing { servers: 1 },
+            ],
+            vec![
+                ClassSpec {
+                    name: "a".into(),
+                    population: 7,
+                    think_time: 0.0,
+                    demands: vec![0.03, 0.01],
+                },
+                ClassSpec {
+                    name: "b".into(),
+                    population: 3,
+                    think_time: 0.0,
+                    demands: vec![0.005, 0.04],
+                },
+            ],
+        )
+        .expect("workload");
+        check_against_oracle(&w, 1e-10);
+    }
+
+    #[test]
+    fn matches_single_class_machine_repair() {
+        // Single PS queue + think = machine repair; MoM against the
+        // closed-form Erlang solution.
+        let w = Workload::new(
+            vec!["st".into()],
+            vec![StationKind::Queueing { servers: 1 }],
+            vec![ClassSpec {
+                name: "only".into(),
+                population: 15,
+                think_time: 1.0,
+                demands: vec![0.25],
+            }],
+        )
+        .expect("workload");
+        let mom = MomSolver::new(w).solve_classes().expect("mom");
+        let (x_exact, q_exact) =
+            mvasd_numerics::erlang::machine_repair(15, 1, 0.25, 1.0).expect("closed form");
+        assert_close(mom.classes[0].throughput, x_exact, 1e-10, "throughput");
+        assert_close(mom.station_queues[0], q_exact, 1e-9, "queue");
+    }
+
+    #[test]
+    fn streaming_prefixes_match_partial_oracle_solves() {
+        let w = Workload::new(
+            vec!["cpu".into(), "disk".into()],
+            vec![
+                StationKind::Queueing { servers: 2 },
+                StationKind::Queueing { servers: 1 },
+            ],
+            vec![
+                ClassSpec {
+                    name: "a".into(),
+                    population: 4,
+                    think_time: 0.5,
+                    demands: vec![0.02, 0.01],
+                },
+                ClassSpec {
+                    name: "b".into(),
+                    population: 4,
+                    think_time: 1.0,
+                    demands: vec![0.004, 0.03],
+                },
+            ],
+        )
+        .expect("workload");
+        let mut iter = MomIter::new(&w).expect("iter");
+        let mut pops = vec![0usize; 2];
+        for t in 0..w.total_population() {
+            let class = iter.path()[t];
+            pops[class] += 1;
+            let point = iter.step_classes().expect("step");
+            let partial: Vec<ClassSpec> = w
+                .classes()
+                .iter()
+                .zip(&pops)
+                .map(|(c, &p)| ClassSpec {
+                    population: p,
+                    ..c.clone()
+                })
+                .collect();
+            let oracle = multiclass_mva(&partial, w.station_kinds()).expect("oracle");
+            for (cp, om) in point.classes.iter().zip(&oracle.classes) {
+                assert_close(cp.throughput, om.throughput, 1e-10, "prefix throughput");
+                assert_close(cp.response, om.response, 1e-9, "prefix response");
+            }
+            for (a, b) in point.station_queues.iter().zip(&oracle.station_queues) {
+                assert_close(*a, *b, 1e-9, "prefix queue");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_population_stays_finite_in_log_domain() {
+        // 300 customers through a near-saturated queue: the naive linear
+        // normalizing constant underflows; the log domain must not.
+        let w = Workload::new(
+            vec!["cpu".into()],
+            vec![StationKind::Queueing { servers: 1 }],
+            vec![ClassSpec {
+                name: "deep".into(),
+                population: 300,
+                think_time: 1.0,
+                demands: vec![0.08],
+            }],
+        )
+        .expect("workload");
+        let mom = MomSolver::new(w).solve_classes().expect("mom");
+        assert!(mom.classes[0].throughput.is_finite());
+        // Saturation: X → 1/D = 12.5.
+        assert!(mom.classes[0].throughput > 12.0);
+    }
+
+    #[test]
+    fn refuses_oversized_moment_lattices() {
+        let huge = ClassSpec {
+            name: "h".into(),
+            population: 4000,
+            think_time: 1.0,
+            demands: vec![0.01],
+        };
+        let w = Workload::new(
+            vec!["q".into()],
+            vec![StationKind::Queueing { servers: 1 }],
+            vec![huge.clone(), huge.clone(), huge],
+        )
+        .expect("workload");
+        assert!(MomIter::new(&w).is_err());
+    }
+}

@@ -1,61 +1,24 @@
-//! Exact multiclass MVA (extension beyond the paper).
+//! The full-lattice multiclass recursion — the from-scratch oracle.
 //!
-//! The paper restricts itself to "single class models wherein the customers
-//! are assumed to be indistinguishable from one another" (Section 5.1). Real
-//! load tests mix workflows — e.g. VINS' Registration vs Renew-Policy users
-//! — so the suite ships the exact multiclass recursion as an extension: the
-//! population recursion runs over the full lattice of class-population
-//! vectors, applying the multiclass Arrival Theorem
-//! `R_{c,k}(n⃗) = D_{c,k} · (1 + Q_k(n⃗ − e_c))`.
-//!
-//! Complexity is `O(K · Π_c (N_c + 1))`; the solver refuses lattices above a
-//! safety cap rather than exhausting memory.
+//! [`multiclass_mva`] solves the whole population lattice in one call:
+//! every population vector `n⃗ ≤ N⃗` in lexicographic index order, applying
+//! the multiclass Arrival Theorem
+//! `R_{c,k}(n⃗) = D_{c,k} · (1 + Q_k(n⃗ − e_c))` at each point. It rebuilds
+//! its arrays per call, which is exactly why the carried
+//! [`super::MulticlassWorkspace`] exists — but the one-shot form stays as
+//! the oracle the workspace and the Method-of-Moments backend are checked
+//! against (bit-for-bit and ≤1e-8 respectively), and as the baseline the
+//! `multiclass` bench measures the carried workspace's speedup over.
 
 use crate::network::StationKind;
 use crate::QueueingError;
 
-/// One customer class: its population, think time, and per-station demands.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ClassSpec {
-    /// Class label, e.g. `"renew-policy"`.
-    pub name: String,
-    /// Number of customers of this class, `N_c`.
-    pub population: usize,
-    /// Class think time `Z_c`.
-    pub think_time: f64,
-    /// Service demand of this class at each station, `D_{c,k}` (same station
-    /// order across classes).
-    pub demands: Vec<f64>,
-}
+use super::{
+    lattice_dims, lattice_size, lattice_strides, split_demands, validate_classes, ClassMetrics,
+    ClassSpec, MulticlassSolution,
+};
 
-/// Per-class results at the full population.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ClassMetrics {
-    /// Class label.
-    pub name: String,
-    /// Class throughput `X_c`.
-    pub throughput: f64,
-    /// Class response time `R_c` (excluding think time).
-    pub response: f64,
-}
-
-/// Solution of the multiclass model at the full population vector.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MulticlassSolution {
-    /// Per-class throughput/response.
-    pub classes: Vec<ClassMetrics>,
-    /// Mean total queue length per station (all classes).
-    pub station_queues: Vec<f64>,
-    /// Per-station total utilization `Σ_c X_c · D_{c,k}` (divided by server
-    /// count for multi-server stations).
-    pub station_utilizations: Vec<f64>,
-}
-
-/// Maximum number of lattice points the solver will allocate (`K` floats
-/// each). 16 M points ≈ 128 MB·K/8 — generous but bounded.
-const MAX_LATTICE: usize = 16_000_000;
-
-/// Runs exact multiclass MVA.
+/// Runs exact multiclass MVA over the full population lattice.
 ///
 /// `station_kinds` gives the discipline per station (shared by all classes).
 /// Multi-server queueing stations are handled with the demand-normalization
@@ -65,95 +28,35 @@ pub fn multiclass_mva(
     classes: &[ClassSpec],
     station_kinds: &[StationKind],
 ) -> Result<MulticlassSolution, QueueingError> {
-    if classes.is_empty() {
-        return Err(QueueingError::InvalidParameter {
-            what: "need at least one class",
-        });
-    }
+    validate_classes(classes, station_kinds)?;
     let k_count = station_kinds.len();
-    if k_count == 0 {
-        return Err(QueueingError::EmptyNetwork);
-    }
-    for c in classes {
-        if c.demands.len() != k_count {
-            return Err(QueueingError::InvalidParameter {
-                what: "every class must give one demand per station",
-            });
-        }
-        if c.demands.iter().any(|d| !(d.is_finite() && *d >= 0.0)) {
-            return Err(QueueingError::InvalidParameter {
-                what: "demands must be finite and >= 0",
-            });
-        }
-        if !(c.think_time.is_finite() && c.think_time >= 0.0) {
-            return Err(QueueingError::InvalidParameter {
-                what: "think time must be finite and >= 0",
-            });
-        }
-    }
-    for kind in station_kinds {
-        match kind {
-            StationKind::Queueing { servers: 0 } => {
-                return Err(QueueingError::InvalidParameter {
-                    what: "station must have at least one server",
-                });
-            }
-            StationKind::LoadDependent { .. } => {
-                return Err(QueueingError::InvalidParameter {
-                    what: "exact multiclass MVA does not support load-dependent stations",
-                });
-            }
-            _ => {}
-        }
-    }
-
-    // Seidmann-style split per (class, station): queueing part + delay part.
     let nclasses = classes.len();
-    let mut dq = vec![vec![0.0f64; k_count]; nclasses];
-    let mut dd = vec![vec![0.0f64; k_count]; nclasses];
-    for (ci, c) in classes.iter().enumerate() {
-        for (k, kind) in station_kinds.iter().enumerate() {
-            match kind {
-                StationKind::Delay => dd[ci][k] = c.demands[k],
-                StationKind::Queueing { servers } => {
-                    let cc = *servers as f64;
-                    dq[ci][k] = c.demands[k] / cc;
-                    dd[ci][k] = c.demands[k] * (cc - 1.0) / cc;
-                }
-                // Rejected by the validation above.
-                StationKind::LoadDependent { .. } => unreachable!(),
-            }
-        }
-    }
+
+    // Seidmann-style split per (class, station): queueing part + delay part,
+    // flat `c * K + k`.
+    let (dq, dd) = split_demands(classes, station_kinds);
 
     // Mixed-radix lattice over populations 0..=N_c.
-    let dims: Vec<usize> = classes.iter().map(|c| c.population + 1).collect();
-    let lattice: usize = dims
-        .iter()
-        .try_fold(1usize, |acc, &d| {
-            acc.checked_mul(d).filter(|&v| v <= MAX_LATTICE)
-        })
-        .ok_or(QueueingError::InvalidParameter {
-            what: "population lattice too large for exact multiclass MVA",
-        })?;
+    let dims = lattice_dims(classes);
+    let lattice = lattice_size(&dims, 1)?;
+    let strides = lattice_strides(&dims);
 
-    let strides: Vec<usize> = {
-        let mut s = vec![1usize; nclasses];
-        for i in 1..nclasses {
-            s[i] = s[i - 1] * dims[i - 1];
-        }
-        s
-    };
-
-    // Q[idx * K + k]: total queue length at station k for population vector
-    // `idx`. Processed in lexicographic index order, which visits n⃗ − e_c
-    // (a strictly smaller index) before n⃗.
+    // Q[idx * K + k]: queue length at station k for population vector `idx`,
+    // *queueing parts only* — the Seidmann delay parts are pure IS terms that
+    // never feed the Arrival Theorem (that keeps the split model exactly
+    // product-form, which is what makes the MoM backend's ≤1e-8 agreement an
+    // honest cross-check). Processed in lexicographic index order, which
+    // visits n⃗ − e_c (a strictly smaller index) before n⃗.
     let mut q = vec![0.0f64; lattice * k_count];
     let mut final_classes = Vec::with_capacity(nclasses);
     let mut final_x = vec![0.0f64; nclasses];
     let mut final_r = vec![0.0f64; nclasses];
 
     let mut pops = vec![0usize; nclasses];
+    // Hoisted out of the lattice loop: one pre-sized pair of per-class
+    // scratch buffers instead of two fresh `Vec`s per lattice index.
+    let mut xs = vec![0.0f64; nclasses];
+    let mut rs = vec![0.0f64; nclasses];
     for idx in 1..lattice {
         // Decode index -> population vector.
         {
@@ -163,8 +66,8 @@ pub fn multiclass_mva(
                 rem /= dims[c];
             }
         }
-        let mut xs = vec![0.0f64; nclasses];
-        let mut rs = vec![0.0f64; nclasses];
+        xs.fill(0.0);
+        rs.fill(0.0);
         for ci in 0..nclasses {
             if pops[ci] == 0 {
                 continue;
@@ -173,12 +76,12 @@ pub fn multiclass_mva(
             let mut r_c = 0.0;
             for k in 0..k_count {
                 let q_prev = q[prev_idx * k_count + k];
-                r_c += dq[ci][k] * (1.0 + q_prev) + dd[ci][k];
+                r_c += dq[ci * k_count + k] * (1.0 + q_prev) + dd[ci * k_count + k];
             }
             rs[ci] = r_c;
             xs[ci] = pops[ci] as f64 / (r_c + classes[ci].think_time);
         }
-        // Q_k(n⃗) = Σ_c X_c · (residence of class c at k).
+        // Q_k(n⃗) = Σ_c X_c · (queueing-part residence of class c at k).
         for k in 0..k_count {
             let mut qk = 0.0;
             for ci in 0..nclasses {
@@ -187,14 +90,13 @@ pub fn multiclass_mva(
                 }
                 let prev_idx = idx - strides[ci];
                 let q_prev = q[prev_idx * k_count + k];
-                let res = dq[ci][k] * (1.0 + q_prev) + dd[ci][k];
-                qk += xs[ci] * res;
+                qk += xs[ci] * (dq[ci * k_count + k] * (1.0 + q_prev));
             }
             q[idx * k_count + k] = qk;
         }
         if idx == lattice - 1 {
-            final_x = xs;
-            final_r = rs;
+            final_x.copy_from_slice(&xs);
+            final_r.copy_from_slice(&rs);
         }
     }
 
@@ -207,7 +109,17 @@ pub fn multiclass_mva(
             response: if c.population == 0 { 0.0 } else { final_r[ci] },
         });
     }
-    let station_queues: Vec<f64> = (0..k_count).map(|k| q[full_idx * k_count + k]).collect();
+    // Reported station queues add back the Seidmann delay-part customers
+    // (`X_c · dd_{c,k}`) so they count everyone *at* the station.
+    let station_queues: Vec<f64> = (0..k_count)
+        .map(|k| {
+            let mut delay = 0.0;
+            for ci in 0..nclasses {
+                delay += final_x[ci] * dd[ci * k_count + k];
+            }
+            q[full_idx * k_count + k] + delay
+        })
+        .collect();
     let station_utilizations: Vec<f64> = (0..k_count)
         .map(|k| {
             let total: f64 = classes

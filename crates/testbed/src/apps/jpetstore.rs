@@ -16,8 +16,10 @@
 //!   peak;
 //! * Section 8 uses Chebyshev Nodes over `[a, b] = [1, 300]`.
 
-use super::{three_tier_stations, AppModel};
+use super::{three_tier_stations, AppModel, ClassMix};
 use crate::demand::DemandCurve;
+use crate::TestbedError;
+use mvasd_queueing::mva::Workload;
 
 /// Concurrency levels of the paper's JPetStore campaign.
 pub const STANDARD_LEVELS: [u64; 7] = [1, 14, 28, 70, 140, 168, 210];
@@ -79,6 +81,56 @@ pub fn model() -> AppModel {
     }
 }
 
+/// The three-class JPetStore traffic mix: catalogue browsing, checkout,
+/// and a storefront API class.
+///
+/// * `browse` — catalogue searches over the 2 M-item inventory: DB-CPU
+///   heavy like the calibrated workflow but nearly write-free on the DB
+///   disk; human pacing (think 2 s);
+/// * `checkout` — cart + order placement: order writes push the DB disk
+///   *above* the calibrated workflow while query CPU drops a little;
+///   think 1 s;
+/// * `api` — lightweight stock/price lookups with minimal think time.
+///
+/// Demands are the app curves evaluated at concurrency `total`, so the
+/// contention rise on `db-cpu` past ≈ 155 users is felt by every class.
+pub fn workload_mix(total: usize) -> Result<Workload, TestbedError> {
+    let app = model();
+    let mix = [
+        ClassMix {
+            name: "browse".into(),
+            fraction: 0.6,
+            think_time: 2.0,
+            station_factors: vec![
+                0.90, 0.70, 0.90, 0.90, // load
+                1.00, 0.60, 1.00, 1.00, // app: full page rendering
+                1.00, 0.20, 0.90, 0.90, // db: query CPU, no order writes
+            ],
+        },
+        ClassMix {
+            name: "checkout".into(),
+            fraction: 0.25,
+            think_time: THINK_TIME,
+            station_factors: vec![
+                1.00, 1.00, 1.00, 1.00, // load
+                1.10, 1.00, 1.00, 1.00, // app: cart/session logic
+                0.80, 1.60, 1.00, 1.00, // db: order writes hit the disk
+            ],
+        },
+        ClassMix {
+            name: "api".into(),
+            fraction: 0.15,
+            think_time: 0.1,
+            station_factors: vec![
+                0.20, 0.15, 0.25, 0.25, // load
+                0.25, 0.15, 0.30, 0.30, // app
+                0.30, 0.10, 0.25, 0.25, // db
+            ],
+        },
+    ];
+    app.workload_at(total, total as f64, &mix)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +168,23 @@ mod tests {
         let d140 = app.stations[8].curve.at(140.0);
         let d210 = app.stations[8].curve.at(210.0);
         assert!(d210 > d140 * 1.03, "d140 {d140}, d210 {d210}");
+    }
+
+    #[test]
+    fn workload_mix_encodes_class_asymmetry() {
+        let w = workload_mix(140).unwrap();
+        assert_eq!(w.total_population(), 140);
+        let pops: Vec<usize> = w.classes().iter().map(|c| c.population).collect();
+        assert_eq!(pops.iter().sum::<usize>(), 140);
+        assert_eq!(pops, vec![84, 35, 21]); // 0.6 / 0.25 / 0.15 of 140
+        let base = model().demands_at(140.0);
+        let browse = &w.classes()[0];
+        let checkout = &w.classes()[1];
+        // Checkout writes push the DB disk past the calibrated demand;
+        // browse barely touches it.
+        assert!(checkout.demands[9] > base[9]);
+        assert!(browse.demands[9] < 0.3 * base[9]);
+        assert_eq!(browse.think_time, 2.0);
     }
 
     #[test]

@@ -15,7 +15,8 @@ pub mod vins;
 
 use crate::demand::DemandCurve;
 use crate::TestbedError;
-use mvasd_queueing::network::{ClosedNetwork, Station};
+use mvasd_queueing::mva::{ClassSpec, Workload};
+use mvasd_queueing::network::{ClosedNetwork, Station, StationKind};
 use mvasd_simnet::{ContentionModel, Distribution, SimNetwork, SimStation};
 
 /// One hardware resource of one server tier.
@@ -52,6 +53,22 @@ impl AppStation {
         self.contention = Some(c);
         self
     }
+}
+
+/// One customer class of a multiclass traffic mix over an [`AppModel`]: a
+/// share of the total population, its own think time, and per-station
+/// demand multipliers applied to the app's demand curves (1.0 = "visits
+/// this resource exactly like the calibrated workflow").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMix {
+    /// Class label, e.g. `"browse"`.
+    pub name: String,
+    /// Share of the total population (normalized across the mix).
+    pub fraction: f64,
+    /// Class think time (seconds).
+    pub think_time: f64,
+    /// Per-station demand multipliers, app station order.
+    pub station_factors: Vec<f64>,
 }
 
 /// A deployed multi-tier application, ready to be load-tested.
@@ -172,6 +189,107 @@ impl AppModel {
         let s = &self.stations[i];
         s.servers as f64 / s.curve.base
     }
+
+    /// A multiclass [`Workload`] over this app's stations: `total` customers
+    /// split across the `mix` classes by largest-remainder apportionment of
+    /// the (normalized) fractions, with each class demand being the app's
+    /// demand curve evaluated at concurrency `n` times the class's
+    /// per-station factor.
+    ///
+    /// Ties in the apportionment remainders go to the lowest class index, so
+    /// the split is deterministic. Classes may end up with population 0 for
+    /// small `total`; they still shape the model (they simply contribute no
+    /// customers).
+    pub fn workload_at(
+        &self,
+        total: usize,
+        n: f64,
+        mix: &[ClassMix],
+    ) -> Result<Workload, TestbedError> {
+        self.validate()?;
+        if mix.is_empty() {
+            return Err(TestbedError::InvalidParameter {
+                what: "workload mix must have at least one class",
+            });
+        }
+        let mut fraction_sum = 0.0;
+        for class in mix {
+            if !(class.fraction.is_finite() && class.fraction >= 0.0) {
+                return Err(TestbedError::InvalidParameter {
+                    what: "class fraction must be finite and >= 0",
+                });
+            }
+            if !(class.think_time.is_finite() && class.think_time >= 0.0) {
+                return Err(TestbedError::InvalidParameter {
+                    what: "class think time must be finite and >= 0",
+                });
+            }
+            if class.station_factors.len() != self.stations.len() {
+                return Err(TestbedError::InvalidParameter {
+                    what: "class station factors must match the station count",
+                });
+            }
+            if class
+                .station_factors
+                .iter()
+                .any(|f| !(f.is_finite() && *f >= 0.0))
+            {
+                return Err(TestbedError::InvalidParameter {
+                    what: "class station factors must be finite and >= 0",
+                });
+            }
+            fraction_sum += class.fraction;
+        }
+        // Each fraction is already finite and >= 0, so the sum is finite.
+        if fraction_sum <= 0.0 {
+            return Err(TestbedError::InvalidParameter {
+                what: "class fractions must sum to a positive value",
+            });
+        }
+
+        // Largest-remainder apportionment: floors first, then hand out the
+        // leftover customers to the largest fractional parts (ties to the
+        // lowest index for determinism).
+        let quotas: Vec<f64> = mix
+            .iter()
+            .map(|c| total as f64 * c.fraction / fraction_sum)
+            .collect();
+        let mut pops: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+        let assigned: usize = pops.iter().sum();
+        let mut order: Vec<usize> = (0..mix.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = quotas[a] - quotas[a].floor();
+            let rb = quotas[b] - quotas[b].floor();
+            rb.partial_cmp(&ra)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for &i in order.iter().take(total.saturating_sub(assigned)) {
+            pops[i] += 1;
+        }
+
+        let base = self.demands_at(n);
+        let kinds: Vec<StationKind> = self
+            .stations
+            .iter()
+            .map(|s| StationKind::Queueing { servers: s.servers })
+            .collect();
+        let classes: Vec<ClassSpec> = mix
+            .iter()
+            .zip(pops)
+            .map(|(c, population)| ClassSpec {
+                name: c.name.clone(),
+                population,
+                think_time: c.think_time,
+                demands: base
+                    .iter()
+                    .zip(&c.station_factors)
+                    .map(|(d, f)| d * f)
+                    .collect(),
+            })
+            .collect();
+        Ok(Workload::new(self.station_names(), kinds, classes)?)
+    }
 }
 
 /// Builds the canonical 12-station, 3-tier station list of paper Fig. 2.
@@ -255,6 +373,74 @@ mod tests {
         assert_eq!(st[11].name, "db-net-rx");
         assert_eq!(st[4].servers, 16);
         assert_eq!(st[5].servers, 1);
+    }
+
+    fn tiny_mix() -> Vec<ClassMix> {
+        vec![
+            ClassMix {
+                name: "a".into(),
+                fraction: 2.0,
+                think_time: 1.0,
+                station_factors: vec![1.0, 1.0],
+            },
+            ClassMix {
+                name: "b".into(),
+                fraction: 1.0,
+                think_time: 0.5,
+                station_factors: vec![0.5, 2.0],
+            },
+        ]
+    }
+
+    #[test]
+    fn workload_at_apportions_by_largest_remainder() {
+        let app = tiny_app();
+        // 2:1 split of 10 → quotas 6.67/3.33 → floors 6/3 → leftover goes
+        // to the largest remainder (class 0).
+        let w = app.workload_at(10, 50.0, &tiny_mix()).unwrap();
+        let pops: Vec<usize> = w.classes().iter().map(|c| c.population).collect();
+        assert_eq!(pops, vec![7, 3]);
+        assert_eq!(w.total_population(), 10);
+        // Demands = curve(50) × factor, stations keep their server counts.
+        let base = app.demands_at(50.0);
+        assert!((w.classes()[1].demands[0] - 0.5 * base[0]).abs() < 1e-15);
+        assert!((w.classes()[1].demands[1] - 2.0 * base[1]).abs() < 1e-15);
+        assert_eq!(
+            w.station_kinds()[0],
+            mvasd_queueing::network::StationKind::Queueing { servers: 4 }
+        );
+    }
+
+    #[test]
+    fn workload_at_remainder_ties_go_to_the_lowest_index() {
+        let app = tiny_app();
+        let mut mix = tiny_mix();
+        mix[0].fraction = 1.0; // equal shares, odd total → tie at 0.5
+        let w = app.workload_at(5, 10.0, &mix).unwrap();
+        let pops: Vec<usize> = w.classes().iter().map(|c| c.population).collect();
+        assert_eq!(pops, vec![3, 2]);
+    }
+
+    #[test]
+    fn workload_at_rejects_bad_mixes() {
+        let app = tiny_app();
+        assert!(app.workload_at(10, 10.0, &[]).is_err());
+        let mut mix = tiny_mix();
+        mix[0].fraction = -0.1;
+        assert!(app.workload_at(10, 10.0, &mix).is_err());
+        let mut mix = tiny_mix();
+        mix[0].fraction = 0.0;
+        mix[1].fraction = 0.0;
+        assert!(app.workload_at(10, 10.0, &mix).is_err());
+        let mut mix = tiny_mix();
+        mix[1].station_factors.pop();
+        assert!(app.workload_at(10, 10.0, &mix).is_err());
+        let mut mix = tiny_mix();
+        mix[1].station_factors[0] = f64::NAN;
+        assert!(app.workload_at(10, 10.0, &mix).is_err());
+        let mut mix = tiny_mix();
+        mix[0].think_time = -1.0;
+        assert!(app.workload_at(10, 10.0, &mix).is_err());
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! * Fig. 5/10: demands fall noticeably over the first couple hundred
 //!   users (α = 10–25 %, τ ≈ 50–80).
 
-use super::{three_tier_stations, AppModel};
+use super::{three_tier_stations, AppModel, ClassMix};
 use crate::demand::DemandCurve;
+use crate::TestbedError;
+use mvasd_queueing::mva::Workload;
 
 /// Concurrency levels of the paper's VINS campaign (1 → 1500; the paper's
 /// MVA·i labels include `MVA 203`, so 203 is one of the sampled levels).
@@ -79,6 +81,53 @@ pub fn model() -> AppModel {
     }
 }
 
+/// The three-class VINS traffic mix: the calibrated Renew Policy workflow
+/// plus a read-mostly browse class and a lightweight API/status class.
+///
+/// * `renew` — the paper's workflow unchanged (factors all 1.0), half the
+///   population, think 1 s;
+/// * `browse` — policy lookups: read-mostly, so the write-heavy disks
+///   (`load-disk` logging, `db-disk` policy writes) shrink hardest while
+///   CPU work stays closer to baseline; slower human pacing (think 2 s);
+/// * `api` — machine-to-machine status checks: tiny per-request demands
+///   everywhere but nearly no think time (0.1 s), so the class still
+///   pushes load.
+///
+/// Demands are the app curves evaluated at concurrency `total` (the mix is
+/// a fixed-population model, so the curve level and the population agree).
+pub fn workload_mix(total: usize) -> Result<Workload, TestbedError> {
+    let app = model();
+    let mix = [
+        ClassMix {
+            name: "renew".into(),
+            fraction: 0.5,
+            think_time: THINK_TIME,
+            station_factors: vec![1.0; 12],
+        },
+        ClassMix {
+            name: "browse".into(),
+            fraction: 0.3,
+            think_time: 2.0,
+            station_factors: vec![
+                0.80, 0.40, 0.70, 0.70, // load: less logging
+                0.85, 0.60, 0.90, 0.90, // app: mostly render work
+                0.75, 0.35, 0.80, 0.80, // db: reads, few policy writes
+            ],
+        },
+        ClassMix {
+            name: "api".into(),
+            fraction: 0.2,
+            think_time: 0.1,
+            station_factors: vec![
+                0.25, 0.15, 0.30, 0.30, // load
+                0.30, 0.20, 0.35, 0.35, // app
+                0.30, 0.20, 0.30, 0.30, // db
+            ],
+        },
+    ];
+    app.workload_at(total, total as f64, &mix)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +182,23 @@ mod tests {
         assert!(STANDARD_LEVELS.windows(2).all(|w| w[0] < w[1]));
         assert!(STANDARD_LEVELS.contains(&203));
         assert_eq!(*STANDARD_LEVELS.last().unwrap(), 1500);
+    }
+
+    #[test]
+    fn workload_mix_splits_the_population_deterministically() {
+        let w = workload_mix(54).unwrap();
+        assert_eq!(w.classes().len(), 3);
+        assert_eq!(w.total_population(), 54);
+        let pops: Vec<usize> = w.classes().iter().map(|c| c.population).collect();
+        assert_eq!(pops, vec![27, 16, 11]); // 0.5 / 0.3 / 0.2 of 54
+        assert_eq!(w.classes()[0].name, "renew");
+        // The renew class carries the unscaled calibrated demands.
+        let base = model().demands_at(54.0);
+        for (a, b) in w.classes()[0].demands.iter().zip(&base) {
+            assert!((a - b).abs() < 1e-15);
+        }
+        // Browse is read-mostly: its db-disk demand shrinks hardest there.
+        assert!(w.classes()[1].demands[9] < 0.5 * base[9]);
     }
 
     #[test]

@@ -2,105 +2,143 @@
 //!
 //! The paper analyzes the VINS *Renew Policy* workflow alone ("we make use
 //! of single class models wherein the customers are assumed to be
-//! indistinguishable"). Real deployments mix workflows: policy renewals are
-//! heavy (database writes, premium computation) while policy look-ups are
-//! light reads. The exact multiclass MVA extension answers questions the
-//! single-class model cannot: how does adding read-only traffic change
-//! renewal latency?
+//! indistinguishable"). Real deployments mix workflows: policy renewals
+//! are heavy (database writes, premium computation), policy look-ups are
+//! light reads, and API traffic hammers the system with almost no think
+//! time. The class-aware streaming core answers questions the single-class
+//! model cannot: *which* class breaks its SLA first as load ramps, and at
+//! what mix?
+//!
+//! The workload streams along a population path through the class lattice
+//! (one customer per step, classes interleaved proportionally), so SLA
+//! checks run per class at every step and the sweep stops the moment the
+//! first ceiling is crossed — no full-lattice solve needed.
 //!
 //! ```sh
 //! cargo run --release --example workload_mix
 //! ```
 
-use mvasd_suite::queueing::mva::{multiclass_mva, ClassSpec};
-use mvasd_suite::queueing::network::StationKind;
+use mvasd_suite::queueing::mva::{
+    run_until_classes, ClassStopReason, MomSolver, MulticlassIter, MulticlassStepper, StopCondition,
+};
 use mvasd_suite::testbed::apps::vins;
 
 fn main() {
-    let app = vins::model();
-    // Station kinds from the calibrated VINS model (16-core CPUs etc.).
-    let kinds: Vec<StationKind> = app
-        .stations
-        .iter()
-        .map(|s| StationKind::Queueing { servers: s.servers })
-        .collect();
-
-    // Renew Policy: the calibrated demands at a warm operating point.
-    let renew_demands = app.demands_at(200.0);
-    // Read Policy Details: mostly cache hits — 30 % of the CPU work, 15 %
-    // of the disk work, same network footprint.
-    let read_demands: Vec<f64> = app
-        .stations
-        .iter()
-        .zip(renew_demands.iter())
-        .map(|(s, &d)| {
-            if s.name.ends_with("cpu") {
-                d * 0.30
-            } else if s.name.ends_with("disk") {
-                d * 0.15
-            } else {
-                d
-            }
-        })
-        .collect();
-
-    println!("How does read-only traffic affect 120 renewal users?\n");
+    // The calibrated three-class VINS mix (renew / browse / api) at a
+    // total population of 150 users.
+    let workload = vins::workload_mix(150).expect("workload");
+    let names: Vec<&str> = workload.classes().iter().map(|c| c.name.as_str()).collect();
     println!(
-        "{:>12} {:>14} {:>14} {:>14} {:>14}",
-        "readers", "X_renew", "R_renew(s)", "X_read", "R_read(s)"
+        "VINS three-class mix, {} users total ({}):\n",
+        workload.total_population(),
+        workload
+            .classes()
+            .iter()
+            .map(|c| format!("{} {}", c.population, c.name))
+            .collect::<Vec<_>>()
+            .join(", "),
     );
-    for readers in [0usize, 50, 100, 200, 400] {
-        let classes = vec![
-            ClassSpec {
-                name: "renew-policy".into(),
-                population: 120,
-                think_time: 1.0,
-                demands: renew_demands.clone(),
-            },
-            ClassSpec {
-                name: "read-policy".into(),
-                population: readers,
-                think_time: 2.0, // browsing users think longer
-                demands: read_demands.clone(),
-            },
-        ];
-        let sol = multiclass_mva(&classes, &kinds).expect("solver");
-        println!(
-            "{:>12} {:>14.2} {:>14.4} {:>14.2} {:>14.4}",
-            readers,
-            sol.classes[0].throughput,
-            sol.classes[0].response,
-            sol.classes[1].throughput,
-            sol.classes[1].response,
+
+    // Stream the class-aware recursion and watch the mix evolve.
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "users", "X_renew", "R_renew", "X_browse", "R_browse", "X_api", "R_api"
+    );
+    let mut iter = MulticlassIter::new(&workload).expect("iterator");
+    let mut last = None;
+    while iter.steps_done() < iter.steps_total() {
+        let point = iter.step_classes().expect("step");
+        if point.step % 25 == 0 || point.step == workload.total_population() {
+            println!(
+                "{:>6} {:>10.2} {:>10.4} {:>10.2} {:>10.4} {:>10.2} {:>10.4}",
+                point.step,
+                point.classes[0].throughput,
+                point.classes[0].response,
+                point.classes[1].throughput,
+                point.classes[1].response,
+                point.classes[2].throughput,
+                point.classes[2].response,
+            );
+        }
+        last = Some(point);
+    }
+    let full = last.expect("at least one step");
+
+    // Cross-check the corner against the Method of Moments backend: a
+    // completely different recurrence (normalizing constants, log domain)
+    // must land on the same numbers.
+    let mom = MomSolver::new(workload.clone())
+        .solve_classes()
+        .expect("mom");
+    let max_rel = full
+        .classes
+        .iter()
+        .zip(&mom.classes)
+        .map(|(a, b)| ((a.throughput - b.throughput) / b.throughput).abs())
+        .fold(0.0f64, f64::max)
+        .max(
+            full.classes
+                .iter()
+                .zip(&mom.classes)
+                .map(|(a, b)| ((a.response - b.response) / b.response).abs())
+                .fold(0.0f64, f64::max),
         );
+    println!(
+        "\nMethod-of-Moments cross-check at the full mix: max relative\n\
+         deviation {max_rel:.2e} across all class throughputs and responses."
+    );
+    assert!(max_rel < 1e-8, "backends disagree: {max_rel:e}");
+
+    // Per-class SLAs: renewals must finish in 300 ms, API calls in 60 ms.
+    // Stream a fresh ramp and stop the moment the first class breaks.
+    let slas = [
+        (
+            0usize,
+            StopCondition::SlaResponseTime { max_response: 0.30 },
+        ),
+        (
+            2usize,
+            StopCondition::SlaResponseTime { max_response: 0.06 },
+        ),
+    ];
+    let mut iter = MulticlassIter::new(&workload).expect("iterator");
+    let outcome = run_until_classes(&mut iter, &slas, usize::MAX).expect("sla run");
+    match outcome.reason {
+        ClassStopReason::Met { class, condition } => {
+            let point = outcome.points.last().expect("points");
+            println!(
+                "\nRamping the mix, class `{}` breaks its SLA first ({:?})\n\
+                 at {} mixed users ({}): R_{} = {:.4} s.",
+                names[class],
+                condition,
+                point.step,
+                point
+                    .populations
+                    .iter()
+                    .zip(&names)
+                    .map(|(n, c)| format!("{n} {c}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                names[class],
+                point.classes[class].response,
+            );
+        }
+        ClassStopReason::PathExhausted => {
+            println!("\nNo SLA broke over the whole ramp — the mix fits.");
+        }
     }
 
-    // Where does the contention land?
-    let classes = vec![
-        ClassSpec {
-            name: "renew-policy".into(),
-            population: 120,
-            think_time: 1.0,
-            demands: renew_demands.clone(),
-        },
-        ClassSpec {
-            name: "read-policy".into(),
-            population: 400,
-            think_time: 2.0,
-            demands: read_demands,
-        },
-    ];
-    let sol = multiclass_mva(&classes, &kinds).expect("solver");
+    // Where does the contention land at the full mix?
     let mut worst = (0usize, 0.0f64);
-    for (k, &u) in sol.station_utilizations.iter().enumerate() {
+    for (k, &u) in full.station_utilizations.iter().enumerate() {
         if u > worst.1 {
             worst = (k, u);
         }
     }
     println!(
-        "\nWith 400 readers the shared bottleneck is {} at {:.1} % utilization —\n\
-         read traffic rides the same disk the renewals need.",
-        app.stations[worst.0].name,
+        "\nAt the full mix the shared bottleneck is {} at {:.1} % utilization —\n\
+         browse and API traffic ride the same disk the renewals need.",
+        workload.station_names()[worst.0],
         worst.1 * 100.0
     );
 }

@@ -13,8 +13,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use mvasd_suite::queueing::hierarchy::{
     AggregationOptions, HierarchicalNetwork, HierarchicalWorkspace, Subsystem,
 };
-use mvasd_suite::queueing::mva::{ConvWorkspace, LdStation, RateFunction};
-use mvasd_suite::queueing::network::Station;
+use mvasd_suite::queueing::mva::{
+    ClassSpec, ConvWorkspace, LdStation, MulticlassWorkspace, RateFunction, Workload,
+};
+use mvasd_suite::queueing::network::{Station, StationKind};
 
 /// Counts every allocator entry point; deallocation is uncounted (freeing
 /// is fine in steady state, allocating is not).
@@ -128,6 +130,64 @@ fn workspace_steady_state_allocates_nothing() {
         after - before,
         0,
         "hierarchical steady-state advance allocated {} times",
+        after - before
+    );
+
+    // The carried multiclass workspace makes the same promise: the whole
+    // lattice is allocated up front, so advancing a customer (filling one
+    // slab) and reading the per-class outputs never touches the allocator.
+    let workload = Workload::new(
+        vec!["cpu".into(), "disk".into(), "lan".into()],
+        vec![
+            StationKind::Queueing { servers: 4 },
+            StationKind::Queueing { servers: 1 },
+            StationKind::Delay,
+        ],
+        vec![
+            ClassSpec {
+                name: "a".into(),
+                population: 30,
+                think_time: 1.0,
+                demands: vec![0.020, 0.012, 0.004],
+            },
+            ClassSpec {
+                name: "b".into(),
+                population: 20,
+                think_time: 0.5,
+                demands: vec![0.006, 0.002, 0.004],
+            },
+            ClassSpec {
+                name: "c".into(),
+                population: 10,
+                think_time: 0.1,
+                demands: vec![0.003, 0.001, 0.002],
+            },
+        ],
+    )
+    .unwrap();
+    let path = workload.proportional_path();
+    let mut mws = MulticlassWorkspace::new(&workload).unwrap();
+    let warmup = 20usize;
+    for &class in &path[..warmup] {
+        mws.advance(class).unwrap();
+    }
+    let mut msink = 0.0f64;
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for &class in &path[warmup..] {
+        mws.advance(class).unwrap();
+        msink += mws.class_throughputs()[0]
+            + mws.station_queues()[0]
+            + mws.class_station_queues()[0]
+            + mws.station_utilizations()[0];
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(msink.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "multiclass steady-state advance allocated {} times",
         after - before
     );
 }

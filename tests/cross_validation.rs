@@ -11,11 +11,11 @@ use mvasd_suite::queueing::hierarchy::{
     HierarchicalNetwork, HierarchicalSolver, NetworkNode, Subsystem,
 };
 use mvasd_suite::queueing::mva::{
-    exact_mva, load_dependent_mva, multiserver_mva, schweitzer_mva, ClosedSolver,
-    ConvolutionSolver, ExactMvaSolver, LdStation, LoadDependentSolver, MultiserverMvaSolver,
-    RateFunction, SchweitzerOptions, SchweitzerSolver,
+    exact_mva, load_dependent_mva, multiclass_mva, multiserver_mva, schweitzer_mva, ClassSpec,
+    ClosedSolver, ConvolutionSolver, ExactMvaSolver, LdStation, LoadDependentSolver, MomSolver,
+    MultiserverMvaSolver, RateFunction, SchweitzerOptions, SchweitzerSolver,
 };
-use mvasd_suite::queueing::network::{ClosedNetwork, Station};
+use mvasd_suite::queueing::network::{ClosedNetwork, Station, StationKind};
 use mvasd_suite::queueing::open::solve_open;
 use mvasd_suite::simnet::{Distribution, SimConfig, SimNetwork, SimStation, Simulation};
 
@@ -266,6 +266,110 @@ fn every_closed_solver_agrees_with_exact_mva_through_the_trait() {
             );
         }
     }
+}
+
+#[test]
+fn method_of_moments_matches_the_lattice_oracle_on_a_population_grid() {
+    // The two exact multiclass backends share no arithmetic: the lattice
+    // oracle walks Arrival-Theorem faces in the linear domain, the Method
+    // of Moments runs normalizing-constant recurrences in the log domain.
+    // Across a grid of class counts, station mixes (single-server,
+    // multi-server via Seidmann, delay), think times (including 0), and
+    // small populations, every reported quantity must agree to 1e-8.
+    use mvasd_suite::queueing::mva::Workload;
+
+    let station_sets: Vec<(Vec<&str>, Vec<StationKind>)> = vec![
+        (
+            vec!["cpu", "disk"],
+            vec![
+                StationKind::Queueing { servers: 1 },
+                StationKind::Queueing { servers: 1 },
+            ],
+        ),
+        (
+            vec!["cpu", "disk", "lan"],
+            vec![
+                StationKind::Queueing { servers: 4 },
+                StationKind::Queueing { servers: 1 },
+                StationKind::Delay,
+            ],
+        ),
+        (
+            vec!["cpu", "lan"],
+            vec![StationKind::Queueing { servers: 2 }, StationKind::Delay],
+        ),
+    ];
+    // Per-class (population-scale, think-time, demand-scale) templates;
+    // the grid takes 1-, 2-, and 3-class prefixes of this list.
+    let class_templates = [(1.0f64, 1.0f64), (0.5, 0.0), (2.0, 0.3)];
+    let base_demands = [0.02, 0.012, 0.004];
+
+    let mut cases = 0usize;
+    for (names, kinds) in &station_sets {
+        for nclasses in 1..=class_templates.len() {
+            for &pop_base in &[2usize, 5] {
+                let classes: Vec<ClassSpec> = class_templates[..nclasses]
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &(dscale, think))| ClassSpec {
+                        name: format!("c{c}"),
+                        population: pop_base + c,
+                        think_time: think,
+                        demands: base_demands[..names.len()]
+                            .iter()
+                            .map(|d| d * dscale * (1.0 + 0.1 * c as f64))
+                            .collect(),
+                    })
+                    .collect();
+                let oracle = multiclass_mva(&classes, kinds).unwrap();
+                let workload = Workload::new(
+                    names.iter().map(|s| s.to_string()).collect(),
+                    kinds.clone(),
+                    classes,
+                )
+                .unwrap();
+                let mom = MomSolver::new(workload).solve_classes().unwrap();
+
+                for (a, b) in oracle.classes.iter().zip(&mom.classes) {
+                    assert!(
+                        rel(b.throughput, a.throughput) < 1e-8,
+                        "X[{}]: {} vs {}",
+                        a.name,
+                        b.throughput,
+                        a.throughput
+                    );
+                    assert!(
+                        (b.response - a.response).abs() < 1e-8 * a.response.abs().max(1.0),
+                        "R[{}]: {} vs {}",
+                        a.name,
+                        b.response,
+                        a.response
+                    );
+                }
+                for (k, (a, b)) in oracle
+                    .station_queues
+                    .iter()
+                    .zip(&mom.station_queues)
+                    .enumerate()
+                {
+                    assert!(
+                        (b - a).abs() < 1e-8 * a.abs().max(1.0),
+                        "Q[{k}]: {b} vs {a}"
+                    );
+                }
+                for (k, (a, b)) in oracle
+                    .station_utilizations
+                    .iter()
+                    .zip(&mom.station_utilizations)
+                    .enumerate()
+                {
+                    assert!((b - a).abs() < 1e-8, "U[{k}]: {b} vs {a}");
+                }
+                cases += 1;
+            }
+        }
+    }
+    assert_eq!(cases, 18, "the whole grid ran");
 }
 
 #[test]

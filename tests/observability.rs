@@ -17,8 +17,10 @@ use mvasd_suite::queueing::hierarchy::{
     AggregationOptions, HierarchicalNetwork, HierarchicalSolver, NetworkNode, ProfileCache,
     Subsystem,
 };
-use mvasd_suite::queueing::mva::{run_until, ClosedSolver, StopCondition};
-use mvasd_suite::queueing::network::Station;
+use mvasd_suite::queueing::mva::{
+    run_until, ClassSpec, ClosedSolver, MomSolver, MulticlassMvaSolver, StopCondition, Workload,
+};
+use mvasd_suite::queueing::network::{Station, StationKind};
 use mvasd_suite::testbed::apps::{vins, AppModel};
 
 /// Serializes tests that touch the global recorder slot.
@@ -256,6 +258,73 @@ fn aggregation_metrics_land_in_collector_snapshot() {
     assert_eq!(
         snap.counter("sweep.sub_cache_hits"),
         sw.sub_cache_hits as u64
+    );
+}
+
+/// Both multiclass backends are observable (path-step counters, slab
+/// accounting, the MoM precompute span) and — like every other solver —
+/// recorders observe without perturbing a single bit.
+#[test]
+fn multiclass_metrics_land_in_collector_snapshot() {
+    let _guard = lock();
+    let workload = Workload::new(
+        vec!["cpu".into(), "disk".into()],
+        vec![
+            StationKind::Queueing { servers: 2 },
+            StationKind::Queueing { servers: 1 },
+        ],
+        vec![
+            ClassSpec {
+                name: "heavy".into(),
+                population: 8,
+                think_time: 1.0,
+                demands: vec![0.02, 0.03],
+            },
+            ClassSpec {
+                name: "light".into(),
+                population: 4,
+                think_time: 0.2,
+                demands: vec![0.008, 0.004],
+            },
+        ],
+    )
+    .expect("workload");
+    let total = workload.total_population() as u64;
+    let lattice = MulticlassMvaSolver::new(workload.clone());
+    let mom = MomSolver::new(workload);
+
+    // Bit-identity: a no-op recorder and a collector both leave every f64
+    // of both backends untouched.
+    let bare_lat = lattice.solve_classes().expect("bare lattice");
+    let bare_mom = mom.solve_classes().expect("bare mom");
+    {
+        let _scope = obsv::scoped(Arc::new(obsv::NoopRecorder));
+        assert_eq!(bare_lat, lattice.solve_classes().expect("noop lattice"));
+        assert_eq!(bare_mom, mom.solve_classes().expect("noop mom"));
+    }
+
+    let collector = Arc::new(obsv::Collector::new());
+    let _scope = obsv::scoped(collector.clone());
+    assert_eq!(
+        bare_lat,
+        lattice.solve_classes().expect("collected lattice")
+    );
+    assert_eq!(bare_mom, mom.solve_classes().expect("collected mom"));
+
+    let snap = collector.snapshot();
+    // Each backend walked the full path once.
+    assert_eq!(snap.counter("multiclass.steps"), 2 * total);
+    assert_eq!(snap.counter("solver.steps"), 2 * total);
+    assert_eq!(snap.spans_named("multiclass.step"), 2 * total as usize);
+    // The carried workspace filled every lattice point except the origin
+    // exactly once across its walk: (8+1)·(4+1) − 1 slab points.
+    assert_eq!(snap.counter("multiclass.slab_points"), 9 * 5 - 1);
+    // The MoM precompute pass ran once and accounts its recurrence work.
+    assert_eq!(snap.spans_named("mom.precompute"), 1);
+    assert!(
+        snap.counter("mom.iterations") >= 9 * 5,
+        "only {} mom iterations recorded",
+        snap.counter("mom.iterations")
     );
 }
 

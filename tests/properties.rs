@@ -17,8 +17,11 @@ use mvasd_suite::queueing::bounds::{response_bounds, throughput_bounds};
 use mvasd_suite::queueing::hierarchy::{
     HierarchicalNetwork, HierarchicalSolver, NetworkNode, Subsystem,
 };
-use mvasd_suite::queueing::mva::{multiserver_mva, ClosedSolver, MultiserverMvaSolver};
-use mvasd_suite::queueing::network::{ClosedNetwork, Station};
+use mvasd_suite::queueing::mva::{
+    multiserver_mva, ClassSpec, ClosedSolver, ExactMvaIter, MulticlassIter, MultiserverMvaSolver,
+    SolverIter, Workload,
+};
+use mvasd_suite::queueing::network::{ClosedNetwork, Station, StationKind};
 
 fn cfg() -> Config {
     Config::default().cases(48)
@@ -175,6 +178,97 @@ fn norton_aggregation_is_exact_for_random_topologies() {
                         pf.n,
                         sf.utilization,
                         sh.utilization
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn one_class_workload_reproduces_exact_mva_bitwise() {
+    // A 1-class Workload is *literally* the single-class model: every
+    // streamed step of the multiclass recursion must reproduce Algorithm 1
+    // (single-server exact MVA, delay stations pass through) bit for bit —
+    // not merely to tolerance. Single-server queueing stations have a
+    // trivial Seidmann split (dq = D, dd = 0) and delay stations never
+    // enter the arrival-theorem queue, so the arithmetic sequences are
+    // identical by construction; this pins that contract.
+    check(
+        "one_class_workload_reproduces_exact_mva_bitwise",
+        &cfg(),
+        |g| {
+            let count = g.usize_in(1, 5);
+            let mut stations = Vec::new();
+            let mut kinds = Vec::new();
+            let mut demands = Vec::new();
+            for i in 0..count {
+                let d = g.f64_in(0.001, 0.1);
+                if g.usize_in(0, 3) == 0 {
+                    stations.push(Station::delay(&format!("s{i}"), 1.0, d));
+                    kinds.push(StationKind::Delay);
+                } else {
+                    stations.push(Station::queueing(&format!("s{i}"), 1, 1.0, d));
+                    kinds.push(StationKind::Queueing { servers: 1 });
+                }
+                demands.push(d);
+            }
+            let z = g.f64_in(0.0, 2.0);
+            let n_max = g.usize_in(1, 60);
+            let names: Vec<String> = (0..count).map(|i| format!("s{i}")).collect();
+            let net = ClosedNetwork::new(stations, z).expect("generated parameters are valid");
+            let workload = Workload::new(
+                names,
+                kinds,
+                vec![ClassSpec {
+                    name: "only".into(),
+                    population: n_max,
+                    think_time: z,
+                    demands,
+                }],
+            )
+            .expect("generated parameters are valid");
+            let mut exact = ExactMvaIter::new(net);
+            let mut mc = MulticlassIter::new(&workload).unwrap();
+            for _ in 0..n_max {
+                let a = exact.step().unwrap();
+                let b = mc.step().unwrap();
+                assert_eq!(a.n, b.n);
+                assert_eq!(
+                    a.throughput.to_bits(),
+                    b.throughput.to_bits(),
+                    "X at n={}: {} vs {}",
+                    a.n,
+                    a.throughput,
+                    b.throughput
+                );
+                assert_eq!(a.response.to_bits(), b.response.to_bits(), "R at n={}", a.n);
+                assert_eq!(
+                    a.cycle_time.to_bits(),
+                    b.cycle_time.to_bits(),
+                    "cycle at n={}",
+                    a.n
+                );
+                for (k, (sa, sb)) in a.stations.iter().zip(&b.stations).enumerate() {
+                    assert_eq!(
+                        sa.queue.to_bits(),
+                        sb.queue.to_bits(),
+                        "queue at n={} station {k}: {} vs {}",
+                        a.n,
+                        sa.queue,
+                        sb.queue
+                    );
+                    assert_eq!(
+                        sa.residence.to_bits(),
+                        sb.residence.to_bits(),
+                        "residence at n={} station {k}",
+                        a.n
+                    );
+                    assert_eq!(
+                        sa.utilization.to_bits(),
+                        sb.utilization.to_bits(),
+                        "utilization at n={} station {k}",
+                        a.n
                     );
                 }
             }

@@ -15,11 +15,11 @@ use mvasd_suite::core::sweep::{Scenario, ScenarioSweep};
 use mvasd_suite::numerics::propcheck::{check, Config, Gen};
 use mvasd_suite::queueing::hierarchy::{HierarchicalNetwork, HierarchicalSolver, Subsystem};
 use mvasd_suite::queueing::mva::{
-    load_dependent_mva, run_until, ClosedSolver, ConvWorkspace, ConvolutionSolver, ExactMvaSolver,
-    LdStation, LoadDependentSolver, MultiserverMvaSolver, RateFunction, SchweitzerSolver,
-    StopCondition, StopReason,
+    load_dependent_mva, run_until, ClassSpec, ClosedSolver, ConvWorkspace, ConvolutionSolver,
+    ExactMvaSolver, LdStation, LoadDependentSolver, MomSolver, MulticlassMvaSolver,
+    MultiserverMvaSolver, RateFunction, SchweitzerSolver, StopCondition, StopReason, Workload,
 };
-use mvasd_suite::queueing::network::{ClosedNetwork, Station};
+use mvasd_suite::queueing::network::{ClosedNetwork, Station, StationKind};
 use mvasd_suite::simnet::{Distribution, SimConfig, SimNetwork, SimStation};
 use mvasd_suite::testbed::solver::SimSolver;
 
@@ -170,6 +170,86 @@ fn zero_population_yields_empty_solutions_everywhere() {
         // The streaming face agrees.
         let streamed = solver.start().unwrap().drain(0).unwrap();
         assert_eq!(sol, streamed, "{}", solver.name());
+    }
+}
+
+/// A two-class workload over the `network()` stations, deep enough (64
+/// customers) that batch/stream divergence or snapshot drift would have
+/// many steps to show up.
+fn two_class_workload() -> Workload {
+    Workload::new(
+        vec!["cpu".into(), "disk".into(), "lan".into()],
+        vec![
+            StationKind::Queueing { servers: 4 },
+            StationKind::Queueing { servers: 1 },
+            StationKind::Delay,
+        ],
+        vec![
+            ClassSpec {
+                name: "heavy".into(),
+                population: 40,
+                think_time: 1.0,
+                demands: vec![0.020, 0.012, 0.004],
+            },
+            ClassSpec {
+                name: "light".into(),
+                population: 24,
+                think_time: 0.3,
+                demands: vec![0.006, 0.002, 0.004],
+            },
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn multiclass_streaming_equals_batch_for_both_backends() {
+    // The two exact multiclass backends — the carried-lattice recursion and
+    // the Method of Moments — honor the same streaming contract as the
+    // single-class family: drain ≡ batch bit-for-bit, snapshots resume
+    // bit-identically mid-path, and population 0 is an empty sweep.
+    let w = two_class_workload();
+    let depth = w.total_population();
+    assert!(depth >= 60);
+    let solvers: Vec<Box<dyn ClosedSolver>> = vec![
+        Box::new(MulticlassMvaSolver::new(w.clone())),
+        Box::new(MomSolver::new(w)),
+    ];
+    assert_eq!(solvers[0].name(), "multiclass-mva");
+    assert_eq!(solvers[1].name(), "multiclass-mom");
+    for solver in &solvers {
+        let batch = solver.solve(depth).unwrap();
+        assert_eq!(batch.points.len(), depth, "{}", solver.name());
+        let streamed = solver.start().unwrap().drain(depth).unwrap();
+        assert_eq!(batch, streamed, "{}", solver.name());
+
+        // Snapshot mid-path: the resumed tail is bit-exact.
+        let cut = depth / 2;
+        let mut iter = solver.start().unwrap();
+        for _ in 0..cut {
+            iter.step().unwrap();
+        }
+        let resumed = iter.snapshot().resume().drain(depth).unwrap();
+        assert_eq!(resumed.points, batch.points[cut..], "{}", solver.name());
+
+        // Empty sweep.
+        let empty = solver.solve(0).unwrap();
+        assert!(empty.points.is_empty(), "{}", solver.name());
+        assert_eq!(
+            &empty.station_names[..],
+            &["cpu".to_string(), "disk".into(), "lan".into()][..],
+            "{}",
+            solver.name()
+        );
+    }
+
+    // The two backends agree on the aggregate stream to cross-validation
+    // tolerance at every shared step (they share no arithmetic).
+    let lat = solvers[0].solve(depth).unwrap();
+    let mom = solvers[1].solve(depth).unwrap();
+    for (a, b) in lat.points.iter().zip(&mom.points) {
+        let rel = (a.throughput - b.throughput).abs() / a.throughput.abs().max(1e-300);
+        assert!(rel <= 1e-8, "n={}: rel err {rel}", a.n);
     }
 }
 
