@@ -4,11 +4,15 @@
 //!
 //! ```text
 //! cargo run --bin obsv_report [-- --chrome trace.json] [-- --jsonl out.jsonl]
+//!                             [-- --health health.json] [-- --diff base.jsonl]
 //! ```
 //!
 //! `--chrome PATH` additionally writes a Chrome `trace_event` file loadable
 //! in `chrome://tracing` / Perfetto; `--jsonl PATH` writes one JSON object
-//! per metric/span.
+//! per metric/span; `--health PATH` writes the distilled `mvasd-health/1`
+//! report (the input of `mvasd-doctor --health`); `--diff PATH` reads a
+//! previously written JSONL snapshot and prints this run's counter/gauge/
+//! histogram deltas against it instead of the absolute table.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -24,14 +28,21 @@ use mvasd_testbed::campaign::{run_campaign, CampaignConfig};
 fn main() -> ExitCode {
     let mut chrome_path = None;
     let mut jsonl_path = None;
+    let mut health_path = None;
+    let mut diff_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--chrome" => chrome_path = args.next(),
             "--jsonl" => jsonl_path = args.next(),
+            "--health" => health_path = args.next(),
+            "--diff" => diff_path = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: obsv_report [--chrome PATH] [--jsonl PATH]");
+                eprintln!(
+                    "usage: obsv_report [--chrome PATH] [--jsonl PATH] \
+                     [--health PATH] [--diff PATH]"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -110,8 +121,34 @@ fn main() -> ExitCode {
 
     obsv::uninstall();
     let snapshot = collector.snapshot();
-    print!("{}", snapshot.summary_table());
+    match &diff_path {
+        Some(path) => {
+            let base_text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read diff base {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let base = match obsv::Snapshot::from_jsonl(&base_text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("diff base {path} is not a JSONL snapshot: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("delta vs {path}:");
+            print!("{}", snapshot.diff(&base).summary_table());
+        }
+        None => print!("{}", snapshot.summary_table()),
+    }
 
+    if let Some(path) = health_path {
+        let report = obsv::HealthReport::from_snapshot(&snapshot);
+        print!("{}", report.summary());
+        std::fs::write(&path, report.to_json()).expect("health path is writable");
+        println!("wrote health report to {path}");
+    }
     if let Some(path) = chrome_path {
         std::fs::write(&path, snapshot.to_chrome_trace()).expect("trace path is writable");
         println!("wrote Chrome trace to {path}");

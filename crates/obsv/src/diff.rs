@@ -1,0 +1,236 @@
+//! Snapshot persistence and comparison: [`Snapshot::from_jsonl`] (the
+//! inverse of [`Snapshot::to_jsonl`] for counters/gauges/histograms) and
+//! [`Snapshot::diff`], which subtracts a baseline snapshot so health drift
+//! between two runs is inspectable by hand (`obsv_report --diff`).
+
+use std::collections::BTreeMap;
+
+use crate::collector::Snapshot;
+use crate::hist::HistogramSnapshot;
+use crate::json::{self, Json};
+
+/// Pulls a non-negative integer field out of a parsed JSONL line.
+fn u64_field(v: &Json, key: &str, line_no: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .filter(|x| *x >= 0.0)
+        .map(|x| x as u64)
+        .ok_or_else(|| format!("line {line_no}: missing or invalid \"{key}\""))
+}
+
+fn str_field<'a>(v: &'a Json, key: &str, line_no: usize) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing or invalid \"{key}\""))
+}
+
+impl Snapshot {
+    /// Parses a JSONL stream produced by [`to_jsonl`](Snapshot::to_jsonl)
+    /// back into a snapshot. Counters, gauges, and histograms round-trip
+    /// exactly (histogram lines carry their full bucket list); span lines
+    /// are skipped — spans are timing records tied to a live process, not
+    /// comparable state. Unknown kinds are an error so schema drift is
+    /// caught loudly.
+    pub fn from_jsonl(text: &str) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        for (i, line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+            match str_field(&v, "kind", line_no)? {
+                "span" => {}
+                "counter" => {
+                    let name = str_field(&v, "name", line_no)?.to_string();
+                    let value = u64_field(&v, "value", line_no)?;
+                    *snap.counters.entry(name).or_default() += value;
+                }
+                "gauge" => {
+                    let name = str_field(&v, "name", line_no)?.to_string();
+                    // A null value means the gauge was non-finite when
+                    // serialized (JSON has no NaN); drop it.
+                    if let Some(value) = v.get("value").and_then(Json::as_f64) {
+                        snap.gauges.insert(name, value);
+                    }
+                }
+                "histogram" => {
+                    let name = str_field(&v, "name", line_no)?.to_string();
+                    let buckets_json = v
+                        .get("buckets")
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| format!("line {line_no}: missing \"buckets\""))?;
+                    let mut buckets = Vec::with_capacity(buckets_json.len());
+                    for b in buckets_json {
+                        let malformed = || format!("line {line_no}: malformed bucket");
+                        let (low, count) = match b.as_array() {
+                            Some([low, count]) => (
+                                low.as_f64().filter(|x| *x >= 0.0).ok_or_else(malformed)?,
+                                count.as_f64().filter(|x| *x >= 0.0).ok_or_else(malformed)?,
+                            ),
+                            _ => return Err(malformed()),
+                        };
+                        buckets.push((low as u64, count as u64));
+                    }
+                    snap.histograms.insert(
+                        name,
+                        HistogramSnapshot {
+                            count: u64_field(&v, "count", line_no)?,
+                            sum: u64_field(&v, "sum", line_no)? as u128,
+                            min: u64_field(&v, "min", line_no)?,
+                            max: u64_field(&v, "max", line_no)?,
+                            buckets,
+                        },
+                    );
+                }
+                other => return Err(format!("line {line_no}: unknown kind {other:?}")),
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Subtracts `base` from `self`: counters and histogram buckets are
+    /// saturating deltas (a counter that went backwards — a different
+    /// process — reads 0), gauges become `self − base` where both sides
+    /// have the gauge (else the later value verbatim), and spans are
+    /// dropped. The result renders through the usual sinks, so
+    /// `diff.summary_table()` is the drift report.
+    pub fn diff(&self, base: &Snapshot) -> Snapshot {
+        let counters: BTreeMap<String, u64> = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.saturating_sub(base.counter(k))))
+            .collect();
+        let gauges: BTreeMap<String, f64> = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| match base.gauge(k) {
+                Some(b) => (k.clone(), v - b),
+                None => (k.clone(), v),
+            })
+            .collect();
+        let histograms: BTreeMap<String, HistogramSnapshot> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let delta = match base.histogram(k) {
+                    Some(b) => {
+                        let base_count =
+                            |low: u64| b.buckets.iter().find(|&&(l, _)| l == low).map(|&(_, c)| c);
+                        let buckets: Vec<(u64, u64)> = h
+                            .buckets
+                            .iter()
+                            .map(|&(low, c)| (low, c.saturating_sub(base_count(low).unwrap_or(0))))
+                            .filter(|&(_, c)| c > 0)
+                            .collect();
+                        HistogramSnapshot {
+                            count: h.count.saturating_sub(b.count),
+                            sum: h.sum.saturating_sub(b.sum),
+                            // min/max cannot be un-merged; keep the later
+                            // snapshot's envelope.
+                            min: h.min,
+                            max: h.max,
+                            buckets,
+                        }
+                    }
+                    None => h.clone(),
+                };
+                (k.clone(), delta)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+    use crate::Collector;
+    use std::sync::Arc;
+
+    fn snap_with(f: impl FnOnce()) -> Snapshot {
+        let c = Arc::new(Collector::new());
+        {
+            let _guard = crate::scoped(c.clone());
+            f();
+        }
+        c.snapshot()
+    }
+
+    #[test]
+    fn jsonl_round_trips_counters_gauges_histograms() {
+        let _g = test_support::lock();
+        let snap = snap_with(|| {
+            crate::counter("solver.steps", 42);
+            crate::counter("weird \"name\"\n", 7);
+            crate::gauge("load", -0.75);
+            for v in [0u64, 5, 31, 32, 1000, 1 << 40] {
+                crate::observe("latency", v);
+            }
+            drop(crate::span("run"));
+        });
+        let back = Snapshot::from_jsonl(&snap.to_jsonl()).expect("round-trip");
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms, snap.histograms);
+        assert!(back.spans.is_empty(), "spans are intentionally dropped");
+    }
+
+    #[test]
+    fn from_jsonl_rejects_truncated_and_unknown_lines() {
+        assert!(Snapshot::from_jsonl("{\"kind\":\"counter\",\"name\":\"x\"").is_err());
+        assert!(Snapshot::from_jsonl("{\"kind\":\"mystery\",\"name\":\"x\"}").is_err());
+        assert!(Snapshot::from_jsonl("{\"name\":\"x\",\"value\":1}").is_err());
+        assert!(
+            Snapshot::from_jsonl("{\"kind\":\"counter\",\"name\":\"x\",\"value\":-3}").is_err()
+        );
+        // Blank lines are fine; a valid stream parses.
+        let ok = "\n{\"kind\":\"counter\",\"name\":\"x\",\"value\":3}\n\n";
+        assert_eq!(Snapshot::from_jsonl(ok).expect("parses").counter("x"), 3);
+    }
+
+    #[test]
+    fn diff_subtracts_baseline() {
+        let _g = test_support::lock();
+        let base = snap_with(|| {
+            crate::counter("steps", 10);
+            crate::counter("gone", 5);
+            crate::gauge("depth", 2.0);
+            crate::observe("lat", 5);
+            crate::observe("lat", 40);
+        });
+        let later = snap_with(|| {
+            crate::counter("steps", 25);
+            crate::counter("fresh", 3);
+            crate::gauge("depth", 3.5);
+            crate::gauge("new_gauge", 9.0);
+            for v in [5u64, 5, 40, 100] {
+                crate::observe("lat", v);
+            }
+        });
+        let d = later.diff(&base);
+        assert_eq!(d.counter("steps"), 15);
+        assert_eq!(d.counter("fresh"), 3);
+        // Keys only in the baseline don't resurface in the delta.
+        assert!(!d.counters.contains_key("gone"));
+        assert_eq!(d.gauge("depth"), Some(1.5));
+        assert_eq!(d.gauge("new_gauge"), Some(9.0));
+        let h = d.histogram("lat").expect("lat delta");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 150 - 45);
+        // Bucket-wise: one extra 5, the 40s cancel, one new 100.
+        assert_eq!(h.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 2);
+        assert!(h.buckets.iter().any(|&(low, c)| low == 5 && c == 1));
+        // A counter that went backwards saturates at zero, not underflow.
+        let d2 = base.diff(&later);
+        assert_eq!(d2.counter("steps"), 0);
+        // The delta renders through the normal sinks.
+        assert!(d.summary_table().contains("steps"));
+    }
+}

@@ -42,6 +42,8 @@
 #![forbid(unsafe_code)]
 
 pub mod collector;
+mod diff;
+pub mod health;
 pub mod hist;
 pub mod json;
 mod sink;
@@ -52,6 +54,7 @@ use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 pub use collector::{Collector, Snapshot};
+pub use health::{HealthProbe, HealthReport};
 pub use hist::{Histogram, HistogramSnapshot};
 
 /// A finished span: a named, timed region of work on one thread.

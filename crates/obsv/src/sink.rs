@@ -55,6 +55,18 @@ impl Snapshot {
                 number(v)
             ));
         }
+        // Histogram quantiles as one multi-series counter track each, so
+        // health metrics render next to the spans in Perfetto.
+        for (name, h) in &self.histograms {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"mvasd\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"args\":{{\"p50\":{},\"p95\":{},\"max\":{}}}}}",
+                escape(name),
+                end_us,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.max
+            ));
+        }
         format!(
             "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}\n",
             events.join(",")
@@ -99,17 +111,24 @@ impl Snapshot {
             );
         }
         for (name, h) in &self.histograms {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|&(low, c)| format!("[{low},{c}]"))
+                .collect();
             let _ = writeln!(
                 out,
-                "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
                 escape(name),
                 h.count,
+                h.sum,
                 h.min,
                 h.max,
                 number(h.mean()),
                 h.quantile(0.50),
                 h.quantile(0.90),
-                h.quantile(0.99)
+                h.quantile(0.99),
+                buckets.join(",")
             );
         }
         out
@@ -222,8 +241,8 @@ mod tests {
             .get("traceEvents")
             .and_then(|e| e.as_array())
             .expect("traceEvents array");
-        // 2 spans + 1 counter + 1 gauge.
-        assert_eq!(events.len(), 4);
+        // 2 spans + 1 counter + 1 gauge + 1 histogram quantile track.
+        assert_eq!(events.len(), 5);
         let complete: Vec<_> = events
             .iter()
             .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
@@ -242,6 +261,18 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| { e.get("name").and_then(|n| n.as_str()) == Some("iters \"quoted\"") }));
+        // The histogram renders as a multi-series counter track.
+        let hist = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("latency"))
+            .expect("histogram quantile track");
+        assert_eq!(hist.get("ph").and_then(|p| p.as_str()), Some("C"));
+        let args = hist.get("args").expect("quantile args");
+        let p50 = args.get("p50").and_then(|x| x.as_f64()).unwrap();
+        let p95 = args.get("p95").and_then(|x| x.as_f64()).unwrap();
+        let max = args.get("max").and_then(|x| x.as_f64()).unwrap();
+        assert!(p50 <= p95 && p95 <= max);
+        assert_eq!(max, 100_000.0);
     }
 
     #[test]
@@ -260,6 +291,90 @@ mod tests {
         assert_eq!(kinds.get("counter"), Some(&1));
         assert_eq!(kinds.get("gauge"), Some(&1));
         assert_eq!(kinds.get("histogram"), Some(&1));
+    }
+
+    /// Satellite: adversarial metric names must survive every sink —
+    /// emitted JSON parses and the decoded names are byte-identical.
+    #[test]
+    fn adversarial_metric_names_round_trip_through_sinks() {
+        let _g = test_support::lock();
+        let names = [
+            "plain.name",
+            "quo\"te",
+            "back\\slash",
+            "new\nline and\ttab",
+            "ctrl\u{1}\u{1f}",
+            "unicode é😀 →",
+            "{\"inject\":1}",
+        ];
+        let c = Arc::new(Collector::new());
+        {
+            let _guard = crate::scoped(c.clone());
+            for name in names {
+                crate::counter(name, 2);
+                crate::gauge(name, 1.5);
+                crate::observe(name, 9);
+            }
+        }
+        let snap = c.snapshot();
+
+        let trace = snap.to_chrome_trace();
+        let v = json::parse(&trace).expect("chrome trace parses");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        for name in names {
+            // counter + gauge + histogram track per name.
+            let hits = events
+                .iter()
+                .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+                .count();
+            assert_eq!(hits, 3, "chrome trace lost {name:?}");
+        }
+
+        let jsonl = snap.to_jsonl();
+        for line in jsonl.lines() {
+            json::parse(line).expect("every JSONL line parses");
+        }
+        let back = crate::Snapshot::from_jsonl(&jsonl).expect("round-trip");
+        for name in names {
+            assert_eq!(back.counter(name), 2, "counter {name:?}");
+            assert_eq!(back.gauge(name), Some(1.5), "gauge {name:?}");
+            assert_eq!(back.histogram(name).map(|h| h.count), Some(1));
+        }
+    }
+
+    /// Satellite: two snapshots of the same events taken from differently
+    /// sharded collectors must serialize identically (merge determinism).
+    #[test]
+    fn merged_shard_output_is_deterministically_ordered() {
+        let _g = test_support::lock();
+        let mut renders: Vec<(String, String)> = Vec::new();
+        for round in 0..2 {
+            let c = Arc::new(Collector::new());
+            {
+                let _guard = crate::scoped(c.clone());
+                std::thread::scope(|scope| {
+                    for t in 0..4 {
+                        let t = if round == 0 { t } else { 3 - t };
+                        scope.spawn(move || {
+                            for i in 0..25 {
+                                crate::counter("z.last", 1);
+                                crate::counter("a.first", 2);
+                                crate::observe("lat", (t * 25 + i) as u64);
+                            }
+                        });
+                    }
+                });
+            }
+            let snap = c.snapshot();
+            renders.push((snap.to_jsonl(), snap.to_chrome_trace()));
+        }
+        // Thread scheduling and shard assignment differed; output must not.
+        assert_eq!(renders[0].0, renders[1].0, "to_jsonl order drifted");
+        assert_eq!(renders[0].1, renders[1].1, "to_chrome_trace order drifted");
+        // Names are sorted, so a.first precedes z.last in the stream.
+        let a = renders[0].0.find("a.first").expect("a.first present");
+        let z = renders[0].0.find("z.last").expect("z.last present");
+        assert!(a < z);
     }
 
     #[test]

@@ -378,12 +378,26 @@ impl ProfileCache {
         let hit = self.lock().get(key).cloned();
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.emit_hit_rate();
         }
         hit
     }
 
     fn note_solve(&self) {
         self.solves.fetch_add(1, Ordering::Relaxed);
+        self.emit_hit_rate();
+    }
+
+    /// Publishes the running hit rate as a health gauge so a snapshot
+    /// taken at any point reflects cache effectiveness so far.
+    fn emit_hit_rate(&self) {
+        if obsv::enabled() {
+            let hits = self.hits.load(Ordering::Relaxed) as f64;
+            let solves = self.solves.load(Ordering::Relaxed) as f64;
+            if hits + solves > 0.0 {
+                obsv::gauge("health.hierarchy.cache_hit_rate", hits / (hits + solves));
+            }
+        }
     }
 
     /// Stores `sub` unless an entry with an equal-or-longer profile is
@@ -519,6 +533,9 @@ struct LevelEngine {
     /// Largest population this engine was asked to pre-size for.
     reserved: usize,
     cache: Option<Arc<ProfileCache>>,
+    /// Watches the FES disaggregation closure error `|Σ_l Q_l − Q_FES|`
+    /// and counts residual clamps; buffered locally, flushed on drop.
+    disagg_health: obsv::HealthProbe,
 }
 
 impl LevelEngine {
@@ -588,6 +605,7 @@ impl LevelEngine {
             flat_queues: vec![0.0; width],
             reserved: 0,
             cache: cache.cloned(),
+            disagg_health: obsv::HealthProbe::new("hierarchy.disagg"),
         })
     }
 
@@ -630,6 +648,9 @@ impl LevelEngine {
             };
             if added > 0 {
                 grew = true;
+                // Staleness: the carried (possibly cache-reused) profile
+                // did not cover this population and had to extend.
+                obsv::counter("health.hierarchy.profile_stale_steps", added as u64);
                 if let Some(cache) = &self.cache {
                     cache.store(&self.sub_keys[i], &self.subs[i]);
                 }
@@ -689,6 +710,7 @@ impl LevelEngine {
             sources,
             offsets,
             flat_queues,
+            disagg_health,
             ..
         } = self;
         let queues = ws.queues();
@@ -722,13 +744,19 @@ impl LevelEngine {
                         // the deepest isolated row (its queues sum to
                         // exactly `table_len` — the subsystem holds every
                         // customer when solved with zero think time).
-                        let residual = (queues[k] - attributed).max(0.0);
+                        let raw = queues[k] - attributed;
+                        if raw < 0.0 {
+                            disagg_health.count_clamp();
+                        }
+                        let residual = raw.max(0.0);
                         let row = &sub.leaf_rows[(table_len - 1) * w..table_len * w];
                         let scale = residual / table_len as f64;
                         for (o, r) in out.iter_mut().zip(row) {
                             *o += scale * r;
                         }
                     }
+                    let total: f64 = out.iter().sum();
+                    disagg_health.watch((total - queues[k]).abs());
                 }
             }
         }

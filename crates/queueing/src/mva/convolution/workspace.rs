@@ -212,6 +212,10 @@ pub struct ConvWorkspace {
 
     extend_ctr: obsv::CounterBatch,
     cells_ctr: obsv::CounterBatch,
+    /// Watches `ln G` per extension (log-sum-exp dynamic range, NaN-poison
+    /// trips) and counts marginal-term underflows. Locally buffered;
+    /// flushed by [`flush_metrics`](Self::flush_metrics) and on drop.
+    health: obsv::HealthProbe,
 }
 
 impl ConvWorkspace {
@@ -296,6 +300,7 @@ impl ConvWorkspace {
             marg_off,
             extend_ctr: obsv::CounterBatch::new("conv.workspace.extend", 64),
             cells_ctr: obsv::CounterBatch::new("convolution.cells", 64),
+            health: obsv::HealthProbe::new("conv.lse"),
         };
         ws.refresh_kinds();
         ws.ensure_capacity(1);
@@ -342,10 +347,12 @@ impl ConvWorkspace {
         &self.out_marginals[off..off + limit]
     }
 
-    /// Flushes the batched instrumentation counters to the recorder.
+    /// Flushes the batched instrumentation counters and the numeric-health
+    /// probe to the recorder.
     pub fn flush_metrics(&mut self) {
         self.extend_ctr.flush();
         self.cells_ctr.flush();
+        self.health.flush();
     }
 
     /// Re-derives the per-stage extension rules from the current demands.
@@ -480,6 +487,7 @@ impl ConvWorkspace {
         }
 
         let g_m = self.prefix.at(total, m);
+        self.health.watch(g_m);
         if g_m == f64::NEG_INFINITY && self.prefix.at(total, m - 1) != f64::NEG_INFINITY {
             return Err(QueueingError::InvalidParameter {
                 what: "normalization constant vanished (all-zero demands?)",
@@ -555,6 +563,10 @@ impl ConvWorkspace {
                         if j < limit {
                             self.out_marginals[off + j] = p;
                         }
+                    } else if lp != f64::NEG_INFINITY {
+                        // A finite marginal term too small for exp():
+                        // dropped, which is safe but worth counting.
+                        self.health.count_underflow();
                     }
                 }
                 self.out_queues[k] = q;
@@ -922,6 +934,16 @@ mod tests {
         assert_eq!(snap.counter("conv.workspace.rebuild"), 1);
         assert!(snap.counter("conv.workspace.alloc") >= 1);
         assert!(snap.gauge("conv.workspace.bytes").unwrap_or(0.0) > 0.0);
+        // Numeric-health probe: one ln G watched per extension, no NaN
+        // reads, and a nonzero log-sum-exp envelope.
+        assert_eq!(snap.counter("health.conv.lse.samples"), 15);
+        assert_eq!(snap.counter("health.conv.lse.nan_poison"), 0);
+        let lo = snap.gauge("health.conv.lse.lo").expect("lse lo");
+        let hi = snap.gauge("health.conv.lse.hi").expect("lse hi");
+        let range = snap.gauge("health.conv.lse.range").expect("lse range");
+        assert!(hi >= lo);
+        assert!((range - (hi - lo)).abs() < 1e-12);
+        assert!(range > 0.0);
     }
 
     /// Serializes against other tests touching the global recorder.

@@ -19,9 +19,10 @@ pub use convolution::{reference_solve_at, ConvWorkspace, PointSolution};
 pub use exact::{exact_mva, ExactMvaIter};
 pub use loaddep::{load_dependent_mva, LdStation, RateFunction};
 pub use multiclass::{
-    multiclass_mva, run_until_classes, ClassMetrics, ClassPoint, ClassRunOutcome, ClassSpec,
-    ClassStopReason, MomIter, MomSolver, MulticlassIter, MulticlassMvaSolver, MulticlassPoint,
-    MulticlassSolution, MulticlassStepper, MulticlassWorkspace, Workload,
+    backend_divergence, multiclass_mva, run_until_classes, ClassMetrics, ClassPoint,
+    ClassRunOutcome, ClassSpec, ClassStopReason, MomIter, MomSolver, MulticlassIter,
+    MulticlassMvaSolver, MulticlassPoint, MulticlassSolution, MulticlassStepper,
+    MulticlassWorkspace, Workload,
 };
 pub use multiserver::{
     multiserver_mva, multiserver_mva_with_marginals, MarginalTrace, PopulationRecursion,

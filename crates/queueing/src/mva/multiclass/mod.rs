@@ -91,6 +91,35 @@ pub struct MulticlassSolution {
     pub station_utilizations: Vec<f64>,
 }
 
+/// Maximum relative divergence between two multiclass solutions of the
+/// same model — the lattice-vs-MoM cross-check distilled to one number:
+/// the worst relative difference over per-class throughputs, per-class
+/// responses, and per-station total queues. Emits the
+/// `health.multiclass.lattice_mom_divergence` gauge when a recorder is
+/// installed, so `mvasd-doctor` can hold the two exact backends to an
+/// agreement floor. Mismatched shapes diverge infinitely.
+pub fn backend_divergence(a: &MulticlassSolution, b: &MulticlassSolution) -> f64 {
+    let mut worst = 0.0f64;
+    let mut rel = |x: f64, y: f64| {
+        let denom = x.abs().max(y.abs()).max(1e-300);
+        worst = worst.max((x - y).abs() / denom);
+    };
+    if a.classes.len() != b.classes.len() || a.station_queues.len() != b.station_queues.len() {
+        return f64::INFINITY;
+    }
+    for (ca, cb) in a.classes.iter().zip(&b.classes) {
+        rel(ca.throughput, cb.throughput);
+        rel(ca.response, cb.response);
+    }
+    for (&qa, &qb) in a.station_queues.iter().zip(&b.station_queues) {
+        rel(qa, qb);
+    }
+    if obsv::enabled() {
+        obsv::gauge("health.multiclass.lattice_mom_divergence", worst);
+    }
+    worst
+}
+
 /// Maximum number of lattice points the solvers will allocate (`K` floats
 /// each for the MVA faces). 16 M points ≈ 128 MB·K/8 — generous but bounded.
 pub(crate) const MAX_LATTICE: usize = 16_000_000;

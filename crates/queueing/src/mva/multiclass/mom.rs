@@ -200,6 +200,27 @@ impl MomIter {
             bump_counter(&mut pops, &dims);
         }
         obsv::counter("mom.iterations", iterations);
+        if obsv::enabled() {
+            // Recurrence conditioning: dynamic range (and NaN trips) of the
+            // completed `ln G` lattice, plus the spread between the
+            // first-moment and normalization lattices at the full
+            // population — the quantities the moment recurrence divides.
+            let mut probe = obsv::HealthProbe::new("mom.lng");
+            for &v in &ln_g {
+                probe.watch(v);
+            }
+            probe.flush();
+            let top = lattice - 1;
+            let g_top = ln_g[top];
+            let mut spread = 0.0f64;
+            for k in 0..k_count {
+                let h = ln_bigh[top * k_count + k];
+                if h.is_finite() && g_top.is_finite() {
+                    spread = spread.max((h - g_top).abs());
+                }
+            }
+            obsv::gauge("health.mom.moment_spread", spread);
+        }
 
         let demands = classes
             .iter()

@@ -128,6 +128,7 @@ impl SolverIter for SchweitzerIter {
         let mut residence = vec![0.0f64; k_count];
         let mut converged = false;
         let mut iterations = 0u64;
+        let mut last_delta = f64::INFINITY;
         for _ in 0..self.opts.max_iterations {
             iterations += 1;
             let mut r_total = 0.0;
@@ -149,12 +150,20 @@ impl SolverIter for SchweitzerIter {
             }
             if delta < self.opts.tolerance {
                 converged = true;
+                last_delta = delta;
                 break;
             }
+            last_delta = delta;
         }
         if obsv::enabled() {
             obsv::counter("schweitzer.fixed_point_iterations", iterations);
             obsv::observe("schweitzer.iterations_per_step", iterations);
+            // Final fixed-point residual as converged digits × 100: the
+            // health floor `mvasd-doctor` compares across runs.
+            obsv::observe(
+                "health.schweitzer.residual_digits",
+                obsv::health::residual_digits(last_delta),
+            );
         }
         if !converged {
             return Err(QueueingError::InvalidParameter {

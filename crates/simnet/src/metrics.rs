@@ -79,7 +79,13 @@ impl SimReport {
     /// Batch-means 95 % half-width of the mean response estimate, if enough
     /// samples were collected.
     pub fn response_ci(&self, batches: usize) -> Option<mvasd_numerics::stats::BatchMeansEstimate> {
-        mvasd_numerics::stats::batch_means(&self.response_samples, batches).ok()
+        let est = mvasd_numerics::stats::batch_means(&self.response_samples, batches).ok()?;
+        if mvasd_obsv::enabled() && est.mean > 0.0 {
+            // DES health floor: relative CI half-width of the response
+            // estimate. Wide intervals mean the run is too short to trust.
+            mvasd_obsv::gauge("health.simnet.ci_rel_width", est.half_width / est.mean);
+        }
+        Some(est)
     }
 
     /// vmstat/iostat-style sampled utilization timeline of station `k`:

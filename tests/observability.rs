@@ -104,13 +104,18 @@ fn disabled_instrumentation_is_under_two_percent_of_a_solve() {
     }
 
     let start = Instant::now();
+    let mut probe = obsv::HealthProbe::new("test.overhead");
     for i in 0..1500u64 {
-        // The exact per-step sequence the solvers execute when disabled.
+        // The exact per-step sequence the solvers execute when disabled,
+        // including the numeric-health instrumentation.
         let span = obsv::span("mvasd.step");
         obsv::counter("solver.steps", std::hint::black_box(1));
         obsv::observe("schweitzer.iterations_per_step", std::hint::black_box(i));
+        probe.watch(std::hint::black_box(-(i as f64)));
+        probe.count_underflow();
         drop(span);
     }
+    drop(probe);
     let noop_cost = start.elapsed();
     assert!(
         noop_cost < solve_cost.mul_f64(0.02),
@@ -364,6 +369,133 @@ fn stop_conditions_are_counted_by_name() {
     // Early exit means the saturation condition fired before the cap.
     assert_eq!(outcome.reason.metric_name(), "stop.bottleneck_saturation");
     assert!(outcome.steps < 600);
+}
+
+/// Tentpole acceptance: with no recorder installed, a health probe is a
+/// stateless no-op — it accumulates nothing, flushes nothing, and the
+/// instrumented solvers stay bit-identical to the bare ones (the existing
+/// bit-identity tests above now cover the probe-bearing hot paths too).
+#[test]
+fn health_probes_are_inert_when_disabled() {
+    let _guard = lock();
+    assert!(!obsv::enabled(), "no recorder may leak into this test");
+    let mut probe = obsv::HealthProbe::new("test.disabled");
+    probe.watch(42.0);
+    probe.watch(f64::NAN);
+    probe.count_clamp();
+    probe.count_underflow();
+    assert_eq!(probe.envelope(), None, "disabled probes accumulate nothing");
+
+    // A solve that crosses every probe-bearing hot path while disabled
+    // must leave no trace once a collector *is* installed afterwards.
+    let solver = vins_solver();
+    solver.solve(120).expect("disabled solve");
+    let collector = Arc::new(obsv::Collector::new());
+    let _scope = obsv::scoped(collector.clone());
+    drop(probe); // Drop flushes — but there is nothing buffered.
+    let snap = collector.snapshot();
+    assert_eq!(snap.counters.len(), 0, "no stale health state leaked");
+    assert_eq!(snap.gauges.len(), 0);
+}
+
+/// Tentpole acceptance: a seeded instrumented run distills into a
+/// [`obsv::HealthReport`] with a nonzero log-sum-exp dynamic range, zero
+/// NaN-poison trips, and a populated Schweitzer residual trace — and the
+/// report survives its JSON round trip bit for bit.
+#[test]
+fn seeded_run_produces_clean_health_report() {
+    let _guard = lock();
+    let collector = Arc::new(obsv::Collector::new());
+    let _scope = obsv::scoped(collector.clone());
+
+    let app = vins::model();
+    // Multiserver MVA at a real demand point drives the log-domain
+    // convolution workspace (the lse probe's home).
+    let solver = mvasd_suite::queueing::mva::MultiserverMvaSolver::new(
+        app.closed_network_at(1500.0).expect("calibrated network"),
+    );
+    solver.solve(300).expect("instrumented multiserver solve");
+    // A Schweitzer solve records its fixed-point residual digits.
+    let schweitzer = mvasd_suite::queueing::mva::SchweitzerSolver::new(
+        app.closed_network_at(1500.0).expect("calibrated network"),
+    );
+    schweitzer
+        .solve(300)
+        .expect("instrumented schweitzer solve");
+    // Both multiclass backends plus the explicit divergence gauge.
+    let workload = Workload::new(
+        vec!["cpu".into(), "disk".into()],
+        vec![
+            StationKind::Queueing { servers: 2 },
+            StationKind::Queueing { servers: 1 },
+        ],
+        vec![
+            ClassSpec {
+                name: "heavy".into(),
+                population: 6,
+                think_time: 1.0,
+                demands: vec![0.02, 0.03],
+            },
+            ClassSpec {
+                name: "light".into(),
+                population: 4,
+                think_time: 0.2,
+                demands: vec![0.008, 0.004],
+            },
+        ],
+    )
+    .expect("workload");
+    let lat = MulticlassMvaSolver::new(workload.clone())
+        .solve_classes()
+        .expect("lattice solve");
+    let mom = MomSolver::new(workload).solve_classes().expect("mom solve");
+    let divergence = mvasd_suite::queueing::mva::backend_divergence(&lat, &mom);
+    assert!(divergence.is_finite());
+
+    let report = obsv::HealthReport::from_snapshot(&collector.snapshot());
+    assert!(report.samples > 0, "probes saw values: {report:?}");
+    assert_eq!(report.nan_poison_trips, 0, "no NaN poison on a clean run");
+    let lse_range = report.lse_range.expect("conv workspace ran");
+    assert!(lse_range > 0.0, "nonzero log-sum-exp dynamic range");
+    assert!(
+        report
+            .schweitzer_residual_digits_min
+            .expect("schweitzer ran")
+            > 0.0,
+        "the fixed point converged to at least some digits"
+    );
+    assert!(report.mom_lng_range.is_some(), "mom lattice conditioning");
+    let gauge = report
+        .lattice_mom_divergence
+        .expect("divergence gauge recorded");
+    assert_eq!(gauge, divergence, "gauge mirrors the returned value");
+
+    // JSON round trip is exact: `obsv::json::number` prints shortest
+    // round-trip representations.
+    let round_tripped = obsv::HealthReport::from_json(&report.to_json()).expect("report re-parses");
+    assert_eq!(report, round_tripped);
+}
+
+/// Satellite: two snapshots of the same collector diff cleanly — the delta
+/// of a run against itself is all zeros, and new work shows up as exactly
+/// its own counts.
+#[test]
+fn snapshot_diff_isolates_incremental_work() {
+    let _guard = lock();
+    let collector = Arc::new(obsv::Collector::new());
+    let _scope = obsv::scoped(collector.clone());
+    let solver = vins_solver();
+
+    solver.solve(50).expect("first solve");
+    let before = collector.snapshot();
+    // Round trip the baseline through JSONL, as `obsv_report --diff` does.
+    let before = obsv::Snapshot::from_jsonl(&before.to_jsonl()).expect("baseline re-parses");
+    assert_eq!(before.diff(&before).counter("solver.steps"), 0);
+
+    solver.solve(30).expect("second solve");
+    let delta = collector.snapshot().diff(&before);
+    assert_eq!(delta.counter("solver.steps"), 30, "only the new work");
+    assert_eq!(delta.spans_named("mvasd.step"), 0, "diffs carry no spans");
 }
 
 /// The end-to-end trace survives a round trip through the sink and the
