@@ -1,0 +1,186 @@
+//! Batched log-sum-exp convolution kernel vs the scalar running-maximum
+//! oracle, on real VINS-shaped log-domain columns.
+//!
+//! The workload is the Buzen normalization-constant fold of the paper-scale
+//! VINS network: 12 log-domain factor columns (three 16-core CPUs with
+//! their multi-server service-rate products, nine single-server ramps),
+//! convolved pairwise up to N = 1500. Because the running G column is
+//! log-concave and the factor ramps are steep (`ln 0.055 ≈ −2.9` nats per
+//! step at the db CPU), every convolution cell is sharply peaked — the
+//! shape [`conv_cell`]'s block pruning is built for. Two cost models:
+//!
+//! - `batched_fold/N` / `batched_cell/N` — [`kernel::conv_cell`] with one
+//!   warm [`CellScratch`]: reversed-stride add, blocked 4-lane max, pruned
+//!   4-lane exp-accumulate.
+//! - `scalar_fold/N` / `scalar_cell/N` — [`kernel::scalar_reference`], the
+//!   historical fused single pass: one serial libm `exp` per element.
+//!
+//! Beyond the text table the bench emits `results/BENCH_lse_kernel.json`
+//! (schema `mvasd-bench/1` plus an `lse_kernel` metrics block, documented
+//! in `EXPERIMENTS.md`): both speedups and the worst absolute deviation of
+//! the batched fold from the scalar fold, which doubles as a standing
+//! equivalence check on realistic columns.
+
+use mvasd_bench::output::{results_dir, write_text};
+use mvasd_bench::timing::{bench_json, quick_mode, Bench, Plan};
+use mvasd_obsv as obsv;
+use mvasd_queueing::mva::kernel::{self, CellScratch};
+
+/// The 12-station VINS demand sheet (same shape and numbers as the
+/// convolution bench): `(servers, demand)` per station.
+const VINS: [(usize, f64); 12] = [
+    (16, 0.004),
+    (1, 0.0085),
+    (1, 0.0012),
+    (1, 0.0018),
+    (16, 0.012),
+    (1, 0.0022),
+    (1, 0.0015),
+    (1, 0.0015),
+    (16, 0.055),
+    (1, 0.0098),
+    (1, 0.0014),
+    (1, 0.0012),
+];
+
+/// Log-domain Buzen factor columns for the VINS stations:
+/// `f(j) = j·ln D − Σ_{k=1..j} ln min(k, c)` — a descending ramp for a
+/// single server, ramp-plus-factorial-correction for a multi-server.
+fn factor_columns(len: usize) -> Vec<Vec<f64>> {
+    VINS.iter()
+        .map(|&(servers, demand)| {
+            let ln_d = demand.ln();
+            let mut col = Vec::with_capacity(len);
+            let mut acc = 0.0;
+            for j in 0..len {
+                if j > 0 {
+                    acc += ln_d - (j.min(servers) as f64).ln();
+                }
+                col.push(acc);
+            }
+            col
+        })
+        .collect()
+}
+
+/// Folds all factor columns into the running G column with the batched
+/// kernel: `g'(n) = conv_cell(g, f, n)` for every population, every
+/// station — the exact cell population the workspace solver issues.
+fn batched_fold(
+    cols: &[Vec<f64>],
+    n_max: usize,
+    g: &mut Vec<f64>,
+    next: &mut Vec<f64>,
+    scratch: &mut CellScratch,
+) -> f64 {
+    g.clear();
+    g.extend_from_slice(&cols[0][..=n_max]);
+    for col in &cols[1..] {
+        next.clear();
+        for n in 0..=n_max {
+            next.push(kernel::conv_cell(g, col, n, scratch));
+        }
+        std::mem::swap(g, next);
+    }
+    g[n_max]
+}
+
+/// The same fold through the scalar running-maximum oracle.
+fn scalar_fold(cols: &[Vec<f64>], n_max: usize, g: &mut Vec<f64>, next: &mut Vec<f64>) -> f64 {
+    g.clear();
+    g.extend_from_slice(&cols[0][..=n_max]);
+    for col in &cols[1..] {
+        next.clear();
+        for n in 0..=n_max {
+            next.push(kernel::scalar_reference(g, col, n));
+        }
+        std::mem::swap(g, next);
+    }
+    g[n_max]
+}
+
+fn main() {
+    let n_cap = if quick_mode() { 200 } else { 1500 };
+    let cols = factor_columns(n_cap + 1);
+    let mut g = Vec::with_capacity(n_cap + 1);
+    let mut next = Vec::with_capacity(n_cap + 1);
+    let mut scratch = CellScratch::new();
+    scratch.ensure(n_cap + 1);
+
+    let mut b = Bench::new("lse_kernel_vins");
+    b.measure(&format!("batched_fold/{n_cap}"), Plan::default(), || {
+        batched_fold(&cols, n_cap, &mut g, &mut next, &mut scratch)
+    });
+    b.measure(&format!("scalar_fold/{n_cap}"), Plan::default(), || {
+        scalar_fold(&cols, n_cap, &mut g, &mut next)
+    });
+
+    // Single-cell timing at the deepest population: the penultimate G
+    // column (11 stations folded) convolved with the db-disk ramp, the
+    // largest cell the fold ever issues.
+    let penultimate = &cols[..cols.len() - 1];
+    batched_fold(penultimate, n_cap, &mut g, &mut next, &mut scratch);
+    let g_col = g.clone();
+    let last = cols.last().expect("12 columns");
+    b.measure(&format!("batched_cell/{n_cap}"), Plan::light(64), || {
+        kernel::conv_cell(&g_col, last, n_cap, &mut scratch)
+    });
+    b.measure(&format!("scalar_cell/{n_cap}"), Plan::light(64), || {
+        kernel::scalar_reference(&g_col, last, n_cap)
+    });
+    println!("{}", b.report());
+
+    let results = b.results();
+    let find = |name: &str| {
+        results
+            .iter()
+            .find(|m| m.name == name)
+            .expect("measured above")
+    };
+    let fold_speedup = find(&format!("scalar_fold/{n_cap}")).median().as_secs_f64()
+        / find(&format!("batched_fold/{n_cap}"))
+            .median()
+            .as_secs_f64()
+            .max(1e-12);
+    let cell_speedup = find(&format!("scalar_cell/{n_cap}")).median().as_secs_f64()
+        / find(&format!("batched_cell/{n_cap}"))
+            .median()
+            .as_secs_f64()
+            .max(1e-12);
+    println!("batched kernel speedup over scalar at n={n_cap}: fold {fold_speedup:.1}x, cell {cell_speedup:.1}x");
+
+    // Standing equivalence check on the realistic columns: the two folds
+    // must agree everywhere to far better than the documented ulp budget
+    // (the scale here is |ln G| ≈ a few thousand nats at N=1500).
+    let batched_g = {
+        batched_fold(&cols, n_cap, &mut g, &mut next, &mut scratch);
+        g.clone()
+    };
+    scalar_fold(&cols, n_cap, &mut g, &mut next);
+    let max_abs_dev = batched_g
+        .iter()
+        .zip(g.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_abs_dev < 1e-9,
+        "batched fold deviates from scalar by {max_abs_dev:.3e} nats"
+    );
+    println!("max |ln G| deviation batched vs scalar: {max_abs_dev:.2e} nats");
+
+    // Splice the kernel metrics block into the standard schema and check
+    // the result still parses before committing it to disk.
+    let json = bench_json(&[&b]);
+    let trimmed = json.trim_end().trim_end_matches('}');
+    let json = format!(
+        "{trimmed},\"lse_kernel\":{{\"stations\":{},\"n\":{n_cap},\
+         \"max_abs_dev_nats\":{max_abs_dev:.3e},\
+         \"speedup_batched_vs_scalar\":{fold_speedup:.2},\
+         \"cell_speedup_batched_vs_scalar\":{cell_speedup:.2}}}}}\n",
+        VINS.len()
+    );
+    obsv::json::parse(&json).expect("spliced report is valid JSON");
+    let path =
+        write_text(&results_dir(), "BENCH_lse_kernel.json", &json).expect("results dir writable");
+    println!("wrote {}", path.display());
+}

@@ -23,7 +23,6 @@
 //! campaigns.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use std::sync::Arc;
@@ -43,45 +42,11 @@ use crate::profile::{DemandAxis, DemandSamples, InterpolationKind, ServiceDemand
 use crate::solver::{MvasdSchweitzerSolver, MvasdSingleServerSolver, MvasdSolver};
 use crate::CoreError;
 
-/// Runs `job(0..count)` on a scoped thread pool and returns the results in
-/// index order. `parallelism <= 1` (or a single item) degenerates to a
-/// serial loop with no thread overhead. Panics inside `job` propagate when
-/// the scope joins, exactly like a serial panic would.
-pub fn scoped_indexed<T, F>(count: usize, parallelism: usize, job: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = parallelism.max(1).min(count);
-    if workers <= 1 {
-        return (0..count).map(job).collect();
-    }
-    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let out = job(i);
-                match slots[i].lock() {
-                    Ok(mut slot) => *slot = Some(out),
-                    Err(poisoned) => *poisoned.into_inner() = Some(out),
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .expect("every index was claimed by a worker")
-        })
-        .collect()
-}
+// The scoped pool itself lives in `mvasd_numerics::pool` so the queueing
+// layer (which `core` depends on) can fan out hierarchical sub-solves on
+// the same primitive. Re-exported here because this module is its
+// historical home and the testbed reaches it through this path.
+pub use mvasd_numerics::pool::{effective_workers, scoped_indexed, scoped_indexed_min_chunk};
 
 /// One what-if question over a base demand model: a model transform plus
 /// the conditions under which its sweep may stop early.
@@ -403,6 +368,15 @@ pub struct SweepStats {
     /// across scenarios *and* across identically-shaped subsystems within
     /// one model.
     pub sub_cache_hits: usize,
+    /// Subsystem profile extensions executed on parallel workers
+    /// (hierarchical sweeps with
+    /// [`AggregationOptions::parallelism`] > 1 only; serial sweeps leave
+    /// this at zero).
+    pub parallel_sub_solves: usize,
+    /// Worker threads the most recent [`run`](ScenarioSweep::run) used for
+    /// its model-group fan-out (a snapshot, not a running total: 1 means
+    /// the last run was effectively serial).
+    pub pool_occupancy: usize,
 }
 
 impl SweepStats {
@@ -622,7 +596,9 @@ impl ScenarioSweep {
         // Snapshot the shared aggregation cache so sub-model work done by
         // this run can be committed as a delta on success.
         let sub_before = match &self.base {
-            BaseModel::Hierarchy { profiles, .. } => Some(profiles.stats()),
+            BaseModel::Hierarchy { profiles, .. } => {
+                Some((profiles.stats(), profiles.parallel_solves()))
+            }
             BaseModel::Samples(_) | BaseModel::Workload(_) => None,
         };
         // Resolve every scenario and group by model fingerprint, keeping
@@ -775,14 +751,20 @@ impl ScenarioSweep {
         self.stats.steps_demanded += steps_demanded;
         self.stats.cache_hits += cache_hits;
         self.stats.cache_misses += cache_misses;
+        self.stats.pool_occupancy = effective_workers(groups.len(), self.parallelism, 1);
         let mut sub_solves = 0usize;
         let mut sub_cache_hits = 0usize;
-        if let (Some(before), BaseModel::Hierarchy { profiles, .. }) = (sub_before, &self.base) {
+        let mut parallel_sub_solves = 0usize;
+        if let (Some((before, par_before)), BaseModel::Hierarchy { profiles, .. }) =
+            (sub_before, &self.base)
+        {
             let after = profiles.stats();
             sub_solves = (after.solves - before.solves) as usize;
             sub_cache_hits = (after.hits - before.hits) as usize;
+            parallel_sub_solves = (profiles.parallel_solves() - par_before) as usize;
             self.stats.sub_solves += sub_solves;
             self.stats.sub_cache_hits += sub_cache_hits;
+            self.stats.parallel_sub_solves += parallel_sub_solves;
         }
         if obsv::enabled() {
             obsv::counter("sweep.cache_hits", cache_hits as u64);
@@ -797,6 +779,9 @@ impl ScenarioSweep {
             if sub_solves > 0 || sub_cache_hits > 0 {
                 obsv::counter("sweep.sub_solves", sub_solves as u64);
                 obsv::counter("sweep.sub_cache_hits", sub_cache_hits as u64);
+            }
+            if parallel_sub_solves > 0 {
+                obsv::counter("sweep.parallel_sub_solves", parallel_sub_solves as u64);
             }
         }
 

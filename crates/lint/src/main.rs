@@ -14,7 +14,7 @@ use std::process::ExitCode;
 use mvasd_lint::{find_workspace_root, run, Options};
 
 const USAGE: &str = "\
-mvasd-lint: static analysis for the MVASD workspace contracts (L1-L5)
+mvasd-lint: static analysis for the MVASD workspace contracts (L1-L6)
 
 USAGE:
     mvasd-lint [OPTIONS]

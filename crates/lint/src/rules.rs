@@ -7,6 +7,7 @@
 //! | `L3:unwrap` etc. | no `unwrap()`/non-literal `expect()`/`panic!`/literal indexing in library `src/` trees (baseline-ratcheted) |
 //! | `L4:no-alloc`    | functions marked `// lint: no-alloc` contain no allocating tokens |
 //! | `L5:allow-justify` | every `#[allow(...)]` carries a trailing justification comment |
+//! | `L6:kernel-ratchet` | `convolution/kernel.rs` keeps `// lint: no-alloc` on `conv_cell` |
 //! | `A0:annotation`  | `// lint:` annotations themselves must be well-formed |
 //!
 //! Escape hatches: `// lint: float-eq-ok <reason>` (L1) and
@@ -64,9 +65,10 @@ enum AnnKey {
     NoAlloc,
 }
 
-/// `.exp()`-family methods banned on the MVA hot path (L2); the
-/// compensated log-sum-exp helpers in `convolution/workspace.rs` are the
-/// only sanctioned home for them.
+/// `.exp()`-family methods banned on the MVA hot path (L2); the batched
+/// log-sum-exp kernel (`convolution/kernel.rs`) and the workspace that
+/// drives it (`convolution/workspace.rs`) are the only sanctioned homes
+/// for them.
 const LOG_DOMAIN_METHODS: &[&str] = &[
     "exp", "ln", "powf", "ln_1p", "exp_m1", "exp2", "log", "log2", "log10",
 ];
@@ -121,6 +123,9 @@ pub fn lint_file(relpath: &str, src: &str) -> Vec<Finding> {
     }
     check_no_alloc(&ctx, &annotations, &mut out);
     check_allow_justified(&ctx, &mut out);
+    if path.ends_with("queueing/src/mva/convolution/kernel.rs") {
+        check_kernel_ratchet(&ctx, &annotations, &mut out);
+    }
 
     // Apply annotation suppression: an escape-hatch annotation covers
     // findings on its own line and on the line directly below it.
@@ -155,9 +160,12 @@ impl Scope {
             // `numerics::dd` is the allowlisted double-double module: its
             // exact float comparisons ARE the algorithm.
             l1: in_src && !path.ends_with("numerics/src/dd.rs"),
-            // The log-sum-exp helpers in the convolution workspace are the
-            // one sanctioned home for exp/ln on the MVA path.
-            l2: path.contains("queueing/src/mva/") && !path.ends_with("convolution/workspace.rs"),
+            // The batched log-sum-exp kernel and the convolution workspace
+            // that drives it are the sanctioned homes for exp/ln on the
+            // MVA path.
+            l2: path.contains("queueing/src/mva/")
+                && !path.ends_with("convolution/workspace.rs")
+                && !path.ends_with("convolution/kernel.rs"),
             l3: in_src,
         }
     }
@@ -422,7 +430,7 @@ fn check_log_domain(ctx: &Ctx, out: &mut Vec<Finding>) {
                 format!(
                     "`.{name}()` inside `queueing::mva`: raw exp/ln underflows the \
                      Alg. 2/3 recursions near n=1500; route through the compensated \
-                     log-sum-exp helpers in `convolution/workspace.rs` or annotate \
+                     log-sum-exp kernel in `convolution/kernel.rs` or annotate \
                      `// lint: log-domain-ok <reason>`"
                 ),
             );
@@ -578,6 +586,50 @@ fn check_no_alloc(ctx: &Ctx, annotations: &[Annotation], out: &mut Vec<Finding>)
     }
 }
 
+/// L6: the batched log-sum-exp kernel is exempt from L2 precisely because
+/// it *is* the sanctioned exp/ln home — in exchange its `conv_cell` entry
+/// point must keep the `// lint: no-alloc` ratchet (the L4 marker) so the
+/// steady-state allocation contract can never silently regress. Not
+/// baselineable: the marker either precedes `conv_cell` or the tree fails.
+fn check_kernel_ratchet(ctx: &Ctx, annotations: &[Annotation], out: &mut Vec<Finding>) {
+    let covered = annotations.iter().any(|ann| {
+        ann.key == AnnKey::NoAlloc
+            && ctx
+                .sig
+                .iter()
+                .position(|t| t.line > ann.line && t.kind == TokKind::Ident && ctx.text(t) == "fn")
+                .is_some_and(|fn_idx| ctx.ident_at(fn_idx + 1) == Some("conv_cell"))
+    });
+    if covered {
+        return;
+    }
+    let line = ctx
+        .sig
+        .windows(2)
+        .find_map(|w| match w {
+            [f, n]
+                if f.kind == TokKind::Ident
+                    && ctx.text(f) == "fn"
+                    && n.kind == TokKind::Ident
+                    && ctx.text(n) == "conv_cell" =>
+            {
+                Some(f.line)
+            }
+            _ => None,
+        })
+        .unwrap_or(1);
+    out.push(Finding {
+        file: ctx.path.to_string(),
+        line,
+        rule: "L6",
+        code: "kernel-ratchet",
+        message: "the batched kernel's `conv_cell` must carry `// lint: no-alloc`: \
+                  it runs inside the zero-allocation steady state of every \
+                  convolution sweep (see tests/alloc_steady_state.rs)"
+            .to_string(),
+    });
+}
+
 /// Is `sig[k] :: <seg>` with the given trailing segment name?
 fn path_seg_is(ctx: &Ctx, k: usize, seg: &str) -> bool {
     ctx.is_punct(k + 1, ':') && ctx.is_punct(k + 2, ':') && ctx.ident_at(k + 3) == Some(seg)
@@ -696,6 +748,14 @@ mod tests {
         assert!(codes(LIB, "fn f(x: f64) -> f64 { x.exp() }").is_empty());
         let ws = "crates/queueing/src/mva/convolution/workspace.rs";
         assert!(codes(ws, "fn f(x: f64) -> f64 { x.exp() }").is_empty());
+        // The batched kernel is the other sanctioned exp/ln home (its own
+        // L6 ratchet applies instead).
+        let kernel = "crates/queueing/src/mva/convolution/kernel.rs";
+        assert!(codes(
+            kernel,
+            "// lint: no-alloc\nfn conv_cell(x: f64) -> f64 { x.exp() }"
+        )
+        .is_empty());
         let annotated =
             "fn f(x: f64) -> f64 {\n    // lint: log-domain-ok reference oracle\n    x.exp()\n}";
         assert!(codes(MVA, annotated).is_empty());
@@ -742,6 +802,20 @@ mod tests {
         // The marked fn's body ends where its braces do.
         let src = "// lint: no-alloc\nfn hot(x: u32) -> u32 { x + 1 }\nfn cold() { let v = vec![1].clone(); drop(v); }";
         assert!(codes(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn l6_requires_the_kernel_no_alloc_ratchet() {
+        let kernel = "crates/queueing/src/mva/convolution/kernel.rs";
+        let ok = "// lint: no-alloc\npub fn conv_cell(a: &[f64]) -> f64 { 0.0 }";
+        assert!(codes(kernel, ok).is_empty());
+        let missing = "pub fn conv_cell(a: &[f64]) -> f64 { 0.0 }";
+        assert_eq!(codes(kernel, missing), ["L6:kernel-ratchet"]);
+        // A marker on some *other* fn does not satisfy the ratchet.
+        let wrong = "// lint: no-alloc\nfn other() {}\npub fn conv_cell(a: &[f64]) -> f64 { 0.0 }";
+        assert_eq!(codes(kernel, wrong), ["L6:kernel-ratchet"]);
+        // Only the kernel path is in scope.
+        assert!(codes(LIB, missing).is_empty());
     }
 
     #[test]

@@ -38,6 +38,10 @@
 //!   policy: no `rand`).
 //! * [`propcheck`] — a small deterministic property-test harness (seeded
 //!   case generation, tape-based bounded shrinking) replacing `proptest`.
+//! * [`pool`] — scoped-thread indexed fan-out ([`pool::scoped_indexed`])
+//!   with a `min_chunk` worker-count heuristic; the shared parallel
+//!   substrate for scenario sweeps, testbed campaigns, and hierarchical
+//!   subsystem solves (zero-dependency policy: no `rayon`/`crossbeam`).
 //!
 //! ## Quick example
 //!
@@ -63,6 +67,7 @@ pub mod dd;
 pub mod erlang;
 pub mod interp;
 pub mod optimize;
+pub mod pool;
 pub mod propcheck;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,159 @@
+//! Scoped-thread work pool: indexed fan-out with deterministic reassembly.
+//!
+//! Every concurrent layer of the workspace — testbed load campaigns,
+//! scenario-sweep model groups, and the hierarchy's parallel subsystem
+//! solves — shares this one primitive: run `job(0..count)` on a scoped
+//! thread pool and hand the results back **in index order**, so parallel
+//! execution changes wall-clock time and nothing else. Results travel
+//! through per-index slots, not a channel, which is what makes the
+//! reassembly order independent of scheduling.
+//!
+//! Worker-count policy ([`effective_workers`]): besides the obvious caps
+//! (`parallelism`, `count`), a `min_chunk` heuristic keeps tiny job lists
+//! from fanning out — spawning `count` threads for `count` microsecond
+//! jobs costs more than it saves. [`scoped_indexed`] uses `min_chunk = 1`
+//! (every job is assumed heavyweight: a whole model solve); callers with
+//! cheap jobs pick a larger chunk through [`scoped_indexed_min_chunk`].
+//! `count = 1` or `parallelism <= 1` always degenerates to a serial loop
+//! on the calling thread with zero spawn overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a fan-out of `count` jobs will actually use:
+/// `parallelism`, capped by the job count and by the `min_chunk` heuristic
+/// (each worker should have at least `min_chunk` jobs' worth of work, so
+/// `count` jobs justify at most `count / min_chunk` threads). Never zero;
+/// a result of 1 means the serial path.
+pub fn effective_workers(count: usize, parallelism: usize, min_chunk: usize) -> usize {
+    let by_chunk = count / min_chunk.max(1);
+    parallelism.min(count).min(by_chunk).max(1)
+}
+
+/// Runs `job(0..count)` on a scoped thread pool and returns the results in
+/// index order. `parallelism <= 1` (or a single item) degenerates to a
+/// serial loop with no thread overhead. Panics inside `job` propagate when
+/// the scope joins, exactly like a serial panic would.
+///
+/// Jobs are assumed heavyweight (model solves, load campaigns): the pool
+/// fans out whenever `parallelism > 1` and `count > 1`. For cheap jobs use
+/// [`scoped_indexed_min_chunk`] so short lists stay serial.
+pub fn scoped_indexed<T, F>(count: usize, parallelism: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    scoped_indexed_min_chunk(count, parallelism, 1, job)
+}
+
+/// [`scoped_indexed`] with an explicit `min_chunk`: at least `min_chunk`
+/// jobs per worker thread, so a list of a few cheap jobs runs serially
+/// instead of paying `count` thread spawns (see [`effective_workers`]).
+pub fn scoped_indexed_min_chunk<T, F>(
+    count: usize,
+    parallelism: usize,
+    min_chunk: usize,
+    job: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = effective_workers(count, parallelism, min_chunk);
+    if workers <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let out = job(i);
+                match slots[i].lock() {
+                    Ok(mut slot) => *slot = Some(out),
+                    Err(poisoned) => *poisoned.into_inner() = Some(out),
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .expect("every index was claimed by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for parallelism in [0, 1, 2, 4, 16] {
+            let out = scoped_indexed(10, parallelism, |i| i * i);
+            assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    /// The documented edge behaviors: `count = 1` and `parallelism = 0`
+    /// both run serially on the calling thread (no spawn at all).
+    #[test]
+    fn tiny_lists_and_zero_parallelism_stay_serial() {
+        let caller = std::thread::current().id();
+        let out = scoped_indexed(1, 64, |i| (i, std::thread::current().id()));
+        assert_eq!(out, vec![(0, caller)]);
+        let out = scoped_indexed(5, 0, |i| (i, std::thread::current().id()));
+        assert!(out.iter().all(|&(_, id)| id == caller));
+        assert_eq!(
+            out.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4]
+        );
+        let out: Vec<usize> = scoped_indexed(0, 8, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn min_chunk_limits_worker_count() {
+        // 3 jobs, 8 threads requested, but each worker must own >= 4 jobs:
+        // serial.
+        assert_eq!(effective_workers(3, 8, 4), 1);
+        // 8 jobs / chunk 4 -> at most 2 workers.
+        assert_eq!(effective_workers(8, 8, 4), 2);
+        // Heavy jobs (chunk 1): capped only by count and parallelism.
+        assert_eq!(effective_workers(3, 8, 1), 3);
+        assert_eq!(effective_workers(100, 4, 1), 4);
+        // Degenerate requests still come back >= 1.
+        assert_eq!(effective_workers(0, 8, 4), 1);
+        assert_eq!(effective_workers(5, 0, 0), 1);
+    }
+
+    #[test]
+    fn min_chunk_variant_runs_serial_under_threshold() {
+        let caller = std::thread::current().id();
+        let out = scoped_indexed_min_chunk(3, 8, 4, |i| (i, std::thread::current().id()));
+        assert!(out.iter().all(|&(_, id)| id == caller));
+        let out = scoped_indexed_min_chunk(64, 4, 4, |i| i + 1);
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let out = scoped_indexed(100, 8, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        let distinct: HashSet<usize> = out.into_iter().collect();
+        assert_eq!(distinct.len(), 100);
+    }
+}

@@ -27,12 +27,17 @@
 //! ([`AggregationOptions::truncation`]), and memoized across solves and
 //! scenario sweeps through a shared [`ProfileCache`] keyed by a structural
 //! fingerprint (station names excluded — ten identical replicas of a
-//! service tier share one profile).
+//! service tier share one profile). Stale profiles at one level are
+//! mutually independent, so [`AggregationOptions::parallelism`] can fan
+//! their extensions across scoped worker threads; the commit back into the
+//! cache is always serial in subsystem index order, keeping parallel
+//! output bit-identical to the serial schedule.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use mvasd_numerics::pool;
 use mvasd_obsv as obsv;
 
 use crate::mva::convolution::{ConvStation, ConvWorkspace};
@@ -295,19 +300,35 @@ pub struct AggregationOptions {
     /// roughly `eps` per aggregated level while capping profile length at
     /// the subsystem's knee.
     pub truncation: Option<f64>,
+    /// Worker threads for independent subsystem profile extensions.
+    /// `0` and `1` both mean serial (the default). With `n > 1`, stale
+    /// subsystems at one level extend concurrently on up to `n` scoped
+    /// threads; results are committed serially in subsystem index order, so
+    /// the output — solutions *and* cache contents — is bit-identical to
+    /// the serial schedule. Excluded from every cache/fingerprint key: it
+    /// changes wall-clock, never results.
+    pub parallelism: usize,
 }
 
 impl AggregationOptions {
     /// Exact aggregation: profiles track the parent population.
     pub fn exact() -> Self {
-        Self { truncation: None }
+        Self::default()
     }
 
     /// Truncated aggregation with the given plateau threshold.
     pub fn truncated(eps: f64) -> Self {
         Self {
             truncation: Some(eps),
+            ..Self::default()
         }
+    }
+
+    /// Returns a copy with the given sub-solve worker count
+    /// (see [`AggregationOptions::parallelism`]).
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
     }
 
     fn validate(&self) -> Result<(), QueueingError> {
@@ -344,6 +365,7 @@ pub struct ProfileCache {
     entries: Mutex<HashMap<Vec<u64>, SubEngine>>,
     solves: AtomicU64,
     hits: AtomicU64,
+    parallel_solves: AtomicU64,
 }
 
 impl ProfileCache {
@@ -368,6 +390,19 @@ impl ProfileCache {
             solves: self.solves.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
         }
+    }
+
+    /// Subsystem profile extensions executed on a parallel worker pool
+    /// (zero unless some solver ran with
+    /// [`AggregationOptions::parallelism`] above one). A subset of the
+    /// work behind [`stats`](Self::stats) — parallelism changes the
+    /// schedule, never the profiles.
+    pub fn parallel_solves(&self) -> u64 {
+        self.parallel_solves.load(Ordering::Relaxed)
+    }
+
+    fn note_parallel_solves(&self, n: u64) {
+        self.parallel_solves.fetch_add(n, Ordering::Relaxed);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Vec<u64>, SubEngine>> {
@@ -532,6 +567,9 @@ struct LevelEngine {
     flat_queues: Vec<f64>,
     /// Largest population this engine was asked to pre-size for.
     reserved: usize,
+    /// Worker threads for stale-profile extensions
+    /// ([`AggregationOptions::parallelism`]; `0`/`1` = serial).
+    parallelism: usize,
     cache: Option<Arc<ProfileCache>>,
     /// Watches the FES disaggregation closure error `|Σ_l Q_l − Q_FES|`
     /// and counts residual clamps; buffered locally, flushed on drop.
@@ -604,6 +642,7 @@ impl LevelEngine {
             width,
             flat_queues: vec![0.0; width],
             reserved: 0,
+            parallelism: opts.parallelism,
             cache: cache.cloned(),
             disagg_health: obsv::HealthProbe::new("hierarchy.disagg"),
         })
@@ -634,18 +673,88 @@ impl LevelEngine {
     /// by the workspace's append-only column guarantee, since every column
     /// at or below the carried population only reads rate-table entries
     /// that existed before the extension.
+    ///
+    /// Runs as a **plan/commit** two-phase. Plan: list the stale
+    /// subsystems and extend each one's isolated profile —
+    /// [`SubEngine::extend_to`] touches nothing outside its own engine, so
+    /// with [`AggregationOptions::parallelism`] above one the extensions
+    /// fan out across scoped worker threads. Commit: always serial, in
+    /// subsystem index order — staleness counters, cache stores, and the
+    /// single rebuild happen in the same order under any worker count, so
+    /// the solutions *and* the [`ProfileCache`] contents are bit-identical
+    /// to the serial schedule.
     fn ensure(&mut self, m: usize) -> Result<(), QueueingError> {
-        let mut grew = false;
-        for i in 0..self.subs.len() {
-            let len = self.subs[i].profile.len();
-            if self.subs[i].finalized || len >= m {
+        // Plan: which subsystems are stale, and how far each must extend.
+        // `Vec::new` defers its first allocation to the first push, so a
+        // warm steady state (nothing dirty) stays allocation-free.
+        let mut dirty: Vec<(usize, usize)> = Vec::new();
+        for (i, sub) in self.subs.iter().enumerate() {
+            let len = sub.profile.len();
+            if sub.finalized || len >= m {
                 continue;
             }
-            let target = m.max(len * 2).max(MIN_CHUNK);
-            let added = {
-                let name = &self.sub_names[i];
-                self.subs[i].extend_to(target, name)?
+            dirty.push((i, m.max(len * 2).max(MIN_CHUNK)));
+        }
+        if dirty.is_empty() {
+            return Ok(());
+        }
+
+        // Extend every dirty profile; results come back in dirty-list
+        // order from either schedule.
+        let extended: Vec<Result<usize, QueueingError>> = if self.parallelism > 1 && dirty.len() > 1
+        {
+            let started = std::time::Instant::now();
+            let Self {
+                subs,
+                sub_names,
+                parallelism,
+                cache,
+                ..
+            } = self;
+            let jobs: Vec<Mutex<(&mut SubEngine, &str, usize)>> = {
+                let mut want = dirty.iter().peekable();
+                subs.iter_mut()
+                    .enumerate()
+                    .filter_map(|(i, sub)| match want.peek() {
+                        Some(&&(di, target)) if di == i => {
+                            want.next();
+                            Some(Mutex::new((sub, sub_names[i].as_str(), target)))
+                        }
+                        _ => None,
+                    })
+                    .collect()
             };
+            let out = pool::scoped_indexed(jobs.len(), *parallelism, |j| {
+                let mut slot = jobs[j].lock().unwrap_or_else(|p| p.into_inner());
+                let (sub, name, target) = &mut *slot;
+                sub.extend_to(*target, name)
+            });
+            if let Some(cache) = cache {
+                cache.note_parallel_solves(out.len() as u64);
+            }
+            if obsv::enabled() {
+                obsv::counter("hierarchy.parallel.sub_solves", out.len() as u64);
+                obsv::counter(
+                    "hierarchy.parallel.queue_wait_ns",
+                    started.elapsed().as_nanos() as u64,
+                );
+            }
+            out
+        } else {
+            dirty
+                .iter()
+                .map(|&(i, target)| {
+                    let name = &self.sub_names[i];
+                    self.subs[i].extend_to(target, name)
+                })
+                .collect()
+        };
+
+        // Commit: serial, in subsystem index order — deterministic counter
+        // emission and cache fills regardless of worker count.
+        let mut grew = false;
+        for (&(i, _), added) in dirty.iter().zip(extended) {
+            let added = added?;
             if added > 0 {
                 grew = true;
                 // Staleness: the carried (possibly cache-reused) profile
@@ -1222,6 +1331,116 @@ mod tests {
         let s2 = cache.stats();
         assert_eq!(s2.solves, 2, "stats: {s2:?}");
         assert!(s2.hits > s1.hits);
+    }
+
+    #[test]
+    fn parallel_sub_solves_are_bit_identical_to_serial() {
+        // Several distinct tiers go stale together at every geometric
+        // growth step, so the parallel plan phase really fans out.
+        let net = HierarchicalNetwork::new(
+            vec![
+                Station::queueing("lb", 1, 1.0, 0.002).into(),
+                tier("a", 0.010, 0.004).into(),
+                tier("b", 0.012, 0.005).into(),
+                tier("c", 0.016, 0.007).into(),
+                tier("d", 0.009, 0.003).into(),
+                Station::delay("lan", 1.0, 0.003).into(),
+            ],
+            0.5,
+        )
+        .unwrap();
+        let serial = HierarchicalSolver::with_options(net.clone(), AggregationOptions::exact())
+            .solve(60)
+            .unwrap();
+        let par = HierarchicalSolver::with_options(net, AggregationOptions::exact().parallelism(4))
+            .solve(60)
+            .unwrap();
+        for (s, p) in serial.points.iter().zip(par.points.iter()) {
+            assert_eq!(s.throughput.to_bits(), p.throughput.to_bits(), "n={}", s.n);
+            assert_eq!(s.response.to_bits(), p.response.to_bits(), "n={}", s.n);
+            for (a, b) in s.stations.iter().zip(&p.stations) {
+                assert_eq!(a.queue.to_bits(), b.queue.to_bits(), "n={}", s.n);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cache_fills_match_serial() {
+        // Plan/commit protocol: the cache after a parallel solve holds the
+        // same entries (same keys, same profile lengths) as after a serial
+        // one, and only the parallel run reports parallel sub-solves.
+        let net = HierarchicalNetwork::new(
+            vec![
+                Station::queueing("lb", 1, 1.0, 0.002).into(),
+                tier("a", 0.010, 0.004).into(),
+                tier("b", 0.010, 0.004).into(),
+                tier("c", 0.016, 0.007).into(),
+            ],
+            0.5,
+        )
+        .unwrap();
+        let serial_cache = Arc::new(ProfileCache::new());
+        HierarchicalSolver::with_options(net.clone(), AggregationOptions::exact())
+            .with_cache(serial_cache.clone())
+            .solve(40)
+            .unwrap();
+        let par_cache = Arc::new(ProfileCache::new());
+        HierarchicalSolver::with_options(net, AggregationOptions::exact().parallelism(3))
+            .with_cache(par_cache.clone())
+            .solve(40)
+            .unwrap();
+        assert_eq!(serial_cache.len(), par_cache.len());
+        assert_eq!(serial_cache.stats(), par_cache.stats());
+        assert_eq!(serial_cache.parallel_solves(), 0);
+        assert!(par_cache.parallel_solves() > 0);
+        let (s_profiles, p_profiles) = (serial_cache.lock(), par_cache.lock());
+        for (key, sub) in s_profiles.iter() {
+            let twin = p_profiles.get(key).expect("same keys under parallelism");
+            assert_eq!(sub.profile.len(), twin.profile.len());
+            for (a, b) in sub.profile.iter().zip(&twin.profile) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn propcheck_parallel_equals_serial_bitwise() {
+        use mvasd_numerics::propcheck::{check, Config};
+        check(
+            "hierarchy.parallel_bit_identity",
+            &Config::default().cases(10),
+            |g| {
+                let net = HierarchicalNetwork::new(
+                    vec![
+                        Station::queueing("fe", 1, 1.0, g.f64_in(0.001, 0.01)).into(),
+                        tier("t1", g.f64_in(0.004, 0.02), g.f64_in(0.001, 0.01)).into(),
+                        tier("t2", g.f64_in(0.004, 0.02), g.f64_in(0.001, 0.01)).into(),
+                        tier("t3", g.f64_in(0.004, 0.02), g.f64_in(0.001, 0.01)).into(),
+                    ],
+                    g.f64_in(0.05, 1.0),
+                )
+                .unwrap();
+                let opts = if g.bool() {
+                    AggregationOptions::exact()
+                } else {
+                    AggregationOptions::truncated(1e-6)
+                };
+                let n = g.usize_in(3, 45);
+                let workers = g.usize_in(2, 6);
+                let serial = HierarchicalSolver::with_options(net.clone(), opts)
+                    .solve(n)
+                    .unwrap();
+                let par = HierarchicalSolver::with_options(net, opts.parallelism(workers))
+                    .solve(n)
+                    .unwrap();
+                for (s, p) in serial.points.iter().zip(par.points.iter()) {
+                    assert_eq!(s.throughput.to_bits(), p.throughput.to_bits(), "n={}", s.n);
+                    for (a, b) in s.stations.iter().zip(&p.stations) {
+                        assert_eq!(a.queue.to_bits(), b.queue.to_bits(), "n={}", s.n);
+                    }
+                }
+            },
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! pre-workspace from-scratch evaluation survives in [`scratch`] as the
 //! independent reference (propcheck oracle and benchmark baseline).
 
+pub mod kernel;
 pub(crate) mod scratch;
 pub(crate) mod workspace;
 

@@ -29,9 +29,13 @@
 //!   precomputed per station so rebuilds never call `ln()` in the loop.
 //!
 //! Suffix and `G₍₋ₖ₎` maintenance is skipped wholesale when no station
-//! needs the heavy marginal path. Log-sum-exp cells use a single-pass
-//! running-maximum reduction (one read of each operand pair instead of the
-//! two-pass max-then-sum sweep).
+//! needs the heavy marginal path. Log-sum-exp cells run on the batched
+//! [`super::kernel`]: a reversed-stride add, blocked 4-lane maxima, and a
+//! pruned exp-accumulate pass that skips blocks more than 46 nats below
+//! the peak (the workspace carries the kernel's [`kernel::CellScratch`]
+//! and sizes it alongside every other buffer). The old single-pass
+//! running-maximum cell survives as [`kernel::scalar_reference`], the
+//! kernel's equivalence oracle.
 //!
 //! Changing the demand vector ([`solve_at`]) re-runs the recursion from
 //! population 0 inside the same buffers — `O(n²)` cells but **zero**
@@ -42,6 +46,7 @@
 //! [`solve_at`]: ConvWorkspace::solve_at
 
 use super::super::loaddep::{validated_conv_stations, LdStation, RateFunction};
+use super::kernel::{self, lse2};
 use super::ConvStation;
 use crate::QueueingError;
 use mvasd_obsv as obsv;
@@ -110,46 +115,6 @@ impl Grid {
     }
 }
 
-/// Log-sum-exp of two log-domain values, `−∞`-safe and subtraction-free in
-/// the linear domain: `hi + ln(1 + exp(lo − hi))`.
-#[inline]
-pub(crate) fn lse2(a: f64, b: f64) -> f64 {
-    if a == f64::NEG_INFINITY {
-        return b;
-    }
-    if b == f64::NEG_INFINITY {
-        return a;
-    }
-    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
-    hi + (lo - hi).exp().ln_1p()
-}
-
-/// One log-domain convolution cell `c(n) = ln Σ_j exp(a(j) + b(n−j))` in a
-/// single pass: a running maximum rescales the partial sum whenever a new
-/// peak appears, so each operand pair is read exactly once.
-#[inline]
-fn conv_cell(a: &[f64], b: &[f64], n: usize) -> f64 {
-    let mut m = f64::NEG_INFINITY;
-    let mut acc = 0.0;
-    for j in 0..=n {
-        let t = a[j] + b[n - j];
-        if t == f64::NEG_INFINITY {
-            continue;
-        }
-        if t <= m {
-            acc += (t - m).exp();
-        } else {
-            // First finite term lands here: 0 · e^{−∞} + 1 = 1.
-            acc = acc * (m - t).exp() + 1.0;
-            m = t;
-        }
-    }
-    if m == f64::NEG_INFINITY {
-        return f64::NEG_INFINITY;
-    }
-    m + acc.ln()
-}
-
 /// Sentinel for "this station has no row in that grid".
 const NO_ROW: usize = usize::MAX;
 
@@ -209,6 +174,10 @@ pub struct ConvWorkspace {
     out_marginals: Vec<f64>,
     /// Offset of station `k`'s marginal block in `out_marginals`.
     marg_off: Vec<usize>,
+
+    /// Scratch for the batched log-sum-exp kernel, sized alongside the
+    /// grids so full cells never allocate.
+    cell: kernel::CellScratch,
 
     extend_ctr: obsv::CounterBatch,
     cells_ctr: obsv::CounterBatch,
@@ -298,6 +267,7 @@ impl ConvWorkspace {
             out_queues: vec![0.0; k_count],
             out_marginals: vec![0.0; off],
             marg_off,
+            cell: kernel::CellScratch::new(),
             extend_ctr: obsv::CounterBatch::new("conv.workspace.extend", 64),
             cells_ctr: obsv::CounterBatch::new("convolution.cells", 64),
             health: obsv::HealthProbe::new("conv.lse"),
@@ -398,6 +368,7 @@ impl ConvWorkspace {
         self.suffix.grow(new_cap, keep);
         self.g_minus.grow(new_cap, keep);
         self.lq.grow(new_cap, keep);
+        self.cell.ensure(new_cap);
 
         self.ln_int.resize(new_cap, 0.0);
         let from = old_cap.max(1);
@@ -481,7 +452,7 @@ impl ConvWorkspace {
                     self.prefix.at(i, m),
                     self.ln_d[i] + self.prefix.at(i + 1, m - 1),
                 ),
-                _ => conv_cell(self.prefix.row(i), self.factors.row(i), m),
+                _ => kernel::conv_cell(self.prefix.row(i), self.factors.row(i), m, &mut self.cell),
             };
             self.prefix.set(i + 1, m, v);
         }
@@ -503,13 +474,23 @@ impl ConvWorkspace {
                         self.suffix.at(i + 1, m),
                         self.ln_d[i] + self.suffix.at(i, m - 1),
                     ),
-                    _ => conv_cell(self.factors.row(i), self.suffix.row(i + 1), m),
+                    _ => kernel::conv_cell(
+                        self.factors.row(i),
+                        self.suffix.row(i + 1),
+                        m,
+                        &mut self.cell,
+                    ),
                 };
                 self.suffix.set(i, m, v);
             }
             for k in 0..self.stations.len() {
                 if self.heavy[k] {
-                    let v = conv_cell(self.prefix.row(k), self.suffix.row(k + 1), m);
+                    let v = kernel::conv_cell(
+                        self.prefix.row(k),
+                        self.suffix.row(k + 1),
+                        m,
+                        &mut self.cell,
+                    );
                     self.g_minus.set(self.g_row[k], m, v);
                 }
             }

@@ -15,7 +15,7 @@ mod schweitzer;
 mod solver;
 mod stepping;
 
-pub use convolution::{reference_solve_at, ConvWorkspace, PointSolution};
+pub use convolution::{kernel, reference_solve_at, ConvWorkspace, PointSolution};
 pub use exact::{exact_mva, ExactMvaIter};
 pub use loaddep::{load_dependent_mva, LdStation, RateFunction};
 pub use multiclass::{

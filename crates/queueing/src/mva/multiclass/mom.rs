@@ -36,12 +36,12 @@
 //! normalizing constants, `K×` smaller than the oracle's queue lattice.
 //!
 //! Everything runs in the log domain through the compensated `lse2` from
-//! the convolution workspace; raw `exp`/`ln` appear only at the model
+//! the batched convolution kernel; raw `exp`/`ln` appear only at the model
 //! boundary (demand/think intake, output extraction) on annotated lines.
 
 use std::sync::Arc;
 
-use crate::mva::convolution::workspace::lse2;
+use crate::mva::convolution::kernel::lse2;
 use crate::QueueingError;
 use mvasd_obsv as obsv;
 

@@ -27,6 +27,7 @@
 //! `no-alloc` lint contract with a counting-allocator proof in
 //! `tests/alloc_steady_state.rs`.
 
+use crate::mva::convolution::kernel;
 use crate::QueueingError;
 use mvasd_obsv as obsv;
 
@@ -220,13 +221,14 @@ impl MulticlassWorkspace {
                     continue;
                 }
                 let prev_idx = idx - self.strides[ci];
-                let mut r_c = 0.0;
-                for k in 0..k_count {
-                    let q_prev = self.q[prev_idx * k_count + k];
-                    let r = self.dq[ci * k_count + k] * (1.0 + q_prev) + self.dd[ci * k_count + k];
-                    self.res[ci * k_count + k] = r;
-                    r_c += r;
-                }
+                // Arrival theorem over the neighbor point's queues; the
+                // kernel helper keeps the oracle's op order bit-for-bit.
+                let r_c = kernel::residence_fill(
+                    &self.dq[ci * k_count..(ci + 1) * k_count],
+                    &self.dd[ci * k_count..(ci + 1) * k_count],
+                    &self.q[prev_idx * k_count..(prev_idx + 1) * k_count],
+                    &mut self.res[ci * k_count..(ci + 1) * k_count],
+                );
                 self.rs[ci] = r_c;
                 self.xs[ci] = self.walk[ci] as f64 / (r_c + self.think[ci]);
             }

@@ -149,6 +149,9 @@ fn sweep_cache_metrics_land_in_collector_snapshot() {
             cache_misses: 2,
             sub_solves: 0,
             sub_cache_hits: 0,
+            parallel_sub_solves: 0,
+            // Two distinct models under the default single worker.
+            pool_occupancy: 1,
         }
     );
     assert_eq!(stats.steps_saved(), 240);
@@ -263,6 +266,70 @@ fn aggregation_metrics_land_in_collector_snapshot() {
     assert_eq!(
         snap.counter("sweep.sub_cache_hits"),
         sw.sub_cache_hits as u64
+    );
+}
+
+/// The parallel hierarchy path is observable and, like every other
+/// instrumented path, observation-free in its numerics: a no-op recorder
+/// leaves the 4-worker solve bit-identical to the bare one, and a real
+/// collector picks up the worker-pool counters plus the batched
+/// log-sum-exp kernel span from the convolution hot path.
+#[test]
+fn parallel_hierarchy_metrics_land_and_stay_bit_identical() {
+    let _guard = lock();
+    let tier = |name: &str, cpu: f64, disk: f64| {
+        NetworkNode::from(Subsystem::new(
+            name,
+            vec![
+                Station::queueing(&format!("{name}-cpu"), 4, 1.0, cpu).into(),
+                Station::queueing(&format!("{name}-disk"), 1, 1.0, disk).into(),
+            ],
+        ))
+    };
+    let net = HierarchicalNetwork::new(
+        vec![
+            Station::queueing("lb", 1, 1.0, 0.002).into(),
+            tier("app", 0.010, 0.004),
+            tier("search", 0.012, 0.005),
+            tier("db", 0.016, 0.007),
+        ],
+        0.5,
+    )
+    .expect("hierarchical model");
+    let opts = AggregationOptions::exact().parallelism(4);
+
+    let bare = HierarchicalSolver::with_options(net.clone(), opts)
+        .solve(50)
+        .expect("uninstrumented parallel solve");
+    let noop = {
+        let _scope = obsv::scoped(Arc::new(obsv::NoopRecorder));
+        HierarchicalSolver::with_options(net.clone(), opts)
+            .solve(50)
+            .expect("noop parallel solve")
+    };
+    assert_eq!(bare, noop);
+
+    let collector = Arc::new(obsv::Collector::new());
+    let _scope = obsv::scoped(collector.clone());
+    let collected = HierarchicalSolver::with_options(net, opts)
+        .solve(50)
+        .expect("collected parallel solve");
+    assert_eq!(bare, collected);
+
+    let snap = collector.snapshot();
+    // Three stale subsystems fan out together at least once.
+    assert!(
+        snap.counter("hierarchy.parallel.sub_solves") >= 3,
+        "only {} parallel sub-solves recorded",
+        snap.counter("hierarchy.parallel.sub_solves")
+    );
+    assert!(
+        snap.counter("hierarchy.parallel.queue_wait_ns") > 0,
+        "pool wait time is accounted"
+    );
+    assert!(
+        snap.spans_named("kernel.lse.batch") > 0,
+        "the batched kernel opens its span on the convolution hot path"
     );
 }
 

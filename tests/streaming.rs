@@ -13,7 +13,9 @@ use mvasd_suite::core::profile::{
 use mvasd_suite::core::solver::{MvasdSchweitzerSolver, MvasdSingleServerSolver, MvasdSolver};
 use mvasd_suite::core::sweep::{Scenario, ScenarioSweep};
 use mvasd_suite::numerics::propcheck::{check, Config, Gen};
-use mvasd_suite::queueing::hierarchy::{HierarchicalNetwork, HierarchicalSolver, Subsystem};
+use mvasd_suite::queueing::hierarchy::{
+    AggregationOptions, HierarchicalNetwork, HierarchicalSolver, Subsystem,
+};
 use mvasd_suite::queueing::mva::{
     load_dependent_mva, run_until, ClassSpec, ClosedSolver, ConvWorkspace, ConvolutionSolver,
     ExactMvaSolver, LdStation, LoadDependentSolver, MomSolver, MulticlassMvaSolver,
@@ -318,6 +320,69 @@ fn scenario_sweep_avoids_redundant_work() {
         warm.results[0].solution.points,
         report.result("full").unwrap().solution.points
     );
+}
+
+#[test]
+fn parallel_hierarchy_sweep_is_bit_identical_to_serial() {
+    // A hierarchical sweep distributing dirty sub-tree extensions across a
+    // 4-worker pool must reproduce the serial sweep bit for bit — the
+    // plan/commit protocol makes the schedule invisible to the numerics —
+    // while the stats record that the pool actually ran.
+    let tier = |name: &str, cpu: f64, disk: f64| {
+        Subsystem::new(
+            name,
+            vec![
+                Station::queueing(&format!("{name}-cpu"), 2, 1.0, cpu).into(),
+                Station::queueing(&format!("{name}-disk"), 1, 1.0, disk).into(),
+            ],
+        )
+        .into()
+    };
+    let net = HierarchicalNetwork::new(
+        vec![
+            Station::queueing("lb", 1, 1.0, 0.002).into(),
+            tier("app", 0.010, 0.004),
+            tier("search", 0.012, 0.005),
+            tier("db", 0.016, 0.007),
+            tier("store", 0.009, 0.003),
+        ],
+        0.5,
+    )
+    .unwrap();
+    let scenarios = [
+        Scenario::new("baseline"),
+        Scenario::new("tuned").scale_demands(0.9),
+        Scenario::new("slow").scale_demands(1.15),
+    ];
+
+    let mut serial =
+        ScenarioSweep::over_hierarchy(net.clone(), AggregationOptions::exact()).default_cap(60);
+    let a = serial.run(&scenarios).unwrap();
+    assert_eq!(serial.stats().parallel_sub_solves, 0);
+
+    let mut parallel =
+        ScenarioSweep::over_hierarchy(net, AggregationOptions::exact().parallelism(4))
+            .default_cap(60)
+            .parallelism(4);
+    let b = parallel.run(&scenarios).unwrap();
+    assert!(
+        parallel.stats().parallel_sub_solves > 0,
+        "the dirty sub-trees never reached the pool: {:?}",
+        parallel.stats()
+    );
+    // Three distinct resolved models under four workers.
+    assert_eq!(parallel.stats().pool_occupancy, 3);
+
+    for (ra, rb) in a.results.iter().zip(&b.results) {
+        assert_eq!(ra.solution, rb.solution, "{}", ra.label);
+        for (pa, pb) in ra.solution.points.iter().zip(&rb.solution.points) {
+            assert_eq!(pa.throughput.to_bits(), pb.throughput.to_bits());
+            assert_eq!(pa.response.to_bits(), pb.response.to_bits());
+            for (sa, sb) in pa.stations.iter().zip(&pb.stations) {
+                assert_eq!(sa.queue.to_bits(), sb.queue.to_bits());
+            }
+        }
+    }
 }
 
 #[test]
