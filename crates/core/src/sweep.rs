@@ -527,6 +527,17 @@ impl ScenarioSweep {
         Self::with_base(BaseModel::Workload(workload))
     }
 
+    /// The shared subsystem-profile cache, for hierarchical sweeps
+    /// (`None` otherwise). Handle for inspection —
+    /// [`ProfileCache::stats`], [`ProfileCache::profiles`] — the sweep
+    /// keeps using the same cache afterwards.
+    pub fn profile_cache(&self) -> Option<Arc<ProfileCache>> {
+        match &self.base {
+            BaseModel::Hierarchy { profiles, .. } => Some(profiles.clone()),
+            _ => None,
+        }
+    }
+
     fn with_base(base: BaseModel) -> Self {
         Self {
             base,
@@ -688,6 +699,7 @@ impl ScenarioSweep {
             Result<Vec<(usize, Vec<MvaPoint>, StopReason, usize)>, QueueingError>,
         );
         let outcomes: Vec<GroupOutcome> = scoped_indexed(groups.len(), self.parallelism, |gi| {
+            // lint: interference-ok per-group job slot, each index taken exactly once
             let mut state = jobs[gi]
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -734,6 +746,7 @@ impl ScenarioSweep {
                             reason,
                         });
                     }
+                    // lint: commit-phase
                     self.cache.insert(key.clone(), state);
                 }
                 // A failed group's iterator may hold poisoned state, so it
@@ -766,6 +779,7 @@ impl ScenarioSweep {
             self.stats.sub_cache_hits += sub_cache_hits;
             self.stats.parallel_sub_solves += parallel_sub_solves;
         }
+        // lint: commit-phase
         if obsv::enabled() {
             obsv::counter("sweep.cache_hits", cache_hits as u64);
             obsv::counter("sweep.cache_misses", cache_misses as u64);

@@ -1,0 +1,2067 @@
+//! A lightweight, loss-tolerant AST over the [`crate::lexer`] token
+//! stream: items, fn bodies, `let` bindings, method-call chains, and
+//! closures with enough pattern awareness to tell a binding from a
+//! capture. No `syn`, no grammar completeness: anything the parser does
+//! not understand becomes an [`ExprKind::Unknown`] leaf (or an
+//! [`Item::Other`]) that still carries its token span, so the tree
+//! always *tiles* the significant-token stream (see [`check_coverage`])
+//! and downstream passes can reason about what they do understand
+//! without ever being wrong about where code is.
+//!
+//! The parser is total: it never panics, never loops (every step makes
+//! progress), and never reads outside the token slice. Precedence is
+//! the real Rust operator table for the arithmetic/logic subset the
+//! dataflow pass cares about (`a.ln() + b * c` must parse as
+//! `a.ln() + (b * c)`, or the log-domain rules would mis-track).
+
+use crate::lexer::{TokKind, Token};
+
+/// Half-open range of *significant* (comment-free) token indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First token index.
+    pub lo: usize,
+    /// One past the last token index.
+    pub hi: usize,
+}
+
+/// A parsed file: a sequence of items tiling the token stream.
+#[derive(Debug)]
+pub struct Ast {
+    /// Top-level items, in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level or nested item.
+#[derive(Debug)]
+pub enum Item {
+    /// `fn name(params) { body }` (or a bodiless trait signature).
+    Fn(FnItem),
+    /// `mod`/`impl`/`trait` containers whose body holds further items.
+    Mod(ModItem),
+    /// Anything else (structs, uses, consts, macros, stragglers).
+    Other(Span),
+}
+
+impl Item {
+    /// The item's token span.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Fn(f) => f.span,
+            Item::Mod(m) => m.span,
+            Item::Other(s) => *s,
+        }
+    }
+}
+
+/// A function item.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function name (`<anon>` if the parser lost it).
+    pub name: String,
+    /// Parameter binding names (including `self` when present).
+    pub params: Vec<String>,
+    /// The body block; `None` for signatures.
+    pub body: Option<Block>,
+    /// Token span of the whole item.
+    pub span: Span,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// A `mod`/`impl`/`trait` container.
+#[derive(Debug)]
+pub struct ModItem {
+    /// `mod` name, or `impl`/`trait` for those containers.
+    pub name: String,
+    /// Items inside the braces.
+    pub items: Vec<Item>,
+    /// Token span of the whole item.
+    pub span: Span,
+}
+
+/// A `{ ... }` block: statements tiling the inside of the braces.
+#[derive(Debug)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+    /// Span including both braces.
+    pub span: Span,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat> = <init>;`
+    Let(LetStmt),
+    /// An expression statement (with or without trailing `;`).
+    Expr(ExprStmt),
+    /// A nested item.
+    Item(Box<Item>),
+}
+
+impl Stmt {
+    /// The statement's token span.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Let(l) => l.span,
+            Stmt::Expr(e) => e.span,
+            Stmt::Item(i) => i.span(),
+        }
+    }
+}
+
+/// A `let` statement.
+#[derive(Debug)]
+pub struct LetStmt {
+    /// Names bound by the pattern (lowercase idents; `let (a, b)` binds both).
+    pub names: Vec<String>,
+    /// The initializer, when present.
+    pub init: Option<Expr>,
+    /// Token span including the trailing `;`.
+    pub span: Span,
+    /// 1-based line of the `let` keyword.
+    pub line: u32,
+}
+
+/// An expression statement.
+#[derive(Debug)]
+pub struct ExprStmt {
+    /// The expression.
+    pub expr: Expr,
+    /// Token span including any trailing `;`.
+    pub span: Span,
+}
+
+/// An expression node.
+#[derive(Debug)]
+pub struct Expr {
+    /// What kind of expression.
+    pub kind: ExprKind,
+    /// Token span.
+    pub span: Span,
+}
+
+/// Expression shapes the rule passes care about; everything else is
+/// `Unknown` with an honest span.
+#[derive(Debug)]
+pub enum ExprKind {
+    /// `a`, `a::b::c` (turbofish segments skipped).
+    Path(Vec<String>),
+    /// A literal token (number, string, char, lifetime).
+    Lit,
+    /// `( ... )`, `[ ... ]`, and tuple/array element lists.
+    Tuple(Vec<Expr>),
+    /// `callee(args)`.
+    Call {
+        /// The callee (usually a `Path`).
+        callee: Box<Expr>,
+        /// Arguments, one expression per top-level comma.
+        args: Vec<Expr>,
+    },
+    /// `name!(args)` / `name![..]` / `name!{..}`.
+    MacroCall {
+        /// Macro name (last path segment).
+        name: String,
+        /// Arguments split on top-level commas.
+        args: Vec<Expr>,
+    },
+    /// `recv.name(args)`.
+    Method {
+        /// The receiver chain.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Significant-token index of the method-name ident (for
+        /// pinpoint suppression bookkeeping).
+        name_idx: usize,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `recv.name` / `recv.0` / `recv.await`.
+    Field {
+        /// The receiver chain.
+        recv: Box<Expr>,
+        /// Field name (tuple indices render as digits).
+        name: String,
+    },
+    /// `recv[index]`.
+    Index {
+        /// The indexed expression.
+        recv: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// `-x`, `!x`, `*x`.
+    Unary {
+        /// The operator character.
+        op: char,
+        /// The operand.
+        inner: Box<Expr>,
+    },
+    /// `&x` / `&mut x`.
+    Ref {
+        /// Whether the borrow is `&mut`.
+        mutable: bool,
+        /// The borrowed expression.
+        inner: Box<Expr>,
+    },
+    /// `x as T` (the type is skipped).
+    Cast {
+        /// The cast operand.
+        inner: Box<Expr>,
+    },
+    /// `lhs <op> rhs` with real precedence for the arithmetic subset.
+    Binary {
+        /// Operator text (`+`, `==`, `&&`, ...).
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `target = value` / `target += value` (op is the compound prefix).
+    Assign {
+        /// `None` for plain `=`, `Some("+")` for `+=`, etc.
+        op: Option<String>,
+        /// Assignment target.
+        target: Box<Expr>,
+        /// Assigned value.
+        value: Box<Expr>,
+    },
+    /// `|params| body` / `move |params| body`.
+    Closure {
+        /// Parameter binding names.
+        params: Vec<String>,
+        /// The body expression (a `Block` when braced).
+        body: Box<Expr>,
+    },
+    /// A braced block in expression position.
+    Block(Block),
+    /// `if`/`while`/`for`/`loop`/`match`/`return`/`break` and friends:
+    /// header expressions and body blocks in source order.
+    Flow {
+        /// The keyword.
+        kw: String,
+        /// Names bound by `for`/`if let`/`while let`/match-arm patterns.
+        bound: Vec<String>,
+        /// Headers, blocks, and arm expressions in order.
+        children: Vec<Expr>,
+    },
+    /// `Path { field: value, .. }`.
+    StructLit {
+        /// The struct path.
+        path: Vec<String>,
+        /// Field value expressions.
+        fields: Vec<Expr>,
+    },
+    /// A token (or run) the parser did not understand.
+    Unknown,
+}
+
+/// Parses significant tokens into an [`Ast`]. Never fails; unknown
+/// syntax degrades to `Unknown`/`Other` nodes with correct spans.
+pub fn parse(sig: &[Token], src: &str) -> Ast {
+    let mut p = Parser { sig, src, pos: 0 };
+    let items = p.parse_items(sig.len());
+    Ast { items }
+}
+
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "mod",
+    "impl",
+    "struct",
+    "enum",
+    "union",
+    "trait",
+    "use",
+    "type",
+    "static",
+    "macro_rules",
+];
+
+const PATTERN_NON_BINDING: &[&str] = &[
+    "mut", "ref", "box", "dyn", "impl", "if", "else", "in", "move", "as", "_", "true", "false",
+];
+
+struct Parser<'a> {
+    sig: &'a [Token],
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn kindof(&self, i: usize) -> Option<TokKind> {
+        self.sig.get(i).map(|t| t.kind)
+    }
+
+    fn is_p(&self, i: usize, c: char) -> bool {
+        self.kindof(i) == Some(TokKind::Punct(c))
+    }
+
+    fn ident(&self, i: usize) -> Option<&'a str> {
+        let t = self.sig.get(i)?;
+        (t.kind == TokKind::Ident).then(|| t.text(self.src))
+    }
+
+    fn is_kw(&self, i: usize, w: &str) -> bool {
+        self.ident(i) == Some(w)
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.sig.get(i).map(|t| t.line).unwrap_or(0)
+    }
+
+    /// Are tokens `i` and `i + 1` flush against each other (`==` vs `= =`)?
+    fn adjacent(&self, i: usize) -> bool {
+        match (self.sig.get(i), self.sig.get(i + 1)) {
+            (Some(a), Some(b)) => a.end == b.start,
+            _ => false,
+        }
+    }
+
+    /// Matching close delimiter for the open at `open` (same-kind count),
+    /// bounded by `hi`.
+    fn match_delim(&self, open: usize, hi: usize) -> Option<usize> {
+        let (o, c) = match self.kindof(open)? {
+            TokKind::Punct('(') => ('(', ')'),
+            TokKind::Punct('[') => ('[', ']'),
+            TokKind::Punct('{') => ('{', '}'),
+            _ => return None,
+        };
+        let mut depth = 0usize;
+        for i in open..hi.min(self.sig.len()) {
+            match self.kindof(i) {
+                Some(TokKind::Punct(p)) if p == o => depth += 1,
+                Some(TokKind::Punct(p)) if p == c => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Matching `>` for a `<` at `open`, arrow-aware (`->`'s `>` does not
+    /// close a generic list).
+    fn match_angle(&self, open: usize, hi: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < hi.min(self.sig.len()) {
+            match self.kindof(i) {
+                Some(TokKind::Punct('<')) => depth += 1,
+                Some(TokKind::Punct('>')) => {
+                    let arrow = i > 0 && self.is_p(i - 1, '-') && self.adjacent(i - 1);
+                    if !arrow {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(i);
+                        }
+                    }
+                }
+                Some(TokKind::Punct(';')) | Some(TokKind::Punct('{')) | None => return None,
+                _ => {}
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Skips `#[...]` / `#![...]` attributes at the cursor.
+    fn skip_attrs(&mut self, hi: usize) {
+        while self.pos < hi && self.is_p(self.pos, '#') {
+            let b = if self.is_p(self.pos + 1, '[') {
+                self.pos + 1
+            } else if self.is_p(self.pos + 1, '!') && self.is_p(self.pos + 2, '[') {
+                self.pos + 2
+            } else {
+                return;
+            };
+            match self.match_delim(b, hi) {
+                Some(close) => self.pos = close + 1,
+                None => {
+                    self.pos = hi;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn parse_items(&mut self, hi: usize) -> Vec<Item> {
+        let mut items = Vec::new();
+        while self.pos < hi {
+            let before = self.pos;
+            items.push(self.parse_item(hi));
+            if self.pos <= before {
+                // Defensive: guarantee progress even on parser bugs.
+                self.pos = before + 1;
+            }
+        }
+        items
+    }
+
+    /// Scans from the cursor to the end of a `;`-terminated run (or a
+    /// terminal brace block), returning the exclusive end.
+    fn scan_to_semi_or_block(&self, hi: usize) -> usize {
+        let mut i = self.pos;
+        while i < hi {
+            if self.is_p(i, ';') {
+                return i + 1;
+            }
+            if self.is_p(i, '(') || self.is_p(i, '[') {
+                match self.match_delim(i, hi) {
+                    Some(c) => i = c + 1,
+                    None => return hi,
+                }
+                continue;
+            }
+            if self.is_p(i, '{') {
+                return match self.match_delim(i, hi) {
+                    Some(c) => c + 1,
+                    None => hi,
+                };
+            }
+            i += 1;
+        }
+        hi
+    }
+
+    fn parse_item(&mut self, hi: usize) -> Item {
+        let start = self.pos;
+        self.skip_attrs(hi);
+        // Modifiers: `pub`, `pub(crate)`, `unsafe`, `async`, `default`,
+        // `const fn`, `extern "C" fn`.
+        loop {
+            match self.ident(self.pos) {
+                Some("pub") => {
+                    self.pos += 1;
+                    if self.is_p(self.pos, '(') {
+                        match self.match_delim(self.pos, hi) {
+                            Some(c) => self.pos = c + 1,
+                            None => self.pos = hi,
+                        }
+                    }
+                }
+                Some("unsafe") | Some("async") | Some("default") => self.pos += 1,
+                Some("const") => {
+                    // `const fn` is a modifier; `const NAME: T = ..;` is an item.
+                    if matches!(self.ident(self.pos + 1), Some("fn") | Some("unsafe")) {
+                        self.pos += 1;
+                    } else {
+                        let end = self.scan_to_semi_or_block(hi);
+                        self.pos = end;
+                        return Item::Other(Span { lo: start, hi: end });
+                    }
+                }
+                Some("extern") => {
+                    if self.ident(self.pos + 1) == Some("crate") {
+                        let end = self.scan_to_semi_or_block(hi);
+                        self.pos = end;
+                        return Item::Other(Span { lo: start, hi: end });
+                    }
+                    self.pos += 1;
+                    if self.kindof(self.pos) == Some(TokKind::Str) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        match self.ident(self.pos) {
+            Some("fn") => self.parse_fn(start, hi),
+            Some("mod") | Some("impl") | Some("trait") => self.parse_container(start, hi),
+            _ => {
+                let end = self.scan_to_semi_or_block(hi);
+                self.pos = end;
+                Item::Other(Span { lo: start, hi: end })
+            }
+        }
+    }
+
+    fn parse_fn(&mut self, start: usize, hi: usize) -> Item {
+        let fn_line = self.line(self.pos);
+        self.pos += 1; // `fn`
+        let name = match self.ident(self.pos) {
+            Some(n) => {
+                self.pos += 1;
+                n.to_string()
+            }
+            None => "<anon>".to_string(),
+        };
+        if self.is_p(self.pos, '<') {
+            if let Some(close) = self.match_angle(self.pos, hi) {
+                self.pos = close + 1;
+            }
+        }
+        let mut params = Vec::new();
+        if self.is_p(self.pos, '(') {
+            let open = self.pos;
+            let close = self.match_delim(open, hi).unwrap_or(hi.saturating_sub(1));
+            // Param names: depth-0 idents directly followed by `:`, plus `self`.
+            let mut depth = 0usize;
+            let mut i = open + 1;
+            while i < close {
+                match self.kindof(i) {
+                    Some(TokKind::Punct('('))
+                    | Some(TokKind::Punct('['))
+                    | Some(TokKind::Punct('{'))
+                    | Some(TokKind::Punct('<')) => depth += 1,
+                    Some(TokKind::Punct(')'))
+                    | Some(TokKind::Punct(']'))
+                    | Some(TokKind::Punct('}'))
+                    | Some(TokKind::Punct('>')) => depth = depth.saturating_sub(1),
+                    Some(TokKind::Ident) => {
+                        let w = self.ident(i).unwrap_or("");
+                        if depth == 0 {
+                            if w == "self" {
+                                params.push("self".to_string());
+                            } else if self.is_p(i + 1, ':')
+                                && !PATTERN_NON_BINDING.contains(&w)
+                                && w.starts_with(|c: char| c.is_ascii_lowercase() || c == '_')
+                            {
+                                params.push(w.to_string());
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            self.pos = close + 1;
+        }
+        // Skip return type / where clause to the body `{` or a `;`.
+        while self.pos < hi {
+            if self.is_p(self.pos, ';') {
+                self.pos += 1;
+                return Item::Fn(FnItem {
+                    name,
+                    params,
+                    body: None,
+                    span: Span {
+                        lo: start,
+                        hi: self.pos,
+                    },
+                    line: fn_line,
+                });
+            }
+            if self.is_p(self.pos, '{') {
+                let body = self.parse_block(hi);
+                let end = body.span.hi;
+                return Item::Fn(FnItem {
+                    name,
+                    params,
+                    body: Some(body),
+                    span: Span { lo: start, hi: end },
+                    line: fn_line,
+                });
+            }
+            if self.is_p(self.pos, '(') || self.is_p(self.pos, '[') {
+                match self.match_delim(self.pos, hi) {
+                    Some(c) => self.pos = c + 1,
+                    None => self.pos = hi,
+                }
+                continue;
+            }
+            self.pos += 1;
+        }
+        Item::Fn(FnItem {
+            name,
+            params,
+            body: None,
+            span: Span {
+                lo: start,
+                hi: self.pos,
+            },
+            line: fn_line,
+        })
+    }
+
+    fn parse_container(&mut self, start: usize, hi: usize) -> Item {
+        let kw = self.ident(self.pos).unwrap_or("mod").to_string();
+        self.pos += 1;
+        let name = if kw == "mod" {
+            self.ident(self.pos).unwrap_or("<anon>").to_string()
+        } else {
+            kw.clone()
+        };
+        // Find the body `{` (or a `;` for `mod name;`).
+        while self.pos < hi {
+            if self.is_p(self.pos, ';') {
+                self.pos += 1;
+                return Item::Other(Span {
+                    lo: start,
+                    hi: self.pos,
+                });
+            }
+            if self.is_p(self.pos, '{') {
+                break;
+            }
+            if self.is_p(self.pos, '(') || self.is_p(self.pos, '[') {
+                match self.match_delim(self.pos, hi) {
+                    Some(c) => self.pos = c + 1,
+                    None => self.pos = hi,
+                }
+                continue;
+            }
+            self.pos += 1;
+        }
+        if !self.is_p(self.pos, '{') {
+            return Item::Other(Span {
+                lo: start,
+                hi: self.pos,
+            });
+        }
+        let open = self.pos;
+        let close = self.match_delim(open, hi).unwrap_or(hi.saturating_sub(1));
+        self.pos = open + 1;
+        let items = self.parse_items(close);
+        self.pos = close + 1;
+        Item::Mod(ModItem {
+            name,
+            items,
+            span: Span {
+                lo: start,
+                hi: self.pos,
+            },
+        })
+    }
+
+    fn parse_block(&mut self, hi: usize) -> Block {
+        let open = self.pos;
+        let close = self.match_delim(open, hi).unwrap_or(hi.saturating_sub(1));
+        self.pos = open + 1;
+        let mut stmts = Vec::new();
+        while self.pos < close {
+            let before = self.pos;
+            stmts.push(self.parse_stmt(close));
+            if self.pos <= before {
+                self.pos = before + 1;
+            }
+        }
+        self.pos = close + 1;
+        Block {
+            stmts,
+            span: Span {
+                lo: open,
+                hi: self.pos,
+            },
+        }
+    }
+
+    /// Statement boundary: the exclusive end of the statement starting at
+    /// the cursor — past a depth-0 `;`, or past a terminal brace block.
+    fn scan_stmt_end(&self, limit: usize) -> usize {
+        let mut i = self.pos;
+        while i < limit {
+            if self.is_p(i, ';') {
+                return i + 1;
+            }
+            if self.is_p(i, '(') || self.is_p(i, '[') {
+                match self.match_delim(i, limit) {
+                    Some(c) => i = c + 1,
+                    None => return limit,
+                }
+                continue;
+            }
+            if self.is_p(i, '{') {
+                let c = match self.match_delim(i, limit) {
+                    Some(c) => c,
+                    None => return limit,
+                };
+                // Continuations after a block: `else`, method chains, `?`,
+                // a trailing `;`, and match-arm/assignment glue.
+                if self.is_kw(c + 1, "else") || self.is_p(c + 1, '.') || self.is_p(c + 1, '?') {
+                    i = c + 1;
+                    continue;
+                }
+                if self.is_p(c + 1, ';') {
+                    return c + 2;
+                }
+                return c + 1;
+            }
+            i += 1;
+        }
+        limit
+    }
+
+    fn parse_stmt(&mut self, limit: usize) -> Stmt {
+        let start = self.pos;
+        self.skip_attrs(limit);
+        if self.pos >= limit {
+            return Stmt::Expr(ExprStmt {
+                expr: Expr {
+                    kind: ExprKind::Unknown,
+                    span: Span {
+                        lo: start,
+                        hi: limit,
+                    },
+                },
+                span: Span {
+                    lo: start,
+                    hi: limit,
+                },
+            });
+        }
+        // Items in statement position. `unsafe`/`const` are ambiguous
+        // (unsafe blocks, const blocks): only treat them as items when an
+        // item keyword follows.
+        let is_item = match self.ident(self.pos) {
+            Some(w) if ITEM_KEYWORDS.contains(&w) && w != "impl" => true,
+            Some("pub") => true,
+            Some("unsafe") | Some("const") | Some("async") => {
+                matches!(
+                    self.ident(self.pos + 1),
+                    Some("fn") | Some("trait") | Some("impl")
+                )
+            }
+            _ => false,
+        };
+        if is_item {
+            let item = self.parse_item(limit);
+            return Stmt::Item(Box::new(item));
+        }
+        if self.is_kw(self.pos, "let") {
+            return self.parse_let(start, limit);
+        }
+        let end = self.scan_stmt_end(limit);
+        let expr_hi = if end > start && self.is_p(end - 1, ';') {
+            end - 1
+        } else {
+            end
+        };
+        let expr = self.parse_expr_range(self.pos, expr_hi);
+        self.pos = end;
+        Stmt::Expr(ExprStmt {
+            expr,
+            span: Span { lo: start, hi: end },
+        })
+    }
+
+    fn parse_let(&mut self, start: usize, limit: usize) -> Stmt {
+        let let_line = self.line(self.pos);
+        let end = self.scan_stmt_end(limit);
+        // Find the `=` separating pattern(+type) from initializer: a `=`
+        // at all-delimiter depth 0 that is not `==`/`<=`/`>=`/`!=`/`=>`.
+        let mut depth = 0usize;
+        let mut eq = None;
+        let mut i = self.pos + 1;
+        while i < end {
+            match self.kindof(i) {
+                Some(TokKind::Punct('('))
+                | Some(TokKind::Punct('['))
+                | Some(TokKind::Punct('{'))
+                | Some(TokKind::Punct('<')) => depth += 1,
+                Some(TokKind::Punct(')'))
+                | Some(TokKind::Punct(']'))
+                | Some(TokKind::Punct('}'))
+                | Some(TokKind::Punct('>')) => depth = depth.saturating_sub(1),
+                Some(TokKind::Punct('=')) if depth == 0 => {
+                    let prev_glued = i > 0
+                        && self.adjacent(i - 1)
+                        && matches!(
+                            self.kindof(i - 1),
+                            Some(TokKind::Punct('='))
+                                | Some(TokKind::Punct('<'))
+                                | Some(TokKind::Punct('>'))
+                                | Some(TokKind::Punct('!'))
+                        );
+                    let next_glued = self.adjacent(i)
+                        && matches!(
+                            self.kindof(i + 1),
+                            Some(TokKind::Punct('=')) | Some(TokKind::Punct('>'))
+                        );
+                    if !prev_glued && !next_glued {
+                        eq = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Pattern region: up to the type `:` (depth 0) or the `=`.
+        let pat_hi = {
+            let bound = eq.unwrap_or(end);
+            let mut d = 0usize;
+            let mut colon = bound;
+            let mut j = self.pos + 1;
+            while j < bound {
+                match self.kindof(j) {
+                    Some(TokKind::Punct('('))
+                    | Some(TokKind::Punct('['))
+                    | Some(TokKind::Punct('{'))
+                    | Some(TokKind::Punct('<')) => d += 1,
+                    Some(TokKind::Punct(')'))
+                    | Some(TokKind::Punct(']'))
+                    | Some(TokKind::Punct('}'))
+                    | Some(TokKind::Punct('>')) => d = d.saturating_sub(1),
+                    Some(TokKind::Punct(':')) if d == 0 => {
+                        // `::` path separators are not the type colon.
+                        let double = (self.is_p(j + 1, ':') && self.adjacent(j))
+                            || (j > 0 && self.is_p(j - 1, ':') && self.adjacent(j - 1));
+                        if !double {
+                            colon = j;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            colon
+        };
+        let names = self.pattern_idents(self.pos + 1, pat_hi);
+        let init = eq.map(|e| {
+            let init_hi = if end > e && self.is_p(end - 1, ';') {
+                end - 1
+            } else {
+                end
+            };
+            self.parse_expr_range(e + 1, init_hi)
+        });
+        self.pos = end;
+        Stmt::Let(LetStmt {
+            names,
+            init,
+            span: Span { lo: start, hi: end },
+            line: let_line,
+        })
+    }
+
+    /// Lowercase idents in a pattern region (bindings, over-approximate:
+    /// type primitives may slip in, which only widens "bound" sets).
+    fn pattern_idents(&self, lo: usize, hi: usize) -> Vec<String> {
+        let mut names = Vec::new();
+        for i in lo..hi.min(self.sig.len()) {
+            if let Some(w) = self.ident(i) {
+                if w.starts_with(|c: char| c.is_ascii_lowercase() || c == '_')
+                    && !PATTERN_NON_BINDING.contains(&w)
+                    && !names.iter().any(|n| n == w)
+                {
+                    // Skip path segments like `foo::Bar` heads.
+                    let path_head = self.is_p(i + 1, ':') && self.is_p(i + 2, ':');
+                    if !path_head {
+                        names.push(w.to_string());
+                    }
+                }
+            }
+        }
+        names
+    }
+
+    fn parse_expr_range(&mut self, lo: usize, hi: usize) -> Expr {
+        let saved = self.pos;
+        self.pos = lo;
+        let e = if lo >= hi {
+            Expr {
+                kind: ExprKind::Unknown,
+                span: Span { lo, hi },
+            }
+        } else {
+            self.parse_expr_bp(hi, 0, true)
+        };
+        self.pos = saved;
+        e
+    }
+
+    /// Pratt loop: prefix/postfix then binary operators by binding power.
+    fn parse_expr_bp(&mut self, hi: usize, min_bp: u8, allow_struct: bool) -> Expr {
+        let start = self.pos;
+        let mut lhs = self.parse_prefix(hi, allow_struct);
+        loop {
+            if self.pos >= hi {
+                break;
+            }
+            // `as` casts bind tightest of the infix forms.
+            if self.is_kw(self.pos, "as") {
+                self.pos += 1;
+                // Consume the type path: idents, `::`, and one angle group.
+                while self.pos < hi {
+                    if self.ident(self.pos).is_some() {
+                        self.pos += 1;
+                        if self.is_p(self.pos, ':') && self.is_p(self.pos + 1, ':') {
+                            self.pos += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    break;
+                }
+                lhs = Expr {
+                    span: Span {
+                        lo: start,
+                        hi: self.pos,
+                    },
+                    kind: ExprKind::Cast {
+                        inner: Box::new(lhs),
+                    },
+                };
+                continue;
+            }
+            if min_bp == 0 {
+                if let Some((op, len)) = self.assign_op_at(self.pos) {
+                    self.pos += len;
+                    let value = self.parse_expr_bp(hi, 0, allow_struct);
+                    lhs = Expr {
+                        span: Span {
+                            lo: start,
+                            hi: self.pos,
+                        },
+                        kind: ExprKind::Assign {
+                            op,
+                            target: Box::new(lhs),
+                            value: Box::new(value),
+                        },
+                    };
+                    continue;
+                }
+            }
+            let Some((op, bp, len)) = self.binary_op_at(self.pos) else {
+                break;
+            };
+            if bp < min_bp {
+                break;
+            }
+            self.pos += len;
+            let rhs = self.parse_expr_bp(hi, bp + 1, allow_struct);
+            lhs = Expr {
+                span: Span {
+                    lo: start,
+                    hi: self.pos,
+                },
+                kind: ExprKind::Binary {
+                    op: op.to_string(),
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        lhs
+    }
+
+    /// Compound/plain assignment operator at `i`: `(prefix-op, token count)`.
+    fn assign_op_at(&self, i: usize) -> Option<(Option<String>, usize)> {
+        match self.kindof(i)? {
+            TokKind::Punct('=') => {
+                let next_glued = self.adjacent(i)
+                    && matches!(
+                        self.kindof(i + 1),
+                        Some(TokKind::Punct('=')) | Some(TokKind::Punct('>'))
+                    );
+                if next_glued {
+                    None
+                } else {
+                    Some((None, 1))
+                }
+            }
+            TokKind::Punct(c) if "+-*/%^".contains(c) => {
+                (self.adjacent(i) && self.is_p(i + 1, '=')).then(|| (Some(c.to_string()), 2))
+            }
+            TokKind::Punct('&') => {
+                (self.adjacent(i) && self.is_p(i + 1, '=')).then(|| (Some("&".to_string()), 2))
+            }
+            TokKind::Punct('|') => {
+                (self.adjacent(i) && self.is_p(i + 1, '=')).then(|| (Some("|".to_string()), 2))
+            }
+            _ => None,
+        }
+    }
+
+    /// Binary operator at `i`: `(text, binding power, token count)`.
+    fn binary_op_at(&self, i: usize) -> Option<(&'static str, u8, usize)> {
+        let glued = |j: usize, c: char| self.adjacent(j) && self.is_p(j + 1, c);
+        match self.kindof(i)? {
+            TokKind::Punct('|') if glued(i, '|') => Some(("||", 1, 2)),
+            TokKind::Punct('&') if glued(i, '&') => Some(("&&", 2, 2)),
+            TokKind::Punct('=') if glued(i, '=') => Some(("==", 3, 2)),
+            TokKind::Punct('!') if glued(i, '=') => Some(("!=", 3, 2)),
+            TokKind::Punct('<') if glued(i, '=') => Some(("<=", 3, 2)),
+            TokKind::Punct('>') if glued(i, '=') => Some((">=", 3, 2)),
+            TokKind::Punct('.') if glued(i, '.') => {
+                if self.adjacent(i + 1) && self.is_p(i + 2, '=') {
+                    Some(("..=", 1, 3))
+                } else {
+                    Some(("..", 1, 2))
+                }
+            }
+            TokKind::Punct('<') if glued(i, '<') => Some(("<<", 7, 2)),
+            TokKind::Punct('>') if glued(i, '>') => Some((">>", 7, 2)),
+            TokKind::Punct('<') => Some(("<", 3, 1)),
+            TokKind::Punct('>') => Some((">", 3, 1)),
+            TokKind::Punct('|') => Some(("|", 4, 1)),
+            TokKind::Punct('^') => Some(("^", 5, 1)),
+            TokKind::Punct('&') => Some(("&", 6, 1)),
+            TokKind::Punct('+') => Some(("+", 8, 1)),
+            TokKind::Punct('-') if !glued(i, '>') => Some(("-", 8, 1)),
+            TokKind::Punct('*') => Some(("*", 9, 1)),
+            TokKind::Punct('/') => Some(("/", 9, 1)),
+            TokKind::Punct('%') => Some(("%", 9, 1)),
+            _ => None,
+        }
+    }
+
+    fn parse_prefix(&mut self, hi: usize, allow_struct: bool) -> Expr {
+        let start = self.pos;
+        if self.pos >= hi {
+            return Expr {
+                kind: ExprKind::Unknown,
+                span: Span {
+                    lo: start,
+                    hi: start,
+                },
+            };
+        }
+        self.skip_attrs(hi);
+        let mut e = match self.kindof(self.pos) {
+            // In operand position `&` is always a borrow (the binary loop
+            // never hands an operator token to `parse_prefix`).
+            Some(TokKind::Punct('&')) => {
+                self.pos += 1;
+                let mutable = self.is_kw(self.pos, "mut");
+                if mutable {
+                    self.pos += 1;
+                }
+                let inner = self.parse_prefix(hi, allow_struct);
+                Expr {
+                    span: Span {
+                        lo: start,
+                        hi: self.pos,
+                    },
+                    kind: ExprKind::Ref {
+                        mutable,
+                        inner: Box::new(inner),
+                    },
+                }
+            }
+            Some(TokKind::Punct(c)) if c == '-' || c == '!' || c == '*' => {
+                self.pos += 1;
+                let inner = self.parse_prefix(hi, allow_struct);
+                Expr {
+                    span: Span {
+                        lo: start,
+                        hi: self.pos,
+                    },
+                    kind: ExprKind::Unary {
+                        op: c,
+                        inner: Box::new(inner),
+                    },
+                }
+            }
+            Some(TokKind::Punct('|')) => self.parse_closure(hi),
+            Some(TokKind::Punct('(')) | Some(TokKind::Punct('[')) => {
+                let open = self.pos;
+                let close = self.match_delim(open, hi).unwrap_or(hi.saturating_sub(1));
+                let args = self.parse_delim_args(open, close);
+                self.pos = close + 1;
+                Expr {
+                    span: Span {
+                        lo: start,
+                        hi: self.pos,
+                    },
+                    kind: ExprKind::Tuple(args),
+                }
+            }
+            Some(TokKind::Punct('{')) => {
+                let block = self.parse_block(hi);
+                let end = block.span.hi;
+                Expr {
+                    span: Span { lo: start, hi: end },
+                    kind: ExprKind::Block(block),
+                }
+            }
+            Some(TokKind::Ident) => {
+                let w = self.ident(self.pos).unwrap_or("");
+                match w {
+                    "move" => {
+                        self.pos += 1;
+                        if self.is_p(self.pos, '|') {
+                            self.parse_closure(hi)
+                        } else {
+                            Expr {
+                                span: Span {
+                                    lo: start,
+                                    hi: self.pos,
+                                },
+                                kind: ExprKind::Unknown,
+                            }
+                        }
+                    }
+                    "if" | "while" => self.parse_cond_flow(hi),
+                    "for" => self.parse_for(hi),
+                    "loop" | "unsafe" => {
+                        self.pos += 1;
+                        if self.is_p(self.pos, '{') {
+                            let block = self.parse_block(hi);
+                            let end = block.span.hi;
+                            Expr {
+                                span: Span { lo: start, hi: end },
+                                kind: ExprKind::Flow {
+                                    kw: "loop".to_string(),
+                                    bound: Vec::new(),
+                                    children: vec![Expr {
+                                        span: block.span,
+                                        kind: ExprKind::Block(block),
+                                    }],
+                                },
+                            }
+                        } else {
+                            Expr {
+                                span: Span {
+                                    lo: start,
+                                    hi: self.pos,
+                                },
+                                kind: ExprKind::Unknown,
+                            }
+                        }
+                    }
+                    "match" => self.parse_match(hi),
+                    "return" | "break" | "continue" => {
+                        let kw = w.to_string();
+                        self.pos += 1;
+                        let mut children = Vec::new();
+                        let ends = self.pos >= hi
+                            || self.is_p(self.pos, ';')
+                            || self.is_p(self.pos, ',')
+                            || self.is_p(self.pos, ')')
+                            || self.is_p(self.pos, '}');
+                        if !ends && kw != "continue" {
+                            children.push(self.parse_expr_bp(hi, 1, allow_struct));
+                        }
+                        Expr {
+                            span: Span {
+                                lo: start,
+                                hi: self.pos,
+                            },
+                            kind: ExprKind::Flow {
+                                kw,
+                                bound: Vec::new(),
+                                children,
+                            },
+                        }
+                    }
+                    _ => self.parse_path_expr(hi, allow_struct),
+                }
+            }
+            Some(TokKind::Number { .. })
+            | Some(TokKind::Str)
+            | Some(TokKind::RawStr)
+            | Some(TokKind::Char)
+            | Some(TokKind::Lifetime) => {
+                self.pos += 1;
+                Expr {
+                    span: Span {
+                        lo: start,
+                        hi: self.pos,
+                    },
+                    kind: ExprKind::Lit,
+                }
+            }
+            _ => {
+                self.pos += 1;
+                Expr {
+                    span: Span {
+                        lo: start,
+                        hi: self.pos,
+                    },
+                    kind: ExprKind::Unknown,
+                }
+            }
+        };
+        // Postfix chain: `.method(..)`, `.field`, `(..)`, `[..]`, `?`.
+        loop {
+            if self.pos >= hi {
+                break;
+            }
+            if self.is_p(self.pos, '.')
+                && !(self.adjacent(self.pos) && self.is_p(self.pos + 1, '.'))
+            {
+                if let Some(name) = self.ident(self.pos + 1) {
+                    let name = name.to_string();
+                    let name_idx = self.pos + 1;
+                    self.pos += 2;
+                    // Turbofish on the method.
+                    if self.is_p(self.pos, ':') && self.is_p(self.pos + 1, ':') {
+                        self.pos += 2;
+                        if self.is_p(self.pos, '<') {
+                            if let Some(c) = self.match_angle(self.pos, hi) {
+                                self.pos = c + 1;
+                            }
+                        }
+                    }
+                    if self.is_p(self.pos, '(') {
+                        let open = self.pos;
+                        let close = self.match_delim(open, hi).unwrap_or(hi.saturating_sub(1));
+                        let args = self.parse_delim_args(open, close);
+                        self.pos = close + 1;
+                        e = Expr {
+                            span: Span {
+                                lo: start,
+                                hi: self.pos,
+                            },
+                            kind: ExprKind::Method {
+                                recv: Box::new(e),
+                                name,
+                                name_idx,
+                                args,
+                            },
+                        };
+                    } else {
+                        e = Expr {
+                            span: Span {
+                                lo: start,
+                                hi: self.pos,
+                            },
+                            kind: ExprKind::Field {
+                                recv: Box::new(e),
+                                name,
+                            },
+                        };
+                    }
+                    continue;
+                }
+                if matches!(self.kindof(self.pos + 1), Some(TokKind::Number { .. })) {
+                    let name = self
+                        .sig
+                        .get(self.pos + 1)
+                        .map(|t| t.text(self.src).to_string())
+                        .unwrap_or_default();
+                    self.pos += 2;
+                    e = Expr {
+                        span: Span {
+                            lo: start,
+                            hi: self.pos,
+                        },
+                        kind: ExprKind::Field {
+                            recv: Box::new(e),
+                            name,
+                        },
+                    };
+                    continue;
+                }
+                break;
+            }
+            if self.is_p(self.pos, '(') {
+                let open = self.pos;
+                let close = self.match_delim(open, hi).unwrap_or(hi.saturating_sub(1));
+                let args = self.parse_delim_args(open, close);
+                self.pos = close + 1;
+                e = Expr {
+                    span: Span {
+                        lo: start,
+                        hi: self.pos,
+                    },
+                    kind: ExprKind::Call {
+                        callee: Box::new(e),
+                        args,
+                    },
+                };
+                continue;
+            }
+            if self.is_p(self.pos, '[') {
+                let open = self.pos;
+                let close = self.match_delim(open, hi).unwrap_or(hi.saturating_sub(1));
+                let index = self.parse_expr_range(open + 1, close);
+                self.pos = close + 1;
+                e = Expr {
+                    span: Span {
+                        lo: start,
+                        hi: self.pos,
+                    },
+                    kind: ExprKind::Index {
+                        recv: Box::new(e),
+                        index: Box::new(index),
+                    },
+                };
+                continue;
+            }
+            if self.is_p(self.pos, '?') {
+                self.pos += 1;
+                e.span.hi = self.pos;
+                continue;
+            }
+            break;
+        }
+        e
+    }
+
+    fn parse_closure(&mut self, hi: usize) -> Expr {
+        let start = self.pos;
+        // Params live between this `|` and the matching `|` (depth 0).
+        let open = self.pos;
+        self.pos += 1;
+        let mut depth = 0usize;
+        let mut close = open;
+        let mut j = open + 1;
+        while j < hi {
+            match self.kindof(j) {
+                Some(TokKind::Punct('('))
+                | Some(TokKind::Punct('['))
+                | Some(TokKind::Punct('{'))
+                | Some(TokKind::Punct('<')) => depth += 1,
+                Some(TokKind::Punct(')'))
+                | Some(TokKind::Punct(']'))
+                | Some(TokKind::Punct('}'))
+                | Some(TokKind::Punct('>')) => depth = depth.saturating_sub(1),
+                Some(TokKind::Punct('|')) if depth == 0 => {
+                    close = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if close == open {
+            // No closing `|`: degrade to Unknown.
+            return Expr {
+                span: Span {
+                    lo: start,
+                    hi: self.pos,
+                },
+                kind: ExprKind::Unknown,
+            };
+        }
+        // Param names: idents outside type ascriptions.
+        let mut params = Vec::new();
+        let mut in_type = false;
+        let mut d = 0usize;
+        for k in open + 1..close {
+            match self.kindof(k) {
+                Some(TokKind::Punct('('))
+                | Some(TokKind::Punct('['))
+                | Some(TokKind::Punct('{'))
+                | Some(TokKind::Punct('<')) => d += 1,
+                Some(TokKind::Punct(')'))
+                | Some(TokKind::Punct(']'))
+                | Some(TokKind::Punct('}'))
+                | Some(TokKind::Punct('>')) => d = d.saturating_sub(1),
+                Some(TokKind::Punct(',')) if d == 0 => in_type = false,
+                Some(TokKind::Punct(':')) if d == 0 => in_type = true,
+                Some(TokKind::Ident) if !in_type && d == 0 => {
+                    if let Some(w) = self.ident(k) {
+                        if w.starts_with(|c: char| c.is_ascii_lowercase() || c == '_')
+                            && !PATTERN_NON_BINDING.contains(&w)
+                        {
+                            params.push(w.to_string());
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.pos = close + 1;
+        // Optional `-> T` before a braced body.
+        if self.is_p(self.pos, '-') && self.is_p(self.pos + 1, '>') && self.adjacent(self.pos) {
+            while self.pos < hi && !self.is_p(self.pos, '{') {
+                self.pos += 1;
+            }
+        }
+        let body = if self.is_p(self.pos, '{') {
+            let block = self.parse_block(hi);
+            Expr {
+                span: block.span,
+                kind: ExprKind::Block(block),
+            }
+        } else {
+            self.parse_expr_bp(hi, 0, true)
+        };
+        Expr {
+            span: Span {
+                lo: start,
+                hi: self.pos,
+            },
+            kind: ExprKind::Closure {
+                params,
+                body: Box::new(body),
+            },
+        }
+    }
+
+    /// `if`/`while`, with `let`-pattern headers.
+    fn parse_cond_flow(&mut self, hi: usize) -> Expr {
+        let start = self.pos;
+        let kw = self.ident(self.pos).unwrap_or("if").to_string();
+        self.pos += 1;
+        let mut bound = Vec::new();
+        if self.is_kw(self.pos, "let") {
+            // `if let PAT = EXPR { .. }`: bound idents come from PAT.
+            self.pos += 1;
+            let pat_lo = self.pos;
+            let mut depth = 0usize;
+            while self.pos < hi {
+                match self.kindof(self.pos) {
+                    Some(TokKind::Punct('('))
+                    | Some(TokKind::Punct('['))
+                    | Some(TokKind::Punct('{'))
+                    | Some(TokKind::Punct('<')) => depth += 1,
+                    Some(TokKind::Punct(')'))
+                    | Some(TokKind::Punct(']'))
+                    | Some(TokKind::Punct('}'))
+                    | Some(TokKind::Punct('>')) => depth = depth.saturating_sub(1),
+                    Some(TokKind::Punct('=')) if depth == 0 => break,
+                    None => break,
+                    _ => {}
+                }
+                self.pos += 1;
+            }
+            bound = self.pattern_idents(pat_lo, self.pos);
+            if self.is_p(self.pos, '=') {
+                self.pos += 1;
+            }
+        }
+        let mut children = Vec::new();
+        if !self.is_p(self.pos, '{') {
+            children.push(self.parse_expr_bp(hi, 1, false));
+        }
+        if self.is_p(self.pos, '{') {
+            let block = self.parse_block(hi);
+            children.push(Expr {
+                span: block.span,
+                kind: ExprKind::Block(block),
+            });
+        }
+        if kw == "if" && self.is_kw(self.pos, "else") {
+            self.pos += 1;
+            if self.is_kw(self.pos, "if") {
+                children.push(self.parse_cond_flow(hi));
+            } else if self.is_p(self.pos, '{') {
+                let block = self.parse_block(hi);
+                children.push(Expr {
+                    span: block.span,
+                    kind: ExprKind::Block(block),
+                });
+            }
+        }
+        Expr {
+            span: Span {
+                lo: start,
+                hi: self.pos,
+            },
+            kind: ExprKind::Flow {
+                kw,
+                bound,
+                children,
+            },
+        }
+    }
+
+    fn parse_for(&mut self, hi: usize) -> Expr {
+        let start = self.pos;
+        self.pos += 1;
+        let pat_lo = self.pos;
+        while self.pos < hi && !self.is_kw(self.pos, "in") {
+            self.pos += 1;
+        }
+        let bound = self.pattern_idents(pat_lo, self.pos);
+        if self.is_kw(self.pos, "in") {
+            self.pos += 1;
+        }
+        let mut children = Vec::new();
+        if !self.is_p(self.pos, '{') {
+            children.push(self.parse_expr_bp(hi, 1, false));
+        }
+        if self.is_p(self.pos, '{') {
+            let block = self.parse_block(hi);
+            children.push(Expr {
+                span: block.span,
+                kind: ExprKind::Block(block),
+            });
+        }
+        Expr {
+            span: Span {
+                lo: start,
+                hi: self.pos,
+            },
+            kind: ExprKind::Flow {
+                kw: "for".to_string(),
+                bound,
+                children,
+            },
+        }
+    }
+
+    fn parse_match(&mut self, hi: usize) -> Expr {
+        let start = self.pos;
+        self.pos += 1;
+        let mut bound = Vec::new();
+        let mut children = Vec::new();
+        if !self.is_p(self.pos, '{') {
+            children.push(self.parse_expr_bp(hi, 1, false));
+        }
+        if self.is_p(self.pos, '{') {
+            let open = self.pos;
+            let close = self.match_delim(open, hi).unwrap_or(hi.saturating_sub(1));
+            self.pos = open + 1;
+            while self.pos < close {
+                let before = self.pos;
+                // Pattern: tokens up to the depth-0 `=>`.
+                let pat_lo = self.pos;
+                let mut depth = 0usize;
+                while self.pos < close {
+                    match self.kindof(self.pos) {
+                        Some(TokKind::Punct('('))
+                        | Some(TokKind::Punct('['))
+                        | Some(TokKind::Punct('{')) => depth += 1,
+                        Some(TokKind::Punct(')'))
+                        | Some(TokKind::Punct(']'))
+                        | Some(TokKind::Punct('}')) => depth = depth.saturating_sub(1),
+                        Some(TokKind::Punct('='))
+                            if depth == 0
+                                && self.adjacent(self.pos)
+                                && self.is_p(self.pos + 1, '>') =>
+                        {
+                            break;
+                        }
+                        _ => {}
+                    }
+                    self.pos += 1;
+                }
+                for n in self.pattern_idents(pat_lo, self.pos) {
+                    if !bound.contains(&n) {
+                        bound.push(n);
+                    }
+                }
+                if self.pos < close {
+                    self.pos += 2; // `=>`
+                }
+                if self.pos < close {
+                    children.push(self.parse_expr_bp(close, 0, true));
+                }
+                if self.is_p(self.pos, ',') {
+                    self.pos += 1;
+                }
+                if self.pos <= before {
+                    self.pos = before + 1;
+                }
+            }
+            self.pos = close + 1;
+        }
+        Expr {
+            span: Span {
+                lo: start,
+                hi: self.pos,
+            },
+            kind: ExprKind::Flow {
+                kw: "match".to_string(),
+                bound,
+                children,
+            },
+        }
+    }
+
+    /// A path, then a macro call, struct literal, or plain path.
+    fn parse_path_expr(&mut self, hi: usize, allow_struct: bool) -> Expr {
+        let start = self.pos;
+        let mut segs = Vec::new();
+        while let Some(w) = self.ident(self.pos) {
+            segs.push(w.to_string());
+            self.pos += 1;
+            if self.is_p(self.pos, ':') && self.is_p(self.pos + 1, ':') && self.adjacent(self.pos) {
+                self.pos += 2;
+                if self.is_p(self.pos, '<') {
+                    if let Some(c) = self.match_angle(self.pos, hi) {
+                        self.pos = c + 1;
+                    }
+                }
+                continue;
+            }
+            break;
+        }
+        if segs.is_empty() {
+            self.pos += 1;
+            return Expr {
+                span: Span {
+                    lo: start,
+                    hi: self.pos,
+                },
+                kind: ExprKind::Unknown,
+            };
+        }
+        // Macro call.
+        if self.is_p(self.pos, '!')
+            && (self.is_p(self.pos + 1, '(')
+                || self.is_p(self.pos + 1, '[')
+                || self.is_p(self.pos + 1, '{'))
+        {
+            let name = segs.last().cloned().unwrap_or_default();
+            let open = self.pos + 1;
+            let close = self.match_delim(open, hi).unwrap_or(hi.saturating_sub(1));
+            let args = self.parse_delim_args(open, close);
+            self.pos = close + 1;
+            return Expr {
+                span: Span {
+                    lo: start,
+                    hi: self.pos,
+                },
+                kind: ExprKind::MacroCall { name, args },
+            };
+        }
+        // Struct literal: `CapitalizedPath { .. }`.
+        let last_caps = segs
+            .last()
+            .map(|s| s.starts_with(|c: char| c.is_ascii_uppercase()))
+            .unwrap_or(false);
+        if allow_struct && last_caps && self.is_p(self.pos, '{') {
+            let open = self.pos;
+            let close = self.match_delim(open, hi).unwrap_or(hi.saturating_sub(1));
+            let mut fields = Vec::new();
+            // Split on depth-0 commas; each piece is `name: expr` or shorthand.
+            let mut piece_lo = open + 1;
+            let mut depth = 0usize;
+            let mut k = open + 1;
+            while k <= close {
+                let at_end = k == close;
+                let split = at_end || (depth == 0 && self.kindof(k) == Some(TokKind::Punct(',')));
+                if split {
+                    let mut lo = piece_lo;
+                    if self.ident(lo).is_some() && self.is_p(lo + 1, ':') && !self.is_p(lo + 2, ':')
+                    {
+                        lo += 2;
+                    }
+                    if lo < k {
+                        fields.push(self.parse_expr_range(lo, k));
+                    }
+                    piece_lo = k + 1;
+                } else {
+                    match self.kindof(k) {
+                        Some(TokKind::Punct('('))
+                        | Some(TokKind::Punct('['))
+                        | Some(TokKind::Punct('{')) => depth += 1,
+                        Some(TokKind::Punct(')'))
+                        | Some(TokKind::Punct(']'))
+                        | Some(TokKind::Punct('}')) => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            self.pos = close + 1;
+            return Expr {
+                span: Span {
+                    lo: start,
+                    hi: self.pos,
+                },
+                kind: ExprKind::StructLit { path: segs, fields },
+            };
+        }
+        Expr {
+            span: Span {
+                lo: start,
+                hi: self.pos,
+            },
+            kind: ExprKind::Path(segs),
+        }
+    }
+
+    /// Splits `(open..close)` on depth-0 commas and parses each piece.
+    fn parse_delim_args(&mut self, open: usize, close: usize) -> Vec<Expr> {
+        let mut args = Vec::new();
+        let mut piece_lo = open + 1;
+        let mut depth = 0usize;
+        let mut k = open + 1;
+        while k <= close {
+            let at_end = k == close;
+            let split = at_end || (depth == 0 && self.kindof(k) == Some(TokKind::Punct(',')));
+            if split {
+                if piece_lo < k {
+                    args.push(self.parse_expr_range(piece_lo, k));
+                }
+                piece_lo = k + 1;
+            } else {
+                match self.kindof(k) {
+                    Some(TokKind::Punct('('))
+                    | Some(TokKind::Punct('['))
+                    | Some(TokKind::Punct('{')) => depth += 1,
+                    Some(TokKind::Punct(')'))
+                    | Some(TokKind::Punct(']'))
+                    | Some(TokKind::Punct('}')) => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        args
+    }
+}
+
+/// Visits every `fn` item in the tree (including fns nested in mods,
+/// impls, and statement position).
+pub fn for_each_fn<'ast>(items: &'ast [Item], f: &mut dyn FnMut(&'ast FnItem)) {
+    for item in items {
+        match item {
+            Item::Fn(func) => {
+                f(func);
+                if let Some(body) = &func.body {
+                    for_each_fn_in_block(body, f);
+                }
+            }
+            Item::Mod(m) => for_each_fn(&m.items, f),
+            Item::Other(_) => {}
+        }
+    }
+}
+
+fn for_each_fn_in_block<'ast>(block: &'ast Block, f: &mut dyn FnMut(&'ast FnItem)) {
+    for stmt in &block.stmts {
+        if let Stmt::Item(item) = stmt {
+            for_each_fn(std::slice::from_ref(item.as_ref()), f);
+        }
+    }
+}
+
+/// Pre-order walk over an expression tree.
+pub fn walk_expr<'ast>(e: &'ast Expr, f: &mut dyn FnMut(&'ast Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::Path(_) | ExprKind::Lit | ExprKind::Unknown => {}
+        ExprKind::Tuple(xs) => xs.iter().for_each(|x| walk_expr(x, f)),
+        ExprKind::Call { callee, args } => {
+            walk_expr(callee, f);
+            args.iter().for_each(|x| walk_expr(x, f));
+        }
+        ExprKind::MacroCall { args, .. } => args.iter().for_each(|x| walk_expr(x, f)),
+        ExprKind::Method { recv, args, .. } => {
+            walk_expr(recv, f);
+            args.iter().for_each(|x| walk_expr(x, f));
+        }
+        ExprKind::Field { recv, .. } => walk_expr(recv, f),
+        ExprKind::Index { recv, index } => {
+            walk_expr(recv, f);
+            walk_expr(index, f);
+        }
+        ExprKind::Unary { inner, .. } | ExprKind::Ref { inner, .. } | ExprKind::Cast { inner } => {
+            walk_expr(inner, f)
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        ExprKind::Assign { target, value, .. } => {
+            walk_expr(target, f);
+            walk_expr(value, f);
+        }
+        ExprKind::Closure { body, .. } => walk_expr(body, f),
+        ExprKind::Block(b) => walk_block_exprs(b, f),
+        ExprKind::Flow { children, .. } => children.iter().for_each(|x| walk_expr(x, f)),
+        ExprKind::StructLit { fields, .. } => fields.iter().for_each(|x| walk_expr(x, f)),
+    }
+}
+
+/// Pre-order walk over every statement in a block tree, including the
+/// statements of blocks nested inside expressions (loop bodies, match
+/// arms, closure bodies). Statements of nested `fn` items are *not*
+/// visited — enumerate those via [`for_each_fn`].
+pub fn for_each_stmt<'ast>(block: &'ast Block, f: &mut dyn FnMut(&'ast Stmt)) {
+    for stmt in &block.stmts {
+        f(stmt);
+    }
+    walk_block_exprs(block, &mut |e| {
+        if let ExprKind::Block(b) = &e.kind {
+            for stmt in &b.stmts {
+                f(stmt);
+            }
+        }
+    });
+}
+
+/// Walks every expression in a block (skipping nested items).
+pub fn walk_block_exprs<'ast>(block: &'ast Block, f: &mut dyn FnMut(&'ast Expr)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let(l) => {
+                if let Some(init) = &l.init {
+                    walk_expr(init, f);
+                }
+            }
+            Stmt::Expr(e) => walk_expr(&e.expr, f),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// The structural safety property the propcheck suite drives: top-level
+/// item spans tile `[0, sig_len)` exactly, every block's statements tile
+/// the inside of its braces, and child spans nest inside parents.
+pub fn check_coverage(ast: &Ast, sig_len: usize) -> Result<(), String> {
+    let mut cursor = 0usize;
+    for item in &ast.items {
+        let s = item.span();
+        if s.lo != cursor {
+            return Err(format!(
+                "item span gap: expected lo {cursor}, got {}..{}",
+                s.lo, s.hi
+            ));
+        }
+        if s.hi < s.lo || s.hi > sig_len {
+            return Err(format!(
+                "item span out of bounds: {}..{} (len {sig_len})",
+                s.lo, s.hi
+            ));
+        }
+        cursor = s.hi;
+        check_item(item)?;
+    }
+    if cursor != sig_len {
+        return Err(format!(
+            "items cover 0..{cursor}, file has {sig_len} tokens"
+        ));
+    }
+    Ok(())
+}
+
+fn check_item(item: &Item) -> Result<(), String> {
+    match item {
+        Item::Fn(f) => {
+            if let Some(body) = &f.body {
+                if body.span.lo < f.span.lo || body.span.hi > f.span.hi {
+                    return Err(format!(
+                        "fn `{}` body {}..{} escapes item {}..{}",
+                        f.name, body.span.lo, body.span.hi, f.span.lo, f.span.hi
+                    ));
+                }
+                check_block(body)?;
+            }
+            Ok(())
+        }
+        Item::Mod(m) => {
+            let mut cursor = None;
+            for it in &m.items {
+                let s = it.span();
+                if s.lo < m.span.lo || s.hi > m.span.hi {
+                    return Err(format!(
+                        "mod `{}` child {}..{} escapes {}..{}",
+                        m.name, s.lo, s.hi, m.span.lo, m.span.hi
+                    ));
+                }
+                if let Some(c) = cursor {
+                    if s.lo != c {
+                        return Err(format!(
+                            "mod `{}` child gap: expected {c}, got {}",
+                            m.name, s.lo
+                        ));
+                    }
+                }
+                cursor = Some(s.hi);
+                check_item(it)?;
+            }
+            Ok(())
+        }
+        Item::Other(_) => Ok(()),
+    }
+}
+
+fn check_block(block: &Block) -> Result<(), String> {
+    let inner_lo = block.span.lo + 1;
+    let inner_hi = block.span.hi.saturating_sub(1);
+    let mut cursor = inner_lo;
+    for stmt in &block.stmts {
+        let s = stmt.span();
+        if s.lo != cursor {
+            return Err(format!(
+                "stmt gap in block {}..{}: expected {cursor}, got {}..{}",
+                block.span.lo, block.span.hi, s.lo, s.hi
+            ));
+        }
+        if s.hi > inner_hi {
+            return Err(format!(
+                "stmt {}..{} escapes block {}..{}",
+                s.lo, s.hi, block.span.lo, block.span.hi
+            ));
+        }
+        cursor = s.hi;
+        if let Stmt::Item(item) = stmt {
+            check_item(item)?;
+        }
+    }
+    if cursor != inner_hi && !(block.stmts.is_empty() && inner_lo >= inner_hi) {
+        return Err(format!(
+            "stmts cover ..{cursor}, block interior ends at {inner_hi}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ast_of(src: &str) -> (Ast, usize) {
+        let toks = lex(src);
+        let sig: Vec<Token> = toks
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        let ast = parse(&sig, src);
+        let len = sig.len();
+        (ast, len)
+    }
+
+    fn fns(ast: &Ast) -> Vec<String> {
+        let mut names = Vec::new();
+        for_each_fn(&ast.items, &mut |f| names.push(f.name.clone()));
+        names
+    }
+
+    #[test]
+    fn parses_items_and_tiles_the_stream() {
+        let src = "use std::fmt;\n\
+                   pub struct S { x: f64 }\n\
+                   impl S {\n    pub fn get(&self) -> f64 { self.x }\n}\n\
+                   fn free(a: f64, b: f64) -> f64 { a + b }\n";
+        let (ast, len) = ast_of(src);
+        check_coverage(&ast, len).expect("coverage holds");
+        assert_eq!(fns(&ast), ["get", "free"]);
+    }
+
+    #[test]
+    fn let_bindings_and_method_chains() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n\
+                       let total = xs.iter().copied().sum::<f64>();\n\
+                       let (a, mut b) = (total, 0.0);\n\
+                       b += a.ln();\n\
+                       b\n\
+                   }\n";
+        let (ast, len) = ast_of(src);
+        check_coverage(&ast, len).expect("coverage holds");
+        let Item::Fn(f) = &ast.items[0] else {
+            panic!("expected fn")
+        };
+        let body = f.body.as_ref().expect("has body");
+        let Stmt::Let(l) = &body.stmts[0] else {
+            panic!("expected let")
+        };
+        assert_eq!(l.names, ["total"]);
+        let Stmt::Let(l2) = &body.stmts[1] else {
+            panic!("expected let")
+        };
+        assert_eq!(l2.names, ["a", "b"]);
+        // The compound assignment parses with the `.ln()` call visible.
+        let Stmt::Expr(es) = &body.stmts[2] else {
+            panic!("expected expr stmt")
+        };
+        let ExprKind::Assign { op, value, .. } = &es.expr.kind else {
+            panic!("expected assign, got {:?}", es.expr.kind)
+        };
+        assert_eq!(op.as_deref(), Some("+"));
+        let ExprKind::Method { name, .. } = &value.kind else {
+            panic!("expected method call")
+        };
+        assert_eq!(name, "ln");
+    }
+
+    #[test]
+    fn precedence_keeps_mul_above_add() {
+        let src = "fn f(a: f64, b: f64, c: f64) -> f64 { a + b * c }";
+        let (ast, _) = ast_of(src);
+        let Item::Fn(f) = &ast.items[0] else {
+            panic!("expected fn")
+        };
+        let body = f.body.as_ref().expect("has body");
+        let Stmt::Expr(es) = &body.stmts[0] else {
+            panic!("expected expr")
+        };
+        let ExprKind::Binary { op, rhs, .. } = &es.expr.kind else {
+            panic!("expected binary")
+        };
+        assert_eq!(op, "+");
+        let ExprKind::Binary { op: inner, .. } = &rhs.kind else {
+            panic!("expected nested binary")
+        };
+        assert_eq!(inner, "*");
+    }
+
+    #[test]
+    fn closures_record_params_and_bodies() {
+        let src = "fn f(xs: &[f64]) -> Vec<f64> { xs.iter().map(|x| x * 2.0).collect() }";
+        let (ast, len) = ast_of(src);
+        check_coverage(&ast, len).expect("coverage holds");
+        let mut saw_closure = false;
+        for_each_fn(&ast.items, &mut |func| {
+            if let Some(body) = &func.body {
+                walk_block_exprs(body, &mut |e| {
+                    if let ExprKind::Closure { params, .. } = &e.kind {
+                        assert_eq!(params, &["x"]);
+                        saw_closure = true;
+                    }
+                });
+            }
+        });
+        assert!(saw_closure);
+    }
+
+    #[test]
+    fn nested_closures_and_raw_strings_still_tile() {
+        let src = r##"fn outer() -> usize {
+    let f = |a: usize| {
+        let g = move |b: usize| a + b;
+        g(r#"not } a { brace"#.len())
+    };
+    f(1)
+}
+"##;
+        let (ast, len) = ast_of(src);
+        check_coverage(&ast, len).expect("coverage holds");
+        assert_eq!(fns(&ast), ["outer"]);
+    }
+
+    #[test]
+    fn match_and_if_let_record_bound_names() {
+        let src = "fn f(o: Option<(f64, f64)>) -> f64 {\n\
+                       if let Some((a, b)) = o { a + b } else { 0.0 };\n\
+                       match o { Some((x, y)) => x * y, None => 0.0 }\n\
+                   }\n";
+        let (ast, len) = ast_of(src);
+        check_coverage(&ast, len).expect("coverage holds");
+        let Item::Fn(f) = &ast.items[0] else {
+            panic!("expected fn")
+        };
+        let body = f.body.as_ref().expect("has body");
+        let mut bound_sets = Vec::new();
+        for stmt in &body.stmts {
+            if let Stmt::Expr(es) = stmt {
+                walk_expr(&es.expr, &mut |e| {
+                    if let ExprKind::Flow { bound, .. } = &e.kind {
+                        if !bound.is_empty() {
+                            bound_sets.push(bound.clone());
+                        }
+                    }
+                });
+            }
+        }
+        assert!(bound_sets.iter().any(|b| b.contains(&"a".to_string())));
+        assert!(bound_sets.iter().any(|b| b.contains(&"x".to_string())));
+    }
+
+    #[test]
+    fn struct_literals_do_not_eat_blocks() {
+        let src = "fn f() -> Point { Point { x: 1.0, y: 2.0 } }\nfn g() -> u32 { 3 }";
+        let (ast, len) = ast_of(src);
+        check_coverage(&ast, len).expect("coverage holds");
+        assert_eq!(fns(&ast), ["f", "g"]);
+    }
+
+    #[test]
+    fn parser_is_total_on_garbage() {
+        for src in [
+            "fn f( {{{",
+            "let;;;",
+            "impl",
+            "match } {",
+            "fn g() { if { } else",
+            ") ] } ;",
+            "fn h<T>(x: T) where T: Ord",
+        ] {
+            let (ast, _) = ast_of(src);
+            // Totality: parse returned; spans stay in bounds even when
+            // the tiling cannot (malformed input may not tile).
+            for item in &ast.items {
+                let s = item.span();
+                assert!(s.lo <= s.hi);
+            }
+        }
+    }
+}

@@ -25,7 +25,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
 pub mod baseline;
+pub mod dataflow;
 pub mod lexer;
 pub mod rules;
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run -p mvasd-lint [-- [--json] [--fix-baseline] [--root DIR] [--baseline FILE]]
+//! cargo run -p mvasd-lint -- --explain L7
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = findings, 2 = usage or IO error.
@@ -11,10 +12,11 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use mvasd_lint::rules::explain;
 use mvasd_lint::{find_workspace_root, run, Options};
 
 const USAGE: &str = "\
-mvasd-lint: static analysis for the MVASD workspace contracts (L1-L6)
+mvasd-lint: static analysis for the MVASD workspace contracts (L1-L9)
 
 USAGE:
     mvasd-lint [OPTIONS]
@@ -22,6 +24,7 @@ USAGE:
 OPTIONS:
     --json             emit a machine-readable report (schema mvasd-lint/1)
     --fix-baseline     rewrite lint-baseline.toml with the current counts
+    --explain RULE     print the contract a rule family enforces (L1..L9, A0)
     --root DIR         workspace root (default: walk up from the cwd)
     --baseline FILE    ratchet file (default: <root>/lint-baseline.toml)
     -h, --help         show this help
@@ -37,6 +40,20 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--explain" => match args.next() {
+                Some(rule) => {
+                    return match explain(&rule) {
+                        Some(text) => {
+                            println!("{text}");
+                            ExitCode::SUCCESS
+                        }
+                        None => usage_error(&format!(
+                            "no rule family named `{rule}` (expected L1..L9 or A0)"
+                        )),
+                    }
+                }
+                None => return usage_error("--explain requires a rule name"),
+            },
             "--fix-baseline" => fix_baseline = true,
             "--root" => match args.next() {
                 Some(v) => root = Some(PathBuf::from(v)),

@@ -1,0 +1,264 @@
+//! Property tests for the mvasd-lint AST layer.
+//!
+//! The dataflow rules (L7-L9) only see what the parser hands them, so the
+//! parser's structural guarantees carry the whole rule engine. These
+//! properties assemble random programs from a fragment pool — nested
+//! closures, raw strings, match arms, generic turbofish — and assert the
+//! invariants [`check_coverage`] encodes: top-level item spans tile the
+//! significant-token stream exactly, block statements tile the inside of
+//! their braces, and child spans nest inside parents. A fixed adversarial
+//! corpus pins the known parser traps.
+
+use mvasd_lint::ast::{self, check_coverage, for_each_fn, for_each_stmt, Stmt};
+use mvasd_lint::lexer::{lex, TokKind, Token};
+use mvasd_numerics::propcheck::{check, Config, Gen};
+
+fn sig_tokens(src: &str) -> Vec<Token> {
+    lex(src)
+        .into_iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect()
+}
+
+/// Statement fragments, each a complete statement so any sequence forms a
+/// valid fn body. Several are deliberately nasty: strings containing `fn`
+/// and braces, raw strings with hash fences, closures capturing closures.
+const STMTS: &[&str] = &[
+    "let a = 1.0;",
+    "let b = (a + 2.0).ln();",
+    "let c: f64 = b.exp() * 3.0;",
+    "helper(a, b);",
+    "if a > 0.0 { let d = a; } else { other(); }",
+    "for i in 0..10 { acc += i as f64; }",
+    "while go() { step(); }",
+    "let f = |u: f64| u * 2.0;",
+    "let g = move |u: f64| { let v = u + 1.0; v };",
+    "let h = |x: f64| move |y: f64| x + y;",
+    "match k { 0 => {} _ => { other(); } }",
+    "let s = \"fn not_a_fn() { }\";",
+    "let r = r#\"raw \" with } brace\"#;",
+    "let t = (1, 2.0, \"three\");",
+    "xs[0] = xs[1] + xs[2];",
+    "let p = obj.field.method::<u64>(q)?;",
+    "let v: Vec<Vec<f64>> = Vec::new();",
+    "loop { if done { break; } }",
+    "// a line comment inside the body\n    noop();",
+    "/* block comment */ noop();",
+];
+
+/// Item templates; `{NAME}` is replaced with a unique identifier and
+/// `{BODY}` with a random statement sequence.
+const FN_TEMPLATES: &[&str] = &[
+    "fn {NAME}() {\n{BODY}}\n",
+    "pub fn {NAME}(x: f64, ys: &[f64]) -> f64 {\n{BODY}    x\n}\n",
+    "fn {NAME}<'a, T: Clone>(v: &'a T) -> &'a T {\n{BODY}    v\n}\n",
+    "#[inline]\nfn {NAME}(n: usize) -> usize {\n{BODY}    n + 1\n}\n",
+];
+
+const OTHER_ITEMS: &[&str] = &[
+    "use std::collections::HashMap;\n",
+    "struct Point { x: f64, y: f64 }\n",
+    "enum Kind { A, B(u32) }\n",
+    "const LIMIT: usize = 42;\n",
+    "type Pair = (f64, f64);\n",
+    "static NAME: &str = \"a } brace in a string\";\n",
+];
+
+/// Assembles a random program; returns the source and the names of every
+/// generated `fn` item (including fns nested in mods).
+fn assemble(g: &mut Gen) -> (String, Vec<String>) {
+    let mut src = String::new();
+    let mut fn_names = Vec::new();
+    let items = g.usize_in(1, 7);
+    for i in 0..items {
+        match g.usize_in(0, 3) {
+            0 => src.push_str(OTHER_ITEMS[g.usize_in(0, OTHER_ITEMS.len() - 1)]),
+            1 => {
+                // A mod holding one fn, to exercise item nesting.
+                let name = format!("inner_{i}");
+                let mut body = String::new();
+                push_fn(g, &name, &mut body);
+                src.push_str(&format!("mod m{i} {{\n{body}}}\n"));
+                fn_names.push(name);
+            }
+            _ => {
+                let name = format!("f{i}");
+                push_fn(g, &name, &mut src);
+                fn_names.push(name);
+            }
+        }
+    }
+    if src.is_empty() {
+        src.push_str("fn lone() {}\n");
+        fn_names.push("lone".to_string());
+    }
+    (src, fn_names)
+}
+
+fn push_fn(g: &mut Gen, name: &str, out: &mut String) {
+    let template = FN_TEMPLATES[g.usize_in(0, FN_TEMPLATES.len() - 1)];
+    let mut body = String::new();
+    for _ in 0..g.usize_in(0, 5) {
+        body.push_str("    ");
+        body.push_str(STMTS[g.usize_in(0, STMTS.len() - 1)]);
+        body.push('\n');
+    }
+    out.push_str(&template.replace("{NAME}", name).replace("{BODY}", &body));
+}
+
+#[test]
+fn random_programs_tile_the_token_stream() {
+    check(
+        "ast.coverage_tiles_random_programs",
+        &Config::default().cases(200),
+        |g| {
+            let (src, fn_names) = assemble(g);
+            let sig = sig_tokens(&src);
+            let tree = ast::parse(&sig, &src);
+            check_coverage(&tree, sig.len())
+                .unwrap_or_else(|e| panic!("coverage violated: {e}\nsource:\n{src}"));
+
+            // Every generated fn is found by name, spans preserved: the
+            // fn's span must contain a token whose text is its name.
+            let mut seen = Vec::new();
+            for_each_fn(&tree.items, &mut |f| {
+                let named = (f.span.lo..f.span.hi)
+                    .any(|i| sig.get(i).is_some_and(|t| t.text(&src) == f.name));
+                assert!(named, "fn `{}` span lost its name token\n{src}", f.name);
+                seen.push(f.name.clone());
+            });
+            for name in &fn_names {
+                assert!(seen.contains(name), "fn `{name}` not found\nsource:\n{src}");
+            }
+        },
+    );
+}
+
+#[test]
+fn let_statements_start_with_the_let_token() {
+    check(
+        "ast.let_spans_anchor_on_let",
+        &Config::default().cases(120),
+        |g| {
+            let (src, _) = assemble(g);
+            let sig = sig_tokens(&src);
+            let tree = ast::parse(&sig, &src);
+            for_each_fn(&tree.items, &mut |f| {
+                let Some(body) = &f.body else { return };
+                for_each_stmt(body, &mut |stmt| {
+                    if let Stmt::Let(_) = stmt {
+                        let sp = stmt.span();
+                        let first = sig.get(sp.lo).map(|t| t.text(&src));
+                        assert_eq!(
+                            first,
+                            Some("let"),
+                            "let-stmt span {}..{} does not start at `let`\n{src}",
+                            sp.lo,
+                            sp.hi
+                        );
+                    }
+                });
+            });
+        },
+    );
+}
+
+/// Known parser traps, pinned as a fixed corpus so regressions name the
+/// exact construct that broke.
+#[test]
+fn adversarial_corpus_parses_with_full_coverage() {
+    let corpus: &[(&str, &str)] = &[
+        (
+            "nested closures capturing closures",
+            "fn a() { let f = |x: f64| { let g = move |y: f64| x + y; g(1.0) }; f(2.0); }",
+        ),
+        (
+            "raw string with hash fence and braces",
+            "fn b() { let s = r##\"fence \"# with { } and fn c() {}\"##; use_it(s); }",
+        ),
+        (
+            "char literals that look like delimiters",
+            "fn c() { let open = '{'; let close = '}'; let q = '\"'; pair(open, close, q); }",
+        ),
+        (
+            "lifetimes vs chars in generics",
+            "fn d<'a>(x: &'a str) -> &'a str { let c = 'a'; note(c); x }",
+        ),
+        (
+            "turbofish and shift-right ambiguity",
+            "fn e() { let v = Vec::<Vec<u64>>::new(); let n = 1u64 >> 2; grow(v, n); }",
+        ),
+        (
+            "match with guards, ranges, and nested blocks",
+            "fn f(k: u32) -> u32 { match k { 0..=4 if k > 1 => { k + 1 } 5 => 0, _ => { let t = k * 2; t } } }",
+        ),
+        (
+            "macro calls with all three delimiters",
+            "fn g() { println!(\"{}\", 1); vec![1, 2]; matches!(x, Some { .. }); }",
+        ),
+        (
+            "mod nesting with trailing items",
+            "mod outer { mod inner { fn deep() { work(); } } fn shallow() {} } fn top() {}",
+        ),
+        (
+            "comments interleaved with expressions",
+            "fn h() { let a /* mid */ = 1.0; // tail\n    let b = a + /* gap */ 2.0; sink(b); }",
+        ),
+        (
+            "struct literals and field inits in tails",
+            "fn i() -> P { let base = P { x: 1.0, y: 2.0 }; P { x: base.y, ..base } }",
+        ),
+    ];
+    for (label, src) in corpus {
+        let sig = sig_tokens(src);
+        let tree = ast::parse(&sig, src);
+        check_coverage(&tree, sig.len())
+            .unwrap_or_else(|e| panic!("[{label}] coverage violated: {e}"));
+        let mut fns = 0usize;
+        for_each_fn(&tree.items, &mut |_| fns += 1);
+        assert!(fns >= 1, "[{label}] no fn items recognized");
+    }
+}
+
+/// The parser must be total: random byte-level mutations of a valid
+/// program (token deletions, brace injections) may produce garbage, but
+/// parsing must neither panic nor break span nesting bounds.
+#[test]
+fn mutated_programs_never_break_span_bounds() {
+    check(
+        "ast.mutations_stay_in_bounds",
+        &Config::default().cases(150),
+        |g| {
+            let (mut src, _) = assemble(g);
+            // Inject a random brace or delete a random ASCII char.
+            for _ in 0..g.usize_in(1, 3) {
+                let pos = g.usize_in(0, src.len().saturating_sub(1));
+                if !src.is_char_boundary(pos) {
+                    continue;
+                }
+                if g.bool() {
+                    let brace = *g.choose(&['{', '}', '(', ')']);
+                    src.insert(pos, brace);
+                } else if src.len() > 1 {
+                    let ch = src.remove(pos);
+                    // Never bisect a multi-byte char's neighbours badly:
+                    // remove() is char-aware, so just drop it.
+                    let _ = ch;
+                }
+            }
+            let sig = sig_tokens(&src);
+            let tree = ast::parse(&sig, &src);
+            // Tiling may legitimately fail on garbage, but spans must stay
+            // inside the token stream.
+            for_each_fn(&tree.items, &mut |f| {
+                assert!(f.span.hi <= sig.len(), "fn span out of bounds\n{src}");
+                if let Some(body) = &f.body {
+                    assert!(
+                        body.span.lo >= f.span.lo && body.span.hi <= f.span.hi,
+                        "body escapes fn span\n{src}"
+                    );
+                }
+            });
+        },
+    );
+}

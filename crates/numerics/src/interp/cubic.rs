@@ -73,15 +73,19 @@ impl CubicSpline {
         }
 
         let m = if n == 2 {
-            match bc {
+            match (bc, xs, ys) {
                 // With two points the clamped spline is the unique cubic with
                 // the prescribed end slopes; solve its 2x2 moment system.
-                BoundaryCondition::Clamped {
-                    start_slope,
-                    end_slope,
-                } => {
-                    let h = xs[1] - xs[0];
-                    let secant = (ys[1] - ys[0]) / h;
+                (
+                    BoundaryCondition::Clamped {
+                        start_slope,
+                        end_slope,
+                    },
+                    [x0, x1],
+                    [y0, y1],
+                ) => {
+                    let h = x1 - x0;
+                    let secant = (y1 - y0) / h;
                     // (h/3) M0 + (h/6) M1 = secant - s0
                     // (h/6) M0 + (h/3) M1 = s1 - secant
                     let a = h / 3.0;
@@ -157,23 +161,25 @@ impl CubicSpline {
                 end_slope,
             } => {
                 // Full n-variable tridiagonal system with derivative rows.
-                let mut diag = vec![0.0; n];
-                let mut sub = vec![0.0; n - 1];
-                let mut sup = vec![0.0; n - 1];
-                let mut rhs = vec![0.0; n];
-                diag[0] = h[0] / 3.0;
-                sup[0] = h[0] / 6.0;
-                rhs[0] = secant(0) - start_slope;
-                for i in 1..n - 1 {
-                    sub[i - 1] = h[i - 1] / 6.0;
-                    diag[i] = (h[i - 1] + h[i]) / 3.0;
-                    sup[i] = h[i] / 6.0;
-                    rhs[i] = secant(i) - secant(i - 1);
-                }
-                sub[n - 2] = h[n - 2] / 6.0;
-                diag[n - 1] = h[n - 2] / 3.0;
-                rhs[n - 1] = end_slope - secant(n - 2);
-                solve_tridiagonal(&sub, &diag, &sup, &rhs)
+                // Both off-diagonals are h/6 elementwise (the derivative rows
+                // happen to follow the interior pattern), so one vector
+                // serves as sub- and super-diagonal.
+                let off: Vec<f64> = h.iter().map(|hi| hi / 6.0).collect();
+                let diag: Vec<f64> = (0..n)
+                    .map(|i| match i {
+                        0 => h.first().map_or(0.0, |h0| h0 / 3.0),
+                        i if i == n - 1 => h.last().map_or(0.0, |hn| hn / 3.0),
+                        i => (h[i - 1] + h[i]) / 3.0,
+                    })
+                    .collect();
+                let rhs: Vec<f64> = (0..n)
+                    .map(|i| match i {
+                        0 => secant(0) - start_slope,
+                        i if i == n - 1 => end_slope - secant(n - 2),
+                        i => secant(i) - secant(i - 1),
+                    })
+                    .collect();
+                solve_tridiagonal(&off, &diag, &off, &rhs)
             }
             BoundaryCondition::NotAKnot => {
                 if n < 4 {
@@ -189,6 +195,15 @@ impl CubicSpline {
                 // and substitute into the first/last interior equations,
                 // leaving a tridiagonal system in M_1..M_{n-2}.
                 let k = n - 2;
+                let (h0, h1) = match h.as_slice() {
+                    [h0, h1, ..] => (*h0, *h1),
+                    _ => return Self::solve_moments(xs, ys, BoundaryCondition::Natural),
+                };
+                // First interior equation (i = 1) carries the term (h0/6)·M0
+                // with M0 = (1 + h0/h1) M1 − (h0/h1) M2; the last interior
+                // equation (i = n-2) carries (h_{n-2}/6)·M_{n-1} likewise.
+                let r0 = h0 / h1;
+                let rn = h[n - 2] / h[n - 3];
                 let mut diag = vec![0.0; k];
                 let mut sub = vec![0.0; k - 1];
                 let mut sup = vec![0.0; k - 1];
@@ -203,21 +218,22 @@ impl CubicSpline {
                     if j + 1 < k {
                         sup[j] = h[i] / 6.0;
                     }
+                    if j == 0 {
+                        diag[j] += (h0 / 6.0) * (1.0 + r0);
+                        sup[j] += (h0 / 6.0) * (-r0);
+                    }
+                    if j == k - 1 {
+                        diag[j] += (h[n - 2] / 6.0) * (1.0 + rn);
+                        sub[j - 1] += (h[n - 2] / 6.0) * (-rn);
+                    }
                 }
-                // First interior equation (i = 1) had the term (h0/6)·M0.
-                // M0 = (1 + h0/h1) M1 − (h0/h1) M2.
-                let r0 = h[0] / h[1];
-                diag[0] += (h[0] / 6.0) * (1.0 + r0);
-                sup[0] += (h[0] / 6.0) * (-r0);
-                // Last interior equation (i = n-2) had (h_{n-2}/6)·M_{n-1}.
-                let rn = h[n - 2] / h[n - 3];
-                diag[k - 1] += (h[n - 2] / 6.0) * (1.0 + rn);
-                sub[k - 2] += (h[n - 2] / 6.0) * (-rn);
 
                 let interior = solve_tridiagonal(&sub, &diag, &sup, &rhs)?;
                 let mut m = vec![0.0; n];
                 m[1..1 + k].copy_from_slice(&interior);
-                m[0] = (1.0 + r0) * m[1] - r0 * m[2];
+                if let [m0, m1, m2, ..] = m.as_mut_slice() {
+                    *m0 = (1.0 + r0) * *m1 - r0 * *m2;
+                }
                 m[n - 1] = (1.0 + rn) * m[n - 2] - rn * m[n - 3];
                 Ok(m)
             }
@@ -291,11 +307,11 @@ impl Interpolant for CubicSpline {
         let (lo, hi) = self.domain();
         if x < lo {
             return match self.extrapolation {
-                Extrapolation::Clamp => self.ys[0],
+                Extrapolation::Clamp => *self.ys.first().expect("non-empty"),
                 Extrapolation::Extend => self.eval_all(x).0,
                 Extrapolation::Linear => {
                     let s1 = self.eval_all(lo).1;
-                    self.ys[0] + s1 * (x - lo)
+                    self.ys.first().expect("non-empty") + s1 * (x - lo)
                 }
             };
         }
@@ -325,7 +341,10 @@ impl Interpolant for CubicSpline {
     }
 
     fn domain(&self) -> (f64, f64) {
-        (self.xs[0], *self.xs.last().expect("non-empty"))
+        (
+            *self.xs.first().expect("non-empty"),
+            *self.xs.last().expect("non-empty"),
+        )
     }
 }
 

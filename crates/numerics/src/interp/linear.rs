@@ -51,7 +51,7 @@ impl Interpolant for LinearInterp {
         let (lo, hi) = self.domain();
         if self.extrapolation == Extrapolation::Clamp {
             if x <= lo {
-                return self.ys[0];
+                return *self.ys.first().expect("non-empty by construction");
             }
             if x >= hi {
                 return *self.ys.last().expect("non-empty by construction");
@@ -73,7 +73,7 @@ impl Interpolant for LinearInterp {
 
     fn domain(&self) -> (f64, f64) {
         (
-            self.xs[0],
+            *self.xs.first().expect("non-empty by construction"),
             *self.xs.last().expect("non-empty by construction"),
         )
     }

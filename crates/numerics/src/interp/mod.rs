@@ -65,7 +65,7 @@ pub trait Interpolant: Send + Sync {
 /// increasing with `len ≥ 2` (guaranteed by interpolant constructors).
 pub(crate) fn segment_index(xs: &[f64], x: f64) -> usize {
     debug_assert!(xs.len() >= 2);
-    if x <= xs[0] {
+    if xs.first().map_or(true, |&lo| x <= lo) {
         return 0;
     }
     let last = xs.len() - 2;

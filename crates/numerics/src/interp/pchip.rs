@@ -30,8 +30,8 @@ impl PchipInterp {
 
         let mut d = vec![0.0; n];
         if n == 2 {
-            d[0] = delta[0];
-            d[1] = delta[0];
+            // Two knots: the interpolant is the secant line.
+            d.fill(*delta.first().expect("two knots give one secant"));
         } else {
             // Interior: weighted harmonic mean when secants share sign.
             for i in 1..n - 1 {
@@ -43,7 +43,13 @@ impl PchipInterp {
                     d[i] = 0.0;
                 }
             }
-            d[0] = Self::edge_slope(h[0], h[1], delta[0], delta[1]);
+            // Endpoints: one-sided three-point estimates. n >= 3 here, so
+            // both slices hold at least two elements.
+            if let (Some(slot), [h0, h1, ..], [del0, del1, ..]) =
+                (d.first_mut(), h.as_slice(), delta.as_slice())
+            {
+                *slot = Self::edge_slope(*h0, *h1, *del0, *del1);
+            }
             d[n - 1] = Self::edge_slope(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
         }
 
@@ -114,9 +120,12 @@ impl Interpolant for PchipInterp {
         let (lo, hi) = self.domain();
         if x < lo {
             return match self.extrapolation {
-                Extrapolation::Clamp => self.ys[0],
+                Extrapolation::Clamp => *self.ys.first().expect("non-empty"),
                 Extrapolation::Extend => self.eval_piece(x).0,
-                Extrapolation::Linear => self.ys[0] + self.d[0] * (x - lo),
+                Extrapolation::Linear => {
+                    self.ys.first().expect("non-empty")
+                        + self.d.first().expect("non-empty") * (x - lo)
+                }
             };
         }
         if x > hi {
@@ -140,7 +149,7 @@ impl Interpolant for PchipInterp {
                 Extrapolation::Extend => self.eval_piece(x).1,
                 Extrapolation::Linear => {
                     if x < lo {
-                        self.d[0]
+                        *self.d.first().expect("non-empty")
                     } else {
                         *self.d.last().expect("non-empty")
                     }
@@ -151,7 +160,10 @@ impl Interpolant for PchipInterp {
     }
 
     fn domain(&self) -> (f64, f64) {
-        (self.xs[0], *self.xs.last().expect("non-empty"))
+        (
+            *self.xs.first().expect("non-empty"),
+            *self.xs.last().expect("non-empty"),
+        )
     }
 }
 

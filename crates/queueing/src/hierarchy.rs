@@ -435,6 +435,24 @@ impl ProfileCache {
         }
     }
 
+    /// Deterministic snapshot of every cached profile, sorted by key:
+    /// `(key, isolated throughput profile, flat leaf-queue rows)`.
+    ///
+    /// Two caches whose work histories produced bitwise-identical
+    /// profiles yield equal snapshots regardless of insertion order, so
+    /// this is the comparison surface for schedule-independence tests
+    /// (the interleaving explorer asserts snapshot equality across every
+    /// forced completion order).
+    pub fn profiles(&self) -> Vec<(Vec<u64>, Vec<f64>, Vec<f64>)> {
+        let mut out: Vec<_> = self
+            .lock()
+            .iter()
+            .map(|(k, sub)| (k.clone(), sub.profile.clone(), sub.leaf_rows.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Stores `sub` unless an entry with an equal-or-longer profile is
     /// already present (longer profiles subsume shorter ones).
     fn store(&self, key: &[u64], sub: &SubEngine) {
@@ -683,6 +701,7 @@ impl LevelEngine {
     /// single rebuild happen in the same order under any worker count, so
     /// the solutions *and* the [`ProfileCache`] contents are bit-identical
     /// to the serial schedule.
+    // lint: bit-identical
     fn ensure(&mut self, m: usize) -> Result<(), QueueingError> {
         // Plan: which subsystems are stale, and how far each must extend.
         // `Vec::new` defers its first allocation to the first push, so a
@@ -725,6 +744,7 @@ impl LevelEngine {
                     .collect()
             };
             let out = pool::scoped_indexed(jobs.len(), *parallelism, |j| {
+                // lint: interference-ok per-subsystem job slot, each index locked by one task
                 let mut slot = jobs[j].lock().unwrap_or_else(|p| p.into_inner());
                 let (sub, name, target) = &mut *slot;
                 sub.extend_to(*target, name)
@@ -753,6 +773,7 @@ impl LevelEngine {
         // Commit: serial, in subsystem index order — deterministic counter
         // emission and cache fills regardless of worker count.
         let mut grew = false;
+        // lint: commit-phase
         for (&(i, _), added) in dirty.iter().zip(extended) {
             let added = added?;
             if added > 0 {
@@ -1399,6 +1420,71 @@ mod tests {
             assert_eq!(sub.profile.len(), twin.profile.len());
             for (a, b) in sub.profile.iter().zip(&twin.profile) {
                 assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn every_schedule_of_parallel_sub_solves_is_bit_identical() {
+        // Dynamic witness for the plan/commit protocol: force every
+        // completion order of the ≤4-task parallel plan phase and assert
+        // the solution *and* the cache contents are bitwise equal to the
+        // serial run on each one. A scheduling-dependent commit (e.g. a
+        // worker publishing into the shared cache mid-plan) would flip
+        // bits on at least one permutation.
+        let net = HierarchicalNetwork::new(
+            vec![
+                Station::queueing("fe", 1, 1.0, 0.002).into(),
+                tier("a", 0.010, 0.004).into(),
+                tier("b", 0.012, 0.005).into(),
+                tier("c", 0.016, 0.007).into(),
+                tier("d", 0.009, 0.003).into(),
+            ],
+            0.5,
+        )
+        .unwrap();
+        let serial_cache = Arc::new(ProfileCache::new());
+        let serial = HierarchicalSolver::with_options(net.clone(), AggregationOptions::exact())
+            .with_cache(serial_cache.clone())
+            .solve(30)
+            .unwrap();
+        let reference = serial_cache.profiles();
+        assert!(!reference.is_empty());
+
+        let runs = pool::explore_schedules(4, |_sched| {
+            let cache = Arc::new(ProfileCache::new());
+            let par = HierarchicalSolver::with_options(
+                net.clone(),
+                AggregationOptions::exact().parallelism(4),
+            )
+            .with_cache(cache.clone())
+            .solve(30)
+            .unwrap();
+            (par, cache.profiles())
+        });
+        assert_eq!(runs.len(), 24, "4 tasks => 4! exhaustive schedules");
+        for (sched, (par, profiles)) in &runs {
+            for (s, p) in serial.points.iter().zip(par.points.iter()) {
+                assert_eq!(
+                    s.throughput.to_bits(),
+                    p.throughput.to_bits(),
+                    "schedule {sched:?} n={}",
+                    s.n
+                );
+                for (a, b) in s.stations.iter().zip(&p.stations) {
+                    assert_eq!(a.queue.to_bits(), b.queue.to_bits(), "schedule {sched:?}");
+                }
+            }
+            assert_eq!(profiles.len(), reference.len(), "schedule {sched:?}");
+            for ((k, prof, rows), (rk, rprof, rrows)) in profiles.iter().zip(&reference) {
+                assert_eq!(k, rk, "schedule {sched:?}");
+                assert_eq!(prof.len(), rprof.len(), "schedule {sched:?}");
+                for (a, b) in prof.iter().zip(rprof) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "schedule {sched:?} key {k:?}");
+                }
+                for (a, b) in rows.iter().zip(rrows) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "schedule {sched:?} key {k:?}");
+                }
             }
         }
     }

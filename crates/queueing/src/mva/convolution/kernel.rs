@@ -138,6 +138,7 @@ pub fn conv_cell(a: &[f64], b: &[f64], n: usize, scratch: &mut CellScratch) -> f
         );
         let mut s = 0.0;
         let mut quads = block.chunks_exact(4);
+        // lint: log-domain-ok four-lane pruned accumulation, re-entered via acc.ln() below
         for quad in quads.by_ref() {
             if let &[x0, x1, x2, x3] = quad {
                 m0 = m0.max(x0);
@@ -183,6 +184,7 @@ pub fn conv_cell(a: &[f64], b: &[f64], n: usize, scratch: &mut CellScratch) -> f
         }
         let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
         let mut quads = block.chunks_exact(4);
+        // lint: log-domain-ok four-lane pruned accumulation, re-entered via acc.ln() below
         for quad in quads.by_ref() {
             if let &[x0, x1, x2, x3] = quad {
                 a0 += (x0 - m).exp();
@@ -192,6 +194,7 @@ pub fn conv_cell(a: &[f64], b: &[f64], n: usize, scratch: &mut CellScratch) -> f
             }
         }
         let mut rest = 0.0;
+        // lint: log-domain-ok pruned remainder lane, re-entered via acc.ln() below
         for &x in quads.remainder() {
             rest += (x - m).exp();
         }

@@ -141,9 +141,9 @@ pub struct ConvWorkspace {
     /// Any heavy station at all? Gates the whole suffix chain.
     any_heavy: bool,
 
-    /// Row of `g_minus` for stations that can ever be heavy (else NO_ROW).
+    /// Row of `ln_g_minus` for stations that can ever be heavy (else NO_ROW).
     g_row: Vec<usize>,
-    /// Row of `lq` for light single-server-like stations (else NO_ROW).
+    /// Row of `ln_lq` for light single-server-like stations (else NO_ROW).
     lq_row: Vec<usize>,
     /// Row of `ln_rate` for rate-table stations (else NO_ROW).
     rate_row: Vec<usize>,
@@ -153,19 +153,19 @@ pub struct ConvWorkspace {
     /// `ln α_k(j)` per rate-table station, computed once per growth.
     ln_rate: Grid,
 
-    /// `factors[i][j] = ln f_i(j)`, stations then the think stage.
-    factors: Grid,
-    /// `prefix[i] = f_0 ⊛ … ⊛ f_{i−1}` (`prefix[0]` = identity); the last
+    /// `ln_factors[i][j] = ln f_i(j)`, stations then the think stage.
+    ln_factors: Grid,
+    /// `ln_prefix[i] = f_0 ⊛ … ⊛ f_{i−1}` (`ln_prefix[0]` = identity); the last
     /// row is `ln G`.
-    prefix: Grid,
+    ln_prefix: Grid,
     /// `suffix[i] = f_i ⊛ … ⊛ f_{total−1}` (`suffix[total]` = identity).
     /// Only maintained while a heavy station exists.
     suffix: Grid,
-    /// `g_minus[row] = ln G₍₋ₖ₎` for heavy-capable stations.
-    g_minus: Grid,
-    /// `lq[row][n] = ln Σ_{j≥1} j·D^j·G(n−j)`… telescoped: the light
+    /// `ln_g_minus[row] = ln G₍₋ₖ₎` for heavy-capable stations.
+    ln_g_minus: Grid,
+    /// `ln_lq[row][n] = ln Σ_{j≥1} j·D^j·G(n−j)`… telescoped: the light
     /// single-server queue numerator `h(n)`.
-    lq: Grid,
+    ln_lq: Grid,
 
     // Per-population outputs, overwritten in place by `compute_outputs`.
     out_x: f64,
@@ -258,11 +258,11 @@ impl ConvWorkspace {
             rate_row,
             ln_int: Vec::new(),
             ln_rate: Grid::new(rate_rows),
-            factors: Grid::new(total),
-            prefix: Grid::new(total + 1),
+            ln_factors: Grid::new(total),
+            ln_prefix: Grid::new(total + 1),
             suffix: Grid::new(total + 1),
-            g_minus: Grid::new(g_rows),
-            lq: Grid::new(lq_rows),
+            ln_g_minus: Grid::new(g_rows),
+            ln_lq: Grid::new(lq_rows),
             out_x: 0.0,
             out_queues: vec![0.0; k_count],
             out_marginals: vec![0.0; off],
@@ -337,7 +337,8 @@ impl ConvWorkspace {
                     RateFunction::SingleServer | RateFunction::MultiServer(1) => StageKind::Geo,
                     _ => StageKind::Table,
                 };
-                (kind, s.demand.ln())
+                let ln_demand = s.demand.ln();
+                (kind, ln_demand)
             };
             self.kind[k] = kind;
             self.ln_d[k] = ld;
@@ -357,17 +358,17 @@ impl ConvWorkspace {
     /// tables for the new range. Growth is the only allocation the
     /// workspace ever performs after construction.
     fn ensure_capacity(&mut self, len: usize) {
-        if len <= self.factors.cap {
+        if len <= self.ln_factors.cap {
             return;
         }
-        let new_cap = len.next_power_of_two().max(self.factors.cap * 2).max(64);
-        let old_cap = self.factors.cap;
+        let new_cap = len.next_power_of_two().max(self.ln_factors.cap * 2).max(64);
+        let old_cap = self.ln_factors.cap;
         let keep = (self.n + 1).min(old_cap);
-        self.factors.grow(new_cap, keep);
-        self.prefix.grow(new_cap, keep);
+        self.ln_factors.grow(new_cap, keep);
+        self.ln_prefix.grow(new_cap, keep);
         self.suffix.grow(new_cap, keep);
-        self.g_minus.grow(new_cap, keep);
-        self.lq.grow(new_cap, keep);
+        self.ln_g_minus.grow(new_cap, keep);
+        self.ln_lq.grow(new_cap, keep);
         self.cell.ensure(new_cap);
 
         self.ln_int.resize(new_cap, 0.0);
@@ -390,11 +391,11 @@ impl ConvWorkspace {
         }
 
         if obsv::enabled() {
-            let bytes = self.factors.bytes()
-                + self.prefix.bytes()
+            let bytes = self.ln_factors.bytes()
+                + self.ln_prefix.bytes()
                 + self.suffix.bytes()
-                + self.g_minus.bytes()
-                + self.lq.bytes()
+                + self.ln_g_minus.bytes()
+                + self.ln_lq.bytes()
                 + self.ln_rate.bytes()
                 + self.ln_int.len() * std::mem::size_of::<f64>();
             obsv::counter("conv.workspace.alloc", 1);
@@ -408,17 +409,17 @@ impl ConvWorkspace {
         self.n = 0;
         let total = self.stations.len() + 1;
         for i in 0..total {
-            self.factors.set(i, 0, 0.0);
+            self.ln_factors.set(i, 0, 0.0);
         }
         for i in 0..=total {
-            self.prefix.set(i, 0, 0.0);
+            self.ln_prefix.set(i, 0, 0.0);
             self.suffix.set(i, 0, 0.0);
         }
-        for r in 0..self.g_minus.rows {
-            self.g_minus.set(r, 0, 0.0);
+        for r in 0..self.ln_g_minus.rows {
+            self.ln_g_minus.set(r, 0, 0.0);
         }
-        for r in 0..self.lq.rows {
-            self.lq.set(r, 0, f64::NEG_INFINITY);
+        for r in 0..self.ln_lq.rows {
+            self.ln_lq.set(r, 0, f64::NEG_INFINITY);
         }
     }
 
@@ -434,32 +435,37 @@ impl ConvWorkspace {
         for i in 0..total {
             let v = match self.kind[i] {
                 StageKind::Zero => f64::NEG_INFINITY,
-                StageKind::Geo => self.factors.at(i, m - 1) + self.ln_d[i],
-                StageKind::Exp => self.factors.at(i, m - 1) + (self.ln_d[i] - self.ln_int[m]),
+                StageKind::Geo => self.ln_factors.at(i, m - 1) + self.ln_d[i],
+                StageKind::Exp => self.ln_factors.at(i, m - 1) + (self.ln_d[i] - self.ln_int[m]),
                 StageKind::Table => {
                     let lr = self.ln_rate.at(self.rate_row[i], m);
-                    self.factors.at(i, m - 1) + (self.ln_d[i] - lr)
+                    self.ln_factors.at(i, m - 1) + (self.ln_d[i] - lr)
                 }
             };
-            self.factors.set(i, m, v);
+            self.ln_factors.set(i, m, v);
         }
 
-        self.prefix.set(0, m, f64::NEG_INFINITY); // identity
+        self.ln_prefix.set(0, m, f64::NEG_INFINITY); // identity
         for i in 0..total {
             let v = match self.kind[i] {
-                StageKind::Zero => self.prefix.at(i, m),
+                StageKind::Zero => self.ln_prefix.at(i, m),
                 StageKind::Geo => lse2(
-                    self.prefix.at(i, m),
-                    self.ln_d[i] + self.prefix.at(i + 1, m - 1),
+                    self.ln_prefix.at(i, m),
+                    self.ln_d[i] + self.ln_prefix.at(i + 1, m - 1),
                 ),
-                _ => kernel::conv_cell(self.prefix.row(i), self.factors.row(i), m, &mut self.cell),
+                _ => kernel::conv_cell(
+                    self.ln_prefix.row(i),
+                    self.ln_factors.row(i),
+                    m,
+                    &mut self.cell,
+                ),
             };
-            self.prefix.set(i + 1, m, v);
+            self.ln_prefix.set(i + 1, m, v);
         }
 
-        let g_m = self.prefix.at(total, m);
+        let g_m = self.ln_prefix.at(total, m);
         self.health.watch(g_m);
-        if g_m == f64::NEG_INFINITY && self.prefix.at(total, m - 1) != f64::NEG_INFINITY {
+        if g_m == f64::NEG_INFINITY && self.ln_prefix.at(total, m - 1) != f64::NEG_INFINITY {
             return Err(QueueingError::InvalidParameter {
                 what: "normalization constant vanished (all-zero demands?)",
             });
@@ -475,7 +481,7 @@ impl ConvWorkspace {
                         self.ln_d[i] + self.suffix.at(i, m - 1),
                     ),
                     _ => kernel::conv_cell(
-                        self.factors.row(i),
+                        self.ln_factors.row(i),
                         self.suffix.row(i + 1),
                         m,
                         &mut self.cell,
@@ -486,12 +492,12 @@ impl ConvWorkspace {
             for k in 0..self.stations.len() {
                 if self.heavy[k] {
                     let v = kernel::conv_cell(
-                        self.prefix.row(k),
+                        self.ln_prefix.row(k),
                         self.suffix.row(k + 1),
                         m,
                         &mut self.cell,
                     );
-                    self.g_minus.set(self.g_row[k], m, v);
+                    self.ln_g_minus.set(self.g_row[k], m, v);
                 }
             }
         }
@@ -499,8 +505,9 @@ impl ConvWorkspace {
         for k in 0..self.stations.len() {
             let r = self.lq_row[k];
             if r != NO_ROW && self.kind[k] == StageKind::Geo && !self.heavy[k] {
-                let v = self.ln_d[k] + lse2(self.lq.at(r, m - 1), self.prefix.at(total, m - 1));
-                self.lq.set(r, m, v);
+                let v =
+                    self.ln_d[k] + lse2(self.ln_lq.at(r, m - 1), self.ln_prefix.at(total, m - 1));
+                self.ln_lq.set(r, m, v);
             }
         }
 
@@ -526,8 +533,8 @@ impl ConvWorkspace {
     fn compute_outputs(&mut self, n: usize) {
         debug_assert!(n >= 1 && n <= self.n);
         let total = self.stations.len() + 1;
-        let g_n = self.prefix.at(total, n);
-        let x = (self.prefix.at(total, n - 1) - g_n).exp();
+        let g_n = self.ln_prefix.at(total, n);
+        let x = (self.ln_prefix.at(total, n - 1) - g_n).exp();
         self.out_x = x;
         for k in 0..self.stations.len() {
             if self.heavy[k] {
@@ -537,7 +544,7 @@ impl ConvWorkspace {
                 let gr = self.g_row[k];
                 let mut q = 0.0;
                 for j in 0..=n {
-                    let lp = self.factors.at(k, j) + self.g_minus.at(gr, n - j) - g_n;
+                    let lp = self.ln_factors.at(k, j) + self.ln_g_minus.at(gr, n - j) - g_n;
                     if lp > -700.0 {
                         let p = lp.exp();
                         q += j as f64 * p;
@@ -556,7 +563,7 @@ impl ConvWorkspace {
                     StageKind::Zero => 0.0,
                     // Infinite-server: Q = X·D exactly (Little).
                     StageKind::Exp => x * self.stations[k].demand,
-                    StageKind::Geo => (self.lq.at(self.lq_row[k], n) - g_n).exp(),
+                    StageKind::Geo => (self.ln_lq.at(self.lq_row[k], n) - g_n).exp(),
                     StageKind::Table => unreachable!("table stations are always heavy"),
                 };
             }

@@ -65,6 +65,21 @@ fn seeded_violations_fire_per_rule() {
             "// lint: no-alloc\nfn f(v: &mut Vec<u8>) { v.push(1); }",
         ),
         ("L5", "allow-justify", "#[allow(dead_code)]\nfn f() {}"),
+        (
+            "L7",
+            "log-as-linear",
+            "fn f(a: f64, b: f64) -> f64 { a.ln() * b.ln() }",
+        ),
+        (
+            "L8",
+            "captured-mut",
+            "fn f() { let mut hits = 0; pool::scoped_indexed(4, 2, |i| { hits += 1; i }); }",
+        ),
+        (
+            "L9",
+            "reduction-order",
+            "// lint: bit-identical\nfn f(rx: &Receiver<f64>) -> f64 { rx.recv().unwrap_or(0.0) }",
+        ),
     ];
     for (rule, code, src) in cases {
         let path = if *rule == "L2" { mva } else { lib };
@@ -92,6 +107,86 @@ fn annotations_suppress_and_demand_reasons() {
     assert!(
         findings.iter().any(|f| f.rule_code() == "A0:annotation"),
         "reasonless annotation must fire A0: {findings:?}"
+    );
+}
+
+fn real_source(rel: &str) -> (String, String) {
+    let path = workspace_root().join(rel);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    (rel.replace('\\', "/"), src)
+}
+
+fn codes(path: &str, src: &str) -> Vec<String> {
+    lint_file(path, src).iter().map(|f| f.rule_code()).collect()
+}
+
+/// Mutation testing against the real tree: each shipped hot-path file is
+/// clean as-is, and a single seeded mutation — the exact failure mode the
+/// rule exists to catch — makes the rule fire. This proves the rules run
+/// with teeth on the code they guard, not just on synthetic snippets.
+#[test]
+fn seeded_mutations_of_real_sources_fire_l7_l8_l9() {
+    // L7: the convolution workspace discharges its log-domain tables
+    // through a ln-named binding; squaring the log value is log-as-linear.
+    let (path, src) = real_source("crates/queueing/src/mva/convolution/workspace.rs");
+    assert!(!codes(&path, &src).iter().any(|c| c.starts_with("L7")));
+    let mutated = src.replace(
+        "let ln_demand = s.demand.ln();",
+        "let ln_demand = s.demand.ln() * s.demand.ln();",
+    );
+    assert_ne!(
+        mutated, src,
+        "L7 mutation anchor vanished from workspace.rs"
+    );
+    assert!(
+        codes(&path, &mutated).contains(&"L7:log-as-linear".to_string()),
+        "L7 must fire on a log*log mutation of workspace.rs"
+    );
+
+    // L8: the sweep's pool closure locks per-group job slots under an
+    // interference-ok annotation; deleting the annotation exposes the
+    // interior mutability to the rule.
+    let (path, src) = real_source("crates/core/src/sweep.rs");
+    assert!(!codes(&path, &src).iter().any(|c| c.starts_with("L8")));
+    let mutated: String = src
+        .lines()
+        .filter(|l| !l.contains("lint: interference-ok"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_ne!(mutated, src, "L8 mutation anchor vanished from sweep.rs");
+    assert!(
+        codes(&path, &mutated).contains(&"L8:interior-mut".to_string()),
+        "L8 must fire when sweep.rs loses its interference-ok annotation"
+    );
+
+    // L8 commit-phase: deleting the commit-phase markers turns the
+    // post-pool cache writes into unmarked commits.
+    let mutated: String = src
+        .lines()
+        .filter(|l| !l.contains("lint: commit-phase"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        codes(&path, &mutated).contains(&"L8:unmarked-commit".to_string()),
+        "L8 must fire when sweep.rs loses its commit-phase markers"
+    );
+
+    // L9: `ensure` is marked bit-identical; a channel receive inside it
+    // would make results depend on completion order.
+    let (path, src) = real_source("crates/queueing/src/hierarchy.rs");
+    assert!(!codes(&path, &src).iter().any(|c| c.starts_with("L9")));
+    let mutated = src.replace(
+        "if dirty.is_empty() {",
+        "let _probe = self.status_rx.recv();\n        if dirty.is_empty() {",
+    );
+    assert_ne!(
+        mutated, src,
+        "L9 mutation anchor vanished from hierarchy.rs"
+    );
+    assert!(
+        codes(&path, &mutated).contains(&"L9:reduction-order".to_string()),
+        "L9 must fire on a recv() seeded into the bit-identical ensure fn"
     );
 }
 
